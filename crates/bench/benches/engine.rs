@@ -1,0 +1,81 @@
+//! Engine-level benchmarks: full protocol round trips through the
+//! deterministic cluster — the per-operation cost of PS / PS-OA / PS-AA
+//! as seen by an application.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pscc_common::{AppId, FileId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId};
+use pscc_core::OwnerMap;
+use pscc_sim::testkit::Cluster;
+
+fn cluster(protocol: Protocol) -> Cluster {
+    let cfg = SystemConfig {
+        protocol,
+        ..SystemConfig::small()
+    };
+    Cluster::new(3, cfg, OwnerMap::Single(SiteId(0)), 7)
+}
+
+fn oid(page: u32, slot: u16) -> Oid {
+    Oid::new(PageId::new(FileId::new(VolId(0), 0), page), slot)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    for protocol in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
+        g.bench_function(format!("{protocol}/txn_10_writes"), |b| {
+            b.iter_batched(
+                || cluster(protocol),
+                |mut cl| {
+                    let (s, a) = (SiteId(1), AppId(0));
+                    let t = cl.begin(s, a);
+                    for i in 0..10u16 {
+                        cl.read(s, a, t, oid(3, i % 10)).unwrap();
+                        cl.write(s, a, t, oid(3, i % 10), None).unwrap();
+                    }
+                    cl.commit(s, a, t).unwrap();
+                    cl
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    g.bench_function("cached_read_hit", |b| {
+        let mut cl = cluster(Protocol::PsAa);
+        let (s, a) = (SiteId(1), AppId(0));
+        let t = cl.begin(s, a);
+        cl.read(s, a, t, oid(5, 0)).unwrap(); // warm
+        b.iter(|| {
+            std::hint::black_box(cl.read(s, a, t, oid(5, 0)).unwrap());
+        });
+    });
+
+    g.bench_function("cross_client_invalidation", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = cluster(Protocol::PsAa);
+                // Warm both clients' caches with the page.
+                for site in [SiteId(1), SiteId(2)] {
+                    let t = cl.begin(site, AppId(0));
+                    cl.read(site, AppId(0), t, oid(7, 0)).unwrap();
+                    cl.commit(site, AppId(0), t).unwrap();
+                }
+                cl
+            },
+            |mut cl| {
+                let (s, a) = (SiteId(1), AppId(0));
+                let t = cl.begin(s, a);
+                cl.read(s, a, t, oid(7, 0)).unwrap();
+                cl.write(s, a, t, oid(7, 0), None).unwrap(); // callback to site 2
+                cl.commit(s, a, t).unwrap();
+                cl
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure-regeneration benchmarks: each paper figure's sweep at quick
+//! scale, so `cargo bench` exercises every experiment end-to-end. (The
+//! full Table 1 scale run is `cargo run --release -p pscc-bench --bin
+//! repro -- all`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pscc_sim::experiment::{quick_spec, run_point, Figure};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    for fig in Figure::ALL {
+        g.bench_function(format!("{fig}").replace(' ', "_").to_lowercase(), |b| {
+            b.iter(|| {
+                let spec = quick_spec(fig, 0.2);
+                let p = run_point(&spec);
+                std::hint::black_box(p.report.commits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

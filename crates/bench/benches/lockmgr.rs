@@ -1,0 +1,93 @@
+//! Microbenchmarks of the hierarchical lock manager: the hot operations
+//! on the write path of every protocol request.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pscc_common::{FileId, LockMode, Oid, PageId, SiteId, TxnId, VolId};
+use pscc_lockmgr::LockTable;
+
+fn oid(page: u32, slot: u16) -> Oid {
+    Oid::new(PageId::new(FileId::new(VolId(0), 0), page), slot)
+}
+
+fn txn(n: u64) -> TxnId {
+    TxnId::new(SiteId((n % 8) as u32), n)
+}
+
+fn bench_lockmgr(c: &mut Criterion) {
+    c.bench_function("lockmgr/acquire_hier_ex_cold", |b| {
+        b.iter_batched(
+            LockTable::new,
+            |mut lt| {
+                for i in 0..64u64 {
+                    let (a, _) = lt.acquire(txn(i), oid(i as u32, 0).into(), LockMode::Ex);
+                    std::hint::black_box(a);
+                }
+                lt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("lockmgr/acquire_sh_shared_hot", |b| {
+        b.iter_batched(
+            || {
+                let mut lt = LockTable::new();
+                let (_, _) = lt.acquire(txn(0), oid(1, 1).into(), LockMode::Sh);
+                lt
+            },
+            |mut lt| {
+                for i in 1..64u64 {
+                    let (a, _) = lt.acquire(txn(i), oid(1, 1).into(), LockMode::Sh);
+                    std::hint::black_box(a);
+                }
+                lt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("lockmgr/release_all_with_queue", |b| {
+        b.iter_batched(
+            || {
+                let mut lt = LockTable::new();
+                let _ = lt.acquire(txn(0), oid(1, 1).into(), LockMode::Ex);
+                for i in 1..16u64 {
+                    let _ = lt.acquire(txn(i), oid(1, 1).into(), LockMode::Sh);
+                }
+                lt
+            },
+            |mut lt| {
+                let out = lt.release_all(txn(0));
+                std::hint::black_box(out.grants.len());
+                lt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("lockmgr/deadlock_detection_64_txns", |b| {
+        b.iter_batched(
+            || {
+                let mut lt = LockTable::new();
+                // A long chain of waits plus one cycle at the end.
+                for i in 0..64u64 {
+                    let _ = lt.acquire(txn(i), oid(i as u32, 0).into(), LockMode::Ex);
+                }
+                for i in 0..63u64 {
+                    let _ = lt.acquire(txn(i), oid(i as u32 + 1, 0).into(), LockMode::Sh);
+                }
+                let _ = lt.acquire(txn(63), oid(0, 0).into(), LockMode::Sh);
+                lt
+            },
+            |lt| {
+                let cycles = lt.detect_deadlocks();
+                std::hint::black_box(cycles.len());
+                lt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_lockmgr);
+criterion_main!(benches);

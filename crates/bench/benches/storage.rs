@@ -1,0 +1,76 @@
+//! Microbenchmarks of the storage substrate: slotted-page operations and
+//! redo application — the per-object costs under every commit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pscc_common::{Oid, SiteId, SystemConfig, TxnId, VolId};
+use pscc_storage::{SlottedPage, Volume};
+use pscc_wal::{apply_redo, LogRecord};
+
+fn bench_storage(c: &mut Criterion) {
+    c.bench_function("storage/page_insert_20_objects", |b| {
+        let body = vec![7u8; 180];
+        b.iter_batched(
+            || SlottedPage::new(4096),
+            |mut p| {
+                for _ in 0..20 {
+                    std::hint::black_box(p.insert(&body));
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("storage/page_update_in_place", |b| {
+        let mut p = SlottedPage::new(4096);
+        let body = vec![7u8; 180];
+        let slots: Vec<u16> = (0..20).map(|_| p.insert(&body).unwrap()).collect();
+        let new = vec![9u8; 180];
+        b.iter(|| {
+            for s in &slots {
+                p.update(*s, &new).unwrap();
+            }
+        })
+    });
+
+    c.bench_function("storage/page_serialize_roundtrip", |b| {
+        let mut p = SlottedPage::new(4096);
+        for _ in 0..20 {
+            p.insert(&[3u8; 180]).unwrap();
+        }
+        b.iter(|| {
+            let q = SlottedPage::from_bytes(p.as_bytes().to_vec());
+            std::hint::black_box(q.slot_count())
+        })
+    });
+
+    c.bench_function("storage/redo_apply_100_records", |b| {
+        let cfg = SystemConfig::small();
+        let txn = TxnId::new(SiteId(1), 1);
+        b.iter_batched(
+            || {
+                let vol = Volume::create_database(VolId(0), &cfg);
+                let file = vol.files()[0];
+                let pages: Vec<_> = vol.file_pages(file).take(10).collect();
+                let size = cfg.object_size() as usize;
+                let records: Vec<LogRecord> = (0..100)
+                    .map(|i| {
+                        let oid = Oid::new(pages[i % 10], (i % 5) as u16);
+                        LogRecord::update(txn, oid, vec![0u8; size], vec![1u8; size])
+                    })
+                    .collect();
+                (vol, records)
+            },
+            |(mut vol, records)| {
+                for r in &records {
+                    apply_redo(&mut vol, r).unwrap();
+                }
+                vol
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! repro table1              print Table 1
+//! repro table2              print Table 2
+//! repro fig6 [--quick]      regenerate one figure (full scale by default)
+//! repro all [--quick]       everything, Figures 6–15
+//! repro check [--quick]     run every figure and verify the paper's
+//!                           qualitative shapes (exit 1 on failure)
+//! repro ablations           design-choice ablations (timeout multiplier,
+//!                           adaptivity on/off)
+//! ```
+//!
+//! Full scale = Table 1 platform (11 250 pages, 10 applications) with a
+//! 120 s virtual run per point; `--quick` shrinks everything for a
+//! seconds-long smoke run.
+
+use pscc_bench::{check, expectations, format_diagnostics, format_figure, table1, table2};
+use pscc_common::{Protocol, SystemConfig};
+use pscc_sim::experiment::{
+    paper_spec, quick_spec, run_figure, run_point, ExperimentSpec, Figure, Series, WRITE_PROBS,
+};
+
+fn parse_figure(s: &str) -> Option<Figure> {
+    Some(match s {
+        "fig6" => Figure::Fig6,
+        "fig7" => Figure::Fig7,
+        "fig8" => Figure::Fig8,
+        "fig9" => Figure::Fig9,
+        "fig10" => Figure::Fig10,
+        "fig11" => Figure::Fig11,
+        "fig12" => Figure::Fig12,
+        "fig13" => Figure::Fig13,
+        "fig14" => Figure::Fig14,
+        "fig15" => Figure::Fig15,
+        _ => return None,
+    })
+}
+
+fn figure_write_probs(figure: Figure) -> Vec<f64> {
+    // The paper stops the peer-servers UNIFORM PS sweep at 0.1 because
+    // PS collapses (Fig. 14); we keep the sweep but note it.
+    let _ = figure;
+    WRITE_PROBS.to_vec()
+}
+
+fn run_one(figure: Figure, quick: bool, verbose: bool) -> Vec<Series> {
+    let wps = figure_write_probs(figure);
+    let series = run_figure(figure, !quick, &wps, |line| {
+        if verbose {
+            eprintln!("  {line}");
+        }
+    });
+    print!("{}", format_figure(figure, &series));
+    // Figures 12/13 also show the client-server curves (dashed in the
+    // paper): rerun the matching CS figure for comparison.
+    if matches!(figure, Figure::Fig12 | Figure::Fig13) {
+        let cs_fig = if figure == Figure::Fig12 {
+            Figure::Fig6
+        } else {
+            Figure::Fig7
+        };
+        println!("  (client-server comparison, paper's dashed lines:)");
+        let cs = run_figure(cs_fig, !quick, &wps, |_| {});
+        print!("{}", format_figure(cs_fig, &cs));
+    }
+    if verbose {
+        print!("{}", format_diagnostics(&series));
+    }
+    series
+}
+
+fn run_ablations(quick: bool) {
+    println!("=== Ablation 1: timeout multiplier (peer-servers HOTCOLD, wp=0.2, PS) ===");
+    println!("The paper inflates the Agrawal-Carey-McVoy interval by 1.5 (§5.5);");
+    println!("too-small multipliers cause false deadlock aborts, too-large let real");
+    println!("distributed deadlocks linger.");
+    for mult in [1.0, 1.5, 3.0] {
+        let base = if quick {
+            quick_spec(Figure::Fig12, 0.2)
+        } else {
+            paper_spec(Figure::Fig12, Protocol::Ps, 0.2)
+        };
+        let spec = ExperimentSpec {
+            protocol: Protocol::Ps,
+            cfg: SystemConfig {
+                protocol: Protocol::Ps,
+                timeout_multiplier: mult,
+                ..base.cfg
+            },
+            ..base
+        };
+        let p = run_point(&spec);
+        println!(
+            "  multiplier {mult:.1}: {:.2} txn/s, {} timeout aborts, {} deadlock aborts",
+            p.report.throughput, p.report.counters.timeout_aborts, p.report.counters.deadlock_aborts
+        );
+    }
+
+    println!("=== Ablation 2: adaptivity (HOTCOLD CS, wp=0.3, low locality) ===");
+    println!("PS-OA = adaptive callbacks only; PS-AA adds adaptive page locks;");
+    println!("the delta is the write-request messages §5.4 analyzes.");
+    for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
+        let base = if quick {
+            quick_spec(Figure::Fig6, 0.3)
+        } else {
+            paper_spec(Figure::Fig6, proto, 0.3)
+        };
+        let spec = ExperimentSpec {
+            protocol: proto,
+            cfg: SystemConfig {
+                protocol: proto,
+                ..base.cfg
+            },
+            ..base
+        };
+        let p = run_point(&spec);
+        let c = p.report.counters;
+        println!(
+            "  {proto:>6}: {:.2} txn/s, write-reqs/commit {:.1}, msgs/commit {:.1}, adaptive grants {}",
+            p.report.throughput,
+            c.write_requests as f64 / p.report.commits.max(1) as f64,
+            c.msgs_sent as f64 / p.report.commits.max(1) as f64,
+            c.adaptive_grants,
+        );
+    }
+
+    println!("=== Ablation 3: deescalation traffic vs write probability (PS-AA, UNIFORM) ===");
+    for wp in [0.05, 0.2, 0.5] {
+        let base = if quick {
+            quick_spec(Figure::Fig8, wp)
+        } else {
+            paper_spec(Figure::Fig8, Protocol::PsAa, wp)
+        };
+        let p = run_point(&base);
+        let c = p.report.counters;
+        println!(
+            "  wp={wp:.2}: adaptive grants {}, deescalations {}, adaptive hits/commit {:.1}",
+            c.adaptive_grants,
+            c.deescalations,
+            c.adaptive_hits as f64 / p.report.commits.max(1) as f64,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let cmd = args.iter().find(|a| !a.starts_with('-')).cloned();
+
+    match cmd.as_deref() {
+        Some("table1") => print!("{}", table1()),
+        Some("table2") => print!("{}", table2()),
+        Some("ablations") => run_ablations(quick),
+        Some("all") => {
+            print!("{}", table1());
+            println!();
+            print!("{}", table2());
+            println!();
+            for fig in Figure::ALL {
+                run_one(fig, quick, verbose);
+                println!();
+            }
+        }
+        Some("check") => {
+            let mut failed = 0;
+            for fig in Figure::ALL {
+                let series = run_one(fig, quick, verbose);
+                for e in expectations(fig) {
+                    let (ok, line) = check(&series, e);
+                    println!("  {line}");
+                    if !ok {
+                        failed += 1;
+                    }
+                }
+                println!();
+            }
+            if failed > 0 {
+                eprintln!("{failed} expectation(s) FAILED");
+                std::process::exit(1);
+            }
+            println!("all expectations PASS");
+        }
+        Some(f) if parse_figure(f).is_some() => {
+            let fig = parse_figure(f).expect("checked");
+            run_one(fig, quick, verbose);
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}");
+            eprintln!("usage: repro <table1|table2|fig6..fig15|all|check|ablations> [--quick] [-v]");
+            std::process::exit(2);
+        }
+        None => {
+            // Default: a quick smoke of one representative figure.
+            run_one(Figure::Fig6, true, verbose);
+        }
+    }
+}

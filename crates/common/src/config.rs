@@ -1,0 +1,183 @@
+//! System-wide configuration: protocol selection and the platform
+//! constants of the paper's Table 1.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which cache-consistency protocol the system runs (paper §5: SHORE's
+/// system-wide locking granularity plus the adaptive-locking switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Protocol {
+    /// Basic page server: page-level locking and page-level callbacks.
+    Ps,
+    /// Object-level locking with adaptive callbacks, adaptive *locking*
+    /// disabled (paper's PS-OA).
+    PsOa,
+    /// Fully adaptive: object-level locking with adaptive callbacks *and*
+    /// adaptive page locks (paper's PS-AA — the contribution).
+    #[default]
+    PsAa,
+}
+
+impl Protocol {
+    /// Whether concurrency control operates at object granularity.
+    pub fn object_level(self) -> bool {
+        !matches!(self, Protocol::Ps)
+    }
+
+    /// Whether adaptive page locks are granted on write requests.
+    pub fn adaptive_locking(self) -> bool {
+        matches!(self, Protocol::PsAa)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Protocol::Ps => "PS",
+            Protocol::PsOa => "PS-OA",
+            Protocol::PsAa => "PS-AA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Platform configuration, defaulting to the paper's Table 1.
+///
+/// | Quantity | Paper value |
+/// |---|---|
+/// | NumApplications | 10 |
+/// | ClientBufSize | 25% of DB |
+/// | ServerBufSize | 50% of DB |
+/// | PeerServerBufSize | 25% of DB |
+/// | PageSize | 4096 bytes |
+/// | DatabaseSize | 11 250 pages (45 MB) |
+/// | ObjectsPerPage | 20 |
+///
+/// # Examples
+///
+/// ```
+/// # use pscc_common::SystemConfig;
+/// let cfg = SystemConfig::paper();
+/// assert_eq!(cfg.database_pages, 11_250);
+/// assert_eq!(cfg.client_buf_pages(), 2_812);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of concurrent application programs.
+    pub num_applications: u32,
+    /// Size of the database in pages.
+    pub database_pages: u32,
+    /// Client cache size as a fraction of the database.
+    pub client_buf_frac: f64,
+    /// Server cache size as a fraction of the database.
+    pub server_buf_frac: f64,
+    /// Peer-server cache size as a fraction of the database (used when
+    /// every node plays both roles).
+    pub peer_buf_frac: f64,
+    /// Page size in bytes.
+    pub page_size: u32,
+    /// Objects per page.
+    pub objects_per_page: u16,
+    /// Which consistency protocol to run.
+    pub protocol: Protocol,
+    /// Initial lock-wait timeout, before enough waits have been observed
+    /// to adapt (paper §5.5 adapts it to 1.5 × (mean + stddev)).
+    pub initial_lock_timeout: Duration,
+    /// Multiplier applied to the adaptive timeout estimate (paper: 1.5).
+    pub timeout_multiplier: f64,
+}
+
+impl SystemConfig {
+    /// The configuration of the paper's Table 1.
+    pub fn paper() -> Self {
+        Self {
+            num_applications: 10,
+            database_pages: 11_250,
+            client_buf_frac: 0.25,
+            server_buf_frac: 0.50,
+            peer_buf_frac: 0.25,
+            page_size: 4_096,
+            objects_per_page: 20,
+            protocol: Protocol::PsAa,
+            initial_lock_timeout: Duration::from_millis(2_000),
+            timeout_multiplier: 1.5,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests: same shape, ~1/25 the
+    /// data.
+    pub fn small() -> Self {
+        Self {
+            num_applications: 4,
+            database_pages: 450,
+            page_size: 1_024,
+            objects_per_page: 10,
+            ..Self::paper()
+        }
+    }
+
+    /// Client cache capacity in pages.
+    pub fn client_buf_pages(&self) -> u32 {
+        (self.database_pages as f64 * self.client_buf_frac) as u32
+    }
+
+    /// Server cache capacity in pages.
+    pub fn server_buf_pages(&self) -> u32 {
+        (self.database_pages as f64 * self.server_buf_frac) as u32
+    }
+
+    /// Peer-server cache capacity in pages.
+    pub fn peer_buf_pages(&self) -> u32 {
+        (self.database_pages as f64 * self.peer_buf_frac) as u32
+    }
+
+    /// Object payload size in bytes such that `objects_per_page` objects
+    /// plus slot overhead fit on one page.
+    pub fn object_size(&self) -> u32 {
+        // Reserve ~64 bytes of header and 8 bytes of slot per object.
+        let usable = self.page_size.saturating_sub(64) / self.objects_per_page as u32;
+        usable.saturating_sub(8).max(8)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_values() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.num_applications, 10);
+        assert_eq!(c.page_size, 4_096);
+        assert_eq!(c.objects_per_page, 20);
+        assert_eq!(c.server_buf_pages(), 5_625);
+        assert_eq!(c.peer_buf_pages(), 2_812);
+        // 45 MB database.
+        assert_eq!(c.database_pages as u64 * c.page_size as u64, 46_080_000);
+    }
+
+    #[test]
+    fn object_size_fits_on_page() {
+        let c = SystemConfig::paper();
+        let per_obj = c.object_size() + 8;
+        assert!(per_obj * c.objects_per_page as u32 + 64 <= c.page_size);
+        let s = SystemConfig::small();
+        assert!((s.object_size() + 8) * s.objects_per_page as u32 + 64 <= s.page_size);
+    }
+
+    #[test]
+    fn protocol_flags() {
+        assert!(!Protocol::Ps.object_level());
+        assert!(Protocol::PsOa.object_level() && !Protocol::PsOa.adaptive_locking());
+        assert!(Protocol::PsAa.object_level() && Protocol::PsAa.adaptive_locking());
+        assert_eq!(format!("{}", Protocol::PsOa), "PS-OA");
+    }
+}

@@ -1,0 +1,176 @@
+//! Counters collected by the engine and aggregated by the experiment
+//! harness. The paper's analysis is largely in terms of message counts,
+//! I/O counts, and contention events, so these are first-class here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Event counters for one site (or, summed, for a whole system).
+///
+/// All fields are public by design: this is a passive, compound record in
+/// the C-struct spirit, produced by the engine and consumed by reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (all reasons).
+    pub aborts: u64,
+    /// Aborts due to local deadlock victim selection.
+    pub deadlock_aborts: u64,
+    /// Aborts due to lock-wait timeout.
+    pub timeout_aborts: u64,
+    /// Messages sent (all kinds).
+    pub msgs_sent: u64,
+    /// Read (fetch) requests sent to an owner.
+    pub read_requests: u64,
+    /// Write-permission requests sent to an owner.
+    pub write_requests: u64,
+    /// Callback requests issued by this site as owner.
+    pub callbacks_sent: u64,
+    /// Callback requests that found the target page locally unused and
+    /// purged the whole page.
+    pub callbacks_purged_page: u64,
+    /// Callback requests that deescalated to a single object.
+    pub callbacks_object_only: u64,
+    /// Callback requests that blocked on a local lock.
+    pub callbacks_blocked: u64,
+    /// Adaptive page locks granted by this site as owner (PS-AA).
+    pub adaptive_grants: u64,
+    /// Object writes satisfied locally under an adaptive page lock
+    /// (server messages saved).
+    pub adaptive_hits: u64,
+    /// Deescalation requests issued by this site as owner.
+    pub deescalations: u64,
+    /// Pages shipped to clients.
+    pub pages_shipped: u64,
+    /// Object reads satisfied from the local cache without any message.
+    pub cache_hits: u64,
+    /// Object reads that required a fetch.
+    pub cache_misses: u64,
+    /// Disk reads performed.
+    pub disk_reads: u64,
+    /// Disk writes performed (including log forces).
+    pub disk_writes: u64,
+    /// Lock waits that actually blocked.
+    pub lock_waits: u64,
+    /// Callback race occurrences detected and handled (paper §4.2.4).
+    pub callback_races: u64,
+    /// Purge races detected (stale purge ignored).
+    pub purge_races: u64,
+    /// Hierarchical-callback second rounds (second-objective violations,
+    /// paper §4.3.2).
+    pub callback_redos: u64,
+    /// Pages purged from a client cache (evictions + callbacks).
+    pub pages_purged: u64,
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, o: Counters) {
+        self.commits += o.commits;
+        self.aborts += o.aborts;
+        self.deadlock_aborts += o.deadlock_aborts;
+        self.timeout_aborts += o.timeout_aborts;
+        self.msgs_sent += o.msgs_sent;
+        self.read_requests += o.read_requests;
+        self.write_requests += o.write_requests;
+        self.callbacks_sent += o.callbacks_sent;
+        self.callbacks_purged_page += o.callbacks_purged_page;
+        self.callbacks_object_only += o.callbacks_object_only;
+        self.callbacks_blocked += o.callbacks_blocked;
+        self.adaptive_grants += o.adaptive_grants;
+        self.adaptive_hits += o.adaptive_hits;
+        self.deescalations += o.deescalations;
+        self.pages_shipped += o.pages_shipped;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.disk_reads += o.disk_reads;
+        self.disk_writes += o.disk_writes;
+        self.lock_waits += o.lock_waits;
+        self.callback_races += o.callback_races;
+        self.purge_races += o.purge_races;
+        self.callback_redos += o.callback_redos;
+        self.pages_purged += o.pages_purged;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} aborts={} (dl={}, to={}) msgs={} reads={} writes={} \
+             cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
+             shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={}",
+            self.commits,
+            self.aborts,
+            self.deadlock_aborts,
+            self.timeout_aborts,
+            self.msgs_sent,
+            self.read_requests,
+            self.write_requests,
+            self.callbacks_sent,
+            self.callbacks_purged_page,
+            self.callbacks_object_only,
+            self.callbacks_blocked,
+            self.callback_redos,
+            self.adaptive_grants,
+            self.adaptive_hits,
+            self.deescalations,
+            self.pages_shipped,
+            self.cache_hits,
+            self.cache_misses,
+            self.disk_reads,
+            self.disk_writes,
+            self.lock_waits,
+            self.callback_races,
+            self.purge_races,
+        )
+    }
+}
+
+impl Counters {
+    /// Sums an iterator of per-site counters into one record.
+    pub fn total<I: IntoIterator<Item = Counters>>(iter: I) -> Counters {
+        let mut t = Counters::default();
+        for c in iter {
+            t += c;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = Counters {
+            commits: 1,
+            msgs_sent: 5,
+            ..Default::default()
+        };
+        a += Counters {
+            commits: 2,
+            disk_reads: 3,
+            ..Default::default()
+        };
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.msgs_sent, 5);
+        assert_eq!(a.disk_reads, 3);
+    }
+
+    #[test]
+    fn total_of_many() {
+        let t = Counters::total((0..4).map(|_| Counters {
+            callbacks_sent: 2,
+            ..Default::default()
+        }));
+        assert_eq!(t.callbacks_sent, 8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Counters::default()).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! The client-role page cache: page copies with per-object availability
+//! bits, dirty-object tracking, ship sequence numbers, and LRU
+//! replacement (paper §4.1: "a page-based buffer manager [...] extended
+//! to keep track of the 'available' objects within each cached page").
+
+use pscc_common::{Oid, PageId, TxnId};
+use pscc_storage::{AvailMask, SlottedPage};
+use std::collections::HashMap;
+
+/// One cached page copy.
+#[derive(Debug, Clone)]
+pub struct CachedPage {
+    /// The page image (including any local, uncommitted updates).
+    pub image: SlottedPage,
+    /// Which objects (and the dummy) are available in this copy.
+    pub avail: AvailMask,
+    /// Uncommitted locally updated slots, with the updating transaction.
+    pub dirty: HashMap<u16, TxnId>,
+    /// The `ship_seq` of the latest copy received from the owner
+    /// (echoed in purge notices, §4.2.4).
+    pub ship_seq: u64,
+    /// LRU clock: larger = more recently used.
+    last_used: u64,
+}
+
+/// The client cache of one peer server.
+#[derive(Debug, Default)]
+pub struct ClientCache {
+    pages: HashMap<PageId, CachedPage>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl ClientCache {
+    /// Creates a cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        ClientCache {
+            pages: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, page: PageId) {
+        self.tick += 1;
+        if let Some(cp) = self.pages.get_mut(&page) {
+            cp.last_used = self.tick;
+        }
+    }
+
+    /// Whether the page is cached at all.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// Whether `oid` is locally cached: its page is cached *and* the
+    /// object is marked available (paper §4.1).
+    pub fn object_cached(&self, oid: Oid) -> bool {
+        self.pages
+            .get(&oid.page)
+            .is_some_and(|cp| cp.avail.is_available(oid.slot))
+    }
+
+    /// Whether the page is *fully* cached — cached with every object and
+    /// the dummy available (the §4.3.2 test for local-only SH page
+    /// locks).
+    pub fn fully_cached(&self, page: PageId) -> bool {
+        self.pages.get(&page).is_some_and(|cp| {
+            let n = cp.image.slot_count();
+            cp.avail.fully_available(n)
+        })
+    }
+
+    /// Immutable access to a cached page (bumps LRU).
+    pub fn get(&mut self, page: PageId) -> Option<&CachedPage> {
+        self.touch(page);
+        self.pages.get(&page)
+    }
+
+    /// Immutable access without the LRU bump (inspection).
+    pub fn peek(&self, page: PageId) -> Option<&CachedPage> {
+        self.pages.get(&page)
+    }
+
+    /// Mutable access to a cached page (bumps LRU).
+    pub fn get_mut(&mut self, page: PageId) -> Option<&mut CachedPage> {
+        self.touch(page);
+        self.pages.get_mut(&page)
+    }
+
+    /// Reads object bytes if locally cached.
+    pub fn read_object(&mut self, oid: Oid) -> Option<Vec<u8>> {
+        self.touch(oid.page);
+        let cp = self.pages.get(&oid.page)?;
+        if !cp.avail.is_available(oid.slot) {
+            return None;
+        }
+        cp.image.get(oid.slot).map(<[u8]>::to_vec)
+    }
+
+    /// Installs or merges an arriving page copy per the paper's §4.2.3
+    /// rules. `raced_slots` lists objects with a registered callback
+    /// race (their proposed "available" is overridden to unavailable).
+    ///
+    /// Merge rules, per object:
+    /// * already cached & available → stays available, local bytes kept
+    ///   for dirty objects (never overwrite uncommitted local updates);
+    /// * not cached / unavailable → takes the proposed state, except
+    ///   raced slots become unavailable.
+    ///
+    /// Returns pages evicted to make room (the caller sends purge
+    /// notices). The installed page itself is never evicted.
+    pub fn install(
+        &mut self,
+        page: PageId,
+        incoming: SlottedPage,
+        proposed: AvailMask,
+        ship_seq: u64,
+        raced_slots: &[u16],
+    ) -> Vec<(PageId, CachedPage)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.pages.get_mut(&page) {
+            Some(cp) => {
+                let mut final_avail = proposed;
+                for s in raced_slots {
+                    final_avail.set_unavailable(*s);
+                }
+                // Previously available objects stay available...
+                let n = incoming.slot_count().max(cp.image.slot_count());
+                let mut merged = incoming;
+                for slot in 0..n {
+                    if cp.avail.is_available(slot) {
+                        final_avail.set_available(slot);
+                        // ...and dirty local bytes are preserved.
+                        if cp.dirty.contains_key(&slot) {
+                            if let Some(local) = cp.image.get(slot) {
+                                let local = local.to_vec();
+                                let _ = merged.update(slot, &local);
+                            }
+                        }
+                    }
+                }
+                if cp.avail.is_dummy_available() {
+                    final_avail.set_available(pscc_common::ids::DUMMY_SLOT);
+                }
+                cp.image = merged;
+                cp.avail = final_avail;
+                cp.ship_seq = ship_seq;
+                cp.last_used = tick;
+                Vec::new()
+            }
+            None => {
+                let mut final_avail = proposed;
+                for s in raced_slots {
+                    final_avail.set_unavailable(*s);
+                }
+                self.pages.insert(
+                    page,
+                    CachedPage {
+                        image: incoming,
+                        avail: final_avail,
+                        dirty: HashMap::new(),
+                        ship_seq,
+                        last_used: tick,
+                    },
+                );
+                self.evict_over_capacity(page)
+            }
+        }
+    }
+
+    /// Evicts LRU pages beyond capacity, never evicting `keep`. Pages
+    /// with dirty objects are *not* skipped — the engine ships their log
+    /// records early, as SHORE does (§3.3).
+    fn evict_over_capacity(&mut self, keep: PageId) -> Vec<(PageId, CachedPage)> {
+        let mut evicted = Vec::new();
+        while self.pages.len() > self.capacity {
+            let victim = self
+                .pages
+                .iter()
+                .filter(|(p, _)| **p != keep)
+                .min_by_key(|(_, cp)| cp.last_used)
+                .map(|(p, _)| *p);
+            match victim {
+                Some(v) => {
+                    let cp = self.pages.remove(&v).expect("victim exists");
+                    evicted.push((v, cp));
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Marks one object unavailable (an object-level callback). Returns
+    /// `false` if the page is not cached.
+    pub fn mark_unavailable(&mut self, oid: Oid) -> bool {
+        match self.pages.get_mut(&oid.page) {
+            Some(cp) => {
+                cp.avail.set_unavailable(oid.slot);
+                cp.dirty.remove(&oid.slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a page outright (page-level callback or abort purge).
+    /// Returns the removed copy.
+    pub fn purge(&mut self, page: PageId) -> Option<CachedPage> {
+        self.pages.remove(&page)
+    }
+
+    /// Applies a local update: installs `bytes` into the object and
+    /// marks it dirty for `txn`. Returns the before-image, or `None` if
+    /// the (size-growing) update does not fit the page — the caller then
+    /// falls back to the §4.4 forwarding path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not locally cached (protocol error: write
+    /// permission is only granted for cached objects).
+    pub fn apply_update(&mut self, oid: Oid, bytes: &[u8], txn: TxnId) -> Option<Vec<u8>> {
+        self.touch(oid.page);
+        let cp = self
+            .pages
+            .get_mut(&oid.page)
+            .unwrap_or_else(|| panic!("update of uncached page {}", oid.page));
+        assert!(
+            cp.avail.is_available(oid.slot),
+            "update of unavailable object {oid}"
+        );
+        let before = cp.image.get(oid.slot).expect("available object has bytes").to_vec();
+        if cp.image.update(oid.slot, bytes).is_err() {
+            return None;
+        }
+        cp.dirty.insert(oid.slot, txn);
+        Some(before)
+    }
+
+    /// Creates an object on a cached page (requires an explicit EX page
+    /// lock by protocol). Returns its slot, or `None` if the page is
+    /// uncached or full.
+    pub fn apply_create(&mut self, page: PageId, bytes: &[u8], txn: TxnId) -> Option<u16> {
+        self.touch(page);
+        let cp = self.pages.get_mut(&page)?;
+        let slot = cp.image.insert(bytes)?;
+        cp.avail.set_available(slot);
+        cp.dirty.insert(slot, txn);
+        Some(slot)
+    }
+
+    /// Deletes an object from a cached page (requires an EX object lock
+    /// by protocol). Returns the before-image.
+    pub fn apply_delete(&mut self, oid: Oid, txn: TxnId) -> Option<Vec<u8>> {
+        self.touch(oid.page);
+        let cp = self.pages.get_mut(&oid.page)?;
+        if !cp.avail.is_available(oid.slot) {
+            return None;
+        }
+        let before = cp.image.get(oid.slot)?.to_vec();
+        cp.image.delete(oid.slot);
+        cp.avail.set_unavailable(oid.slot);
+        cp.dirty.remove(&oid.slot);
+        let _ = txn;
+        Some(before)
+    }
+
+    /// Clears dirty marks of `txn` (commit: records shipped and durable).
+    pub fn clean_txn(&mut self, txn: TxnId) {
+        for cp in self.pages.values_mut() {
+            cp.dirty.retain(|_, t| *t != txn);
+        }
+    }
+
+    /// Aborts `txn`'s local updates: marks each of its dirty objects
+    /// unavailable (paper §3.3: "purges from the local page cache any
+    /// objects that it has updated ... by marking the objects as
+    /// 'unavailable'").
+    pub fn abort_txn(&mut self, txn: TxnId) -> Vec<Oid> {
+        let mut purged = Vec::new();
+        for (pid, cp) in self.pages.iter_mut() {
+            let slots: Vec<u16> = cp
+                .dirty
+                .iter()
+                .filter(|(_, t)| **t == txn)
+                .map(|(s, _)| *s)
+                .collect();
+            for s in slots {
+                cp.dirty.remove(&s);
+                cp.avail.set_unavailable(s);
+                purged.push(Oid::new(*pid, s));
+            }
+        }
+        purged
+    }
+
+    /// All cached pages of `file` (file-level callbacks purge these).
+    pub fn pages_of_file(&self, file: pscc_common::FileId) -> Vec<PageId> {
+        self.pages.keys().filter(|p| p.file == file).copied().collect()
+    }
+
+    /// All cached pages of `vol`.
+    pub fn pages_of_volume(&self, vol: pscc_common::VolId) -> Vec<PageId> {
+        self.pages.keys().filter(|p| p.vol() == vol).copied().collect()
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, SiteId, VolId};
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(FileId::new(VolId(0), 0), n)
+    }
+
+    fn page_with(n_obj: u16) -> SlottedPage {
+        let mut p = SlottedPage::new(512);
+        for i in 0..n_obj {
+            p.insert(&[i as u8; 16]).unwrap();
+        }
+        p
+    }
+
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(SiteId(1), n)
+    }
+
+    #[test]
+    fn install_and_read() {
+        let mut c = ClientCache::new(4);
+        let ev = c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
+        assert!(ev.is_empty());
+        assert!(c.object_cached(Oid::new(pid(1), 2)));
+        assert_eq!(c.read_object(Oid::new(pid(1), 1)), Some(vec![1u8; 16]));
+        assert!(c.fully_cached(pid(1)));
+    }
+
+    #[test]
+    fn unavailable_objects_are_not_cached() {
+        let mut c = ClientCache::new(4);
+        let mut avail = AvailMask::all_available(3);
+        avail.set_unavailable(1);
+        c.install(pid(1), page_with(3), avail, 1, &[]);
+        assert!(c.object_cached(Oid::new(pid(1), 0)));
+        assert!(!c.object_cached(Oid::new(pid(1), 1)));
+        assert!(!c.fully_cached(pid(1)));
+        assert_eq!(c.read_object(Oid::new(pid(1), 1)), None);
+    }
+
+    #[test]
+    fn merge_keeps_previously_available_and_dirty() {
+        let mut c = ClientCache::new(4);
+        c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
+        // Local dirty update to slot 0.
+        let before = c.apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1)).unwrap();
+        assert_eq!(before, vec![0u8; 16]);
+        // New copy arrives proposing slot 0 unavailable and stale bytes.
+        let mut proposed = AvailMask::all_available(3);
+        proposed.set_unavailable(0);
+        c.install(pid(1), page_with(3), proposed, 2, &[]);
+        // Still available (was available before) and still dirty bytes.
+        assert!(c.object_cached(Oid::new(pid(1), 0)));
+        assert_eq!(c.read_object(Oid::new(pid(1), 0)), Some(vec![9u8; 16]));
+    }
+
+    #[test]
+    fn raced_slots_forced_unavailable() {
+        let mut c = ClientCache::new(4);
+        c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[2]);
+        assert!(!c.object_cached(Oid::new(pid(1), 2)));
+        assert!(c.object_cached(Oid::new(pid(1), 0)));
+    }
+
+    #[test]
+    fn raced_slot_does_not_override_already_cached() {
+        // Race entries only apply to not-cached objects (§4.2.3): if the
+        // object is already available locally, it stays.
+        let mut c = ClientCache::new(4);
+        c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
+        c.install(pid(1), page_with(3), AvailMask::all_available(3), 2, &[1]);
+        assert!(c.object_cached(Oid::new(pid(1), 1)));
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let mut c = ClientCache::new(2);
+        c.install(pid(1), page_with(1), AvailMask::all_available(1), 1, &[]);
+        c.install(pid(2), page_with(1), AvailMask::all_available(1), 1, &[]);
+        // Touch page 1 so page 2 is LRU.
+        let _ = c.read_object(Oid::new(pid(1), 0));
+        let evicted = c.install(pid(3), page_with(1), AvailMask::all_available(1), 1, &[]);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, pid(2));
+        assert!(c.contains(pid(1)) && c.contains(pid(3)));
+    }
+
+    #[test]
+    fn mark_unavailable_and_purge() {
+        let mut c = ClientCache::new(4);
+        c.install(pid(1), page_with(2), AvailMask::all_available(2), 1, &[]);
+        assert!(c.mark_unavailable(Oid::new(pid(1), 0)));
+        assert!(!c.object_cached(Oid::new(pid(1), 0)));
+        assert!(c.object_cached(Oid::new(pid(1), 1)));
+        assert!(c.purge(pid(1)).is_some());
+        assert!(!c.contains(pid(1)));
+        assert!(!c.mark_unavailable(Oid::new(pid(1), 0)));
+    }
+
+    #[test]
+    fn abort_marks_dirty_objects_unavailable() {
+        let mut c = ClientCache::new(4);
+        c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
+        c.apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1)).unwrap();
+        c.apply_update(Oid::new(pid(1), 1), &[9u8; 16], txn(2)).unwrap();
+        let purged = c.abort_txn(txn(1));
+        assert_eq!(purged, vec![Oid::new(pid(1), 0)]);
+        assert!(!c.object_cached(Oid::new(pid(1), 0)));
+        assert!(c.object_cached(Oid::new(pid(1), 1)));
+        // txn(2)'s dirty object survives and commits clean.
+        c.clean_txn(txn(2));
+        assert!(c.peek(pid(1)).unwrap().dirty.is_empty());
+    }
+
+    #[test]
+    fn pages_of_file_and_volume() {
+        let mut c = ClientCache::new(8);
+        c.install(pid(1), page_with(1), AvailMask::all_available(1), 1, &[]);
+        c.install(pid(2), page_with(1), AvailMask::all_available(1), 1, &[]);
+        let other = PageId::new(FileId::new(VolId(0), 1), 9);
+        c.install(other, page_with(1), AvailMask::all_available(1), 1, &[]);
+        assert_eq!(c.pages_of_file(FileId::new(VolId(0), 0)).len(), 2);
+        assert_eq!(c.pages_of_volume(VolId(0)).len(), 3);
+    }
+}

@@ -1,0 +1,993 @@
+//! Client-role logic: object accesses through the local cache, fetches,
+//! write-permission requests, adaptive write grants, callback threads,
+//! deescalation handling, and cache eviction with purge notices.
+
+use super::{CbCtx, CbKey, LockCont, PeerServer, ReqCont, TimerKind};
+use crate::msg::{AppReply, CbId, CbTarget, DeId, Message, ReqId};
+use pscc_common::{
+    AbortReason, LockMode, LockableId, Oid, PageId, Protocol, SiteId, TxnId,
+};
+use pscc_lockmgr::Acquire;
+use pscc_storage::PageSnapshot;
+use pscc_wal::LogRecord;
+
+impl PeerServer {
+    // ------------------------------------------------------------------
+    // Object access entry points
+    // ------------------------------------------------------------------
+
+    /// An application read or write of `oid` by `txn` (paper §4.1.1:
+    /// "its master thread first obtains a local lock on the object").
+    pub(crate) fn client_access(
+        &mut self,
+        txn: TxnId,
+        oid: Oid,
+        write: bool,
+        bytes: Option<Vec<u8>>,
+    ) {
+        // An owner-local access acquires its lock directly in the shared
+        // table, so it must pass the deescalation gate *first* — another
+        // client's adaptive page lock makes the server copy stale and
+        // must be deescalated before any lock on the page is taken.
+        if self.owners.owner(oid.page) == self.site {
+            let app = match self.txns.home.get(&txn) {
+                Some(h) => h.app,
+                None => return,
+            };
+            let op = if write {
+                crate::msg::AppOp::Write { oid, bytes: bytes.clone() }
+            } else {
+                crate::msg::AppOp::Read(oid)
+            };
+            let work = crate::msg::Input::App(crate::msg::AppRequest {
+                app,
+                txn: Some(txn),
+                op,
+            });
+            if self.queue_if_deescalating(oid.page, work.clone()) {
+                return;
+            }
+            if self.start_deescalation_if_needed(oid.page, txn, work) {
+                return;
+            }
+        }
+        if self.cfg.protocol == Protocol::Ps {
+            // Pure page server: lock at page granularity.
+            let mode = if write { LockMode::Ex } else { LockMode::Sh };
+            let (a, _) = self.locks.acquire(txn, LockableId::Page(oid.page), mode);
+            match a {
+                Acquire::Granted => self.client_ps_locked(txn, oid, write, bytes),
+                Acquire::Wait(t) => {
+                    self.lock_conts
+                        .insert(t, LockCont::LocalPage { txn, oid, write, bytes });
+                    self.arm_lock_timer(t, txn);
+                    self.check_deadlocks();
+                }
+            }
+            return;
+        }
+        let mode = if write { LockMode::Ex } else { LockMode::Sh };
+        let (a, _) = self.locks.acquire(txn, LockableId::Object(oid), mode);
+        match a {
+            Acquire::Granted => self.client_access_locked(txn, oid, write, bytes),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::LocalAccess { txn, oid, write, bytes });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    /// Local object lock held; consult the cache / adaptive state.
+    pub(crate) fn client_access_locked(
+        &mut self,
+        txn: TxnId,
+        oid: Oid,
+        write: bool,
+        bytes: Option<Vec<u8>>,
+    ) {
+        if !self.txn_is_running(txn) {
+            return;
+        }
+        if !write {
+            match self.cache.read_object(oid) {
+                Some(data) => {
+                    self.stats.cache_hits += 1;
+                    self.finish_read(txn, oid, Some(data));
+                }
+                None => {
+                    self.stats.cache_misses += 1;
+                    self.fetch(txn, oid, None);
+                }
+            }
+            return;
+        }
+        // Write path. The page copy is needed to install the update.
+        if !self.cache.object_cached(oid) {
+            self.stats.cache_misses += 1;
+            self.fetch(txn, oid, Some(bytes));
+            return;
+        }
+        // Adaptive page lock held by *this* transaction? Then the update
+        // needs no server interaction at all (paper §4.1.2).
+        let adaptive = self
+            .txns
+            .home
+            .get(&txn)
+            .is_some_and(|h| h.adaptive_pages.contains(&oid.page));
+        if adaptive {
+            self.stats.adaptive_hits += 1;
+            self.finish_write(txn, oid, bytes);
+            return;
+        }
+        let req = self.fresh_req();
+        self.stats.write_requests += 1;
+        self.req_conts.insert(req, ReqCont::Write { txn, oid, bytes });
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.outstanding_reqs.insert(req);
+            h.participants.insert(self.owners.owner(oid.page));
+        }
+        let owner = self.owners.owner(oid.page);
+        self.send(owner, Message::WriteObj { req, txn, oid });
+    }
+
+    /// PS path with the page lock held.
+    pub(crate) fn client_ps_locked(
+        &mut self,
+        txn: TxnId,
+        oid: Oid,
+        write: bool,
+        bytes: Option<Vec<u8>>,
+    ) {
+        if !self.txn_is_running(txn) {
+            return;
+        }
+        let page = oid.page;
+        if !write {
+            // An aborted transaction's updated objects are unavailable
+            // even under PS, so the object (not just the page) must be
+            // readable; otherwise re-fetch the page.
+            match self.cache.read_object(oid) {
+                Some(data) => {
+                    self.stats.cache_hits += 1;
+                    self.finish_read(txn, oid, Some(data));
+                }
+                None => {
+                    self.stats.cache_misses += 1;
+                    self.fetch_page(txn, oid, None);
+                }
+            }
+            return;
+        }
+        let granted = self
+            .txns
+            .home
+            .get(&txn)
+            .is_some_and(|h| h.page_write_grants.contains(&page));
+        if granted && self.cache.object_cached(oid) {
+            self.stats.adaptive_hits += 1; // server-free write under the page grant
+            self.finish_write(txn, oid, bytes);
+            return;
+        }
+        if !self.cache.object_cached(oid) {
+            self.stats.cache_misses += 1;
+            self.fetch_page(txn, oid, Some((oid, bytes)));
+            return;
+        }
+        let req = self.fresh_req();
+        self.stats.write_requests += 1;
+        self.req_conts
+            .insert(req, ReqCont::WritePage { txn, page, oid, bytes });
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.outstanding_reqs.insert(req);
+            h.participants.insert(self.owners.owner(page));
+        }
+        let owner = self.owners.owner(page);
+        self.send(owner, Message::WritePage { req, txn, page });
+    }
+
+    fn fetch(&mut self, txn: TxnId, oid: Oid, then_write: Option<Option<Vec<u8>>>) {
+        let req = self.fresh_req();
+        self.stats.read_requests += 1;
+        self.req_conts.insert(req, ReqCont::Fetch { txn, oid, then_write });
+        self.pending_fetches.entry(oid.page).or_default().insert(req);
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.outstanding_reqs.insert(req);
+            h.participants.insert(self.owners.owner(oid.page));
+        }
+        let owner = self.owners.owner(oid.page);
+        self.send(owner, Message::ReadObj { req, txn, oid });
+    }
+
+    fn fetch_page(
+        &mut self,
+        txn: TxnId,
+        oid: Oid,
+        then_write: Option<(Oid, Option<Vec<u8>>)>,
+    ) {
+        let page = oid.page;
+        let req = self.fresh_req();
+        self.stats.read_requests += 1;
+        self.req_conts
+            .insert(req, ReqCont::FetchPage { txn, oid, then_write });
+        self.pending_fetches.entry(page).or_default().insert(req);
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.outstanding_reqs.insert(req);
+            h.participants.insert(self.owners.owner(page));
+        }
+        let owner = self.owners.owner(page);
+        self.send(owner, Message::ReadPage { req, txn, page });
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit hierarchical locks (paper §4.3)
+    // ------------------------------------------------------------------
+
+    /// An explicit `Lock` op: acquire locally first, then propagate per
+    /// §4.3 (file/volume locks always; page SH only if not fully cached).
+    pub(crate) fn client_explicit(&mut self, txn: TxnId, item: LockableId, mode: LockMode) {
+        let (a, _) = self.locks.acquire(txn, item, mode);
+        match a {
+            Acquire::Granted => self.client_explicit_locked(txn, item, mode),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::LocalExplicit { txn, item, mode });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    /// Local explicit lock held; decide whether to propagate.
+    pub(crate) fn client_explicit_locked(&mut self, txn: TxnId, item: LockableId, mode: LockMode) {
+        if !self.txn_is_running(txn) {
+            return;
+        }
+        // Page SH locks stay local when the page is fully cached
+        // (§4.3.2); everything else is propagated to the owner(s).
+        if let LockableId::Page(p) = item {
+            if mode == LockMode::Sh && self.cache.fully_cached(p) {
+                self.complete_op(txn, None);
+                return;
+            }
+            if mode == LockMode::Is {
+                // A pure IS page intention never conflicts with anything
+                // the server tracks beyond what object reads acquire.
+                // (IX, in contrast, must reach the server so that
+                // dummy-object callbacks revoke local-only SH page
+                // coverage at other clients, §4.3.2.)
+                self.complete_op(txn, None);
+                return;
+            }
+        }
+        let sites = self.explicit_lock_sites(item);
+        if !self.txns.home.contains_key(&txn) {
+            return;
+        }
+        for site in sites {
+            let req = self.fresh_req();
+            self.req_conts.insert(req, ReqCont::Lock { txn });
+            if let Some(h) = self.txns.home.get_mut(&txn) {
+                h.outstanding_reqs.insert(req);
+                h.participants.insert(site);
+            }
+            self.send(site, Message::LockItem { req, txn, item, mode });
+        }
+    }
+
+    /// The owners an explicit lock must reach: the page's owner, or every
+    /// owner holding pages of the file/volume.
+    fn explicit_lock_sites(&self, item: LockableId) -> Vec<SiteId> {
+        match item {
+            LockableId::Page(p) => vec![self.owners.owner(p)],
+            LockableId::Object(o) => vec![self.owners.owner(o.page)],
+            LockableId::File(_) | LockableId::Volume(_) => self.owners.owners(),
+        }
+    }
+
+    /// A `LockGranted` reply: the op completes when no requests remain.
+    pub(crate) fn client_lock_granted(&mut self, req: ReqId) {
+        let Some(ReqCont::Lock { txn }) = self.req_conts.remove(&req) else {
+            return;
+        };
+        let done = {
+            let Some(h) = self.txns.home.get_mut(&txn) else {
+                return;
+            };
+            h.outstanding_reqs.remove(&req);
+            // Other explicit-lock requests may still be outstanding.
+            !h.outstanding_reqs
+                .iter()
+                .any(|r| matches!(self.req_conts.get(r), Some(ReqCont::Lock { .. })))
+        };
+        if done {
+            self.complete_op(txn, None);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replies
+    // ------------------------------------------------------------------
+
+    /// A shipped page arrived (paper §4.2.3 merge rules + §4.2.4 race
+    /// table).
+    pub(crate) fn client_read_reply(&mut self, req: ReqId, snapshot: PageSnapshot) {
+        let cont = self.req_conts.remove(&req);
+        let page = snapshot.page;
+        if let Some(p) = self.pending_fetches.get_mut(&page) {
+            p.remove(&req);
+            if p.is_empty() {
+                self.pending_fetches.remove(&page);
+            }
+        }
+        let raced = self.races.consume(page, req);
+        if !raced.is_empty() {
+            self.stats.callback_races += 1;
+        }
+        let evicted = self
+            .cache
+            .install(page, snapshot.image, snapshot.avail, snapshot.ship_seq, &raced);
+        self.send_purges(evicted);
+
+        match cont {
+            Some(ReqCont::Fetch { txn, oid, then_write }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                match then_write {
+                    None => {
+                        // `None` here legitimately means the object was
+                        // deleted (its slot is dead on the shipped page).
+                        let data = self.cache.read_object(oid);
+                        self.finish_read(txn, oid, data);
+                    }
+                    Some(bytes) => self.client_access_locked(txn, oid, true, bytes),
+                }
+            }
+            Some(ReqCont::FetchPage { txn, oid, then_write }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                match then_write {
+                    None => {
+                        let data = self.cache.read_object(oid);
+                        self.finish_read(txn, oid, data);
+                    }
+                    Some((woid, bytes)) => self.client_ps_locked(txn, woid, true, bytes),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Write permission arrived; apply the update. A deescalation race
+    /// (§4.2.4) voids the adaptive bit.
+    pub(crate) fn client_write_granted(&mut self, req: ReqId, adaptive: bool) {
+        let deescalated = self.races.consume_deescalation(req);
+        match self.req_conts.remove(&req) {
+            Some(ReqCont::Write { txn, oid, bytes }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                if adaptive && !deescalated {
+                    if let Some(h) = self.txns.home.get_mut(&txn) {
+                        h.adaptive_pages.insert(oid.page);
+                    }
+                }
+                // The page may have been evicted while the request was in
+                // flight; re-fetch before applying.
+                if !self.cache.object_cached(oid) {
+                    self.fetch(txn, oid, Some(bytes));
+                    return;
+                }
+                self.finish_write(txn, oid, bytes);
+            }
+            Some(ReqCont::WritePage { txn, page, oid, bytes }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                    h.page_write_grants.insert(page);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                let _ = page;
+                if !self.cache.object_cached(oid) {
+                    self.fetch_page(txn, oid, Some((oid, bytes)));
+                    return;
+                }
+                self.finish_write(txn, oid, bytes);
+            }
+            _ => {}
+        }
+    }
+
+    /// The owner denied a request because the transaction was chosen as
+    /// a victim: abort it here at its home.
+    pub(crate) fn client_req_denied(&mut self, req: ReqId, reason: AbortReason) {
+        let txn = match self.req_conts.remove(&req) {
+            Some(
+                ReqCont::Fetch { txn, .. }
+                | ReqCont::FetchPage { txn, .. }
+                | ReqCont::Write { txn, .. }
+                | ReqCont::WritePage { txn, .. }
+                | ReqCont::Lock { txn }
+                | ReqCont::ForwardRead { txn }
+                | ReqCont::ForwardWrite { txn, .. },
+            ) => txn,
+            _ => return,
+        };
+        self.races.forget_request(req);
+        self.abort_txn_here(txn, reason);
+    }
+
+    /// The owner reports our transaction was aborted as a victim there.
+    pub(crate) fn client_txn_aborted(&mut self, txn: TxnId, reason: AbortReason) {
+        self.abort_txn_here(txn, reason);
+    }
+
+    // ------------------------------------------------------------------
+    // Local updates and op completion
+    // ------------------------------------------------------------------
+
+    /// Completes a write whose permission is held: installs the update
+    /// into the cached copy and logs it. `bytes: None` bumps a version
+    /// counter in the object's first 8 bytes. Handles the two §4.4
+    /// size-change paths: objects already *forwarded* off their home page
+    /// are read-modified at the owner, and size-growing updates that no
+    /// longer fit the page are early-shipped (the owner installs them
+    /// with forwarding).
+    pub(crate) fn finish_write(&mut self, txn: TxnId, oid: Oid, bytes: Option<Vec<u8>>) {
+        let Some(cur) = self.cache.read_object(oid) else {
+            // Permission granted but the copy vanished (e.g. eviction
+            // race): refuse gracefully; the caller may retry.
+            self.complete_op(txn, None);
+            return;
+        };
+        if pscc_storage::forward_target(&cur).is_some() {
+            // Forwarded object: fetch the current bytes from the owner,
+            // then log the update against them (never client-cached).
+            let owner = self.owners.owner(oid.page);
+            let req = self.fresh_req();
+            self.req_conts
+                .insert(req, ReqCont::ForwardWrite { txn, oid, bytes });
+            if let Some(h) = self.txns.home.get_mut(&txn) {
+                h.outstanding_reqs.insert(req);
+                h.participants.insert(owner);
+            }
+            self.send(owner, Message::ReadForwarded { req, txn, oid });
+            return;
+        }
+        let new_bytes = bytes.unwrap_or_else(|| bump_version(cur.clone()));
+        match self.cache.apply_update(oid, &new_bytes, txn) {
+            Some(before) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.updated.insert(oid);
+                }
+                self.log_cache
+                    .append(LogRecord::update(txn, oid, before, new_bytes));
+                self.complete_op(txn, None);
+            }
+            None => {
+                // Size-growing update that overflows the page (§4.4):
+                // log it, then early-ship the page's records by purging
+                // the copy — the owner installs the update, forwarding
+                // the object to an overflow page if needed.
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.updated.insert(oid);
+                }
+                self.log_cache
+                    .append(LogRecord::update(txn, oid, cur, new_bytes));
+                if let Some(cp) = self.cache.purge(oid.page) {
+                    self.send_purges(vec![(oid.page, cp)]);
+                }
+                self.complete_op(txn, None);
+            }
+        }
+    }
+
+    /// Completes a read, following a §4.4 forwarding tombstone to the
+    /// owner when needed.
+    pub(crate) fn finish_read(&mut self, txn: TxnId, oid: Oid, data: Option<Vec<u8>>) {
+        if let Some(d) = &data {
+            if pscc_storage::forward_target(d).is_some() {
+                let owner = self.owners.owner(oid.page);
+                let req = self.fresh_req();
+                self.req_conts.insert(req, ReqCont::ForwardRead { txn });
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.insert(req);
+                    h.participants.insert(owner);
+                }
+                self.send(owner, Message::ReadForwarded { req, txn, oid });
+                return;
+            }
+        }
+        self.complete_op(txn, data);
+    }
+
+    /// The owner answered a forwarded-object point read.
+    pub(crate) fn client_object_bytes(&mut self, req: ReqId, data: Option<Vec<u8>>) {
+        match self.req_conts.remove(&req) {
+            Some(ReqCont::ForwardRead { txn }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                self.complete_op(txn, data);
+            }
+            Some(ReqCont::ForwardWrite { txn, oid, bytes }) => {
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.outstanding_reqs.remove(&req);
+                }
+                if !self.txn_is_running(txn) {
+                    return;
+                }
+                let Some(before) = data else {
+                    self.complete_op(txn, None);
+                    return;
+                };
+                let new_bytes = bytes.unwrap_or_else(|| bump_version(before.clone()));
+                if let Some(h) = self.txns.home.get_mut(&txn) {
+                    h.updated.insert(oid);
+                }
+                self.log_cache
+                    .append(LogRecord::update(txn, oid, before, new_bytes));
+                self.complete_op(txn, None);
+            }
+            _ => {}
+        }
+    }
+
+    /// Creates an object on a cached page (paper §4.4 size-changing
+    /// scope: creation). Requires an explicit EX page lock and the page
+    /// cached; refuses (empty `Done`) otherwise.
+    pub(crate) fn client_create(&mut self, txn: TxnId, page: PageId, bytes: Vec<u8>) {
+        use pscc_common::LockMode;
+        if !self
+            .locks
+            .held_covers(txn, pscc_common::LockableId::Page(page), LockMode::Ex)
+            || !self.cache.contains(page)
+        {
+            self.complete_op(txn, None);
+            return;
+        }
+        let Some(slot) = self.cache.apply_create(page, &bytes, txn) else {
+            self.complete_op(txn, None); // page full
+            return;
+        };
+        let oid = Oid::new(page, slot);
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.updated.insert(oid);
+        }
+        self.log_cache.append(pscc_wal::LogRecord {
+            txn,
+            payload: pscc_wal::LogPayload::Create { oid, body: bytes },
+        });
+        self.complete_op(txn, Some(crate::engine::large::encode_header_oid(oid)));
+    }
+
+    /// Deletes an object. Requires an EX lock on it and the copy cached;
+    /// completes with the deleted bytes, or empty on refusal.
+    pub(crate) fn client_delete(&mut self, txn: TxnId, oid: Oid) {
+        use pscc_common::LockMode;
+        if !self
+            .locks
+            .held_covers(txn, pscc_common::LockableId::Object(oid), LockMode::Ex)
+        {
+            self.complete_op(txn, None);
+            return;
+        }
+        let Some(before) = self.cache.apply_delete(oid, txn) else {
+            self.complete_op(txn, None);
+            return;
+        };
+        if let Some(h) = self.txns.home.get_mut(&txn) {
+            h.updated.insert(oid);
+        }
+        self.log_cache.append(pscc_wal::LogRecord {
+            txn,
+            payload: pscc_wal::LogPayload::Delete { oid, before: before.clone() },
+        });
+        self.complete_op(txn, Some(before));
+    }
+
+    /// Answers the application for the transaction's current op.
+    pub(crate) fn complete_op(&mut self, txn: TxnId, data: Option<Vec<u8>>) {
+        let Some(h) = self.txns.home.get_mut(&txn) else {
+            return;
+        };
+        let app = h.app;
+        h.current_op = None;
+        self.reply_app(AppReply::Done { app, txn, data });
+    }
+
+    pub(crate) fn txn_is_running(&self, txn: TxnId) -> bool {
+        self.txns
+            .home
+            .get(&txn)
+            .is_some_and(|h| h.status == crate::txn::TxnStatus::Active)
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction / purge notices
+    // ------------------------------------------------------------------
+
+    /// Sends purge notices for evicted pages, replicating locks held by
+    /// active local transactions and shipping dirty objects' log records
+    /// early (paper §4.1.1 / §3.3).
+    pub(crate) fn send_purges(&mut self, evicted: Vec<(PageId, crate::cache::CachedPage)>) {
+        for (page, copy) in evicted {
+            self.stats.pages_purged += 1;
+            let owner = self.owners.owner(page);
+            // Locks to replicate: page- and object-level locks held by
+            // transactions homed here.
+            let mut replicate: Vec<(TxnId, LockableId, LockMode)> = Vec::new();
+            for (t, m) in self.locks.holders(LockableId::Page(page)) {
+                if t.site == self.site && self.txn_is_running(t) {
+                    replicate.push((t, LockableId::Page(page), m));
+                }
+            }
+            for (t, o, m) in self.locks.object_holders_on_page(page) {
+                if t.site == self.site && self.txn_is_running(t) {
+                    replicate.push((t, LockableId::Object(o), m));
+                }
+            }
+            for (t, _, _) in &replicate {
+                if let Some(h) = self.txns.home.get_mut(t) {
+                    h.participants.insert(owner);
+                }
+            }
+            let log_records = self.log_cache.drain_page(page);
+            // Losing the page loses any adaptive grants on it.
+            for h in self.txns.home.values_mut() {
+                h.adaptive_pages.remove(&page);
+                h.page_write_grants.remove(&page);
+            }
+            self.send(
+                owner,
+                Message::Purge {
+                    page,
+                    ship_seq: copy.ship_seq,
+                    replicate,
+                    log_records,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Callback threads (paper Fig. 3; §4.1.1, §4.3.2)
+    // ------------------------------------------------------------------
+
+    /// A callback request arrived: allocate a callback thread and run the
+    /// three-case protocol.
+    pub(crate) fn client_callback(&mut self, from: SiteId, cb: CbId, txn: TxnId, target: CbTarget) {
+        let key: CbKey = (from, cb);
+        let mut ctx = CbCtx {
+            txn,
+            target,
+            held: Vec::new(),
+            waiting: None,
+            timer: None,
+        };
+        match target {
+            CbTarget::Object(oid) => {
+                let page = LockableId::Page(oid.page);
+                // Case 1: nobody here uses the page — purge it outright.
+                if self.locks.try_acquire_single(txn, page, LockMode::Ex) {
+                    ctx.held.push(page);
+                    self.cb_ctxs.insert(key, ctx);
+                    self.finish_cb_whole(key, CbTarget::PageAll(oid.page), true);
+                    return;
+                }
+                // Hierarchical path: IX on the page (may block on a
+                // local-only SH page lock, §4.3.2), then EX on the object.
+                let (a, _) = self.locks.acquire_single(txn, page, LockMode::Ix);
+                match a {
+                    Acquire::Granted => {
+                        ctx.held.push(page);
+                        self.cb_ctxs.insert(key, ctx);
+                        self.cb_ctx_page_locked(key, txn, oid);
+                    }
+                    Acquire::Wait(t) => {
+                        ctx.waiting = Some(t);
+                        self.cb_ctxs.insert(key, ctx);
+                        self.lock_conts.insert(t, LockCont::CbCtxPage { key, txn, oid });
+                        self.cb_blocked_report(key, LockableId::Page(oid.page), LockMode::Ix, txn);
+                        self.arm_cb_timer(key, txn);
+                    }
+                }
+            }
+            CbTarget::PageAll(p) => {
+                let item = LockableId::Page(p);
+                self.cb_whole_acquire(key, ctx, txn, item, target);
+            }
+            CbTarget::File(f) => {
+                let item = LockableId::File(f);
+                self.cb_whole_acquire(key, ctx, txn, item, target);
+            }
+            CbTarget::Volume(v) => {
+                let item = LockableId::Volume(v);
+                self.cb_whole_acquire(key, ctx, txn, item, target);
+            }
+        }
+    }
+
+    fn cb_whole_acquire(
+        &mut self,
+        key: CbKey,
+        mut ctx: CbCtx,
+        txn: TxnId,
+        item: LockableId,
+        target: CbTarget,
+    ) {
+        let (a, _) = self.locks.acquire_single(txn, item, LockMode::Ex);
+        match a {
+            Acquire::Granted => {
+                ctx.held.push(item);
+                self.cb_ctxs.insert(key, ctx);
+                self.finish_cb_whole(key, target, true);
+            }
+            Acquire::Wait(t) => {
+                ctx.waiting = Some(t);
+                self.cb_ctxs.insert(key, ctx);
+                self.lock_conts.insert(t, LockCont::CbCtxWhole { key, txn, target });
+                self.cb_blocked_report(key, item, LockMode::Ex, txn);
+                self.arm_cb_timer(key, txn);
+            }
+        }
+    }
+
+    /// Reports a blocked callback to the owner with the conflicting local
+    /// holders (paper §4.1.1: "sends the server a list of all local
+    /// transactions holding locks on X").
+    fn cb_blocked_report(&mut self, key: CbKey, item: LockableId, mode: LockMode, txn: TxnId) {
+        self.stats.callbacks_blocked += 1;
+        let holders: Vec<(TxnId, LockableId, LockMode)> = self
+            .locks
+            .conflicting_holders(item, mode, txn)
+            .into_iter()
+            // Local, still-active transactions only: a committing
+            // holder's locks are about to be released everywhere, and
+            // replicating them after its commit reached the owner would
+            // strand them there forever.
+            .filter(|(t, _)| t.site == self.site && self.txn_is_running(*t))
+            .map(|(t, m)| (t, item, m))
+            .collect();
+        let (owner, cb) = key;
+        // The reported holders' locks are about to be replicated at the
+        // owner; their commits must release them there, so the owner
+        // becomes a participant of each.
+        for (t, _, _) in &holders {
+            if let Some(h) = self.txns.home.get_mut(t) {
+                h.participants.insert(owner);
+            }
+        }
+        self.send(owner, Message::CbBlocked { cb, holders });
+    }
+
+    fn arm_cb_timer(&mut self, key: CbKey, txn: TxnId) {
+        let timer = self.fresh_timer();
+        let delay = self.timeout_est.timeout();
+        self.timers.insert(timer, TimerKind::CbWait { key, txn });
+        if let Some(ctx) = self.cb_ctxs.get_mut(&key) {
+            ctx.timer = Some(timer);
+        }
+        self.out.push(crate::msg::Output::ArmTimer { timer, delay });
+    }
+
+    /// IX page lock acquired; proceed to the object EX (§4.3.2).
+    pub(crate) fn cb_ctx_page_locked(&mut self, key: CbKey, txn: TxnId, oid: Oid) {
+        let Some(ctx) = self.cb_ctxs.get_mut(&key) else {
+            return;
+        };
+        ctx.waiting = None;
+        ctx.held.push(LockableId::Page(oid.page));
+        let item = LockableId::Object(oid);
+        let (a, _) = self.locks.acquire_single(txn, item, LockMode::Ex);
+        match a {
+            Acquire::Granted => self.cb_ctx_obj_locked(key, txn, oid),
+            Acquire::Wait(t) => {
+                if let Some(ctx) = self.cb_ctxs.get_mut(&key) {
+                    ctx.waiting = Some(t);
+                }
+                self.lock_conts.insert(t, LockCont::CbCtxObj { key, txn, oid });
+                self.cb_blocked_report(key, item, LockMode::Ex, txn);
+                self.arm_cb_timer(key, txn);
+            }
+        }
+    }
+
+    /// Object EX acquired: register races, invalidate, acknowledge.
+    pub(crate) fn cb_ctx_obj_locked(&mut self, key: CbKey, _txn: TxnId, oid: Oid) {
+        let Some(ctx) = self.cb_ctxs.get_mut(&key) else {
+            return;
+        };
+        ctx.waiting = None;
+        ctx.held.push(LockableId::Object(oid));
+        // Callback race (paper §4.2.4 / Fig. 5): a read reply for this
+        // page may be in flight; it must not resurrect this object.
+        let pending: Vec<ReqId> = self
+            .pending_fetches
+            .get(&oid.page)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        self.races.register_callback_race(oid.page, oid.slot, pending);
+        self.cache.mark_unavailable(oid);
+        self.stats.callbacks_object_only += 1;
+        self.finish_cb(key, false);
+    }
+
+    /// Whole-granule EX acquired: purge and acknowledge.
+    pub(crate) fn cb_ctx_whole_locked(&mut self, key: CbKey, txn: TxnId, target: CbTarget) {
+        let Some(ctx) = self.cb_ctxs.get_mut(&key) else {
+            return;
+        };
+        ctx.waiting = None;
+        ctx.held.push(target.lockable());
+        let _ = txn;
+        self.finish_cb_whole(key, target, false);
+    }
+
+    /// Purges the target granule and completes the callback thread.
+    /// `fast` marks the immediate whole-page grab of case 1.
+    fn finish_cb_whole(&mut self, key: CbKey, target: CbTarget, fast: bool) {
+        match target {
+            CbTarget::PageAll(p) => {
+                if self.cache.purge(p).is_some() {
+                    self.stats.pages_purged += 1;
+                }
+                // Any adaptive grants on the page die with it.
+                for h in self.txns.home.values_mut() {
+                    h.adaptive_pages.remove(&p);
+                    h.page_write_grants.remove(&p);
+                }
+            }
+            CbTarget::File(f) => {
+                for p in self.cache.pages_of_file(f) {
+                    self.cache.purge(p);
+                    self.stats.pages_purged += 1;
+                    for h in self.txns.home.values_mut() {
+                        h.adaptive_pages.remove(&p);
+                        h.page_write_grants.remove(&p);
+                    }
+                }
+            }
+            CbTarget::Volume(v) => {
+                for p in self.cache.pages_of_volume(v) {
+                    self.cache.purge(p);
+                    self.stats.pages_purged += 1;
+                    for h in self.txns.home.values_mut() {
+                        h.adaptive_pages.remove(&p);
+                        h.page_write_grants.remove(&p);
+                    }
+                }
+            }
+            CbTarget::Object(_) => unreachable!("objects use finish_cb"),
+        }
+        if fast {
+            self.stats.callbacks_purged_page += 1;
+        }
+        self.finish_cb(key, true);
+    }
+
+    /// Releases the callback thread's locks and acks the owner (paper
+    /// footnote 2: "any locks that have been acquired by the callback
+    /// thread are released and the callback thread itself is
+    /// deallocated").
+    fn finish_cb(&mut self, key: CbKey, purged_page: bool) {
+        let Some(ctx) = self.cb_ctxs.remove(&key) else {
+            return;
+        };
+        if let Some(t) = ctx.timer {
+            self.timers.remove(&t);
+        }
+        let mut grants = Vec::new();
+        for item in ctx.held.iter().rev() {
+            grants.extend(self.locks.release_one(ctx.txn, *item));
+        }
+        let (owner, cb) = key;
+        self.send(owner, Message::CbOk { cb, purged_page });
+        self.process_grants(grants);
+    }
+
+    /// Drops a callback thread without acknowledging (owner cancelled it
+    /// or its wait timed out).
+    pub(crate) fn cancel_cb_ctx(&mut self, key: CbKey) {
+        let Some(ctx) = self.cb_ctxs.remove(&key) else {
+            return;
+        };
+        if let Some(t) = ctx.timer {
+            self.timers.remove(&t);
+        }
+        let mut grants = Vec::new();
+        if let Some(ticket) = ctx.waiting {
+            self.lock_conts.remove(&ticket);
+            grants.extend(self.locks.cancel(ticket));
+        }
+        for item in ctx.held.iter().rev() {
+            grants.extend(self.locks.release_one(ctx.txn, *item));
+        }
+        self.process_grants(grants);
+    }
+
+    // ------------------------------------------------------------------
+    // Deescalation, client side (paper §4.1.2)
+    // ------------------------------------------------------------------
+
+    /// The owner asks this client to give up its adaptive locks on
+    /// `page` and report local EX object locks.
+    pub(crate) fn client_deescalate(&mut self, from: SiteId, de: DeId, page: PageId) {
+        // All local transactions lose their adaptive grants on the page.
+        for h in self.txns.home.values_mut() {
+            h.adaptive_pages.remove(&page);
+        }
+        // Deescalation race: in-flight write requests for this page may
+        // come back with a stale adaptive bit — void it (§4.2.4).
+        let outstanding: Vec<ReqId> = self
+            .req_conts
+            .iter()
+            .filter_map(|(r, c)| match c {
+                ReqCont::Write { oid, .. } if oid.page == page => Some(*r),
+                _ => None,
+            })
+            .collect();
+        self.races.register_deescalation(outstanding);
+        let ex_locks: Vec<(TxnId, Oid)> = self
+            .locks
+            .ex_object_holders_on_page(page)
+            .into_iter()
+            .filter(|(t, _)| t.site == self.site && self.txn_is_running(*t))
+            .collect();
+        // The replicated locks must be released at the owner when their
+        // transactions end.
+        for (t, _) in &ex_locks {
+            if let Some(h) = self.txns.home.get_mut(t) {
+                h.participants.insert(from);
+            }
+        }
+        self.send(from, Message::DeescalateReply { de, page, ex_locks });
+    }
+}
+
+/// Synthesized update: bump a little-endian counter in the first 8 bytes.
+fn bump_version(mut bytes: Vec<u8>) -> Vec<u8> {
+    if bytes.len() >= 8 {
+        let mut v = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        v = v.wrapping_add(1);
+        bytes[0..8].copy_from_slice(&v.to_le_bytes());
+    } else if !bytes.is_empty() {
+        bytes[0] = bytes[0].wrapping_add(1);
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bump_version;
+
+    #[test]
+    fn bump_version_increments_counter() {
+        let b = bump_version(vec![0u8; 16]);
+        assert_eq!(u64::from_le_bytes(b[0..8].try_into().unwrap()), 1);
+        let b2 = bump_version(b);
+        assert_eq!(u64::from_le_bytes(b2[0..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn bump_version_short_objects() {
+        assert_eq!(bump_version(vec![7u8, 1]), vec![8u8, 1]);
+        assert_eq!(bump_version(vec![]), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,493 @@
+//! Transaction termination: redo-at-server commit (paper §3.3),
+//! two-phase commit for multi-owner transactions, and the abort
+//! procedure (client purge + server undo + callback cancellation).
+
+use super::{CbKey, DiskCont, PeerServer, ReqCont};
+use crate::msg::{AppReply, CbTarget, DiskOp, Message, ReqId};
+use crate::txn::TxnStatus;
+use pscc_common::{AbortReason, SiteId, TxnId};
+use pscc_wal::{LogPayload, LogRecord};
+use std::collections::{HashMap, VecDeque};
+
+/// How a record-application pass finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CommitReplyKind {
+    /// Nothing to send (early-shipped records from a purge).
+    None,
+    /// Single-round commit: ack with `CommitOk`.
+    CommitOk { req: ReqId, to: SiteId },
+    /// 2PC prepare: answer with a vote.
+    Voted { req: ReqId, to: SiteId },
+    /// 2PC decision applied: ack with `Decided`.
+    Decided { to: SiteId },
+}
+
+/// The state machine applying shipped log records at an owner —
+/// "redo-at-server": each record's page must be resident (disk reads are
+/// charged for misses, §3.3), then the log is forced.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitApply {
+    pub txn: TxnId,
+    pub records: VecDeque<LogRecord>,
+    pub reply: CommitReplyKind,
+    /// Release the transaction's locks and end it here afterwards.
+    pub release: bool,
+    /// Mark the remote transaction prepared (2PC phase one).
+    pub prepare_mark: bool,
+}
+
+impl PeerServer {
+    // ------------------------------------------------------------------
+    // Home-side commit
+    // ------------------------------------------------------------------
+
+    /// The application asked to commit `txn`.
+    pub(crate) fn client_commit(&mut self, txn: TxnId) {
+        let records = self.log_cache.drain_txn(txn);
+        let mut by_owner: HashMap<SiteId, Vec<LogRecord>> = HashMap::new();
+        for rec in records {
+            let owner = rec
+                .payload
+                .page()
+                .map(|p| self.owners.owner(p))
+                .unwrap_or(self.site);
+            by_owner.entry(owner).or_default().push(rec);
+        }
+        let participants: Vec<SiteId> = {
+            let Some(h) = self.txns.home.get_mut(&txn) else {
+                return;
+            };
+            h.status = TxnStatus::Committing;
+            for o in by_owner.keys() {
+                h.participants.insert(*o);
+            }
+            let mut p: Vec<SiteId> = h.participants.iter().copied().collect();
+            p.sort();
+            p
+        };
+        if participants.is_empty() {
+            // Purely local, read-only: nothing to ship or force.
+            self.finish_home_commit(txn);
+            return;
+        }
+        if participants.len() == 1 {
+            let site = participants[0];
+            let req = self.fresh_req();
+            self.req_conts.insert(req, ReqCont::Commit { txn });
+            let records = by_owner.remove(&site).unwrap_or_default();
+            self.send(site, Message::CommitReq { req, txn, records });
+            return;
+        }
+        // Two-phase commit (paper §3.3).
+        for site in participants {
+            let req = self.fresh_req();
+            self.req_conts.insert(req, ReqCont::Prepare { txn, site });
+            let records = by_owner.remove(&site).unwrap_or_default();
+            self.send(site, Message::Prepare { req, txn, records });
+        }
+    }
+
+    /// `CommitOk` from the single participant.
+    pub(crate) fn client_commit_ok(&mut self, req: ReqId) {
+        let Some(ReqCont::Commit { txn }) = self.req_conts.remove(&req) else {
+            return;
+        };
+        self.finish_home_commit(txn);
+    }
+
+    /// A 2PC vote arrived.
+    pub(crate) fn client_voted(&mut self, req: ReqId, txn: TxnId, yes: bool) {
+        let Some(ReqCont::Prepare { txn: t, site }) = self.req_conts.remove(&req) else {
+            return;
+        };
+        debug_assert_eq!(t, txn);
+        let decide: Option<Vec<SiteId>> = {
+            let Some(h) = self.txns.home.get_mut(&txn) else {
+                return;
+            };
+            if !yes {
+                None // a refused vote aborts (not reachable in practice)
+            } else {
+                h.votes.insert(site);
+                if h.votes.len() == h.participants.len() {
+                    let mut p: Vec<SiteId> = h.participants.iter().copied().collect();
+                    p.sort();
+                    Some(p)
+                } else {
+                    return;
+                }
+            }
+        };
+        match decide {
+            Some(participants) => {
+                for site in participants {
+                    self.send(site, Message::Decide { txn, commit: true });
+                }
+            }
+            None => {
+                // Global abort: participants roll back on AbortTxn.
+                self.home_abort(txn, AbortReason::Internal);
+            }
+        }
+    }
+
+    /// A 2PC decision acknowledgment arrived.
+    pub(crate) fn client_decided(&mut self, from: SiteId, txn: TxnId) {
+        let done = {
+            let Some(h) = self.txns.home.get_mut(&txn) else {
+                return;
+            };
+            h.decided_acks.insert(from);
+            h.decided_acks.len() == h.participants.len()
+        };
+        if done {
+            self.finish_home_commit(txn);
+        }
+    }
+
+    /// All participants are done: release local locks, mark cached
+    /// objects clean, answer the application.
+    fn finish_home_commit(&mut self, txn: TxnId) {
+        let Some(h) = self.txns.home.remove(&txn) else {
+            return;
+        };
+        self.cache.clean_txn(txn);
+        let out = self.locks.release_all(txn);
+        for t in &out.cancelled {
+            self.lock_conts.remove(t);
+            self.finish_wait(*t, false);
+        }
+        self.stats.commits += 1;
+        self.reply_app(AppReply::Committed { app: h.app, txn });
+        self.process_grants(out.grants);
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-side commit
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_commit_req(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        records: Vec<LogRecord>,
+    ) {
+        self.txns.spread(txn);
+        self.apply_records_async(
+            txn,
+            records,
+            CommitReplyKind::CommitOk { req, to: from },
+            true,
+            false,
+        );
+    }
+
+    pub(crate) fn server_prepare(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        records: Vec<LogRecord>,
+    ) {
+        self.txns.spread(txn);
+        self.apply_records_async(
+            txn,
+            records,
+            CommitReplyKind::Voted { req, to: from },
+            false,
+            true,
+        );
+    }
+
+    pub(crate) fn server_decide(&mut self, from: SiteId, txn: TxnId, commit: bool) {
+        if commit {
+            self.apply_records_async(
+                txn,
+                Vec::new(),
+                CommitReplyKind::Decided { to: from },
+                true,
+                false,
+            );
+        } else {
+            self.server_abort_core(txn);
+            self.send(from, Message::Decided { txn });
+        }
+    }
+
+    /// Starts (or continues) applying records; suspension points are disk
+    /// reads for non-resident pages and the final log force.
+    pub(crate) fn apply_records_async(
+        &mut self,
+        txn: TxnId,
+        records: Vec<LogRecord>,
+        reply: CommitReplyKind,
+        release: bool,
+        prepare_mark: bool,
+    ) {
+        let state = CommitApply {
+            txn,
+            records: records.into(),
+            reply,
+            release,
+            prepare_mark,
+        };
+        self.commit_apply_step(state);
+    }
+
+    /// Applies records until one needs a disk read, then suspends.
+    pub(crate) fn commit_apply_step(&mut self, mut state: CommitApply) {
+        loop {
+            let Some(page) = state.records.front().and_then(|r| r.payload.page()) else {
+                // Either no records left, or a control record (none are
+                // shipped); move to finalization when empty.
+                if state.records.pop_front().is_none() {
+                    break;
+                }
+                continue;
+            };
+            if !self.touch_resident(page, true) {
+                self.disk(DiskOp::ReadPage(page), DiskCont::CommitApply(state));
+                return;
+            }
+            let rec = state.records.pop_front().expect("peeked above");
+            self.log.append(rec.clone());
+            match pscc_wal::apply_redo(&mut self.volume, &rec) {
+                Ok(()) => {}
+                Err(pscc_common::PsccError::PageFull(_)) => {
+                    // Size-growing update overflowing the home page:
+                    // forward the object to an overflow page (paper §4.4,
+                    // the System-R-style technique).
+                    if let pscc_wal::LogPayload::Update { oid, after, .. } = &rec.payload {
+                        let overflow = self.overflow_page_for(after.len());
+                        let fwd =
+                            self.volume.write_object_forwarding(*oid, after, overflow);
+                        debug_assert!(fwd.is_ok(), "forwarding failed: {fwd:?}");
+                        self.touch_resident(overflow, true);
+                    }
+                }
+                Err(e) => debug_assert!(false, "redo failed: {e:?}"),
+            }
+        }
+        // Finalize: write the control record and force the log, unless
+        // this was a pure early-ship (purge) application.
+        match state.reply {
+            CommitReplyKind::None => self.commit_forced(state),
+            _ => {
+                let payload = if state.prepare_mark {
+                    LogPayload::Prepare
+                } else {
+                    LogPayload::Commit
+                };
+                self.log.append(LogRecord {
+                    txn: state.txn,
+                    payload,
+                });
+                if self.log.force() {
+                    self.disk(DiskOp::WriteLog, DiskCont::CommitForced(state));
+                } else {
+                    self.commit_forced(state);
+                }
+            }
+        }
+    }
+
+    /// The log force completed: release (if commit), answer.
+    pub(crate) fn commit_forced(&mut self, state: CommitApply) {
+        if state.prepare_mark {
+            if let Some(r) = self.txns.remote.get_mut(&state.txn) {
+                r.prepared = true;
+            }
+        }
+        if state.release {
+            self.log.end_txn(state.txn, false);
+            let out = self.locks.release_all(state.txn);
+            for t in &out.cancelled {
+                self.lock_conts.remove(t);
+                self.finish_wait(*t, false);
+            }
+            self.txns.remote.remove(&state.txn);
+            self.process_grants(out.grants);
+        }
+        match state.reply {
+            CommitReplyKind::None => {}
+            CommitReplyKind::CommitOk { req, to } => self.send(to, Message::CommitOk { req }),
+            CommitReplyKind::Voted { req, to } => self.send(
+                to,
+                Message::Voted {
+                    req,
+                    txn: state.txn,
+                    yes: true,
+                },
+            ),
+            CommitReplyKind::Decided { to } => {
+                self.send(to, Message::Decided { txn: state.txn })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Aborts
+    // ------------------------------------------------------------------
+
+    /// Aborts `txn` from wherever the decision was made: at its home,
+    /// run the full abort procedure; at an owner, clean up locally and
+    /// notify the home.
+    pub(crate) fn abort_txn_here(&mut self, txn: TxnId, reason: AbortReason) {
+        if txn.site == self.site {
+            self.home_abort(txn, reason);
+        } else {
+            self.server_abort_core(txn);
+            self.send(txn.site, Message::TxnAborted { txn, reason });
+        }
+    }
+
+    /// The home-side abort procedure (paper §3.3): purge updated objects
+    /// from the cache, discard the log cache, release locks, notify
+    /// participants, answer the application.
+    pub(crate) fn home_abort(&mut self, txn: TxnId, reason: AbortReason) {
+        let (app, participants, reqs, updated) = {
+            let Some(h) = self.txns.home.get_mut(&txn) else {
+                return;
+            };
+            if h.status != TxnStatus::Active {
+                return; // already committing or aborted: first wins
+            }
+            h.status = TxnStatus::Aborted;
+            (
+                h.app,
+                h.participants.iter().copied().collect::<Vec<_>>(),
+                h.outstanding_reqs.drain().collect::<Vec<_>>(),
+                h.updated.iter().copied().collect::<Vec<_>>(),
+            )
+        };
+        for r in reqs {
+            self.req_conts.remove(&r);
+            self.races.forget_request(r);
+            // A request the server will never answer (it was cancelled
+            // there) must not leave a pending-fetch mark behind.
+            self.pending_fetches.retain(|_, set| {
+                set.remove(&r);
+                !set.is_empty()
+            });
+        }
+        self.stats.aborts += 1;
+        self.cache.abort_txn(txn);
+        // Objects updated earlier whose dirty marks were lost to an
+        // eviction + re-fetch still hold uncommitted bytes: purge them.
+        for oid in updated {
+            self.cache.mark_unavailable(oid);
+        }
+        self.log_cache.discard_txn(txn);
+        self.server_abort_core(txn);
+        for p in participants {
+            if p != self.site {
+                self.send(p, Message::AbortTxn { txn });
+            }
+        }
+        self.txns.home.remove(&txn);
+        self.reply_app(AppReply::Aborted { app, txn, reason });
+    }
+
+    /// Owner-side cleanup on abort (also run at the home for its own
+    /// volume): cancel the transaction's callbacks, undo its shipped
+    /// updates, release its locks.
+    pub(crate) fn server_abort_core(&mut self, txn: TxnId) {
+        // Cancel callback operations it initiated.
+        let cbs: Vec<crate::msg::CbId> = self
+            .cb_ops
+            .iter()
+            .filter(|(_, op)| op.txn == txn)
+            .map(|(id, _)| *id)
+            .collect();
+        for cb in cbs {
+            let op = self.cb_ops.remove(&cb).expect("listed above");
+            if let CbTarget::Object(o) = op.target {
+                self.cb_by_object.remove(&o);
+            }
+            if let Some(t) = op.upgrade {
+                self.lock_conts.remove(&t);
+                self.finish_wait(t, false);
+            }
+            for site in op.pending {
+                if site == self.site {
+                    self.cancel_cb_ctx((self.site, cb));
+                } else {
+                    self.send(site, Message::CbCancel { cb });
+                }
+            }
+        }
+        // Drop deescalation-queued work from the aborted transaction.
+        for op in self.de_ops.values_mut() {
+            op.queued.retain(|w| input_txn(w) != Some(txn));
+        }
+        // Undo already-applied updates (before-images, §3.3). Disk reads
+        // for non-resident pages are charged without blocking the abort.
+        let undo = self.log.end_txn(txn, true);
+        for rec in undo {
+            if let Some(p) = rec.payload.page() {
+                if !self.touch_resident(p, true) {
+                    self.disk(DiskOp::ReadPage(p), DiskCont::Accounted);
+                }
+            }
+            let _ = pscc_wal::apply_undo(&mut self.volume, &rec);
+        }
+        // Cancel any callback threads running here on the transaction's
+        // behalf (client role).
+        let keys: Vec<CbKey> = self
+            .cb_ctxs
+            .iter()
+            .filter(|(_, c)| c.txn == txn)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.cancel_cb_ctx(k);
+        }
+        // Release all locks and cancel all waits.
+        let out = self.locks.release_all(txn);
+        for t in &out.cancelled {
+            self.lock_conts.remove(t);
+            self.finish_wait(*t, false);
+        }
+        self.txns.remote.remove(&txn);
+        self.process_grants(out.grants);
+    }
+
+    /// `AbortTxn` from the home.
+    pub(crate) fn server_abort_txn(&mut self, txn: TxnId) {
+        self.server_abort_core(txn);
+    }
+
+    /// An overflow page with at least `len` bytes free, allocating a new
+    /// one when needed (targets of §4.4 forwarding).
+    pub(crate) fn overflow_page_for(&mut self, len: usize) -> pscc_common::PageId {
+        if let Some(p) = self.overflow_page {
+            if self.volume.page_fits(p, len) {
+                return p;
+            }
+        }
+        let file = self.volume.files()[0];
+        let p = self.volume.allocate_page(file);
+        self.overflow_page = Some(p);
+        p
+    }
+}
+
+/// The transaction a queued work item belongs to (for abort-time pruning
+/// of deescalation queues).
+fn input_txn(w: &crate::msg::Input) -> Option<TxnId> {
+    match w {
+        crate::msg::Input::App(req) => req.txn,
+        crate::msg::Input::Msg { msg, .. } => match msg {
+            Message::ReadObj { txn, .. }
+            | Message::ReadPage { txn, .. }
+            | Message::WriteObj { txn, .. }
+            | Message::WritePage { txn, .. }
+            | Message::LockItem { txn, .. }
+            | Message::CommitReq { txn, .. }
+            | Message::Prepare { txn, .. } => Some(*txn),
+            _ => None,
+        },
+        _ => None,
+    }
+}

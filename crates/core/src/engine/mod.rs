@@ -1,0 +1,780 @@
+//! The peer-server engine: a deterministic state machine implementing the
+//! paper's hierarchical, adaptive cache-consistency protocols (PS, PS-OA,
+//! PS-AA) over the substrates (lock table, storage, WAL, copy table).
+//!
+//! One [`PeerServer`] instance is one site of Fig. 1. It plays both
+//! roles: *owner* of the pages its volume holds, and *client* for
+//! everything else. Inputs (application requests, messages, disk
+//! completions, timer fires) are handled synchronously; every suspension
+//! point (a lock wait, a callback fan-out, a disk read) is a continuation
+//! keyed by the event that resumes it. Messages a site sends to itself —
+//! a peer server operating on its own data — are processed in the same
+//! `handle` call at zero message cost, which is precisely how the
+//! peer-servers architecture saves messages on locally owned data
+//! (paper §5.5).
+
+mod client;
+mod commit;
+pub mod large;
+mod server;
+
+use crate::cache::ClientCache;
+use crate::copy_table::CopyTable;
+use crate::msg::{
+    AppOp, AppReply, CbId, CbTarget, DeId, DiskOp, DiskReqId, Input, Message, Output, ReqId,
+    TimerId,
+};
+use crate::owner_map::OwnerMap;
+use crate::races::RaceTable;
+use crate::residency::Residency;
+use crate::timeout::TimeoutEstimator;
+use crate::txn::{HomeTxn, TxnRegistry, TxnStatus};
+use pscc_common::{
+    AbortReason, Counters, LockMode, LockableId, Oid, PageId, SiteId, SimTime, SystemConfig, TxnId,
+};
+use pscc_lockmgr::{LockTable, Ticket};
+use pscc_storage::Volume;
+use pscc_wal::{LogCache, ServerLog};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What resumes when a lock ticket is granted.
+#[derive(Debug, Clone)]
+pub(crate) enum LockCont {
+    /// Client role: local lock for an object access acquired; continue
+    /// the read/write.
+    LocalAccess {
+        txn: TxnId,
+        oid: Oid,
+        write: bool,
+        bytes: Option<Vec<u8>>,
+    },
+    /// Client role (PS): local page lock acquired; continue the access.
+    LocalPage {
+        txn: TxnId,
+        oid: Oid,
+        write: bool,
+        bytes: Option<Vec<u8>>,
+    },
+    /// Client role: local lock for an explicit `Lock` op acquired.
+    LocalExplicit {
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    },
+    /// Owner role: SH object lock granted; ship the page.
+    ServerRead { req: ReqId, from: SiteId, txn: TxnId, oid: Oid },
+    /// Owner role (PS): SH page lock granted; ship the page.
+    ServerReadPage { req: ReqId, from: SiteId, txn: TxnId, page: PageId },
+    /// Owner role: EX object lock granted; start the callback operation.
+    ServerWrite { req: ReqId, from: SiteId, txn: TxnId, oid: Oid },
+    /// Owner role (PS / explicit EX page): EX page lock granted.
+    ServerWritePage { req: ReqId, from: SiteId, txn: TxnId, page: PageId },
+    /// Owner role: explicit lock granted at the server.
+    ServerExplicit {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    },
+    /// Owner role: EX re-upgrade after a callback-blocked replication
+    /// (paper §4.2.1) or during a callback redo (§4.3.2).
+    CbUpgrade { cb: CbId },
+    /// Client role, callback thread: page-level lock acquired; proceed to
+    /// the object lock (hierarchical callbacks, §4.3.2).
+    CbCtxPage { key: CbKey, txn: TxnId, oid: Oid },
+    /// Client role, callback thread: object EX acquired; invalidate and
+    /// acknowledge.
+    CbCtxObj { key: CbKey, txn: TxnId, oid: Oid },
+    /// Client role, callback thread: EX on a whole page/file/volume
+    /// acquired; purge and acknowledge.
+    CbCtxWhole { key: CbKey, txn: TxnId, target: CbTarget },
+}
+
+/// Client-side key of a callback operation (callback ids are only unique
+/// per issuing owner).
+pub(crate) type CbKey = (SiteId, CbId);
+
+/// What resumes when a request's reply arrives.
+#[derive(Debug, Clone)]
+pub(crate) enum ReqCont {
+    /// A page fetch for `oid`; optionally continue into a write.
+    Fetch {
+        txn: TxnId,
+        oid: Oid,
+        then_write: Option<Option<Vec<u8>>>,
+    },
+    /// A PS page fetch for reading `oid`; optionally continue into a
+    /// write instead.
+    FetchPage {
+        txn: TxnId,
+        oid: Oid,
+        then_write: Option<(Oid, Option<Vec<u8>>)>,
+    },
+    /// A write-permission request.
+    Write {
+        txn: TxnId,
+        oid: Oid,
+        bytes: Option<Vec<u8>>,
+    },
+    /// A PS page write-permission request (carrying the triggering
+    /// object update).
+    WritePage {
+        txn: TxnId,
+        page: PageId,
+        oid: Oid,
+        bytes: Option<Vec<u8>>,
+    },
+    /// An explicit lock request.
+    Lock { txn: TxnId },
+    /// A point-read of a forwarded object; completes the current op.
+    ForwardRead { txn: TxnId },
+    /// A point-read of a forwarded object that precedes an update of it
+    /// (the before-image is needed for the log record).
+    ForwardWrite {
+        txn: TxnId,
+        oid: Oid,
+        bytes: Option<Vec<u8>>,
+    },
+    /// Single-participant commit awaiting `CommitOk`.
+    Commit { txn: TxnId },
+    /// 2PC prepare awaiting `Voted`.
+    Prepare { txn: TxnId, site: SiteId },
+}
+
+/// What resumes when a disk request completes.
+#[derive(Debug, Clone)]
+pub(crate) enum DiskCont {
+    /// Ship `page` to the requester (read-path buffer miss at the owner).
+    Ship {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+        requested: Option<Oid>,
+    },
+    /// Continue applying commit/prepare records (redo-at-server re-read,
+    /// §3.3).
+    CommitApply(commit::CommitApply),
+    /// The log force at the end of commit application completed.
+    CommitForced(commit::CommitApply),
+    /// Pure accounting (dirty-page writeback); nothing resumes.
+    Accounted,
+}
+
+/// Why a timer was armed.
+#[derive(Debug, Clone)]
+pub(crate) enum TimerKind {
+    /// A lock wait (any role) by `txn`; firing aborts the waiter (the
+    /// SHORE timeout mechanism, §3.3/§5.5).
+    LockWait { ticket: Ticket, txn: TxnId },
+    /// A callback thread's lock wait at a client; firing notifies the
+    /// owner to abort the calling-back transaction.
+    CbWait { key: CbKey, txn: TxnId },
+}
+
+/// State of a client-side callback thread (the per-callback thread of
+/// paper Fig. 3, footnote 2).
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) struct CbCtx {
+    pub txn: TxnId,
+    pub target: CbTarget,
+    /// Locks this thread has acquired (released when it completes).
+    pub held: Vec<LockableId>,
+    /// Ticket it is currently waiting on, if blocked.
+    pub waiting: Option<Ticket>,
+    /// Timer guarding the current wait.
+    pub timer: Option<TimerId>,
+}
+
+/// State of a callback operation at its owning server.
+#[derive(Debug)]
+pub(crate) struct CbOp {
+    pub txn: TxnId,
+    pub target: CbTarget,
+    /// Clients whose acknowledgment is still pending.
+    pub pending: HashSet<SiteId>,
+    /// Whether every acked client purged the whole page (pre-condition
+    /// for an adaptive grant, §4.1.2).
+    pub all_purged: bool,
+    /// Second-objective violation detected (§4.3.2): the called-back
+    /// object was handed to another client mid-operation; the callback
+    /// must be redone.
+    pub violated: bool,
+    /// Outstanding EX re-upgrade at the server, if any.
+    pub upgrade: Option<Ticket>,
+    /// What to do when the operation completes.
+    pub done: CbDone,
+}
+
+/// Completion action of a callback operation.
+#[derive(Debug, Clone)]
+pub(crate) enum CbDone {
+    /// Grant object write permission (`WriteGranted`).
+    GrantWrite { req: ReqId, to: SiteId, oid: Oid },
+    /// Grant page write permission (PS protocol).
+    GrantWritePage { req: ReqId, to: SiteId },
+    /// Grant an explicit lock.
+    GrantLock { req: ReqId, to: SiteId },
+}
+
+/// A deescalation operation at the owner (§4.1.2).
+#[derive(Debug)]
+pub(crate) struct DeOp {
+    pub page: PageId,
+    /// Work that arrived for this page while deescalation was in flight
+    /// (remote requests and owner-local application accesses);
+    /// re-processed afterwards.
+    pub queued: Vec<Input>,
+}
+
+/// One peer server of the system.
+///
+/// Drive it by calling [`PeerServer::handle`] with each input event and
+/// executing the returned outputs (sending messages, arming timers,
+/// performing "disk" waits). Both the threaded harness and the
+/// discrete-event simulator do exactly this.
+#[derive(Debug)]
+pub struct PeerServer {
+    pub(crate) site: SiteId,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) owners: OwnerMap,
+    pub(crate) now: SimTime,
+
+    // One lock table serves both roles: at the owner of a granule, a
+    // local transaction's lock *is* its server lock (the peer-servers
+    // unification of §3.3).
+    pub(crate) locks: LockTable,
+    pub(crate) txns: TxnRegistry,
+
+    // Owner role.
+    pub(crate) volume: Volume,
+    pub(crate) residency: Residency,
+    pub(crate) copy_table: CopyTable,
+    pub(crate) log: ServerLog,
+    pub(crate) cb_ops: HashMap<CbId, CbOp>,
+    pub(crate) cb_by_object: HashMap<Oid, CbId>,
+    pub(crate) de_ops: HashMap<DeId, DeOp>,
+    pub(crate) de_by_page: HashMap<PageId, DeId>,
+    /// Current overflow page for §4.4 forwarding.
+    pub(crate) overflow_page: Option<PageId>,
+
+    // Client role.
+    pub(crate) cache: ClientCache,
+    pub(crate) log_cache: LogCache,
+    pub(crate) races: RaceTable,
+    pub(crate) pending_fetches: HashMap<PageId, HashSet<ReqId>>,
+    pub(crate) cb_ctxs: HashMap<CbKey, CbCtx>,
+
+    // Large objects (paper §4.4).
+    pub(crate) large: pscc_storage::LargeObjectStore,
+    pub(crate) large_cache: HashMap<PageId, Vec<u8>>,
+    pub(crate) large_reads: Vec<large::LargeRead>,
+    pub(crate) large_writes: HashMap<ReqId, TxnId>,
+    pub(crate) large_creates: HashMap<ReqId, TxnId>,
+    pub(crate) large_invals: HashMap<ReqId, (SiteId, ReqId, HashSet<SiteId>)>,
+
+    // Continuations.
+    pub(crate) lock_conts: HashMap<Ticket, LockCont>,
+    pub(crate) req_conts: HashMap<ReqId, ReqCont>,
+    pub(crate) disk_conts: HashMap<DiskReqId, DiskCont>,
+    pub(crate) timers: HashMap<TimerId, TimerKind>,
+    pub(crate) ticket_timers: HashMap<Ticket, (TimerId, SimTime)>,
+
+    // Timeout estimation (§5.5).
+    pub(crate) timeout_est: TimeoutEstimator,
+
+    // Id allocation.
+    next_req: u64,
+    next_cb: u64,
+    next_de: u64,
+    next_timer: u64,
+    next_disk: u64,
+
+    // Self-addressed messages processed within the current handle call.
+    pub(crate) internal: VecDeque<Input>,
+    pub(crate) out: Vec<Output>,
+
+    /// Event counters.
+    pub stats: Counters,
+}
+
+impl PeerServer {
+    /// Creates a peer server owning the pages `owners` assigns to `site`.
+    ///
+    /// The volume holds only this site's partition; the client cache is
+    /// sized per the configuration (`client_buf_frac` for a pure client,
+    /// `peer_buf_frac` when the site owns data — pass the fraction
+    /// through `cfg`).
+    pub fn new(site: SiteId, cfg: SystemConfig, owners: OwnerMap) -> Self {
+        let my_pages = owners.pages_of(site, cfg.database_pages);
+        let volume = Volume::create_partition(pscc_common::VolId(site.0), &cfg, &my_pages);
+        let owns_data = !my_pages.is_empty();
+        let cache_pages = if owns_data && matches!(owners, OwnerMap::Ranges(_)) {
+            cfg.peer_buf_pages() as usize
+        } else {
+            cfg.client_buf_pages() as usize
+        };
+        let residency_pages = if matches!(owners, OwnerMap::Ranges(_)) {
+            cfg.peer_buf_pages() as usize
+        } else {
+            cfg.server_buf_pages() as usize
+        };
+        let timeout_est = TimeoutEstimator::new(&cfg);
+        PeerServer {
+            site,
+            owners,
+            now: SimTime::ZERO,
+            locks: LockTable::new(),
+            txns: TxnRegistry::new(),
+            volume,
+            residency: Residency::new(residency_pages.max(1)),
+            copy_table: CopyTable::new(),
+            log: ServerLog::new(),
+            cb_ops: HashMap::new(),
+            cb_by_object: HashMap::new(),
+            de_ops: HashMap::new(),
+            de_by_page: HashMap::new(),
+            overflow_page: None,
+            cache: ClientCache::new(cache_pages.max(1)),
+            large: pscc_storage::LargeObjectStore::new(cfg.page_size),
+            large_cache: HashMap::new(),
+            large_reads: Vec::new(),
+            large_writes: HashMap::new(),
+            large_creates: HashMap::new(),
+            large_invals: HashMap::new(),
+            log_cache: LogCache::new(),
+            races: RaceTable::new(),
+            pending_fetches: HashMap::new(),
+            cb_ctxs: HashMap::new(),
+            lock_conts: HashMap::new(),
+            req_conts: HashMap::new(),
+            disk_conts: HashMap::new(),
+            timers: HashMap::new(),
+            ticket_timers: HashMap::new(),
+            timeout_est,
+            next_req: 0,
+            next_cb: 0,
+            next_de: 0,
+            next_timer: 0,
+            next_disk: 0,
+            internal: VecDeque::new(),
+            out: Vec::new(),
+            stats: Counters::default(),
+            cfg,
+        }
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The configured protocol.
+    pub fn protocol(&self) -> pscc_common::Protocol {
+        self.cfg.protocol
+    }
+
+    /// Read-only access to the site's volume (tests and examples).
+    pub fn volume(&self) -> &Volume {
+        &self.volume
+    }
+
+    /// Asserts that no transaction state lingers: empty lock table, no
+    /// callback/deescalation operations, no suspended continuations, no
+    /// live transactions. Test harnesses call this after draining a
+    /// workload — any leftover is a protocol leak.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the leaked state.
+    pub fn assert_quiescent(&self) {
+        assert!(
+            self.locks.is_empty(),
+            "site {}: lock table not empty ({} granules)",
+            self.site,
+            self.locks.len()
+        );
+        assert!(self.cb_ops.is_empty(), "site {}: callback ops leak", self.site);
+        assert!(self.cb_ctxs.is_empty(), "site {}: callback ctx leak", self.site);
+        assert!(self.de_ops.is_empty(), "site {}: deescalation leak", self.site);
+        assert!(
+            self.lock_conts.is_empty(),
+            "site {}: lock continuation leak",
+            self.site
+        );
+        assert!(
+            self.req_conts.is_empty(),
+            "site {}: request continuation leak",
+            self.site
+        );
+        assert!(
+            self.txns.home.is_empty() && self.txns.remote.is_empty(),
+            "site {}: live transactions remain",
+            self.site
+        );
+        assert!(
+            self.pending_fetches.is_empty(),
+            "site {}: pending fetches leak",
+            self.site
+        );
+        self.locks.assert_consistent();
+    }
+
+    /// Detailed dump of live transactions and their locks (diagnostics).
+    pub fn debug_txns(&self) -> String {
+        let mut out = String::new();
+        for t in self.txns.remote.keys() {
+            out.push_str(&format!("  remote {t}: locks {:?}\n", self.locks.locks_of(*t)));
+        }
+        for t in self.txns.home.keys() {
+            out.push_str(&format!("  home {t}: locks {:?}\n", self.locks.locks_of(*t)));
+        }
+        out
+    }
+
+    /// A one-line state summary for diagnosing stuck systems.
+    pub fn debug_summary(&self) -> String {
+        format!(
+            "site {}: locks={} home={} remote={} cb_ops={} cb_ctxs={} de_ops={}              lock_conts={} req_conts={} fetches={} waiting={:?}",
+            self.site,
+            self.locks.len(),
+            self.txns.home.len(),
+            self.txns.remote.len(),
+            self.cb_ops.len(),
+            self.cb_ctxs.len(),
+            self.de_ops.len(),
+            self.lock_conts.len(),
+            self.req_conts.len(),
+            self.pending_fetches.len(),
+            self.locks.waiting_txns(),
+        )
+    }
+
+    /// Handles one input event at virtual time `now`, returning the
+    /// output effects. Self-addressed messages are processed within this
+    /// call (zero message cost — the peer-servers local fast path).
+    pub fn handle(&mut self, now: SimTime, input: Input) -> Vec<Output> {
+        debug_assert!(now >= self.now, "time went backwards");
+        self.now = now;
+        self.internal.push_back(input);
+        while let Some(ev) = self.internal.pop_front() {
+            self.dispatch(ev);
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    fn dispatch(&mut self, input: Input) {
+        match input {
+            Input::App(req) => self.handle_app(req),
+            Input::Msg { from, msg } => self.handle_msg(from, msg),
+            Input::DiskDone { req } => self.handle_disk_done(req),
+            Input::TimerFired { timer } => self.handle_timer(timer),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Effect helpers
+    // ------------------------------------------------------------------
+
+    /// Sends `msg` to `to`; a self-send loops back internally for free.
+    pub(crate) fn send(&mut self, to: SiteId, msg: Message) {
+        if to == self.site {
+            self.internal.push_back(Input::Msg {
+                from: self.site,
+                msg,
+            });
+        } else {
+            self.stats.msgs_sent += 1;
+            self.out.push(Output::Send { to, msg });
+        }
+    }
+
+    pub(crate) fn reply_app(&mut self, reply: AppReply) {
+        self.out.push(Output::App(reply));
+    }
+
+    pub(crate) fn fresh_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    pub(crate) fn fresh_cb(&mut self) -> CbId {
+        self.next_cb += 1;
+        CbId(self.next_cb)
+    }
+
+    pub(crate) fn fresh_de(&mut self) -> DeId {
+        self.next_de += 1;
+        DeId(self.next_de)
+    }
+
+    pub(crate) fn fresh_timer(&mut self) -> TimerId {
+        self.next_timer += 1;
+        TimerId(self.next_timer)
+    }
+
+    pub(crate) fn disk(&mut self, op: DiskOp, cont: DiskCont) {
+        self.next_disk += 1;
+        let req = DiskReqId(self.next_disk);
+        match op {
+            DiskOp::ReadPage(_) => self.stats.disk_reads += 1,
+            DiskOp::WritePage(_) | DiskOp::WriteLog => self.stats.disk_writes += 1,
+        }
+        self.disk_conts.insert(req, cont);
+        self.out.push(Output::Disk { req, op });
+    }
+
+    /// Touches a page in the owner-role buffer, charging writeback I/O
+    /// for dirty evictions. Returns `true` if the page was resident (no
+    /// read needed).
+    pub(crate) fn touch_resident(&mut self, page: PageId, dirty: bool) -> bool {
+        let t = self.residency.touch(page, dirty);
+        if let Some(victim) = t.writeback {
+            self.disk(DiskOp::WritePage(victim), DiskCont::Accounted);
+        }
+        !t.miss
+    }
+
+    /// Arms the adaptive lock-wait timeout for a blocked ticket.
+    pub(crate) fn arm_lock_timer(&mut self, ticket: Ticket, txn: TxnId) {
+        let timer = self.fresh_timer();
+        let delay = self.timeout_est.timeout();
+        self.timers.insert(timer, TimerKind::LockWait { ticket, txn });
+        self.ticket_timers.insert(ticket, (timer, self.now));
+        self.stats.lock_waits += 1;
+        self.out.push(Output::ArmTimer { timer, delay });
+    }
+
+    /// Records the end of a lock wait (grant or cancel) and retires its
+    /// timer.
+    pub(crate) fn finish_wait(&mut self, ticket: Ticket, record: bool) {
+        if let Some((timer, armed_at)) = self.ticket_timers.remove(&ticket) {
+            self.timers.remove(&timer);
+            if record {
+                self.timeout_est.record_wait(self.now.since(armed_at));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grant processing and deadlock handling
+    // ------------------------------------------------------------------
+
+    /// Dispatches lock grants produced by any lock-table mutation.
+    pub(crate) fn process_grants(&mut self, grants: Vec<pscc_lockmgr::Grant>) {
+        for g in grants {
+            self.finish_wait(g.ticket, true);
+            let Some(cont) = self.lock_conts.remove(&g.ticket) else {
+                continue;
+            };
+            self.resume_lock(cont);
+        }
+    }
+
+    /// Runs one granted continuation.
+    pub(crate) fn resume_lock(&mut self, cont: LockCont) {
+        match cont {
+            LockCont::LocalAccess { txn, oid, write, bytes } => {
+                self.client_access_locked(txn, oid, write, bytes)
+            }
+            LockCont::LocalPage { txn, oid, write, bytes } => {
+                self.client_ps_locked(txn, oid, write, bytes)
+            }
+            LockCont::LocalExplicit { txn, item, mode } => {
+                self.client_explicit_locked(txn, item, mode)
+            }
+            LockCont::ServerRead { req, from, txn, oid } => {
+                self.server_read_locked(req, from, txn, oid)
+            }
+            LockCont::ServerReadPage { req, from, txn, page } => {
+                self.server_read_page_locked(req, from, txn, page)
+            }
+            LockCont::ServerWrite { req, from, txn, oid } => {
+                self.server_write_locked(req, from, txn, oid)
+            }
+            LockCont::ServerWritePage { req, from, txn, page } => {
+                self.server_write_page_locked(req, from, txn, page)
+            }
+            LockCont::ServerExplicit { req, from, txn, item, mode } => {
+                self.server_explicit_locked(req, from, txn, item, mode)
+            }
+            LockCont::CbUpgrade { cb } => self.server_cb_upgrade_done(cb),
+            LockCont::CbCtxPage { key, txn, oid } => self.cb_ctx_page_locked(key, txn, oid),
+            LockCont::CbCtxObj { key, txn, oid } => self.cb_ctx_obj_locked(key, txn, oid),
+            LockCont::CbCtxWhole { key, txn, target } => {
+                self.cb_ctx_whole_locked(key, txn, target)
+            }
+        }
+    }
+
+    /// After any request blocks, check for deadlocks and abort the
+    /// youngest member of each cycle (paper §4.2.1: the deadlock
+    /// detector runs at the server holding the lock state).
+    pub(crate) fn check_deadlocks(&mut self) {
+        let cycles = self.locks.detect_deadlocks();
+        for cycle in cycles {
+            // Youngest = max (seq, site).
+            if let Some(victim) = cycle.iter().max_by_key(|t| (t.seq, t.site.0)).copied() {
+                self.stats.deadlock_aborts += 1;
+                self.abort_txn_here(victim, AbortReason::Deadlock);
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, timer: TimerId) {
+        let Some(kind) = self.timers.remove(&timer) else {
+            return; // stale fire
+        };
+        match kind {
+            TimerKind::LockWait { ticket, txn } => {
+                if self.locks.ticket_info(ticket).is_none() {
+                    return; // already granted/cancelled
+                }
+                self.ticket_timers.remove(&ticket);
+                self.stats.timeout_aborts += 1;
+                self.abort_txn_here(txn, AbortReason::LockTimeout);
+            }
+            TimerKind::CbWait { key, txn } => {
+                let still_waiting = self
+                    .cb_ctxs
+                    .get(&key)
+                    .is_some_and(|c| c.waiting.is_some());
+                if !still_waiting {
+                    return;
+                }
+                // Notify the owner so the calling-back transaction gets
+                // aborted; drop the local callback thread.
+                self.cancel_cb_ctx(key);
+                self.stats.timeout_aborts += 1;
+                let (owner, cb) = key;
+                self.send(owner, Message::CbTimeout { cb });
+                let _ = txn;
+            }
+        }
+    }
+
+    fn handle_disk_done(&mut self, req: DiskReqId) {
+        let Some(cont) = self.disk_conts.remove(&req) else {
+            return;
+        };
+        match cont {
+            DiskCont::Ship { req, from, txn, page, requested } => {
+                self.server_ship(req, from, txn, page, requested)
+            }
+            DiskCont::CommitApply(state) => self.commit_apply_step(state),
+            DiskCont::CommitForced(state) => self.commit_forced(state),
+            DiskCont::Accounted => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Input routing
+    // ------------------------------------------------------------------
+
+    fn handle_app(&mut self, req: crate::msg::AppRequest) {
+        match (req.txn, req.op) {
+            (None, AppOp::Begin) => {
+                let txn = self.txns.next_txn_id(self.site);
+                self.txns.home.insert(txn, HomeTxn::new(txn, req.app));
+                self.reply_app(AppReply::Started { app: req.app, txn });
+            }
+            (Some(txn), op) => {
+                let Some(home) = self.txns.home.get_mut(&txn) else {
+                    return; // unknown (e.g. already aborted): drop
+                };
+                if home.status != TxnStatus::Active {
+                    return;
+                }
+                home.current_op = Some(op.clone());
+                match op {
+                    AppOp::Begin => {}
+                    AppOp::Read(oid) => self.client_access(txn, oid, false, None),
+                    AppOp::Write { oid, bytes } => self.client_access(txn, oid, true, bytes),
+                    AppOp::Lock { item, mode } => self.client_explicit(txn, item, mode),
+                    AppOp::Create { page, bytes } => self.client_create(txn, page, bytes),
+                    AppOp::Delete(oid) => self.client_delete(txn, oid),
+                    AppOp::CreateLarge { header_page, content } => {
+                        self.client_create_large(txn, header_page, content)
+                    }
+                    AppOp::ReadLarge { header, offset, len } => {
+                        self.client_read_large(txn, header, offset, len)
+                    }
+                    AppOp::WriteLarge { header, offset, bytes } => {
+                        self.client_write_large(txn, header, offset, bytes)
+                    }
+                    AppOp::Commit => self.client_commit(txn),
+                    AppOp::Abort => {
+                        self.stats.aborts += 1;
+                        self.abort_txn_here(txn, AbortReason::User);
+                    }
+                }
+            }
+            (None, _) => {}
+        }
+    }
+
+    fn handle_msg(&mut self, from: SiteId, msg: Message) {
+        match msg {
+            // Owner role.
+            Message::ReadObj { req, txn, oid } => self.server_read(req, from, txn, oid),
+            Message::ReadPage { req, txn, page } => self.server_read_page(req, from, txn, page),
+            Message::WriteObj { req, txn, oid } => self.server_write(req, from, txn, oid),
+            Message::WritePage { req, txn, page } => self.server_write_page(req, from, txn, page),
+            Message::LockItem { req, txn, item, mode } => {
+                self.server_explicit(req, from, txn, item, mode)
+            }
+            Message::CbBlocked { cb, holders } => self.server_cb_blocked(cb, holders),
+            Message::CbOk { cb, purged_page } => self.server_cb_ok(cb, from, purged_page),
+            Message::CbTimeout { cb } => self.server_cb_timeout(cb),
+            Message::DeescalateReply { de, page, ex_locks } => {
+                self.server_deescalate_reply(de, page, ex_locks)
+            }
+            Message::Purge { page, ship_seq, replicate, log_records } => {
+                self.server_purge(from, page, ship_seq, replicate, log_records)
+            }
+            Message::CommitReq { req, txn, records } => {
+                self.server_commit_req(req, from, txn, records)
+            }
+            Message::Prepare { req, txn, records } => self.server_prepare(req, from, txn, records),
+            Message::Decide { txn, commit } => self.server_decide(from, txn, commit),
+            Message::AbortTxn { txn } => self.server_abort_txn(txn),
+
+            // Client role.
+            Message::ReadReply { req, snapshot } => self.client_read_reply(req, snapshot),
+            Message::WriteGranted { req, adaptive } => self.client_write_granted(req, adaptive),
+            Message::LockGranted { req } => self.client_lock_granted(req),
+            Message::ReqDenied { req, reason } => self.client_req_denied(req, reason),
+            Message::Callback { cb, txn, target } => self.client_callback(from, cb, txn, target),
+            Message::CbCancel { cb } => self.cancel_cb_ctx((from, cb)),
+            Message::Deescalate { de, page } => self.client_deescalate(from, de, page),
+            Message::CommitOk { req } => self.client_commit_ok(req),
+            Message::Voted { req, txn, yes } => self.client_voted(req, txn, yes),
+            Message::Decided { txn } => self.client_decided(from, txn),
+            Message::TxnAborted { txn, reason } => self.client_txn_aborted(txn, reason),
+
+            // Large objects (paper §4.4).
+            Message::FetchLargePage { req, page } => self.server_fetch_large(req, from, page),
+            Message::LargePageReply { req, page, bytes } => {
+                self.client_large_page_reply(req, page, bytes)
+            }
+            Message::WriteLargeReq { req, txn, header, offset, bytes } => {
+                self.server_write_large(req, from, txn, header, offset, bytes)
+            }
+            Message::WriteLargeOk { req } => self.client_write_large_ok(req),
+            Message::LargeInval { inv, pages } => self.client_large_inval(from, inv, pages),
+            Message::LargeInvalOk { inv } => self.server_large_inval_ok(from, inv),
+            Message::CreateLargeReq { req, txn, header_page, content } => {
+                self.server_create_large(req, from, txn, header_page, content)
+            }
+            Message::CreateLargeOk { req, header } => self.client_create_large_ok(req, header),
+
+            // Forwarded (size-grown) objects, §4.4.
+            Message::ReadForwarded { req, txn, oid } => {
+                self.server_read_forwarded(req, from, txn, oid)
+            }
+            Message::ObjectBytes { req, bytes } => self.client_object_bytes(req, bytes),
+        }
+    }
+}

@@ -1,0 +1,950 @@
+//! Owner-role logic: fetch and write-permission requests, page shipping
+//! with the §4.2.3 availability-marking rule, callback operations with
+//! blocked-lock replication and deadlock detection (§4.2.1), adaptive
+//! lock grants and deescalation (§4.1.2), hierarchical callbacks with
+//! second-objective violation redo (§4.3.2), and purge handling with
+//! purge-race detection (§4.2.4).
+
+use super::{CbDone, CbOp, DeOp, DiskCont, LockCont, PeerServer};
+use crate::msg::{CbId, CbTarget, DeId, DiskOp, Message, ReqId};
+use pscc_common::{
+    ids::DUMMY_SLOT, LockMode, LockableId, Oid, PageId, SiteId, TxnId,
+};
+use pscc_lockmgr::Acquire;
+use pscc_storage::{AvailMask, PageSnapshot};
+use pscc_wal::LogRecord;
+use std::collections::HashSet;
+
+impl PeerServer {
+    // ------------------------------------------------------------------
+    // Reads (paper §4.1.1)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_read(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
+        debug_assert_eq!(self.owners.owner(oid.page), self.site, "misrouted read");
+        self.txns.spread(txn);
+        let work = crate::msg::Input::Msg {
+            from,
+            msg: Message::ReadObj { req, txn, oid },
+        };
+        if self.queue_if_deescalating(oid.page, work.clone()) {
+            return;
+        }
+        if self.start_deescalation_if_needed(oid.page, txn, work) {
+            return;
+        }
+        let (a, _) = self.locks.acquire(txn, LockableId::Object(oid), LockMode::Sh);
+        match a {
+            Acquire::Granted => self.server_read_locked(req, from, txn, oid),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::ServerRead { req, from, txn, oid });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    pub(crate) fn server_read_locked(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
+        self.ship_or_read(req, from, txn, oid.page, Some(oid));
+    }
+
+    pub(crate) fn server_read_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
+        debug_assert_eq!(self.owners.owner(page), self.site, "misrouted read");
+        self.txns.spread(txn);
+        let (a, _) = self.locks.acquire(txn, LockableId::Page(page), LockMode::Sh);
+        match a {
+            Acquire::Granted => self.server_read_page_locked(req, from, txn, page),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::ServerReadPage { req, from, txn, page });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    pub(crate) fn server_read_page_locked(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+    ) {
+        self.ship_or_read(req, from, txn, page, None);
+    }
+
+    /// Ships the page, going to disk first if it is not buffer-resident.
+    fn ship_or_read(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+        requested: Option<Oid>,
+    ) {
+        if self.touch_resident(page, false) {
+            self.server_ship(req, from, txn, page, requested);
+        } else {
+            self.disk(
+                DiskOp::ReadPage(page),
+                DiskCont::Ship { req, from, txn, page, requested },
+            );
+        }
+    }
+
+    /// Builds the snapshot under the §4.2.3 marking rule and ships it.
+    pub(crate) fn server_ship(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+        requested: Option<Oid>,
+    ) {
+        if !self.txns.is_active(txn) {
+            return; // aborted while waiting for the disk
+        }
+        let Some(image) = self.volume.page(page).cloned() else {
+            return;
+        };
+        let n_slots = image.slot_count();
+        let mut avail = AvailMask::all_available(n_slots);
+        let requester_home = txn.site;
+        for slot in image.live_slots() {
+            let o = Oid::new(page, slot);
+            if requested == Some(o) {
+                continue; // condition 1: the requested object ships available
+            }
+            // Condition 2: EX-locked by a transaction from another client.
+            let ex_other = self
+                .locks
+                .holders(LockableId::Object(o))
+                .into_iter()
+                .any(|(t, m)| m == LockMode::Ex && t.site != requester_home);
+            // Condition 3: pending callback by a transaction from another
+            // client.
+            let cb_other = self
+                .cb_by_object
+                .get(&o)
+                .and_then(|cb| self.cb_ops.get(cb))
+                .is_some_and(|op| op.txn.site != requester_home);
+            if ex_other || cb_other {
+                avail.set_unavailable(slot);
+            }
+        }
+        // The dummy object (paper §4.3.2).
+        let dummy = Oid::dummy(page);
+        let dummy_cb = self
+            .cb_by_object
+            .get(&dummy)
+            .and_then(|cb| self.cb_ops.get(cb))
+            .is_some_and(|op| op.txn.site != requester_home);
+        let dummy_ex = self
+            .locks
+            .holders(LockableId::Object(dummy))
+            .into_iter()
+            .any(|(t, m)| m == LockMode::Ex && t.site != requester_home);
+        if (dummy_cb || dummy_ex) && requested != Some(dummy) {
+            avail.set_unavailable(DUMMY_SLOT);
+        }
+        // Second-objective violation (§4.3.2): shipping the *requested*
+        // object to a third client while a callback on it is pending
+        // means the callback must be redone once its upgrade completes.
+        if let Some(o) = requested {
+            if let Some(op) = self.cb_by_object.get(&o).and_then(|cb| self.cb_ops.get_mut(cb)) {
+                if op.txn.site != requester_home {
+                    op.violated = true;
+                }
+            }
+        }
+        let ship_seq = self.copy_table.record_ship(page, from);
+        self.stats.pages_shipped += 1;
+        self.send(
+            from,
+            Message::ReadReply {
+                req,
+                snapshot: PageSnapshot {
+                    page,
+                    image,
+                    avail,
+                    ship_seq,
+                },
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Writes and callbacks (paper §4.1.1–4.1.2, Fig. 3)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_write(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
+        debug_assert_eq!(self.owners.owner(oid.page), self.site, "misrouted write");
+        self.txns.spread(txn);
+        let work = crate::msg::Input::Msg {
+            from,
+            msg: Message::WriteObj { req, txn, oid },
+        };
+        if self.queue_if_deescalating(oid.page, work.clone()) {
+            return;
+        }
+        if self.start_deescalation_if_needed(oid.page, txn, work) {
+            return;
+        }
+        let (a, _) = self.locks.acquire(txn, LockableId::Object(oid), LockMode::Ex);
+        match a {
+            Acquire::Granted => self.server_write_locked(req, from, txn, oid),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::ServerWrite { req, from, txn, oid });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    pub(crate) fn server_write_locked(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
+        if !self.txns.is_active(txn) {
+            return;
+        }
+        self.start_callbacks(
+            txn,
+            CbTarget::Object(oid),
+            oid.page,
+            CbDone::GrantWrite { req, to: from, oid },
+        );
+    }
+
+    pub(crate) fn server_write_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
+        debug_assert_eq!(self.owners.owner(page), self.site, "misrouted write");
+        self.txns.spread(txn);
+        let (a, _) = self.locks.acquire(txn, LockableId::Page(page), LockMode::Ex);
+        match a {
+            Acquire::Granted => self.server_write_page_locked(req, from, txn, page),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::ServerWritePage { req, from, txn, page });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    pub(crate) fn server_write_page_locked(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+    ) {
+        if !self.txns.is_active(txn) {
+            return;
+        }
+        self.start_callbacks(
+            txn,
+            CbTarget::PageAll(page),
+            page,
+            CbDone::GrantWritePage { req, to: from },
+        );
+    }
+
+    /// Fans out callbacks to every caching client except the requester's
+    /// home; completes immediately when there are none.
+    pub(crate) fn start_callbacks(
+        &mut self,
+        txn: TxnId,
+        target: CbTarget,
+        page_or_anchor: PageId,
+        done: CbDone,
+    ) {
+        let targets: Vec<SiteId> = match target {
+            CbTarget::Object(_) | CbTarget::PageAll(_) => {
+                self.copy_table.clients_except(page_or_anchor, txn.site)
+            }
+            CbTarget::File(f) => self
+                .copy_table
+                .file_clients(f)
+                .into_iter()
+                .filter(|s| *s != txn.site)
+                .collect(),
+            CbTarget::Volume(v) => self
+                .copy_table
+                .volume_clients(v)
+                .into_iter()
+                .filter(|s| *s != txn.site)
+                .collect(),
+        };
+        let cb = self.fresh_cb();
+        let (remote, local): (Vec<SiteId>, Vec<SiteId>) =
+            targets.into_iter().partition(|s| *s != self.site);
+        let op = CbOp {
+            txn,
+            target,
+            pending: remote.iter().copied().collect::<HashSet<_>>(),
+            all_purged: true,
+            violated: false,
+            upgrade: None,
+            done,
+        };
+        self.cb_ops.insert(cb, op);
+        if let CbTarget::Object(o) = target {
+            self.cb_by_object.insert(o, cb);
+        }
+        // This site's own cached copy (the owner in its client role) is
+        // invalidated synchronously: the requester's EX lock in this very
+        // table already excludes any conflicting local holder, so there
+        // is nothing to wait for.
+        if !local.is_empty() {
+            let purged = self.self_callback(txn, target);
+            if let Some(op) = self.cb_ops.get_mut(&cb) {
+                op.all_purged &= purged;
+            }
+            if purged {
+                match target {
+                    CbTarget::Object(o) => self.copy_table.drop_entry(o.page, self.site),
+                    CbTarget::PageAll(p) => self.copy_table.drop_entry(p, self.site),
+                    CbTarget::File(f) => self.copy_table.drop_file_entries(f, self.site),
+                    CbTarget::Volume(v) => {
+                        for f in self.volume.files() {
+                            if f.vol == v {
+                                self.copy_table.drop_file_entries(f, self.site);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if remote.is_empty() {
+            self.try_finish_cb_op(cb);
+            return;
+        }
+        self.stats.callbacks_sent += remote.len() as u64;
+        for site in remote {
+            self.send(site, Message::Callback { cb, txn, target });
+        }
+    }
+
+    /// Invalidates this site's own cached copy on behalf of `txn`'s
+    /// callback. Returns whether the whole granule was purged.
+    fn self_callback(&mut self, txn: TxnId, target: CbTarget) -> bool {
+        match target {
+            CbTarget::Object(oid) => {
+                let in_use = self
+                    .locks
+                    .holders(LockableId::Page(oid.page))
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .chain(
+                        self.locks
+                            .object_holders_on_page(oid.page)
+                            .iter()
+                            .map(|(t, _, _)| *t),
+                    )
+                    .any(|t| t.site == self.site && t != txn);
+                // A read reply already in flight to ourselves could
+                // resurrect the object: register the callback race.
+                let pending: Vec<crate::msg::ReqId> = self
+                    .pending_fetches
+                    .get(&oid.page)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                self.races
+                    .register_callback_race(oid.page, oid.slot, pending);
+                if in_use {
+                    self.cache.mark_unavailable(oid);
+                    self.stats.callbacks_object_only += 1;
+                    false
+                } else {
+                    if self.cache.purge(oid.page).is_some() {
+                        self.stats.pages_purged += 1;
+                    }
+                    for h in self.txns.home.values_mut() {
+                        h.adaptive_pages.remove(&oid.page);
+                        h.page_write_grants.remove(&oid.page);
+                    }
+                    self.stats.callbacks_purged_page += 1;
+                    true
+                }
+            }
+            CbTarget::PageAll(p) => {
+                if self.cache.purge(p).is_some() {
+                    self.stats.pages_purged += 1;
+                }
+                for h in self.txns.home.values_mut() {
+                    h.adaptive_pages.remove(&p);
+                    h.page_write_grants.remove(&p);
+                }
+                true
+            }
+            CbTarget::File(f) => {
+                for p in self.cache.pages_of_file(f) {
+                    self.cache.purge(p);
+                    self.stats.pages_purged += 1;
+                }
+                true
+            }
+            CbTarget::Volume(v) => {
+                for p in self.cache.pages_of_volume(v) {
+                    self.cache.purge(p);
+                    self.stats.pages_purged += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// A callback acknowledgment (paper Fig. 3): update the copy table
+    /// when the whole page (or file) was purged, and try to complete.
+    pub(crate) fn server_cb_ok(&mut self, cb: CbId, from: SiteId, purged_page: bool) {
+        let Some(op) = self.cb_ops.get_mut(&cb) else {
+            return; // cancelled (calling-back transaction aborted)
+        };
+        if !op.pending.remove(&from) {
+            return;
+        }
+        op.all_purged &= purged_page;
+        if purged_page {
+            match op.target {
+                CbTarget::Object(o) => self.copy_table.drop_entry(o.page, from),
+                CbTarget::PageAll(p) => self.copy_table.drop_entry(p, from),
+                CbTarget::File(f) => self.copy_table.drop_file_entries(f, from),
+                CbTarget::Volume(v) => {
+                    for f in self.volume.files() {
+                        if f.vol == v {
+                            self.copy_table.drop_file_entries(f, from);
+                        }
+                    }
+                }
+            }
+            self.stats.callbacks_purged_page += 1;
+        }
+        self.try_finish_cb_op(cb);
+    }
+
+    /// A callback blocked at a client: replicate the conflict at the
+    /// server via the downgrade dance and invoke the deadlock detector
+    /// (paper §4.2.1, §4.3.1, §4.3.2).
+    pub(crate) fn server_cb_blocked(
+        &mut self,
+        cb: CbId,
+        holders: Vec<(TxnId, LockableId, LockMode)>,
+    ) {
+        let Some(op) = self.cb_ops.get(&cb) else {
+            return;
+        };
+        let cbtxn = op.txn;
+        let target = op.target;
+        if op.upgrade.is_some() {
+            // Already mid-dance from another client's blocked report; the
+            // new holders are replicated below, the existing upgrade
+            // covers re-acquisition.
+        }
+        match target {
+            CbTarget::Object(oid) => {
+                let obj = LockableId::Object(oid);
+                let page = LockableId::Page(oid.page);
+                let page_level = holders.iter().any(|(_, item, _)| matches!(item, LockableId::Page(_)));
+                if page_level {
+                    // §4.3.2: page-level conflict. Downgrade page and
+                    // object, replicate the SH page locks, upgrade at the
+                    // page level only.
+                    if self.locks.held_mode(cbtxn, page) == Some(LockMode::Ix) {
+                        self.locks.downgrade(cbtxn, page, LockMode::Is);
+                    }
+                    if self.locks.held_mode(cbtxn, obj) == Some(LockMode::Ex) {
+                        self.locks.downgrade(cbtxn, obj, LockMode::Sh);
+                    }
+                    for (t, item, m) in &holders {
+                        if self.replicable(*t) {
+                            let m = if m.is_read() || *m == LockMode::Ex {
+                                LockMode::Sh
+                            } else {
+                                LockMode::Is
+                            };
+                            self.locks.force_grant(*t, *item, m);
+                        }
+                    }
+                    if self.cb_ops.get(&cb).is_some_and(|o| o.upgrade.is_none()) {
+                        let (a, _) = self.locks.acquire_single(cbtxn, page, LockMode::Ix);
+                        match a {
+                            Acquire::Granted => {
+                                // Demote the re-entrant count bump.
+                                let _ = self.locks.release_one(cbtxn, page);
+                                self.server_cb_upgrade_done(cb);
+                            }
+                            Acquire::Wait(t) => {
+                                self.lock_conts.insert(t, LockCont::CbUpgrade { cb });
+                                if let Some(o) = self.cb_ops.get_mut(&cb) {
+                                    o.upgrade = Some(t);
+                                }
+                                self.arm_lock_timer(t, cbtxn);
+                            }
+                        }
+                    }
+                    // The object queue may now admit a sneaker (§4.3.2).
+                    let grants = self.locks.rescan(obj);
+                    self.process_grants(grants);
+                } else {
+                    // Object-level conflict (Fig. 4): EX→SH, replicate,
+                    // upgrade — atomically, so nobody slips past. The
+                    // replicated mode is capped at SH: it only needs to
+                    // carry the waits-for edge; a holder whose local lock
+                    // is stronger has (or will have) its own request at
+                    // the server (Fig. 4 grants "a SH lock on X on behalf
+                    // of thread C1,S").
+                    if self.locks.held_mode(cbtxn, obj) == Some(LockMode::Ex) {
+                        self.locks.downgrade(cbtxn, obj, LockMode::Sh);
+                    }
+                    for (t, item, m) in &holders {
+                        if self.replicable(*t) {
+                            let m = if m.is_read() || *m == LockMode::Ex {
+                                LockMode::Sh
+                            } else {
+                                LockMode::Is
+                            };
+                            self.locks.force_grant(*t, *item, m);
+                        }
+                    }
+                    self.issue_upgrade(cb, cbtxn, obj, LockMode::Ex);
+                }
+            }
+            CbTarget::PageAll(p) => {
+                let page = LockableId::Page(p);
+                if self.locks.held_mode(cbtxn, page) == Some(LockMode::Ex) {
+                    self.locks.downgrade(cbtxn, page, LockMode::Sh);
+                }
+                for (t, item, m) in &holders {
+                    if self.replicable(*t) {
+                        let m = if m.is_read() || *m == LockMode::Ex {
+                            LockMode::Sh
+                        } else {
+                            LockMode::Is
+                        };
+                        self.locks.force_grant(*t, *item, m);
+                    }
+                }
+                self.issue_upgrade(cb, cbtxn, page, LockMode::Ex);
+            }
+            CbTarget::File(_) | CbTarget::Volume(_) => {
+                // §4.3.1: EX file → SIX, replicate IS locks, upgrade back.
+                let item = target.lockable();
+                if self.locks.held_mode(cbtxn, item) == Some(LockMode::Ex) {
+                    self.locks.downgrade(cbtxn, item, LockMode::Six);
+                }
+                for (t, it, m) in &holders {
+                    if self.replicable(*t) {
+                        // Local-only file locks are intentions (IS) from
+                        // cached reads; stronger modes arrive as reported.
+                        let m = if *m == LockMode::Ex || *m == LockMode::Six {
+                            *m
+                        } else if m.is_read() {
+                            LockMode::Sh
+                        } else {
+                            LockMode::Is
+                        };
+                        let m = if LockMode::Six.compatible(m) { m } else { LockMode::Is };
+                        self.locks.force_grant(*t, *it, m);
+                    }
+                }
+                self.issue_upgrade(cb, cbtxn, item, LockMode::Ex);
+            }
+        }
+        self.check_deadlocks();
+    }
+
+    /// Whether a holder reported by a client can be replicated here (it
+    /// must still be an active transaction we know or can spread).
+    fn replicable(&mut self, t: TxnId) -> bool {
+        if t.site == self.site {
+            return self.txn_is_running(t);
+        }
+        self.txns.spread(t);
+        true
+    }
+
+    fn issue_upgrade(&mut self, cb: CbId, txn: TxnId, item: LockableId, mode: LockMode) {
+        if self.cb_ops.get(&cb).is_some_and(|o| o.upgrade.is_some()) {
+            return;
+        }
+        let (a, _) = self.locks.acquire_single(txn, item, mode);
+        match a {
+            Acquire::Granted => {
+                let _ = self.locks.release_one(txn, item); // undo count bump
+                self.server_cb_upgrade_done(cb);
+            }
+            Acquire::Wait(t) => {
+                self.lock_conts.insert(t, LockCont::CbUpgrade { cb });
+                if let Some(o) = self.cb_ops.get_mut(&cb) {
+                    o.upgrade = Some(t);
+                }
+                self.arm_lock_timer(t, txn);
+            }
+        }
+    }
+
+    /// A server-side re-upgrade finished. For the hierarchical page-level
+    /// dance, the object lock must be re-upgraded next (§4.3.2).
+    pub(crate) fn server_cb_upgrade_done(&mut self, cb: CbId) {
+        let Some(op) = self.cb_ops.get_mut(&cb) else {
+            return;
+        };
+        op.upgrade = None;
+        let cbtxn = op.txn;
+        let target = op.target;
+        if let CbTarget::Object(oid) = target {
+            let obj = LockableId::Object(oid);
+            if self.locks.held_mode(cbtxn, obj) != Some(LockMode::Ex) {
+                self.issue_upgrade(cb, cbtxn, obj, LockMode::Ex);
+                if self.cb_ops.get(&cb).is_some_and(|o| o.upgrade.is_some()) {
+                    return;
+                }
+            }
+        }
+        self.try_finish_cb_op(cb);
+    }
+
+    /// Completes a callback operation once all acks are in and any
+    /// re-upgrade is done; redoes it on a second-objective violation.
+    pub(crate) fn try_finish_cb_op(&mut self, cb: CbId) {
+        let (ready, violated) = match self.cb_ops.get(&cb) {
+            Some(op) => (op.pending.is_empty() && op.upgrade.is_none(), op.violated),
+            None => return,
+        };
+        if !ready {
+            return;
+        }
+        if violated {
+            // Redo the whole callback operation (paper §4.3.2).
+            self.stats.callback_redos += 1;
+            let (txn, target, done) = {
+                let op = self.cb_ops.get_mut(&cb).expect("checked above");
+                op.violated = false;
+                (op.txn, op.target, op.done.clone())
+            };
+            if let CbTarget::Object(o) = target {
+                self.cb_by_object.remove(&o);
+            }
+            self.cb_ops.remove(&cb);
+            let anchor = match target {
+                CbTarget::Object(o) => o.page,
+                CbTarget::PageAll(p) => p,
+                _ => PageId::default(),
+            };
+            self.start_callbacks(txn, target, anchor, done);
+            return;
+        }
+        let op = self.cb_ops.remove(&cb).expect("checked above");
+        if let CbTarget::Object(o) = op.target {
+            self.cb_by_object.remove(&o);
+        }
+        match op.done {
+            CbDone::GrantWrite { req, to, oid } => {
+                let adaptive = self.cfg.protocol.adaptive_locking()
+                    && op.all_purged
+                    && self.can_grant_adaptive(oid.page, op.txn);
+                if adaptive {
+                    self.locks.set_adaptive(op.txn, oid.page);
+                    self.stats.adaptive_grants += 1;
+                }
+                self.send(to, Message::WriteGranted { req, adaptive });
+            }
+            CbDone::GrantWritePage { req, to } => {
+                self.send(to, Message::WriteGranted { req, adaptive: false });
+            }
+            CbDone::GrantLock { req, to } => {
+                self.send(to, Message::LockGranted { req });
+            }
+        }
+    }
+
+    /// Adaptive grant precondition (§4.1.2): no other client caches the
+    /// page, and no transaction from another client holds locks on the
+    /// page or its objects.
+    fn can_grant_adaptive(&self, page: PageId, txn: TxnId) -> bool {
+        if self.copy_table.cached_elsewhere(page, txn.site) {
+            return false;
+        }
+        let other_site = |t: &TxnId| t.site != txn.site;
+        if self
+            .locks
+            .holders(LockableId::Page(page))
+            .iter()
+            .any(|(t, m)| other_site(t) && !m.is_intention())
+        {
+            return false;
+        }
+        if self
+            .locks
+            .object_holders_on_page(page)
+            .iter()
+            .any(|(t, _, _)| other_site(t))
+        {
+            return false;
+        }
+        // A request from another client already *waiting* on the page or
+        // one of its objects would, once granted, bypass the deescalation
+        // check — so it also forbids the adaptive grant.
+        if self
+            .locks
+            .waiters_on_page(page)
+            .iter()
+            .any(|t| other_site(t))
+        {
+            return false;
+        }
+        // No pending callbacks on the page's objects by others.
+        !self
+            .cb_by_object
+            .iter()
+            .any(|(o, cbid)| {
+                o.page == page
+                    && self
+                        .cb_ops
+                        .get(cbid)
+                        .is_some_and(|op| op.txn.site != txn.site)
+            })
+    }
+
+    /// A callback wait timed out at a client: abort the calling-back
+    /// transaction (SHORE's timeout resolution, §5.5).
+    pub(crate) fn server_cb_timeout(&mut self, cb: CbId) {
+        let Some(op) = self.cb_ops.get(&cb) else {
+            return;
+        };
+        let txn = op.txn;
+        self.abort_txn_here(txn, pscc_common::AbortReason::LockTimeout);
+    }
+
+    // ------------------------------------------------------------------
+    // Deescalation, owner side (paper §4.1.2)
+    // ------------------------------------------------------------------
+
+    /// Queues the work item if a deescalation for its page is in flight.
+    pub(crate) fn queue_if_deescalating(&mut self, page: PageId, work: crate::msg::Input) -> bool {
+        if let Some(de) = self.de_by_page.get(&page) {
+            if let Some(op) = self.de_ops.get_mut(de) {
+                op.queued.push(work);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Starts deescalation when a transaction from another client holds
+    /// adaptive locks on the page. Returns `true` if the work was
+    /// deferred.
+    pub(crate) fn start_deescalation_if_needed(
+        &mut self,
+        page: PageId,
+        txn: TxnId,
+        work: crate::msg::Input,
+    ) -> bool {
+        let holder_site = self
+            .locks
+            .adaptive_holders(page)
+            .into_iter()
+            .map(|t| t.site)
+            .find(|s| *s != txn.site);
+        let Some(client) = holder_site else {
+            return false;
+        };
+        let de = self.fresh_de();
+        self.stats.deescalations += 1;
+        self.de_ops.insert(
+            de,
+            DeOp {
+                page,
+                queued: vec![work],
+            },
+        );
+        self.de_by_page.insert(page, de);
+        if client == self.site {
+            // The adaptive holder is this very site (its own local
+            // transactions): deescalate synchronously — the EX object
+            // locks are already in this table.
+            for h in self.txns.home.values_mut() {
+                h.adaptive_pages.remove(&page);
+            }
+            for t in self.locks.adaptive_holders(page) {
+                self.locks.clear_adaptive(t, page);
+            }
+            self.finish_deescalation(de);
+        } else {
+            self.send(client, Message::Deescalate { de, page });
+        }
+        true
+    }
+
+    /// The deescalation reply: replicate the reported EX object locks and
+    /// resume the queued requests.
+    pub(crate) fn server_deescalate_reply(
+        &mut self,
+        de: DeId,
+        page: PageId,
+        ex_locks: Vec<(TxnId, Oid)>,
+    ) {
+        if !self.de_ops.contains_key(&de) {
+            return;
+        }
+        for (t, o) in ex_locks {
+            if self.replicable(t) {
+                self.locks.force_grant(t, LockableId::Object(o), LockMode::Ex);
+                self.locks.force_grant(t, LockableId::Page(o.page), LockMode::Ix);
+            }
+        }
+        for t in self.locks.adaptive_holders(page) {
+            self.locks.clear_adaptive(t, page);
+        }
+        self.finish_deescalation(de);
+    }
+
+    fn finish_deescalation(&mut self, de: DeId) {
+        let Some(op) = self.de_ops.remove(&de) else {
+            return;
+        };
+        self.de_by_page.remove(&op.page);
+        for work in op.queued {
+            self.internal.push_back(work);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit hierarchical locks, owner side (paper §4.3)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_explicit(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    ) {
+        self.txns.spread(txn);
+        let (a, _) = self.locks.acquire(txn, item, mode);
+        match a {
+            Acquire::Granted => self.server_explicit_locked(req, from, txn, item, mode),
+            Acquire::Wait(t) => {
+                self.lock_conts
+                    .insert(t, LockCont::ServerExplicit { req, from, txn, item, mode });
+                self.arm_lock_timer(t, txn);
+                self.check_deadlocks();
+            }
+        }
+    }
+
+    pub(crate) fn server_explicit_locked(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    ) {
+        if !self.txns.is_active(txn) {
+            return;
+        }
+        let done = CbDone::GrantLock { req, to: from };
+        match (item, mode) {
+            // EX object (e.g. a large-object header, §4.4): ordinary
+            // object callbacks.
+            (LockableId::Object(o), LockMode::Ex) => {
+                self.start_callbacks(txn, CbTarget::Object(o), o.page, done)
+            }
+            // EX page: purge everywhere (like a PS write).
+            (LockableId::Page(p), LockMode::Ex) => {
+                self.start_callbacks(txn, CbTarget::PageAll(p), p, done)
+            }
+            // IX/SIX page: dummy-object callbacks invalidate local-only
+            // SH page coverage at the clients (paper §4.3.2).
+            (LockableId::Page(p), LockMode::Ix | LockMode::Six) => {
+                self.start_callbacks(txn, CbTarget::Object(Oid::dummy(p)), p, done)
+            }
+            // EX file/volume: purge the whole file everywhere (§4.3.1).
+            (LockableId::File(f), LockMode::Ex) => {
+                self.start_callbacks(txn, CbTarget::File(f), PageId::default(), done)
+            }
+            (LockableId::Volume(v), LockMode::Ex) => {
+                self.start_callbacks(txn, CbTarget::Volume(v), PageId::default(), done)
+            }
+            // Shared/intention modes: the server lock suffices.
+            _ => self.send(from, Message::LockGranted { req }),
+        }
+    }
+
+    /// Point-read of a forwarded object (§4.4): resolve the tombstone
+    /// and return the current bytes. Protection comes from the lock the
+    /// requester already holds on the (original) object.
+    pub(crate) fn server_read_forwarded(
+        &mut self,
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        oid: Oid,
+    ) {
+        self.txns.spread(txn);
+        self.touch_resident(oid.page, false);
+        let target = self.volume.resolve_forward(oid);
+        if target.page != oid.page {
+            self.touch_resident(target.page, false);
+        }
+        let bytes = self.volume.read_object(oid).map(<[u8]>::to_vec);
+        self.send(from, Message::ObjectBytes { req, bytes });
+    }
+
+    // ------------------------------------------------------------------
+    // Purges (paper §4.1.1, §4.2.4)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn server_purge(
+        &mut self,
+        from: SiteId,
+        page: PageId,
+        ship_seq: u64,
+        replicate: Vec<(TxnId, LockableId, LockMode)>,
+        log_records: Vec<LogRecord>,
+    ) {
+        if !self.copy_table.purge(page, from, ship_seq) {
+            self.stats.purge_races += 1;
+        }
+        for (t, item, m) in replicate {
+            if self.replicable(t) && self.locks.held_mode(t, item).map_or(true, |h| h.sup(m) != h) {
+                // Only strengthen; never weaken an existing server lock.
+                if self
+                    .locks
+                    .holders(item)
+                    .iter()
+                    .filter(|(ht, _)| *ht != t)
+                    .all(|(_, hm)| hm.compatible(m))
+                {
+                    self.locks.force_grant(t, item, m);
+                }
+            }
+        }
+        // Adaptive locks held by that client's transactions die with the
+        // cached copy.
+        for t in self.locks.adaptive_holders(page) {
+            if t.site == from {
+                self.locks.clear_adaptive(t, page);
+            }
+        }
+        // Early-shipped updates: install them (redo-at-server). Records
+        // of transactions that have since ended here (e.g. aborted as a
+        // victim while the purge was in flight) must NOT be applied —
+        // there would be nobody left to undo them.
+        let log_records: Vec<LogRecord> = log_records
+            .into_iter()
+            .filter(|r| self.txns.is_active(r.txn))
+            .collect();
+        if !log_records.is_empty() {
+            let txn = log_records[0].txn;
+            self.apply_records_async(
+                txn,
+                log_records,
+                super::commit::CommitReplyKind::None,
+                false,
+                false,
+            );
+        }
+    }
+}

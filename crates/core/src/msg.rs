@@ -1,0 +1,672 @@
+//! The engine's event vocabulary: application requests/replies, the
+//! peer-to-peer wire protocol, disk and timer events, and the engine's
+//! [`Input`]/[`Output`] types.
+//!
+//! The protocol messages map 1:1 onto the paper's flows: fetch (read)
+//! requests and page-shipping replies (§4.1.1), write-permission requests
+//! and grants carrying the adaptive bit (§4.1.2), callbacks with their
+//! blocked/ok replies (§4.1.1, Fig. 3), lock deescalation (§4.1.2),
+//! explicit hierarchical lock requests (§4.3), purge notices with
+//! piggybacked lock replication (§4.1.1), and redo-at-server commit
+//! traffic with two-phase commit for multi-owner transactions (§3.3).
+
+use pscc_common::{
+    AbortReason, AppId, LockMode, LockableId, Oid, PageId, SiteId, SimDuration, TxnId,
+};
+use pscc_storage::PageSnapshot;
+use pscc_wal::LogRecord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Default,
+        )]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A request issued by one site to another; echoed in the reply.
+    ReqId,
+    "req"
+);
+id_newtype!(
+    /// A callback operation at its owning server.
+    CbId,
+    "cb"
+);
+id_newtype!(
+    /// A deescalation operation at its owning server.
+    DeId,
+    "de"
+);
+id_newtype!(
+    /// A timer armed by the engine.
+    TimerId,
+    "tm"
+);
+id_newtype!(
+    /// A disk request issued by the engine.
+    DiskReqId,
+    "io"
+);
+
+/// What a callback asks the receiving client to invalidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CbTarget {
+    /// One object (PS-OA / PS-AA). A page's *dummy object* (paper
+    /// §4.3.2) travels through the same variant.
+    Object(Oid),
+    /// A whole page (the PS protocol's page-level callbacks, and
+    /// explicit EX page locks).
+    PageAll(PageId),
+    /// A whole file (explicit EX file locks, §4.3.1).
+    File(pscc_common::FileId),
+    /// A whole volume (treated like a file, §4.3.1).
+    Volume(pscc_common::VolId),
+}
+
+impl CbTarget {
+    /// The lockable granule the callback ultimately needs in EX.
+    pub fn lockable(&self) -> LockableId {
+        match *self {
+            CbTarget::Object(o) => LockableId::Object(o),
+            CbTarget::PageAll(p) => LockableId::Page(p),
+            CbTarget::File(f) => LockableId::File(f),
+            CbTarget::Volume(v) => LockableId::Volume(v),
+        }
+    }
+}
+
+/// Peer-to-peer protocol messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client → owner: fetch the page containing `oid` for reading
+    /// (object-level protocols). The owner takes an SH object lock on
+    /// behalf of `txn` and ships the page.
+    ReadObj {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Requesting transaction.
+        txn: TxnId,
+        /// The needed object.
+        oid: Oid,
+    },
+    /// Client → owner: fetch a whole page under a page-level SH lock
+    /// (the PS protocol).
+    ReadPage {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Requesting transaction.
+        txn: TxnId,
+        /// The needed page.
+        page: PageId,
+    },
+    /// Owner → client: the shipped page copy.
+    ReadReply {
+        /// The request this answers.
+        req: ReqId,
+        /// The page image plus proposed availability (paper §4.2.3).
+        snapshot: PageSnapshot,
+    },
+    /// Client → owner: request write permission on an object
+    /// (object-level protocols; paper Fig. 3).
+    WriteObj {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Object to update.
+        oid: Oid,
+    },
+    /// Client → owner: request a page-level EX lock (the PS protocol's
+    /// write request).
+    WritePage {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Page to update.
+        page: PageId,
+    },
+    /// Owner → client: write permission granted; `adaptive` reports
+    /// whether an adaptive page lock was granted (PS-AA, §4.1.2).
+    WriteGranted {
+        /// The request this answers.
+        req: ReqId,
+        /// Whether the grant is an adaptive page lock.
+        adaptive: bool,
+    },
+    /// Client → owner: explicit hierarchical lock request (file, volume,
+    /// or page level; §4.3).
+    LockItem {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Requesting transaction.
+        txn: TxnId,
+        /// The granule.
+        item: LockableId,
+        /// Requested mode.
+        mode: LockMode,
+    },
+    /// Owner → client: explicit lock granted.
+    LockGranted {
+        /// The request this answers.
+        req: ReqId,
+    },
+    /// Owner → client: the requesting transaction was chosen as a victim
+    /// while its request waited (deadlock or timeout); it must abort.
+    ReqDenied {
+        /// The denied request.
+        req: ReqId,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// Owner → caching client: invalidate `target` on behalf of `txn`
+    /// (paper Fig. 3).
+    Callback {
+        /// Callback operation id.
+        cb: CbId,
+        /// The calling-back transaction (the callback thread at the
+        /// client runs on its behalf).
+        txn: TxnId,
+        /// What to invalidate.
+        target: CbTarget,
+    },
+    /// Client → owner: the callback blocked on local locks; the listed
+    /// holders are replicated at the server for deadlock detection
+    /// (paper §4.2.1). The callback remains pending at the client.
+    CbBlocked {
+        /// The blocked callback.
+        cb: CbId,
+        /// Local holders conflicting with the callback, with the granule
+        /// and mode each holds.
+        holders: Vec<(TxnId, LockableId, LockMode)>,
+    },
+    /// Client → owner: callback complete. `purged_page` reports whether
+    /// the whole page was invalidated (enables adaptive grants, §4.1.2).
+    CbOk {
+        /// The completed callback.
+        cb: CbId,
+        /// Whether the whole page (or file/volume) was purged.
+        purged_page: bool,
+    },
+    /// Client → owner: the callback's local lock wait timed out; the
+    /// calling-back transaction should be aborted (SHORE's lock-wait
+    /// timeout resolution of distributed deadlocks, §3.3/§5.5).
+    CbTimeout {
+        /// The timed-out callback.
+        cb: CbId,
+    },
+    /// Owner → client: the calling-back transaction aborted; drop the
+    /// pending callback.
+    CbCancel {
+        /// The cancelled callback.
+        cb: CbId,
+    },
+    /// Owner → client: give up all adaptive page locks on `page` and
+    /// report the EX object locks held by local transactions (paper
+    /// §4.1.2).
+    Deescalate {
+        /// Deescalation operation id.
+        de: DeId,
+        /// The page losing its adaptive locks.
+        page: PageId,
+    },
+    /// Client → owner: deescalation reply.
+    DeescalateReply {
+        /// The deescalation this answers.
+        de: DeId,
+        /// The page.
+        page: PageId,
+        /// EX object locks held by local transactions on the page's
+        /// objects; the server replicates them.
+        ex_locks: Vec<(TxnId, Oid)>,
+    },
+    /// Client → owner: `page` was evicted from the client cache. Carries
+    /// the ship sequence number for purge-race detection (§4.2.4), any
+    /// local locks on the page's granules that must be replicated, and
+    /// early-shipped log records for dirty objects (§3.3, §4.1.1).
+    Purge {
+        /// The purged page.
+        page: PageId,
+        /// The `ship_seq` of the purged copy.
+        ship_seq: u64,
+        /// Locks held by active local transactions on the page and its
+        /// objects, to replicate at the server.
+        replicate: Vec<(TxnId, LockableId, LockMode)>,
+        /// Log records for dirty objects on the page, shipped early.
+        log_records: Vec<LogRecord>,
+    },
+    /// Client → owner: single-participant commit (prepare+commit in one
+    /// round). The owner applies the records (redo-at-server), forces
+    /// the log, releases the transaction's locks, and acks.
+    CommitReq {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// Committing transaction.
+        txn: TxnId,
+        /// Its remaining log records for data this owner holds.
+        records: Vec<LogRecord>,
+    },
+    /// Owner → client: commit applied and durable.
+    CommitOk {
+        /// The request this answers.
+        req: ReqId,
+    },
+    /// Coordinator → participant: 2PC phase one (multi-owner
+    /// transactions, §3.3).
+    Prepare {
+        /// Request id echoed in the vote.
+        req: ReqId,
+        /// The transaction.
+        txn: TxnId,
+        /// Log records for data this participant owns.
+        records: Vec<LogRecord>,
+    },
+    /// Participant → coordinator: 2PC vote.
+    Voted {
+        /// The prepare this answers.
+        req: ReqId,
+        /// The transaction.
+        txn: TxnId,
+        /// Whether the participant prepared successfully.
+        yes: bool,
+    },
+    /// Coordinator → participant: 2PC decision.
+    Decide {
+        /// The transaction.
+        txn: TxnId,
+        /// Commit (`true`) or abort.
+        commit: bool,
+    },
+    /// Participant → coordinator: decision applied.
+    Decided {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Home → owner: abort `txn` (release its locks, undo shipped
+    /// updates, cancel its callbacks).
+    AbortTxn {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+    /// Owner → home: `txn` was chosen as a victim at this owner; its
+    /// home must run the abort procedure.
+    TxnAborted {
+        /// The victim.
+        txn: TxnId,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// Client → owner: fetch one large-object data page (paper §4.4 —
+    /// cached large-object pages are valid without locks; the header
+    /// lock provides all access protection).
+    FetchLargePage {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// The data page.
+        page: PageId,
+    },
+    /// Owner → client: a large-object data page.
+    LargePageReply {
+        /// The request this answers.
+        req: ReqId,
+        /// The page.
+        page: PageId,
+        /// Its content.
+        bytes: Vec<u8>,
+    },
+    /// Client → owner: apply a byte-range update to a large object. The
+    /// client must hold an EX lock on the header (acquired through the
+    /// ordinary PS-AA object path), which serializes all access.
+    WriteLargeReq {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// The updating transaction.
+        txn: TxnId,
+        /// The large object's header.
+        header: Oid,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Replacement bytes.
+        bytes: Vec<u8>,
+    },
+    /// Owner → client: the large-object update is applied and all other
+    /// cached copies of the touched data pages are invalidated.
+    WriteLargeOk {
+        /// The request this answers.
+        req: ReqId,
+    },
+    /// Owner → caching client: drop these large-object data pages.
+    LargeInval {
+        /// Invalidation id (acked).
+        inv: ReqId,
+        /// Pages to drop.
+        pages: Vec<PageId>,
+    },
+    /// Client → owner: invalidation applied.
+    LargeInvalOk {
+        /// The invalidation this answers.
+        inv: ReqId,
+    },
+    /// Client → owner: create a large object; its header is stored as a
+    /// small object on `header_page` (the client must hold an explicit
+    /// EX lock on that page).
+    CreateLargeReq {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// The creating transaction.
+        txn: TxnId,
+        /// Page to hold the header object.
+        header_page: PageId,
+        /// Initial content.
+        content: Vec<u8>,
+    },
+    /// Owner → client: large object created.
+    CreateLargeOk {
+        /// The request this answers.
+        req: ReqId,
+        /// The new header's id.
+        header: Oid,
+    },
+    /// Client → owner: point-read an object that has been *forwarded*
+    /// off its home page by a size-growing update (paper §4.4). The
+    /// owner resolves the tombstone and returns the bytes directly;
+    /// forwarded objects are never client-cached (each access round
+    /// trips — the usual forwarding penalty).
+    ReadForwarded {
+        /// Request id echoed in the reply.
+        req: ReqId,
+        /// The requesting transaction (must hold a lock on the object).
+        txn: TxnId,
+        /// The object (original, home-page id).
+        oid: Oid,
+    },
+    /// Owner → client: the forwarded object's current bytes (`None` if
+    /// it no longer exists).
+    ObjectBytes {
+        /// The request this answers.
+        req: ReqId,
+        /// The bytes.
+        bytes: Option<Vec<u8>>,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes, for the network cost model. Page
+    /// ships dominate; everything else is small and fixed-ish.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::ReadReply { snapshot, .. } => snapshot.wire_size(),
+            Message::CommitReq { records, .. } | Message::Prepare { records, .. } => {
+                64 + records.iter().map(LogRecord::wire_size).sum::<usize>()
+            }
+            Message::Purge {
+                replicate,
+                log_records,
+                ..
+            } => 64 + replicate.len() * 24 + log_records.iter().map(LogRecord::wire_size).sum::<usize>(),
+            Message::CbBlocked { holders, .. } => 32 + holders.len() * 24,
+            Message::DeescalateReply { ex_locks, .. } => 32 + ex_locks.len() * 24,
+            Message::LargePageReply { bytes, .. } => 64 + bytes.len(),
+            Message::WriteLargeReq { bytes, .. } => 64 + bytes.len(),
+            Message::CreateLargeReq { content, .. } => 64 + content.len(),
+            Message::ObjectBytes { bytes, .. } => {
+                64 + bytes.as_ref().map(Vec::len).unwrap_or(0)
+            }
+            _ => 64,
+        }
+    }
+}
+
+/// Application-level operations, submitted one at a time per transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppOp {
+    /// Start a transaction; the engine assigns and returns its id.
+    Begin,
+    /// Read an object; completes once the object is locked and cached.
+    Read(Oid),
+    /// Update an object. `bytes: None` asks the engine to bump a version
+    /// counter in the object's first 8 bytes (what the workload driver
+    /// uses); `Some` installs the given (same-length) payload.
+    Write {
+        /// The object.
+        oid: Oid,
+        /// Replacement bytes, or `None` for a synthesized update.
+        bytes: Option<Vec<u8>>,
+    },
+    /// Explicitly lock a granule (hierarchical locking, §4.3).
+    Lock {
+        /// The granule.
+        item: LockableId,
+        /// The mode.
+        mode: LockMode,
+    },
+    /// Create a large object (paper §4.4). The transaction must hold an
+    /// explicit EX lock on `header_page`. Completes with `Done` whose
+    /// `data` is the 14-byte encoded header [`Oid`] (see
+    /// `pscc_core::decode_header_oid`).
+    CreateLarge {
+        /// Page to hold the header object.
+        header_page: PageId,
+        /// Initial content.
+        content: Vec<u8>,
+    },
+    /// Read a byte range of a large object. The transaction must have
+    /// `Read` the header first (SH header lock + cached header).
+    ReadLarge {
+        /// The header object.
+        header: Oid,
+        /// Byte offset.
+        offset: u64,
+        /// Length to read.
+        len: u32,
+    },
+    /// Update a byte range of a large object. The transaction must hold
+    /// an EX lock on the header (e.g. via [`AppOp::Lock`]).
+    WriteLarge {
+        /// The header object.
+        header: Oid,
+        /// Byte offset.
+        offset: u64,
+        /// Replacement bytes.
+        bytes: Vec<u8>,
+    },
+    /// Create a (small) object on a page. The transaction must hold an
+    /// explicit EX lock on the page and have it cached. Completes with
+    /// `Done` carrying the 14-byte encoded [`Oid`].
+    Create {
+        /// The page to create on.
+        page: PageId,
+        /// Initial bytes.
+        bytes: Vec<u8>,
+    },
+    /// Delete an object. The transaction must hold an EX lock on it
+    /// (e.g. via [`AppOp::Lock`]) and have it cached.
+    Delete(Oid),
+    /// Commit the transaction.
+    Commit,
+    /// Abort the transaction.
+    Abort,
+}
+
+/// A request from an application to its local peer server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequest {
+    /// The issuing application.
+    pub app: AppId,
+    /// The transaction (`None` only for [`AppOp::Begin`]).
+    pub txn: Option<TxnId>,
+    /// The operation.
+    pub op: AppOp,
+}
+
+/// The engine's answer to an application request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppReply {
+    /// [`AppOp::Begin`] done; here is the transaction id.
+    Started {
+        /// The application.
+        app: AppId,
+        /// The new transaction.
+        txn: TxnId,
+    },
+    /// A read/write/lock op completed. For reads, `data` carries the
+    /// object bytes.
+    Done {
+        /// The application.
+        app: AppId,
+        /// The transaction.
+        txn: TxnId,
+        /// Object bytes for reads.
+        data: Option<Vec<u8>>,
+    },
+    /// The transaction committed.
+    Committed {
+        /// The application.
+        app: AppId,
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction aborted (the driver re-executes it).
+    Aborted {
+        /// The application.
+        app: AppId,
+        /// The transaction.
+        txn: TxnId,
+        /// Why.
+        reason: AbortReason,
+    },
+}
+
+impl AppReply {
+    /// The application this reply addresses.
+    pub fn app(&self) -> AppId {
+        match self {
+            AppReply::Started { app, .. }
+            | AppReply::Done { app, .. }
+            | AppReply::Committed { app, .. }
+            | AppReply::Aborted { app, .. } => *app,
+        }
+    }
+}
+
+/// What a disk request does (for cost accounting; data is in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskOp {
+    /// Read a data page into the buffer.
+    ReadPage(PageId),
+    /// Write a data page out.
+    WritePage(PageId),
+    /// Force the log.
+    WriteLog,
+}
+
+/// An input event delivered to a peer server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// A local application request.
+    App(AppRequest),
+    /// A network message.
+    Msg {
+        /// Sending site.
+        from: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// A previously issued disk request completed.
+    DiskDone {
+        /// Which request.
+        req: DiskReqId,
+    },
+    /// A previously armed timer fired.
+    TimerFired {
+        /// Which timer.
+        timer: TimerId,
+    },
+}
+
+/// An output effect requested by a peer server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Send a message to another site. (The engine never emits sends to
+    /// itself — those loop back internally at zero message cost, which is
+    /// how peer servers save messages on locally owned data.)
+    Send {
+        /// Destination.
+        to: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// Issue a disk request; a [`Input::DiskDone`] must follow.
+    Disk {
+        /// Request id.
+        req: DiskReqId,
+        /// What it does.
+        op: DiskOp,
+    },
+    /// Arm a timer; an [`Input::TimerFired`] follows after `delay`
+    /// unless the engine has since forgotten the timer (stale fires are
+    /// ignored).
+    ArmTimer {
+        /// Timer id.
+        timer: TimerId,
+        /// Delay from now.
+        delay: SimDuration,
+    },
+    /// Answer an application.
+    App(AppReply),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, VolId};
+    use pscc_storage::{AvailMask, SlottedPage};
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(format!("{}", ReqId(3)), "req3");
+        assert_eq!(format!("{}", CbId(4)), "cb4");
+        assert_eq!(format!("{}", DeId(5)), "de5");
+    }
+
+    #[test]
+    fn wire_sizes_reflect_payload() {
+        let page = PageId::new(FileId::new(VolId(0), 0), 1);
+        let big = Message::ReadReply {
+            req: ReqId(1),
+            snapshot: PageSnapshot {
+                page,
+                image: SlottedPage::new(4096),
+                avail: AvailMask::all_available(1),
+                ship_seq: 1,
+            },
+        };
+        let small = Message::CbOk {
+            cb: CbId(1),
+            purged_page: true,
+        };
+        assert!(big.wire_size() > 4000);
+        assert!(small.wire_size() <= 64);
+    }
+
+    #[test]
+    fn cb_target_lockable() {
+        let p = PageId::new(FileId::new(VolId(0), 0), 1);
+        assert_eq!(CbTarget::PageAll(p).lockable(), LockableId::Page(p));
+        let o = Oid::new(p, 2);
+        assert_eq!(CbTarget::Object(o).lockable(), LockableId::Object(o));
+    }
+}

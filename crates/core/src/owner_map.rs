@@ -1,0 +1,101 @@
+//! Static data-placement map: which peer server owns which page.
+//!
+//! In client-server configuration a single site owns the whole database;
+//! in peer-servers configuration the database is partitioned by page
+//! number (the paper partitions HOTCOLD by hot range and UNIFORM into ten
+//! equal pieces, §5.5).
+
+use pscc_common::{PageId, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// Which site owns each page of the (single, conceptual) database file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OwnerMap {
+    /// One site owns everything (client-server configuration).
+    Single(SiteId),
+    /// Ownership by page-number range: `(start, end_exclusive, owner)`,
+    /// sorted, covering the whole database (peer-servers configuration).
+    Ranges(Vec<(u32, u32, SiteId)>),
+}
+
+impl OwnerMap {
+    /// The owner of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ranged map does not cover the page (configuration
+    /// error).
+    pub fn owner(&self, page: PageId) -> SiteId {
+        match self {
+            OwnerMap::Single(s) => *s,
+            OwnerMap::Ranges(rs) => rs
+                .iter()
+                .find(|(lo, hi, _)| (*lo..*hi).contains(&page.page))
+                .map(|(_, _, s)| *s)
+                .unwrap_or_else(|| panic!("no owner for page {page}")),
+        }
+    }
+
+    /// All page numbers owned by `site` within a database of
+    /// `total_pages` pages.
+    pub fn pages_of(&self, site: SiteId, total_pages: u32) -> Vec<u32> {
+        match self {
+            OwnerMap::Single(s) if *s == site => (0..total_pages).collect(),
+            OwnerMap::Single(_) => Vec::new(),
+            OwnerMap::Ranges(rs) => rs
+                .iter()
+                .filter(|(_, _, o)| *o == site)
+                .flat_map(|(lo, hi, _)| *lo..(*hi).min(total_pages))
+                .collect(),
+        }
+    }
+
+    /// Every owning site.
+    pub fn owners(&self) -> Vec<SiteId> {
+        match self {
+            OwnerMap::Single(s) => vec![*s],
+            OwnerMap::Ranges(rs) => {
+                let mut v: Vec<SiteId> = rs.iter().map(|(_, _, s)| *s).collect();
+                v.sort();
+                v.dedup();
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, VolId};
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(FileId::new(VolId(0), 0), n)
+    }
+
+    #[test]
+    fn single_owner() {
+        let m = OwnerMap::Single(SiteId(0));
+        assert_eq!(m.owner(pid(123)), SiteId(0));
+        assert_eq!(m.pages_of(SiteId(0), 5), vec![0, 1, 2, 3, 4]);
+        assert!(m.pages_of(SiteId(1), 5).is_empty());
+        assert_eq!(m.owners(), vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn ranged_owners() {
+        let m = OwnerMap::Ranges(vec![(0, 10, SiteId(1)), (10, 20, SiteId(2))]);
+        assert_eq!(m.owner(pid(0)), SiteId(1));
+        assert_eq!(m.owner(pid(9)), SiteId(1));
+        assert_eq!(m.owner(pid(10)), SiteId(2));
+        assert_eq!(m.pages_of(SiteId(2), 20), (10..20).collect::<Vec<_>>());
+        assert_eq!(m.owners(), vec![SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no owner")]
+    fn uncovered_page_panics() {
+        let m = OwnerMap::Ranges(vec![(0, 10, SiteId(1))]);
+        let _ = m.owner(pid(10));
+    }
+}

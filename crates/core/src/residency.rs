@@ -1,0 +1,154 @@
+//! Server-buffer residency tracking. Page *contents* live in the
+//! in-memory [`pscc_storage::Volume`]; this tracker only decides whether
+//! touching a page costs a disk read (miss) and whether evicting it costs
+//! a disk write (dirty) — the quantities the paper's experiments measure.
+
+use pscc_common::PageId;
+use std::collections::HashMap;
+
+/// LRU residency tracker for one server's buffer pool.
+#[derive(Debug, Default)]
+pub struct Residency {
+    resident: HashMap<PageId, Slot>,
+    capacity: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    last_used: u64,
+    dirty: bool,
+}
+
+/// Result of touching a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    /// The page was not resident: charge one disk read.
+    pub miss: bool,
+    /// A dirty page was evicted to make room: charge one disk write.
+    pub writeback: Option<PageId>,
+}
+
+impl Residency {
+    /// Creates a tracker with the given capacity in pages.
+    pub fn new(capacity: usize) -> Self {
+        Residency {
+            resident: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Touches `page`, making it resident; reports whether that was a
+    /// miss and whether a dirty eviction occurred.
+    pub fn touch(&mut self, page: PageId, dirty: bool) -> Touch {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut result = Touch {
+            miss: false,
+            writeback: None,
+        };
+        match self.resident.get_mut(&page) {
+            Some(s) => {
+                s.last_used = tick;
+                s.dirty |= dirty;
+            }
+            None => {
+                result.miss = true;
+                self.resident.insert(
+                    page,
+                    Slot {
+                        last_used: tick,
+                        dirty,
+                    },
+                );
+                if self.resident.len() > self.capacity {
+                    let victim = self
+                        .resident
+                        .iter()
+                        .filter(|(p, _)| **p != page)
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(p, s)| (*p, s.dirty));
+                    if let Some((v, was_dirty)) = victim {
+                        self.resident.remove(&v);
+                        if was_dirty {
+                            result.writeback = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Whether the page is currently resident (no LRU bump).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Marks a resident page clean (its contents were written back).
+    pub fn mark_clean(&mut self, page: PageId) {
+        if let Some(s) = self.resident.get_mut(&page) {
+            s.dirty = false;
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, VolId};
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(FileId::new(VolId(0), 0), n)
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut r = Residency::new(4);
+        assert!(r.touch(pid(1), false).miss);
+        assert!(!r.touch(pid(1), false).miss);
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut r = Residency::new(2);
+        r.touch(pid(1), true);
+        r.touch(pid(2), false);
+        r.touch(pid(1), false); // keep 1 warm; 2 becomes LRU
+        let t = r.touch(pid(3), false);
+        assert!(t.miss);
+        assert_eq!(t.writeback, None, "page 2 was clean");
+        assert!(!r.is_resident(pid(2)));
+        // Now evict dirty page 1.
+        r.touch(pid(2), false); // evicts 1 (LRU since tick for 3, 2 newer)
+        assert!(r.is_resident(pid(2)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut r = Residency::new(1);
+        r.touch(pid(1), true);
+        let t = r.touch(pid(2), false);
+        assert_eq!(t.writeback, Some(pid(1)));
+    }
+
+    #[test]
+    fn mark_clean_suppresses_writeback() {
+        let mut r = Residency::new(1);
+        r.touch(pid(1), true);
+        r.mark_clean(pid(1));
+        let t = r.touch(pid(2), false);
+        assert_eq!(t.writeback, None);
+    }
+}

@@ -1,0 +1,123 @@
+//! The adaptive lock-wait timeout of paper §5.5: SHORE resolves
+//! distributed deadlocks by timing out lock waits, with the interval set
+//! to `multiplier × (mean wait + standard deviation)` over observed lock
+//! waits — the heuristic of Agrawal, Carey & McVoy (ref. 2), inflated by 1.5
+//! to reduce false detections (local deadlocks are caught exactly by the
+//! owning server's cycle detector).
+
+use pscc_common::{SimDuration, SystemConfig};
+
+/// Online mean/stddev (Welford) of lock-wait durations plus the derived
+/// timeout interval.
+#[derive(Debug, Clone)]
+pub struct TimeoutEstimator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    multiplier: f64,
+    initial: SimDuration,
+    floor: SimDuration,
+    ceiling: SimDuration,
+}
+
+impl TimeoutEstimator {
+    /// Builds an estimator from the system configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        TimeoutEstimator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            multiplier: cfg.timeout_multiplier,
+            initial: cfg.initial_lock_timeout,
+            floor: SimDuration::from_millis(50),
+            ceiling: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Records an observed lock-wait duration (measured when the wait
+    /// ends in a grant).
+    pub fn record_wait(&mut self, wait: SimDuration) {
+        self.count += 1;
+        let x = wait.as_secs_f64();
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// The current timeout interval: `multiplier × (mean + stddev)`,
+    /// clamped, falling back to the configured initial value until ten
+    /// waits have been observed.
+    pub fn timeout(&self) -> SimDuration {
+        if self.count < 10 {
+            return self.initial;
+        }
+        let var = self.m2 / self.count as f64;
+        let est = self.multiplier * (self.mean + var.sqrt());
+        SimDuration::from_secs_f64(est)
+            .max(self.floor)
+            .min(self.ceiling)
+    }
+
+    /// Observed waits so far.
+    pub fn samples(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> TimeoutEstimator {
+        TimeoutEstimator::new(&SystemConfig::paper())
+    }
+
+    #[test]
+    fn initial_until_enough_samples() {
+        let mut e = est();
+        let initial = e.timeout();
+        for _ in 0..9 {
+            e.record_wait(SimDuration::from_millis(1));
+        }
+        assert_eq!(e.timeout(), initial);
+        e.record_wait(SimDuration::from_millis(1));
+        assert_ne!(e.timeout(), initial);
+    }
+
+    #[test]
+    fn constant_waits_give_multiplier_times_mean() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.record_wait(SimDuration::from_millis(100));
+        }
+        // stddev 0 => 1.5 * 100ms = 150ms.
+        let t = e.timeout().as_micros() as f64;
+        assert!((t - 150_000.0).abs() < 1_000.0, "got {t}");
+    }
+
+    #[test]
+    fn variance_raises_timeout() {
+        let mut lo = est();
+        let mut hi = est();
+        for i in 0..100 {
+            lo.record_wait(SimDuration::from_millis(100));
+            hi.record_wait(SimDuration::from_millis(if i % 2 == 0 { 10 } else { 190 }));
+        }
+        // Same mean, higher variance => longer timeout.
+        assert!(hi.timeout() > lo.timeout());
+    }
+
+    #[test]
+    fn clamped_to_floor_and_ceiling() {
+        let mut e = est();
+        for _ in 0..20 {
+            e.record_wait(SimDuration::from_micros(1));
+        }
+        assert_eq!(e.timeout(), SimDuration::from_millis(50));
+        let mut e = est();
+        for _ in 0..20 {
+            e.record_wait(SimDuration::from_secs(1000));
+        }
+        assert_eq!(e.timeout(), SimDuration::from_secs(30));
+    }
+}

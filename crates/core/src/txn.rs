@@ -1,0 +1,166 @@
+//! Per-transaction state, at the home site (master-thread side) and at
+//! remote owners (remote-thread side). The paper's threads map onto
+//! these records plus the engine's continuation tables.
+
+use crate::msg::{AppOp, ReqId};
+use pscc_common::{AppId, Oid, PageId, SiteId, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// Lifecycle of a home-site transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running operations.
+    Active,
+    /// Commit in progress (single-round or 2PC).
+    Committing,
+    /// Abort in progress (waiting for nothing — aborts complete
+    /// immediately at the home; remote cleanup is fire-and-forget).
+    Aborted,
+}
+
+/// Home-site state of a transaction (the master thread's view).
+#[derive(Debug)]
+pub struct HomeTxn {
+    /// The transaction.
+    pub id: TxnId,
+    /// The owning application.
+    pub app: AppId,
+    /// Lifecycle.
+    pub status: TxnStatus,
+    /// The operation currently being executed, if any (one at a time).
+    pub current_op: Option<AppOp>,
+    /// Remote owners this transaction has spread to (excluding the home
+    /// site, whose data is handled locally).
+    pub participants: HashSet<SiteId>,
+    /// Pages on which this transaction holds a client-side adaptive
+    /// write grant (PS-AA, §4.1.2).
+    pub adaptive_pages: HashSet<PageId>,
+    /// Pages on which this transaction holds a server-granted page-level
+    /// EX (the PS protocol's write grants; also explicit EX page locks).
+    pub page_write_grants: HashSet<PageId>,
+    /// Outstanding requests this transaction has in flight, so an abort
+    /// can retire them.
+    pub outstanding_reqs: HashSet<ReqId>,
+    /// Every object this transaction has updated, tracked independently
+    /// of the cache: a dirty page may be evicted and re-fetched (losing
+    /// its dirty marks), yet an abort must still invalidate the object's
+    /// uncommitted bytes in the cache (paper §3.3).
+    pub updated: HashSet<Oid>,
+    /// 2PC bookkeeping: participants that have voted yes / acked.
+    pub votes: HashSet<SiteId>,
+    /// 2PC bookkeeping: acks to the decision.
+    pub decided_acks: HashSet<SiteId>,
+    /// Whether the local (home-owned) portion of the commit is done.
+    pub local_commit_done: bool,
+}
+
+impl HomeTxn {
+    /// Creates home state for a new transaction.
+    pub fn new(id: TxnId, app: AppId) -> Self {
+        HomeTxn {
+            id,
+            app,
+            status: TxnStatus::Active,
+            current_op: None,
+            participants: HashSet::new(),
+            adaptive_pages: HashSet::new(),
+            page_write_grants: HashSet::new(),
+            outstanding_reqs: HashSet::new(),
+            updated: HashSet::new(),
+            votes: HashSet::new(),
+            decided_acks: HashSet::new(),
+            local_commit_done: false,
+        }
+    }
+}
+
+/// Owner-site state of a spread transaction (the remote thread's view).
+/// Lock state lives in the site's lock table; applied-but-uncommitted
+/// log records live in the server log.
+#[derive(Debug)]
+pub struct RemoteTxn {
+    /// The transaction.
+    pub id: TxnId,
+    /// Whether a 2PC prepare has been logged.
+    pub prepared: bool,
+}
+
+impl RemoteTxn {
+    /// Creates owner-side state on first contact ("transaction
+    /// spreading", §3.2).
+    pub fn new(id: TxnId) -> Self {
+        RemoteTxn {
+            id,
+            prepared: false,
+        }
+    }
+}
+
+/// Registry of transactions known at a site, in both roles.
+#[derive(Debug, Default)]
+pub struct TxnRegistry {
+    /// Transactions homed here.
+    pub home: HashMap<TxnId, HomeTxn>,
+    /// Transactions spread here from other sites.
+    pub remote: HashMap<TxnId, RemoteTxn>,
+    next_seq: u64,
+}
+
+impl TxnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next transaction id for `site`.
+    pub fn next_txn_id(&mut self, site: SiteId) -> TxnId {
+        self.next_seq += 1;
+        TxnId::new(site, self.next_seq)
+    }
+
+    /// Ensures owner-side state exists for `txn` (spreading).
+    pub fn spread(&mut self, txn: TxnId) -> &mut RemoteTxn {
+        self.remote.entry(txn).or_insert_with(|| RemoteTxn::new(txn))
+    }
+
+    /// Whether `txn` is known (either role) and not aborted.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.home
+            .get(&txn)
+            .map(|h| h.status != TxnStatus::Aborted)
+            .unwrap_or_else(|| self.remote.contains_key(&txn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut r = TxnRegistry::new();
+        let a = r.next_txn_id(SiteId(1));
+        let b = r.next_txn_id(SiteId(1));
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn spread_is_idempotent() {
+        let mut r = TxnRegistry::new();
+        let t = TxnId::new(SiteId(9), 1);
+        r.spread(t);
+        r.spread(t);
+        assert_eq!(r.remote.len(), 1);
+        assert!(r.is_active(t));
+    }
+
+    #[test]
+    fn home_status_controls_activity() {
+        let mut r = TxnRegistry::new();
+        let t = r.next_txn_id(SiteId(1));
+        r.home.insert(t, HomeTxn::new(t, AppId(0)));
+        assert!(r.is_active(t));
+        r.home.get_mut(&t).unwrap().status = TxnStatus::Aborted;
+        assert!(!r.is_active(t));
+    }
+}

@@ -1,0 +1,252 @@
+//! Size-changing updates, object creation and deletion (paper §4.4).
+//!
+//! The engine handles three size-change situations:
+//! * a resize that still fits its page is applied in place (relocation
+//!   within the page is the slotted layout's business);
+//! * a growth that overflows the page is early-shipped; the owner
+//!   installs it by *forwarding* the object to an overflow page
+//!   (System-R style), keeping its id valid;
+//! * later accesses to a forwarded object are point-served by the owner
+//!   (forwarded objects are never client-cached).
+
+mod common;
+
+use common::Cluster;
+use pscc_common::{
+    AppId, FileId, LockMode, LockableId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId,
+};
+use pscc_core::{decode_header_oid, AppOp, AppReply, OwnerMap};
+
+const S: SiteId = SiteId(0);
+const A: SiteId = SiteId(1);
+const B: SiteId = SiteId(2);
+const APP: AppId = AppId(0);
+
+fn cluster() -> Cluster {
+    let cfg = SystemConfig {
+        protocol: Protocol::PsAa,
+        ..SystemConfig::small()
+    };
+    Cluster::new(3, cfg, OwnerMap::Single(S), 63)
+}
+
+fn oid(page: u32, slot: u16) -> Oid {
+    Oid::new(PageId::new(FileId::new(VolId(0), 0), page), slot)
+}
+
+fn write_bytes(c: &mut Cluster, site: SiteId, txn: pscc_common::TxnId, o: Oid, bytes: Vec<u8>) {
+    match c.run_op(site, APP, txn, AppOp::Write { oid: o, bytes: Some(bytes) }) {
+        AppReply::Done { .. } => {}
+        other => panic!("write failed: {other:?}"),
+    }
+}
+
+#[test]
+fn shrink_and_regrow_in_place() {
+    let mut c = cluster();
+    let x = oid(33, 0);
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    write_bytes(&mut c, A, t, x, vec![7u8; 8]); // shrink
+    write_bytes(&mut c, A, t, x, vec![8u8; 40]); // regrow (fits)
+    c.commit(A, APP, t);
+    let stored = c.sites[0].volume().read_object(x).unwrap();
+    assert_eq!(stored, &[8u8; 40][..]);
+}
+
+#[test]
+fn growth_overflow_forwards_at_owner() {
+    // small() pages are 1024 bytes with 10 × ~89-byte objects; growing
+    // one object to 600 bytes cannot fit and must be forwarded.
+    let mut c = cluster();
+    let x = oid(35, 2);
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    write_bytes(&mut c, A, t, x, vec![5u8; 600]);
+    c.commit(A, APP, t);
+
+    // The object's id remains valid and reads return the grown bytes —
+    // from another client too.
+    let stored = c.sites[0].volume().read_object(x).unwrap();
+    assert_eq!(stored.len(), 600);
+    assert_ne!(
+        c.sites[0].volume().resolve_forward(x),
+        x,
+        "the object must have been forwarded"
+    );
+    let tb = c.begin(B, APP);
+    let got = c.read(B, APP, tb, x);
+    assert_eq!(got, vec![5u8; 600]);
+    c.commit(B, APP, tb);
+
+    // Neighbours on the home page are untouched.
+    let t2 = c.begin(B, APP);
+    let n = c.read(B, APP, t2, oid(35, 3));
+    assert_eq!(n.len(), SystemConfig::small().object_size() as usize);
+    c.commit(B, APP, t2);
+}
+
+#[test]
+fn forwarded_object_can_be_updated_again() {
+    let mut c = cluster();
+    let x = oid(37, 0);
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    write_bytes(&mut c, A, t, x, vec![1u8; 700]); // forwarded at commit
+    c.commit(A, APP, t);
+
+    // A second transaction updates the now-forwarded object.
+    let t2 = c.begin(A, APP);
+    c.read(A, APP, t2, x);
+    write_bytes(&mut c, A, t2, x, vec![2u8; 700]);
+    c.commit(A, APP, t2);
+    assert_eq!(c.sites[0].volume().read_object(x).unwrap(), &[2u8; 700][..]);
+
+    // And version-bump (synthesized) writes work on forwarded objects.
+    let t3 = c.begin(B, APP);
+    c.read(B, APP, t3, x);
+    c.write(B, APP, t3, x);
+    c.commit(B, APP, t3);
+    let stored = c.sites[0].volume().read_object(x).unwrap();
+    assert_eq!(u64::from_le_bytes(stored[0..8].try_into().unwrap()), {
+        let mut v = [2u8; 8];
+        v.copy_from_slice(&[2u8; 8]);
+        u64::from_le_bytes(v).wrapping_add(1)
+    });
+}
+
+#[test]
+fn growth_overflow_abort_restores_original() {
+    let mut c = cluster();
+    let x = oid(39, 1);
+    let size = SystemConfig::small().object_size() as usize;
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    write_bytes(&mut c, A, t, x, vec![9u8; 800]);
+    match c.run_op(A, APP, t, AppOp::Abort) {
+        AppReply::Aborted { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    c.pump();
+    // The original bytes are back (before-image undo, possibly through
+    // the forwarded location).
+    let stored = c.sites[0].volume().read_object(x).unwrap();
+    assert_eq!(stored, vec![0u8; size]);
+    let tb = c.begin(B, APP);
+    assert_eq!(c.read(B, APP, tb, x), vec![0u8; size]);
+    c.commit(B, APP, tb);
+}
+
+#[test]
+fn create_object_on_locked_page() {
+    let mut c = cluster();
+    let page = oid(41, 0).page;
+    let t = c.begin(A, APP);
+    // Creation requires the page cached + an explicit EX page lock.
+    c.read(A, APP, t, oid(41, 0));
+    match c.run_op(
+        A,
+        APP,
+        t,
+        AppOp::Lock { item: LockableId::Page(page), mode: LockMode::Ex },
+    ) {
+        AppReply::Done { .. } => {}
+        other => panic!("lock failed: {other:?}"),
+    }
+    let new_oid = match c.run_op(
+        A,
+        APP,
+        t,
+        AppOp::Create { page, bytes: b"created".to_vec() },
+    ) {
+        AppReply::Done { data: Some(d), .. } => decode_header_oid(&d).expect("oid"),
+        other => panic!("create failed: {other:?}"),
+    };
+    c.commit(A, APP, t);
+
+    // Durable at the owner and visible to another client.
+    assert_eq!(
+        c.sites[0].volume().read_object(new_oid).unwrap(),
+        b"created"
+    );
+    let tb = c.begin(B, APP);
+    assert_eq!(c.read(B, APP, tb, new_oid), b"created".to_vec());
+    c.commit(B, APP, tb);
+}
+
+#[test]
+fn create_without_page_lock_is_refused() {
+    let mut c = cluster();
+    let page = oid(43, 0).page;
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, oid(43, 0));
+    match c.run_op(A, APP, t, AppOp::Create { page, bytes: b"x".to_vec() }) {
+        AppReply::Done { data, .. } => assert!(data.is_none(), "must refuse"),
+        other => panic!("unexpected {other:?}"),
+    }
+    c.commit(A, APP, t);
+}
+
+#[test]
+fn delete_object_end_to_end() {
+    let mut c = cluster();
+    let x = oid(45, 4);
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    match c.run_op(
+        A,
+        APP,
+        t,
+        AppOp::Lock { item: LockableId::Object(x), mode: LockMode::Ex },
+    ) {
+        AppReply::Done { .. } => {}
+        other => panic!("lock failed: {other:?}"),
+    }
+    match c.run_op(A, APP, t, AppOp::Delete(x)) {
+        AppReply::Done { data: Some(before), .. } => {
+            assert_eq!(before.len(), SystemConfig::small().object_size() as usize)
+        }
+        other => panic!("delete failed: {other:?}"),
+    }
+    c.commit(A, APP, t);
+    assert_eq!(c.sites[0].volume().read_object(x), None);
+
+    // A reader of the deleted object gets an empty read.
+    let tb = c.begin(B, APP);
+    match c.run_op(B, APP, tb, AppOp::Read(x)) {
+        AppReply::Done { data, .. } => assert!(data.is_none()),
+        other => panic!("unexpected {other:?}"),
+    }
+    c.commit(B, APP, tb);
+}
+
+#[test]
+fn delete_then_abort_restores() {
+    let mut c = cluster();
+    let x = oid(47, 4);
+    let size = SystemConfig::small().object_size() as usize;
+    let t = c.begin(A, APP);
+    c.read(A, APP, t, x);
+    match c.run_op(
+        A,
+        APP,
+        t,
+        AppOp::Lock { item: LockableId::Object(x), mode: LockMode::Ex },
+    ) {
+        AppReply::Done { .. } => {}
+        other => panic!("lock failed: {other:?}"),
+    }
+    match c.run_op(A, APP, t, AppOp::Delete(x)) {
+        AppReply::Done { data: Some(_), .. } => {}
+        other => panic!("delete failed: {other:?}"),
+    }
+    match c.run_op(A, APP, t, AppOp::Abort) {
+        AppReply::Aborted { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    c.pump();
+    // Object still there.
+    let tb = c.begin(B, APP);
+    assert_eq!(c.read(B, APP, tb, x), vec![0u8; size]);
+    c.commit(B, APP, tb);
+}

@@ -1,0 +1,60 @@
+//! # pscc-lockmgr
+//!
+//! A hierarchical, multigranularity lock manager in the style of SHORE's,
+//! as required by the cache-consistency algorithm of *Zaharioudakis &
+//! Carey (1997/98)* §4.
+//!
+//! One [`LockTable`] lives at every peer-server site. It supports:
+//!
+//! * the four-level volume / file / page / object hierarchy with automatic
+//!   intention locks on ancestors ([`LockTable::acquire`]),
+//! * single-granule acquisition without ancestors, used by callback
+//!   threads which, per paper §4.3.1, never lock above the called-back
+//!   item's level ([`LockTable::acquire_single`], [`LockTable::try_acquire_single`]),
+//! * lock conversions (upgrades) with upgraders queued ahead of ordinary
+//!   waiters, and explicit downgrades — the EX→SH downgrade dance of
+//!   paper §4.2.1 and the IX→IS page downgrade of §4.3.2,
+//! * *forced grants* that replicate a lock held at a client into the
+//!   server's table on behalf of a remote transaction (paper: "these
+//!   locks will then be replicated at the server"),
+//! * the **adaptive bit** set inside a page lock to represent an adaptive
+//!   page lock without introducing a new lock mode (paper §4.1.2),
+//! * waits-for cycle detection over the table's queues
+//!   ([`LockTable::detect_deadlocks`]).
+//!
+//! The table is *non-blocking*: an acquisition either completes
+//! immediately or returns a [`Ticket`]; later mutations return the
+//! [`Grant`]s they unblock, which the engine maps back to suspended
+//! protocol actions. This is what lets the identical protocol code run on
+//! real threads and under a discrete-event virtual clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use pscc_common::{LockMode, LockableId, Oid, PageId, FileId, VolId, SiteId, TxnId};
+//! use pscc_lockmgr::{Acquire, LockTable};
+//!
+//! let mut lt = LockTable::new();
+//! let t1 = TxnId::new(SiteId(1), 1);
+//! let t2 = TxnId::new(SiteId(2), 2);
+//! let obj = LockableId::from(Oid::new(PageId::new(FileId::new(VolId(0), 0), 5), 3));
+//!
+//! // t1 takes an EX object lock; IX intention locks cascade upward.
+//! let (a, _) = lt.acquire(t1, obj, LockMode::Ex);
+//! assert!(matches!(a, Acquire::Granted));
+//!
+//! // t2's SH request on the same object must wait...
+//! let (a2, _) = lt.acquire(t2, obj, LockMode::Sh);
+//! let ticket = match a2 { Acquire::Wait(t) => t, _ => unreachable!() };
+//!
+//! // ...until t1 finishes.
+//! let out = lt.release_all(t1);
+//! assert_eq!(out.grants.len(), 1);
+//! assert_eq!(out.grants[0].ticket, ticket);
+//! ```
+
+mod deadlock;
+mod table;
+
+pub use deadlock::detect_cycles;
+pub use table::{Acquire, Grant, LockTable, ReleaseOutcome, Ticket};

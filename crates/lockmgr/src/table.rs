@@ -1,0 +1,732 @@
+//! The lock table proper: granted-holder lists, FIFO wait queues with
+//! upgraders at the head, hierarchical acquisition, forced grants,
+//! downgrades, and the adaptive bit.
+
+use pscc_common::{LockMode, LockableId, PageId, TxnId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies one suspended lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lk{}", self.0)
+    }
+}
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The full request (including any ancestor intention locks) is held.
+    Granted,
+    /// The request blocked; a [`Grant`] with this ticket will be returned
+    /// by a later mutation once it completes.
+    Wait(Ticket),
+}
+
+/// A previously blocked acquisition that has now fully completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The ticket returned when the request blocked.
+    pub ticket: Ticket,
+    /// The requesting transaction.
+    pub txn: TxnId,
+    /// The leaf granule that was requested.
+    pub id: LockableId,
+    /// The requested mode at the leaf.
+    pub mode: LockMode,
+}
+
+/// Outcome of releasing all of a transaction's locks.
+#[derive(Debug, Clone, Default)]
+pub struct ReleaseOutcome {
+    /// Requests by *other* transactions that the release unblocked.
+    pub grants: Vec<Grant>,
+    /// Pending tickets of the released transaction that were cancelled.
+    pub cancelled: Vec<Ticket>,
+}
+
+#[derive(Debug, Clone)]
+struct Holder {
+    txn: TxnId,
+    mode: LockMode,
+    /// Number of logical holders (e.g. two concurrent callback threads of
+    /// the same transaction holding IX on the same page). `release_one`
+    /// decrements; `release_all` ignores it.
+    count: u32,
+    /// The adaptive bit of paper §4.1.2, meaningful on page granules.
+    adaptive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    ticket: Ticket,
+    txn: TxnId,
+    /// Mode requested at this granule.
+    mode: LockMode,
+    /// Target held-mode if this is a conversion (sup of held and
+    /// requested); `None` for a fresh request.
+    convert_to: Option<LockMode>,
+}
+
+impl Waiter {
+    fn is_upgrade(&self) -> bool {
+        self.convert_to.is_some()
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Entry {
+    holders: Vec<Holder>,
+    queue: VecDeque<Waiter>,
+}
+
+impl Entry {
+    fn holder(&self, txn: TxnId) -> Option<&Holder> {
+        self.holders.iter().find(|h| h.txn == txn)
+    }
+
+    fn holder_mut(&mut self, txn: TxnId) -> Option<&mut Holder> {
+        self.holders.iter_mut().find(|h| h.txn == txn)
+    }
+
+    fn compatible_with_others(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .filter(|h| h.txn != txn)
+            .all(|h| h.mode.compatible(mode))
+    }
+
+    fn is_unused(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
+    }
+}
+
+/// The pending state of a (possibly hierarchical) acquisition.
+#[derive(Debug, Clone)]
+struct Pending {
+    txn: TxnId,
+    /// Remaining (granule, mode) pairs, leaf last.
+    path: Vec<(LockableId, LockMode)>,
+    /// Index of the step currently waiting in some entry's queue.
+    step: usize,
+    /// The leaf granule and mode of the overall request (for the Grant).
+    leaf: (LockableId, LockMode),
+}
+
+/// A multigranularity lock table for one site. See the crate docs for the
+/// full feature list.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: HashMap<LockableId, Entry>,
+    pending: HashMap<Ticket, Pending>,
+    next_ticket: u64,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_ticket(&mut self) -> Ticket {
+        self.next_ticket += 1;
+        Ticket(self.next_ticket)
+    }
+
+    /// Acquires `mode` on `id` for `txn`, automatically acquiring the
+    /// appropriate intention modes on all ancestors first (paper §4).
+    ///
+    /// Returns the acquisition outcome plus any grants to *other*
+    /// requests that side effects of this call unblocked (none today, but
+    /// the signature is uniform with the other mutators).
+    pub fn acquire(&mut self, txn: TxnId, id: LockableId, mode: LockMode) -> (Acquire, Vec<Grant>) {
+        let intention = mode.ancestor_intention();
+        let mut path: Vec<(LockableId, LockMode)> = id
+            .path_from_root()
+            .into_iter()
+            .map(|g| if g == id { (g, mode) } else { (g, intention) })
+            .collect();
+        // Skip steps already covered by held modes.
+        path.retain(|(g, m)| !self.held_covers(txn, *g, *m));
+        if path.is_empty() {
+            return (Acquire::Granted, Vec::new());
+        }
+        self.run_path(txn, path, (id, mode))
+    }
+
+    /// Acquires `mode` on `id` only, without touching ancestors. Used by
+    /// callback threads (paper §4.3.1: a callback for item *I* never
+    /// locks above the level of *I*).
+    pub fn acquire_single(
+        &mut self,
+        txn: TxnId,
+        id: LockableId,
+        mode: LockMode,
+    ) -> (Acquire, Vec<Grant>) {
+        if self.held_covers(txn, id, mode) {
+            // Re-entrant: bump the holder count so paired releases work.
+            if let Some(h) = self.entries.get_mut(&id).and_then(|e| e.holder_mut(txn)) {
+                h.count += 1;
+            }
+            return (Acquire::Granted, Vec::new());
+        }
+        self.run_path(txn, vec![(id, mode)], (id, mode))
+    }
+
+    /// Attempts to acquire `mode` on `id` for `txn` immediately; on
+    /// failure nothing is queued and `false` is returned. This is how a
+    /// callback first tries for the whole-page EX lock (paper §4.1.1).
+    pub fn try_acquire_single(&mut self, txn: TxnId, id: LockableId, mode: LockMode) -> bool {
+        if self.held_covers(txn, id, mode) {
+            if let Some(h) = self.entries.get_mut(&id).and_then(|e| e.holder_mut(txn)) {
+                h.count += 1;
+            }
+            return true;
+        }
+        let entry = self.entries.entry(id).or_default();
+        let held = entry.holder(txn).map(|h| h.mode);
+        let grantable = match held {
+            Some(h) => {
+                let target = h.sup(mode);
+                entry.compatible_with_others(txn, target)
+            }
+            None => entry.queue.is_empty() && entry.compatible_with_others(txn, mode),
+        };
+        if grantable {
+            Self::install(entry, txn, mode);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run_path(
+        &mut self,
+        txn: TxnId,
+        path: Vec<(LockableId, LockMode)>,
+        leaf: (LockableId, LockMode),
+    ) -> (Acquire, Vec<Grant>) {
+        let mut p = Pending {
+            txn,
+            path,
+            step: 0,
+            leaf,
+        };
+        match self.advance(&mut p) {
+            true => (Acquire::Granted, Vec::new()),
+            false => {
+                let ticket = self.fresh_ticket();
+                let (g, m) = p.path[p.step];
+                let held = self
+                    .entries
+                    .get(&g)
+                    .and_then(|e| e.holder(txn))
+                    .map(|h| h.mode);
+                let waiter = Waiter {
+                    ticket,
+                    txn,
+                    mode: m,
+                    convert_to: held.map(|h| h.sup(m)),
+                };
+                let entry = self.entries.entry(g).or_default();
+                if waiter.is_upgrade() {
+                    // Upgraders queue ahead of ordinary waiters, FIFO
+                    // among themselves.
+                    let pos = entry
+                        .queue
+                        .iter()
+                        .position(|w| !w.is_upgrade())
+                        .unwrap_or(entry.queue.len());
+                    entry.queue.insert(pos, waiter);
+                } else {
+                    entry.queue.push_back(waiter);
+                }
+                self.pending.insert(ticket, p);
+                (Acquire::Wait(ticket), Vec::new())
+            }
+        }
+    }
+
+    /// Tries to complete the pending request from its current step.
+    /// Returns `true` if fully granted; on `false`, `p.step` indexes the
+    /// step that must wait.
+    fn advance(&mut self, p: &mut Pending) -> bool {
+        while p.step < p.path.len() {
+            let (g, m) = p.path[p.step];
+            if self.held_covers(p.txn, g, m) {
+                p.step += 1;
+                continue;
+            }
+            let entry = self.entries.entry(g).or_default();
+            let held = entry.holder(p.txn).map(|h| h.mode);
+            let grantable = match held {
+                Some(h) => entry.compatible_with_others(p.txn, h.sup(m)),
+                None => entry.queue.is_empty() && entry.compatible_with_others(p.txn, m),
+            };
+            if grantable {
+                Self::install(entry, p.txn, m);
+                p.step += 1;
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Installs `mode` for `txn` in `entry` (new holder or conversion).
+    fn install(entry: &mut Entry, txn: TxnId, mode: LockMode) {
+        match entry.holder_mut(txn) {
+            Some(h) => {
+                h.mode = h.mode.sup(mode);
+                h.count += 1;
+            }
+            None => entry.holders.push(Holder {
+                txn,
+                mode,
+                count: 1,
+                adaptive: false,
+            }),
+        }
+    }
+
+    /// Whether `txn` already holds a mode on `id` covering `mode`.
+    pub fn held_covers(&self, txn: TxnId, id: LockableId, mode: LockMode) -> bool {
+        self.entries
+            .get(&id)
+            .and_then(|e| e.holder(txn))
+            .is_some_and(|h| h.mode.covers(mode))
+    }
+
+    /// The mode `txn` currently holds on `id`, if any.
+    pub fn held_mode(&self, txn: TxnId, id: LockableId) -> Option<LockMode> {
+        self.entries.get(&id).and_then(|e| e.holder(txn)).map(|h| h.mode)
+    }
+
+    /// All transactions currently waiting on `id`, with the mode each
+    /// requested there.
+    pub fn waiters(&self, id: LockableId) -> Vec<(TxnId, LockMode)> {
+        self.entries
+            .get(&id)
+            .map(|e| e.queue.iter().map(|w| (w.txn, w.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Transactions waiting on any object of `page` (or on the page
+    /// itself).
+    pub fn waiters_on_page(&self, page: PageId) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .entries
+            .iter()
+            .filter(|(id, _)| match id {
+                LockableId::Object(o) => o.page == page,
+                LockableId::Page(p) => *p == page,
+                _ => false,
+            })
+            .flat_map(|(_, e)| e.queue.iter().map(|w| w.txn))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All current holders of `id`.
+    pub fn holders(&self, id: LockableId) -> Vec<(TxnId, LockMode)> {
+        self.entries
+            .get(&id)
+            .map(|e| e.holders.iter().map(|h| (h.txn, h.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Holders of `id` whose mode is incompatible with `mode`, excluding
+    /// `txn` itself — exactly the list a blocked callback reports to the
+    /// server (paper §4.1.1, Fig. 3 client D).
+    pub fn conflicting_holders(
+        &self,
+        id: LockableId,
+        mode: LockMode,
+        txn: TxnId,
+    ) -> Vec<(TxnId, LockMode)> {
+        self.entries
+            .get(&id)
+            .map(|e| {
+                e.holders
+                    .iter()
+                    .filter(|h| h.txn != txn && !h.mode.compatible(mode))
+                    .map(|h| (h.txn, h.mode))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Grants `mode` on `id` to `txn` without queueing — used to
+    /// replicate, at the server, a lock that is known to be held at a
+    /// client (paper §4.2.1 "acquires a SH lock on X on behalf of thread
+    /// C1,S"). The caller must have arranged compatibility (by the
+    /// protocol's downgrade rules); this is checked in debug builds.
+    pub fn force_grant(&mut self, txn: TxnId, id: LockableId, mode: LockMode) {
+        let entry = self.entries.entry(id).or_default();
+        debug_assert!(
+            entry.compatible_with_others(txn, mode),
+            "force_grant({txn}, {id}, {mode}) conflicts with existing holders: {:?}",
+            entry.holders
+        );
+        Self::install(entry, txn, mode);
+    }
+
+    /// Downgrades `txn`'s lock on `id` to `to` **without** re-scanning
+    /// the wait queue.
+    ///
+    /// The paper's callback-blocked handling (§4.2.1) downgrades, then
+    /// replicates client locks with [`LockTable::force_grant`], then
+    /// enqueues the upgrade — all before any waiter may be considered, so
+    /// that an ordinary waiter cannot slip past the upgrader. Call
+    /// [`LockTable::rescan`] once the compound step is complete. (At
+    /// granules that are downgraded but *not* re-upgraded — the object
+    /// entry during a page-level replication, §4.3.2 — the rescan is what
+    /// lets another reader "sneak in", which the engine then detects as a
+    /// second-objective violation and compensates with a callback redo.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` holds no lock on `id` (protocol error).
+    pub fn downgrade(&mut self, txn: TxnId, id: LockableId, to: LockMode) {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("downgrade: no entry for {id}"));
+        let h = entry
+            .holder_mut(txn)
+            .unwrap_or_else(|| panic!("downgrade: {txn} holds nothing on {id}"));
+        h.mode = to;
+    }
+
+    /// Re-scans `id`'s wait queue, granting whatever has become
+    /// grantable. Companion to [`LockTable::downgrade`].
+    pub fn rescan(&mut self, id: LockableId) -> Vec<Grant> {
+        let grants = self.scan(id);
+        self.gc(id);
+        grants
+    }
+
+    /// Releases one logical hold of `txn` on `id` (used by callback
+    /// threads when they complete). The holder disappears when its count
+    /// reaches zero. Returns any grants unblocked.
+    pub fn release_one(&mut self, txn: TxnId, id: LockableId) -> Vec<Grant> {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return Vec::new();
+        };
+        if let Some(pos) = entry.holders.iter().position(|h| h.txn == txn) {
+            entry.holders[pos].count -= 1;
+            if entry.holders[pos].count == 0 {
+                entry.holders.remove(pos);
+            }
+        }
+        let grants = self.scan(id);
+        self.gc(id);
+        grants
+    }
+
+    /// Releases every lock `txn` holds and cancels every wait it has
+    /// pending (transaction end or abort).
+    pub fn release_all(&mut self, txn: TxnId) -> ReleaseOutcome {
+        let mut out = ReleaseOutcome::default();
+        // Cancel pending waits first so the scans below don't grant them.
+        let tickets: Vec<Ticket> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.txn == txn)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in tickets {
+            out.cancelled.push(t);
+            out.grants.extend(self.cancel(t));
+        }
+        let ids: Vec<LockableId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.holder(txn).is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            if let Some(e) = self.entries.get_mut(id) {
+                e.holders.retain(|h| h.txn != txn);
+            }
+        }
+        for id in &ids {
+            out.grants.extend(self.scan(*id));
+            self.gc(*id);
+        }
+        out
+    }
+
+    /// Cancels a pending acquisition (lock-wait timeout or abort).
+    /// Already-acquired ancestor locks of the request remain held by the
+    /// transaction and are cleaned up by [`LockTable::release_all`].
+    pub fn cancel(&mut self, ticket: Ticket) -> Vec<Grant> {
+        let Some(p) = self.pending.remove(&ticket) else {
+            return Vec::new();
+        };
+        let (g, _) = p.path[p.step];
+        if let Some(e) = self.entries.get_mut(&g) {
+            e.queue.retain(|w| w.ticket != ticket);
+        }
+        let grants = self.scan(g);
+        self.gc(g);
+        grants
+    }
+
+    /// Information about a pending ticket: (txn, granule it waits at,
+    /// mode requested there). `None` once granted or cancelled.
+    pub fn ticket_info(&self, ticket: Ticket) -> Option<(TxnId, LockableId, LockMode)> {
+        self.pending.get(&ticket).map(|p| {
+            let (g, m) = p.path[p.step];
+            (p.txn, g, m)
+        })
+    }
+
+    /// Scans `id`'s queue, granting from the front while possible, and
+    /// advancing any hierarchical requests that were waiting there. May
+    /// cascade to deeper granules.
+    fn scan(&mut self, id: LockableId) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        loop {
+            let Some(entry) = self.entries.get_mut(&id) else {
+                return grants;
+            };
+            let Some(front) = entry.queue.front() else {
+                return grants;
+            };
+            let grantable = match front.convert_to {
+                Some(target) => entry.compatible_with_others(front.txn, target),
+                None => entry.compatible_with_others(front.txn, front.mode),
+            };
+            if !grantable {
+                return grants;
+            }
+            let w = entry.queue.pop_front().expect("front checked above");
+            Self::install(entry, w.txn, w.mode);
+            let mut p = self
+                .pending
+                .remove(&w.ticket)
+                .expect("waiter without pending state");
+            p.step += 1;
+            if self.advance(&mut p) {
+                grants.push(Grant {
+                    ticket: w.ticket,
+                    txn: p.txn,
+                    id: p.leaf.0,
+                    mode: p.leaf.1,
+                });
+            } else {
+                // Re-queue at the deeper granule.
+                let (g, m) = p.path[p.step];
+                let held = self
+                    .entries
+                    .get(&g)
+                    .and_then(|e| e.holder(p.txn))
+                    .map(|h| h.mode);
+                let waiter = Waiter {
+                    ticket: w.ticket,
+                    txn: p.txn,
+                    mode: m,
+                    convert_to: held.map(|h| h.sup(m)),
+                };
+                let deeper = self.entries.entry(g).or_default();
+                if waiter.is_upgrade() {
+                    let pos = deeper
+                        .queue
+                        .iter()
+                        .position(|x| !x.is_upgrade())
+                        .unwrap_or(deeper.queue.len());
+                    deeper.queue.insert(pos, waiter);
+                } else {
+                    deeper.queue.push_back(waiter);
+                }
+                self.pending.insert(w.ticket, p);
+            }
+        }
+    }
+
+    fn gc(&mut self, id: LockableId) {
+        if self.entries.get(&id).is_some_and(Entry::is_unused) {
+            self.entries.remove(&id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive bit (paper §4.1.2)
+    // ------------------------------------------------------------------
+
+    /// Sets the adaptive bit inside `txn`'s lock on `page`. The
+    /// transaction must already hold a page lock (at least IX — it holds
+    /// an EX lock on the requested object, paper §4.1.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` holds no lock on the page.
+    pub fn set_adaptive(&mut self, txn: TxnId, page: PageId) {
+        let id = LockableId::Page(page);
+        let h = self
+            .entries
+            .get_mut(&id)
+            .and_then(|e| e.holder_mut(txn))
+            .unwrap_or_else(|| panic!("set_adaptive: {txn} holds no lock on {page}"));
+        h.adaptive = true;
+    }
+
+    /// Clears the adaptive bit for `txn` on `page` (deescalation).
+    pub fn clear_adaptive(&mut self, txn: TxnId, page: PageId) {
+        if let Some(h) = self
+            .entries
+            .get_mut(&LockableId::Page(page))
+            .and_then(|e| e.holder_mut(txn))
+        {
+            h.adaptive = false;
+        }
+    }
+
+    /// Whether `txn` holds an adaptive page lock on `page`.
+    pub fn is_adaptive(&self, txn: TxnId, page: PageId) -> bool {
+        self.entries
+            .get(&LockableId::Page(page))
+            .and_then(|e| e.holder(txn))
+            .is_some_and(|h| h.adaptive)
+    }
+
+    /// All transactions holding adaptive locks on `page` (multiple
+    /// transactions *from the same client* may hold them simultaneously,
+    /// paper §4.1.2).
+    pub fn adaptive_holders(&self, page: PageId) -> Vec<TxnId> {
+        self.entries
+            .get(&LockableId::Page(page))
+            .map(|e| {
+                e.holders
+                    .iter()
+                    .filter(|h| h.adaptive)
+                    .map(|h| h.txn)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for the engine and for deadlock detection
+    // ------------------------------------------------------------------
+
+    /// Every lock `txn` currently holds.
+    pub fn locks_of(&self, txn: TxnId) -> Vec<(LockableId, LockMode)> {
+        self.entries
+            .iter()
+            .filter_map(|(id, e)| e.holder(txn).map(|h| (*id, h.mode)))
+            .collect()
+    }
+
+    /// Every object lock (any mode) held on objects of `page`, plus the
+    /// holder — the locks a client replicates when it purges a page that
+    /// active local transactions are still using (paper §4.1.1).
+    pub fn object_holders_on_page(
+        &self,
+        page: PageId,
+    ) -> Vec<(TxnId, pscc_common::Oid, LockMode)> {
+        self.entries
+            .iter()
+            .filter_map(|(id, e)| match id {
+                LockableId::Object(o) if o.page == page => Some((o, e)),
+                _ => None,
+            })
+            .flat_map(|(o, e)| e.holders.iter().map(move |h| (h.txn, *o, h.mode)))
+            .collect()
+    }
+
+    /// Every EX **object** lock held on objects of `page` — the payload
+    /// of a deescalation reply (paper §4.1.2).
+    pub fn ex_object_holders_on_page(&self, page: PageId) -> Vec<(TxnId, pscc_common::Oid)> {
+        self.entries
+            .iter()
+            .filter_map(|(id, e)| match id {
+                LockableId::Object(o) if o.page == page => Some((o, e)),
+                _ => None,
+            })
+            .flat_map(|(o, e)| {
+                e.holders
+                    .iter()
+                    .filter(|h| h.mode == LockMode::Ex)
+                    .map(move |h| (h.txn, *o))
+            })
+            .collect()
+    }
+
+    /// Edges of the waits-for graph: `(waiter, holder-or-earlier-waiter)`.
+    ///
+    /// A waiter waits for every incompatible holder and (because queues
+    /// are FIFO) for every waiter queued ahead of it.
+    pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for entry in self.entries.values() {
+            for (i, w) in entry.queue.iter().enumerate() {
+                let target = w.convert_to.unwrap_or(w.mode);
+                for h in &entry.holders {
+                    if h.txn != w.txn && !h.mode.compatible(target) {
+                        edges.push((w.txn, h.txn));
+                    }
+                }
+                for u in entry.queue.iter().take(i) {
+                    if u.txn != w.txn {
+                        edges.push((w.txn, u.txn));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Runs cycle detection over the waits-for graph; returns the set of
+    /// distinct cycles, each as a list of transactions.
+    pub fn detect_deadlocks(&self) -> Vec<Vec<TxnId>> {
+        crate::deadlock::detect_cycles(&self.waits_for_edges())
+    }
+
+    /// Transactions currently waiting (distinct).
+    pub fn waiting_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.pending.values().map(|p| p.txn).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Test/diagnostic invariant: no two holders of any granule are
+    /// incompatible (holders of the same txn excepted by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated granule.
+    pub fn assert_consistent(&self) {
+        for (id, e) in &self.entries {
+            for (i, a) in e.holders.iter().enumerate() {
+                for b in e.holders.iter().skip(i + 1) {
+                    assert!(
+                        a.txn == b.txn || a.mode.compatible(b.mode),
+                        "incompatible holders on {id}: {}:{} vs {}:{}",
+                        a.txn,
+                        a.mode,
+                        b.txn,
+                        b.mode
+                    );
+                }
+            }
+        }
+    }
+
+    /// Number of granules with any lock state (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.pending.is_empty()
+    }
+}

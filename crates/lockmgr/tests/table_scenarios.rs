@@ -1,0 +1,400 @@
+//! Scenario tests for the lock table, including the concrete interleavings
+//! described in the paper (§4.2.1 Fig. 4, §4.3.2).
+
+use pscc_common::{FileId, LockMode, LockableId, Oid, PageId, SiteId, TxnId, VolId};
+use pscc_lockmgr::{Acquire, LockTable, Ticket};
+
+fn txn(site: u32, seq: u64) -> TxnId {
+    TxnId::new(SiteId(site), seq)
+}
+
+fn page(p: u32) -> PageId {
+    PageId::new(FileId::new(VolId(0), 1), p)
+}
+
+fn obj(p: u32, s: u16) -> Oid {
+    Oid::new(page(p), s)
+}
+
+fn wait(a: Acquire) -> Ticket {
+    match a {
+        Acquire::Wait(t) => t,
+        Acquire::Granted => panic!("expected Wait, got Granted"),
+    }
+}
+
+#[test]
+fn shared_locks_coexist() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    for i in 0..5 {
+        let (a, _) = lt.acquire(txn(i, i as u64), x, LockMode::Sh);
+        assert_eq!(a, Acquire::Granted);
+    }
+    lt.assert_consistent();
+    assert_eq!(lt.holders(x).len(), 5);
+}
+
+#[test]
+fn intention_locks_cascade_to_ancestors() {
+    let mut lt = LockTable::new();
+    let t = txn(1, 1);
+    let o = obj(3, 7);
+    assert_eq!(lt.acquire(t, o.into(), LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.held_mode(t, LockableId::Page(o.page)), Some(LockMode::Ix));
+    assert_eq!(
+        lt.held_mode(t, LockableId::File(o.page.file)),
+        Some(LockMode::Ix)
+    );
+    assert_eq!(
+        lt.held_mode(t, LockableId::Volume(o.page.vol())),
+        Some(LockMode::Ix)
+    );
+}
+
+#[test]
+fn sh_then_ex_same_txn_is_an_upgrade() {
+    let mut lt = LockTable::new();
+    let t = txn(1, 1);
+    let x = LockableId::from(obj(1, 0));
+    assert_eq!(lt.acquire(t, x, LockMode::Sh).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t, x, LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.held_mode(t, x), Some(LockMode::Ex));
+    // Ancestors upgraded IS -> IX as well.
+    assert_eq!(
+        lt.held_mode(t, LockableId::Page(obj(1, 0).page)),
+        Some(LockMode::Ix)
+    );
+}
+
+#[test]
+fn conflicting_request_waits_and_is_granted_on_release() {
+    let mut lt = LockTable::new();
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    let x = LockableId::from(obj(1, 0));
+    assert_eq!(lt.acquire(t1, x, LockMode::Ex).0, Acquire::Granted);
+    let tk = wait(lt.acquire(t2, x, LockMode::Sh).0);
+    assert_eq!(lt.ticket_info(tk).map(|(t, ..)| t), Some(t2));
+    let out = lt.release_all(t1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].txn, t2);
+    assert_eq!(out.grants[0].mode, LockMode::Sh);
+    assert_eq!(lt.held_mode(t2, x), Some(LockMode::Sh));
+    lt.assert_consistent();
+}
+
+#[test]
+fn fifo_queue_prevents_starvation() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    // t2 wants EX: waits behind the holder.
+    let _tk2 = wait(lt.acquire(t2, x, LockMode::Ex).0);
+    // t3 wants SH: would be compatible with t1, but FIFO makes it queue
+    // behind t2 to avoid starving the writer.
+    let _tk3 = wait(lt.acquire(t3, x, LockMode::Sh).0);
+    let out = lt.release_all(t1);
+    // Only t2 is granted; t3 still blocked behind t2's EX.
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].txn, t2);
+    let out = lt.release_all(t2);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].txn, t3);
+}
+
+#[test]
+fn upgrader_goes_ahead_of_queue() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, x, LockMode::Sh).0, Acquire::Granted);
+    // t3 queues for EX.
+    let _tk3 = wait(lt.acquire(t3, x, LockMode::Ex).0);
+    // t1 upgrades SH->EX: goes ahead of t3 but must wait for t2.
+    let tk1 = wait(lt.acquire(t1, x, LockMode::Ex).0);
+    let out = lt.release_all(t2);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tk1);
+    assert_eq!(lt.held_mode(t1, x), Some(LockMode::Ex));
+}
+
+/// Paper §4.2.1 / Fig. 4: the calling-back transaction A1 holds EX on X;
+/// B1's read request waits; the callback-blocked reply makes A1 downgrade
+/// to SH, force-grant SH to C1, and become an upgrader. B1 must stay
+/// blocked the whole time; when C1 terminates, A1 gets its EX back first.
+#[test]
+fn fig4_callback_blocked_downgrade_dance() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 4));
+    let (a1, b1, c1) = (txn(1, 1), txn(2, 2), txn(3, 3));
+
+    // A1 acquires EX on X at the server.
+    assert_eq!(lt.acquire(a1, x, LockMode::Ex).0, Acquire::Granted);
+    // B1's read request arrives and waits behind A1.
+    let _tkb = wait(lt.acquire(b1, x, LockMode::Sh).0);
+    // Callback-blocked from client C arrives: downgrade, replicate,
+    // upgrade — atomically, before any queue scan, so B1 cannot slip in.
+    lt.downgrade(a1, x, LockMode::Sh);
+    lt.force_grant(c1, x, LockMode::Sh);
+    // A1 upgrades back towards EX: queued ahead of B1, waiting for C1.
+    let tka = wait(lt.acquire_single(a1, x, LockMode::Ex).0);
+    assert!(lt.rescan(x).is_empty(), "B1 must stay blocked behind the upgrader");
+    assert!(lt.detect_deadlocks().is_empty());
+
+    // C1 terminates: A1's upgrade is granted first; B1 stays blocked
+    // "until A1 terminates" (paper).
+    let out = lt.release_all(c1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tka);
+    assert_eq!(lt.held_mode(a1, x), Some(LockMode::Ex));
+    // A1 terminates: now B1 is granted.
+    let out = lt.release_all(a1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].txn, b1);
+}
+
+/// The §4.3.2 page-level variant: A1 holds IX on P and EX on X; the
+/// callback-blocked reply reports a *page-level* SH conflict. A1
+/// downgrades page to IS and object to SH, force-grants SH page to C1,
+/// and upgrades the page lock. B1 (waiting SH on the object) sneaks in.
+#[test]
+fn hierarchical_sneak_in_is_observable() {
+    let mut lt = LockTable::new();
+    let p = LockableId::Page(page(1));
+    let x = LockableId::from(obj(1, 4));
+    let (a1, b1, c1) = (txn(1, 1), txn(2, 2), txn(3, 3));
+
+    assert_eq!(lt.acquire(a1, x, LockMode::Ex).0, Acquire::Granted);
+    let _tkb = wait(lt.acquire(b1, x, LockMode::Sh).0);
+
+    // Page-level conflict replication:
+    lt.downgrade(a1, p, LockMode::Is);
+    lt.downgrade(a1, x, LockMode::Sh);
+    lt.force_grant(c1, p, LockMode::Sh);
+    // A1 becomes an upgrader at the page level only (a transaction can
+    // wait for one lock at a time), so the object entry has no upgrade
+    // ahead of B1...
+    let tka = wait(lt.acquire_single(a1, p, LockMode::Ix).0);
+    // ...and the rescan lets B1 sneak in at the object level.
+    let g2 = lt.rescan(x);
+    assert_eq!(g2.len(), 1);
+    assert_eq!(g2[0].txn, b1);
+
+    // C1 terminates -> A1's page upgrade succeeds.
+    let out = lt.release_all(c1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tka);
+    // The engine now detects that X was handed to B1 (second-objective
+    // violation) and must redo the callback: reacquire EX on X.
+    let tka2 = wait(lt.acquire(a1, x, LockMode::Ex).0);
+    let out = lt.release_all(b1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tka2);
+    assert_eq!(lt.held_mode(a1, x), Some(LockMode::Ex));
+}
+
+#[test]
+fn deadlock_detected_between_two_txns() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let y = LockableId::from(obj(2, 0));
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    assert_eq!(lt.acquire(t1, x, LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, y, LockMode::Ex).0, Acquire::Granted);
+    let _ = wait(lt.acquire(t1, y, LockMode::Sh).0);
+    let _ = wait(lt.acquire(t2, x, LockMode::Sh).0);
+    let cycles = lt.detect_deadlocks();
+    assert_eq!(cycles.len(), 1);
+    assert_eq!(cycles[0], vec![t1, t2]);
+}
+
+#[test]
+fn upgrade_deadlock_detected() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, x, LockMode::Sh).0, Acquire::Granted);
+    let _ = wait(lt.acquire(t1, x, LockMode::Ex).0);
+    let _ = wait(lt.acquire(t2, x, LockMode::Ex).0);
+    let cycles = lt.detect_deadlocks();
+    assert_eq!(cycles.len(), 1);
+}
+
+#[test]
+fn cancel_unblocks_queue() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    let tk2 = wait(lt.acquire(t2, x, LockMode::Ex).0);
+    let _tk3 = wait(lt.acquire(t3, x, LockMode::Sh).0);
+    // t2 times out; t3's SH becomes grantable (compatible with t1's SH).
+    let grants = lt.cancel(tk2);
+    assert_eq!(grants.len(), 1);
+    assert_eq!(grants[0].txn, t3);
+    assert_eq!(lt.ticket_info(tk2), None);
+}
+
+#[test]
+fn release_all_cancels_own_waits() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let y = LockableId::from(obj(2, 0));
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    assert_eq!(lt.acquire(t1, x, LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, y, LockMode::Ex).0, Acquire::Granted);
+    let tk = wait(lt.acquire(t2, x, LockMode::Sh).0);
+    let out = lt.release_all(t2);
+    assert_eq!(out.cancelled, vec![tk]);
+    assert!(lt.is_empty() == false); // t1 still holds x
+    let out = lt.release_all(t1);
+    assert!(out.grants.is_empty());
+    assert!(lt.is_empty());
+}
+
+#[test]
+fn adaptive_bit_set_query_clear() {
+    let mut lt = LockTable::new();
+    let t = txn(1, 1);
+    let o = obj(9, 2);
+    assert_eq!(lt.acquire(t, o.into(), LockMode::Ex).0, Acquire::Granted);
+    assert!(!lt.is_adaptive(t, o.page));
+    lt.set_adaptive(t, o.page);
+    assert!(lt.is_adaptive(t, o.page));
+    assert_eq!(lt.adaptive_holders(o.page), vec![t]);
+    lt.clear_adaptive(t, o.page);
+    assert!(!lt.is_adaptive(t, o.page));
+}
+
+#[test]
+fn multiple_adaptive_holders_same_client() {
+    let mut lt = LockTable::new();
+    let (t1, t2) = (txn(1, 1), txn(1, 2));
+    let (o1, o2) = (obj(9, 2), obj(9, 5));
+    assert_eq!(lt.acquire(t1, o1.into(), LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, o2.into(), LockMode::Ex).0, Acquire::Granted);
+    lt.set_adaptive(t1, o1.page);
+    lt.set_adaptive(t2, o2.page);
+    let mut h = lt.adaptive_holders(o1.page);
+    h.sort();
+    assert_eq!(h, vec![t1, t2]);
+}
+
+#[test]
+fn ex_object_holders_on_page_lists_only_that_page() {
+    let mut lt = LockTable::new();
+    let (t1, t2) = (txn(1, 1), txn(1, 2));
+    assert_eq!(lt.acquire(t1, obj(9, 2).into(), LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, obj(9, 5).into(), LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t1, obj(8, 1).into(), LockMode::Ex).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, obj(9, 6).into(), LockMode::Sh).0, Acquire::Granted);
+    let mut got = lt.ex_object_holders_on_page(page(9));
+    got.sort();
+    assert_eq!(got, vec![(t1, obj(9, 2)), (t2, obj(9, 5))]);
+}
+
+#[test]
+fn try_acquire_does_not_queue() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    assert!(!lt.try_acquire_single(t2, x, LockMode::Ex));
+    assert!(lt.try_acquire_single(t2, x, LockMode::Sh));
+    // Nothing queued: releasing t1 grants nobody.
+    assert!(lt.release_all(t1).grants.is_empty());
+}
+
+#[test]
+fn release_one_is_counted() {
+    let mut lt = LockTable::new();
+    let t = txn(1, 1);
+    let p = LockableId::Page(page(4));
+    // Two callback threads of the same txn take IX on the same page.
+    let (a, _) = lt.acquire_single(t, p, LockMode::Ix);
+    assert_eq!(a, Acquire::Granted);
+    let (a, _) = lt.acquire_single(t, p, LockMode::Ix);
+    assert_eq!(a, Acquire::Granted);
+    lt.release_one(t, p);
+    assert_eq!(lt.held_mode(t, p), Some(LockMode::Ix));
+    lt.release_one(t, p);
+    assert_eq!(lt.held_mode(t, p), None);
+}
+
+#[test]
+fn blocked_single_acquire_reports_conflicts() {
+    let mut lt = LockTable::new();
+    let x = LockableId::from(obj(1, 0));
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    assert_eq!(lt.acquire(t1, x, LockMode::Sh).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, x, LockMode::Sh).0, Acquire::Granted);
+    let _ = wait(lt.acquire_single(t3, x, LockMode::Ex).0);
+    let mut c = lt.conflicting_holders(x, LockMode::Ex, t3);
+    c.sort();
+    assert_eq!(c, vec![(t1, LockMode::Sh), (t2, LockMode::Sh)]);
+}
+
+#[test]
+fn hierarchical_wait_resumes_down_the_path() {
+    let mut lt = LockTable::new();
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    let o = obj(5, 3);
+    let f = LockableId::File(o.page.file);
+    // t1 holds an EX FILE lock: t2's object request must wait at the file
+    // level (intention IX vs EX) and then proceed down to the object.
+    assert_eq!(lt.acquire(t1, f, LockMode::Ex).0, Acquire::Granted);
+    let tk = wait(lt.acquire(t2, o.into(), LockMode::Sh).0);
+    let out = lt.release_all(t1);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tk);
+    assert_eq!(out.grants[0].id, LockableId::from(o));
+    assert_eq!(lt.held_mode(t2, o.into()), Some(LockMode::Sh));
+    assert_eq!(lt.held_mode(t2, f), Some(LockMode::Is));
+}
+
+#[test]
+fn hierarchical_wait_can_block_twice() {
+    let mut lt = LockTable::new();
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    let o = obj(5, 3);
+    let f = LockableId::File(o.page.file);
+    // t1 holds EX on the file; t3 holds EX on the object (via force grant
+    // so it has no file lock — simulating a replicated lock).
+    assert_eq!(lt.acquire(t1, f, LockMode::Ex).0, Acquire::Granted);
+    lt.force_grant(t3, o.into(), LockMode::Ex);
+    let tk = wait(lt.acquire(t2, o.into(), LockMode::Sh).0);
+    // Releasing the file lets t2 descend... into the object wait.
+    let out = lt.release_all(t1);
+    assert!(out.grants.is_empty(), "t2 should still be waiting at the object");
+    let out = lt.release_all(t3);
+    assert_eq!(out.grants.len(), 1);
+    assert_eq!(out.grants[0].ticket, tk);
+}
+
+#[test]
+fn six_holder_allows_is_but_not_ix() {
+    let mut lt = LockTable::new();
+    let (t1, t2, t3) = (txn(1, 1), txn(2, 2), txn(3, 3));
+    let f = LockableId::File(FileId::new(VolId(0), 1));
+    assert_eq!(lt.acquire(t1, f, LockMode::Six).0, Acquire::Granted);
+    assert_eq!(lt.acquire(t2, f, LockMode::Is).0, Acquire::Granted);
+    let _ = wait(lt.acquire(t3, f, LockMode::Ix).0);
+    lt.assert_consistent();
+}
+
+#[test]
+fn downgrade_six_to_ix_releases_readers() {
+    let mut lt = LockTable::new();
+    let (t1, t2) = (txn(1, 1), txn(2, 2));
+    let f = LockableId::File(FileId::new(VolId(0), 1));
+    assert_eq!(lt.acquire(t1, f, LockMode::Six).0, Acquire::Granted);
+    let tk = wait(lt.acquire(t2, f, LockMode::Ix).0);
+    lt.downgrade(t1, f, LockMode::Ix);
+    let grants = lt.rescan(f);
+    assert_eq!(grants.len(), 1);
+    assert_eq!(grants[0].ticket, tk);
+    lt.assert_consistent();
+}

@@ -1,0 +1,20 @@
+use pscc_common::Protocol;
+use pscc_sim::experiment::{paper_spec, run_point, Figure};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
+        let spec = paper_spec(Figure::Fig6, proto, 0.2);
+        let p = run_point(&spec);
+        println!(
+            "Fig6 {proto} wp=0.2: {:.2} txn/s commits={} aborts={} msgs={} cb={} adaptive={} deesc={} io={}r/{}w hits={:.2}%",
+            p.report.throughput, p.report.commits, p.report.aborts,
+            p.report.counters.msgs_sent, p.report.counters.callbacks_sent,
+            p.report.counters.adaptive_grants, p.report.counters.deescalations,
+            p.report.counters.disk_reads, p.report.counters.disk_writes,
+            100.0 * p.report.counters.cache_hits as f64
+                / (p.report.counters.cache_hits + p.report.counters.cache_misses).max(1) as f64,
+        );
+    }
+    println!("elapsed: {:?}", t0.elapsed());
+}

@@ -1,0 +1,306 @@
+//! The application driver: one state machine per application program.
+//!
+//! Each application creates and executes transactions one after another
+//! (paper §5.1); a transaction is a string of object references, read
+//! first and then possibly updated, with `PerObjProc` of application CPU
+//! after each access (doubled for updates — we charge it once after the
+//! read and once more after the update). When a transaction aborts it is
+//! re-executed with the same reference string.
+
+use crate::workload::WorkloadSpec;
+use pscc_common::{AppId, Oid, SiteId, SystemConfig, TxnId, VolId};
+use pscc_core::{AppOp, AppReply, AppRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generated reference string (re-used verbatim on abort).
+pub type TxnScript = Vec<(Oid, bool)>;
+
+/// What the driver wants the simulator to do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverAction {
+    /// Submit this request to the application's local peer server.
+    Submit(AppRequest),
+    /// Consume application CPU (think time), then call
+    /// [`AppDriver::after_think`].
+    Think,
+    /// Nothing right now (waiting for a reply).
+    Idle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    NeedBegin,
+    /// About to read access `i`.
+    Read(usize),
+    /// About to update access `i` (its read completed).
+    Write(usize),
+    /// All accesses done.
+    Commit,
+}
+
+/// One application program.
+#[derive(Debug)]
+pub struct AppDriver {
+    /// The application id (unique across the system).
+    pub app: AppId,
+    /// The site it runs at.
+    pub site: SiteId,
+    workload: WorkloadSpec,
+    cfg: SystemConfig,
+    rng: StdRng,
+    vol_of: fn(u32, &pscc_core::OwnerMap) -> VolId,
+    owners: pscc_core::OwnerMap,
+    script: TxnScript,
+    phase: Phase,
+    txn: Option<TxnId>,
+    /// Committed transactions so far.
+    pub commits: u64,
+    /// Aborted attempts so far.
+    pub aborts: u64,
+    /// Set while a think-task is pending; the next submit happens in
+    /// `after_think`.
+    thinking: bool,
+}
+
+fn vol_of_page(page: u32, owners: &pscc_core::OwnerMap) -> VolId {
+    let pid = pscc_common::PageId::new(
+        pscc_common::FileId::new(VolId(0), 0),
+        page,
+    );
+    // Owner volumes are `VolId(owning site)`; resolve through the map.
+    VolId(owners.owner(pid).0)
+}
+
+impl AppDriver {
+    /// Creates an application at `site` generating `workload`.
+    pub fn new(
+        app: AppId,
+        site: SiteId,
+        workload: WorkloadSpec,
+        cfg: SystemConfig,
+        owners: pscc_core::OwnerMap,
+        seed: u64,
+    ) -> Self {
+        let mut d = AppDriver {
+            app,
+            site,
+            workload,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            vol_of: vol_of_page,
+            owners,
+            script: Vec::new(),
+            phase: Phase::NeedBegin,
+            txn: None,
+            commits: 0,
+            aborts: 0,
+            thinking: false,
+        };
+        d.new_script();
+        d
+    }
+
+    fn new_script(&mut self) {
+        let app_no = self.app.0;
+        let owners = self.owners.clone();
+        let vol = |p: u32| (self.vol_of)(p, &owners);
+        self.script = self
+            .workload
+            .generate(app_no, &self.cfg, vol, &mut self.rng);
+        if self.script.is_empty() {
+            // Degenerate config: at least touch one object.
+            let v = vol_of_page(0, &self.owners);
+            self.script.push((
+                Oid::new(
+                    pscc_common::PageId::new(pscc_common::FileId::new(v, 0), 0),
+                    0,
+                ),
+                false,
+            ));
+        }
+    }
+
+    /// The first action (call once at start).
+    pub fn start(&mut self) -> DriverAction {
+        DriverAction::Submit(AppRequest {
+            app: self.app,
+            txn: None,
+            op: AppOp::Begin,
+        })
+    }
+
+    fn op_for(&self, phase: Phase) -> Option<AppOp> {
+        match phase {
+            Phase::Read(i) => Some(AppOp::Read(self.script[i].0)),
+            Phase::Write(i) => Some(AppOp::Write {
+                oid: self.script[i].0,
+                bytes: None,
+            }),
+            Phase::Commit => Some(AppOp::Commit),
+            Phase::NeedBegin => Some(AppOp::Begin),
+        }
+    }
+
+    fn submit_current(&self) -> DriverAction {
+        match self.op_for(self.phase) {
+            Some(AppOp::Begin) => DriverAction::Submit(AppRequest {
+                app: self.app,
+                txn: None,
+                op: AppOp::Begin,
+            }),
+            Some(op) => DriverAction::Submit(AppRequest {
+                app: self.app,
+                txn: self.txn,
+                op,
+            }),
+            None => DriverAction::Idle,
+        }
+    }
+
+    /// Processes a reply addressed to this application; returns the next
+    /// action.
+    pub fn on_reply(&mut self, reply: &AppReply) -> DriverAction {
+        match reply {
+            AppReply::Started { txn, .. } => {
+                self.txn = Some(*txn);
+                self.phase = Phase::Read(0);
+                self.submit_current()
+            }
+            AppReply::Done { .. } => {
+                // Charge think time after every completed access; the
+                // next step is decided in `after_think`.
+                match self.phase {
+                    Phase::Read(_) | Phase::Write(_) => {
+                        self.thinking = true;
+                        DriverAction::Think
+                    }
+                    // Explicit-lock ops (unused here) or stray replies.
+                    _ => self.submit_current(),
+                }
+            }
+            AppReply::Committed { .. } => {
+                self.commits += 1;
+                self.txn = None;
+                self.phase = Phase::NeedBegin;
+                self.new_script();
+                self.submit_current()
+            }
+            AppReply::Aborted { .. } => {
+                self.aborts += 1;
+                self.txn = None;
+                self.phase = Phase::NeedBegin;
+                self.thinking = false;
+                // Same script, re-executed (paper §5.1).
+                self.submit_current()
+            }
+        }
+    }
+
+    /// The pending think-time elapsed: advance to the next access.
+    pub fn after_think(&mut self) -> DriverAction {
+        if !self.thinking {
+            return DriverAction::Idle; // txn aborted mid-think
+        }
+        self.thinking = false;
+        self.phase = match self.phase {
+            Phase::Read(i) if self.script[i].1 => Phase::Write(i),
+            Phase::Read(i) | Phase::Write(i) => {
+                if i + 1 < self.script.len() {
+                    Phase::Read(i + 1)
+                } else {
+                    Phase::Commit
+                }
+            }
+            p => p,
+        };
+        self.submit_current()
+    }
+
+    /// The transaction currently being executed, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadKind, WorkloadSpec};
+    use pscc_core::OwnerMap;
+
+    fn driver() -> AppDriver {
+        let cfg = SystemConfig::small();
+        let w = WorkloadSpec::paper(WorkloadKind::Uniform, 0.5, false).scaled(25);
+        AppDriver::new(
+            AppId(0),
+            SiteId(1),
+            w,
+            cfg,
+            OwnerMap::Single(SiteId(0)),
+            9,
+        )
+    }
+
+    #[test]
+    fn walks_read_think_write_think_commit() {
+        let mut d = driver();
+        let a = d.start();
+        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        let txn = TxnId::new(SiteId(1), 1);
+        let a = d.on_reply(&AppReply::Started { app: AppId(0), txn });
+        let first_is_read = matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Read(_), .. }));
+        assert!(first_is_read, "got {a:?}");
+        // Read done -> think.
+        let a = d.on_reply(&AppReply::Done { app: AppId(0), txn, data: None });
+        assert_eq!(a, DriverAction::Think);
+        // After think: either a write of the same object or next read.
+        let a = d.after_think();
+        assert!(matches!(a, DriverAction::Submit(_)));
+    }
+
+    #[test]
+    fn abort_reexecutes_same_script() {
+        let mut d = driver();
+        let script = d.script.clone();
+        let txn = TxnId::new(SiteId(1), 1);
+        d.on_reply(&AppReply::Started { app: AppId(0), txn });
+        d.on_reply(&AppReply::Aborted {
+            app: AppId(0),
+            txn,
+            reason: pscc_common::AbortReason::Deadlock,
+        });
+        assert_eq!(d.script, script, "script must be preserved on abort");
+        assert_eq!(d.aborts, 1);
+    }
+
+    #[test]
+    fn commit_generates_new_script() {
+        let mut d = driver();
+        let script = d.script.clone();
+        let txn = TxnId::new(SiteId(1), 1);
+        d.on_reply(&AppReply::Started { app: AppId(0), txn });
+        let a = d.on_reply(&AppReply::Committed { app: AppId(0), txn });
+        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        assert_ne!(d.script, script, "a new script should be generated");
+        assert_eq!(d.commits, 1);
+    }
+
+    #[test]
+    fn unsolicited_abort_mid_think_goes_idle() {
+        let mut d = driver();
+        let txn = TxnId::new(SiteId(1), 1);
+        d.on_reply(&AppReply::Started { app: AppId(0), txn });
+        let a = d.on_reply(&AppReply::Done { app: AppId(0), txn, data: None });
+        assert_eq!(a, DriverAction::Think);
+        // Abort lands while thinking: the driver restarts...
+        let a = d.on_reply(&AppReply::Aborted {
+            app: AppId(0),
+            txn,
+            reason: pscc_common::AbortReason::LockTimeout,
+        });
+        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        // ...and the stale think completion is ignored.
+        assert_eq!(d.after_think(), DriverAction::Idle);
+    }
+}

@@ -1,0 +1,314 @@
+//! The discrete-event simulator: per-site CPUs with FCFS task queues,
+//! per-site data and log disks, a fixed-latency network, and the
+//! application drivers — all wired to real [`PeerServer`] engines.
+
+use crate::cost::CostModel;
+use crate::driver::{AppDriver, DriverAction};
+use pscc_common::{AppId, Counters, SimDuration, SimTime, SiteId, SystemConfig};
+use pscc_core::{AppReply, DiskOp, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug)]
+enum Event {
+    /// A CPU finished its current task.
+    CpuDone {
+        site: usize,
+        after: Option<AppId>,
+    },
+    /// A message arrives at `site`.
+    Deliver {
+        site: usize,
+        from: SiteId,
+        msg: Message,
+    },
+    /// A disk request completed.
+    DiskDone { site: usize, req: DiskReqId },
+    /// A timer fired.
+    Timer { site: usize, timer: TimerId },
+}
+
+struct HeapItem {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug)]
+enum Task {
+    Input(Input),
+    Think(AppId),
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    busy: bool,
+    queue: VecDeque<Task>,
+}
+
+#[derive(Debug, Default)]
+struct Disk {
+    busy_until: SimTime,
+}
+
+/// Results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Committed transactions per second over the measurement window.
+    pub throughput: f64,
+    /// Commits inside the window.
+    pub commits: u64,
+    /// Aborted attempts inside the window.
+    pub aborts: u64,
+    /// Virtual measurement window length (seconds).
+    pub window_secs: f64,
+    /// Engine counters summed over all sites (whole run).
+    pub counters: Counters,
+}
+
+/// A complete simulated system.
+pub struct Simulation {
+    cost: CostModel,
+    sites: Vec<PeerServer>,
+    apps: Vec<AppDriver>,
+    cpus: Vec<Cpu>,
+    data_disks: Vec<Disk>,
+    log_disks: Vec<Disk>,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<HeapItem>,
+}
+
+impl Simulation {
+    /// Builds a system of `n_sites` peer servers with the given drivers.
+    /// Each driver's `site` indexes into the site vector.
+    pub fn new(
+        cfg: SystemConfig,
+        owners: OwnerMap,
+        n_sites: u32,
+        apps: Vec<AppDriver>,
+        cost: CostModel,
+    ) -> Self {
+        let sites: Vec<PeerServer> = (0..n_sites)
+            .map(|i| PeerServer::new(SiteId(i), cfg.clone(), owners.clone()))
+            .collect();
+        let cpus = (0..n_sites).map(|_| Cpu::default()).collect();
+        let data_disks = (0..n_sites).map(|_| Disk::default()).collect();
+        let log_disks = (0..n_sites).map(|_| Disk::default()).collect();
+        Simulation {
+            cost,
+            sites,
+            apps,
+            cpus,
+            data_disks,
+            log_disks,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.events.push(HeapItem {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    fn push_task(&mut self, site: usize, task: Task) {
+        self.cpus[site].queue.push_back(task);
+        if !self.cpus[site].busy {
+            self.run_next_task(site);
+        }
+    }
+
+    /// Pops and executes the next task on `site`'s CPU; schedules the
+    /// CpuDone.
+    fn run_next_task(&mut self, site: usize) {
+        let Some(task) = self.cpus[site].queue.pop_front() else {
+            self.cpus[site].busy = false;
+            return;
+        };
+        self.cpus[site].busy = true;
+        match task {
+            Task::Input(input) => {
+                let mut cost = self.cost.handle_cpu;
+                if let Input::Msg { msg, .. } = &input {
+                    cost += self.cost.msg_cpu(msg); // receive side
+                }
+                let now = self.now;
+                let outputs = self.sites[site].handle(now, input);
+                // Send costs extend this task; effects take place at end.
+                let mut send_cost = SimDuration::ZERO;
+                for o in &outputs {
+                    if let Output::Send { msg, .. } = o {
+                        send_cost += self.cost.msg_cpu(msg);
+                    }
+                }
+                let end = self.now + cost + send_cost;
+                self.apply_outputs(site, outputs, end);
+                self.schedule(end, Event::CpuDone { site, after: None });
+            }
+            Task::Think(app) => {
+                let end = self.now + self.cost.per_obj_proc;
+                self.schedule(end, Event::CpuDone { site, after: Some(app) });
+            }
+        }
+    }
+
+    fn apply_outputs(&mut self, site: usize, outputs: Vec<Output>, end: SimTime) {
+        for o in outputs {
+            match o {
+                Output::Send { to, msg } => {
+                    let at = end + self.cost.msg_latency;
+                    self.schedule(
+                        at,
+                        Event::Deliver {
+                            site: to.0 as usize,
+                            from: SiteId(site as u32),
+                            msg,
+                        },
+                    );
+                }
+                Output::Disk { req, op } => {
+                    let (disk, service) = match op {
+                        DiskOp::WriteLog => (&mut self.log_disks[site], self.cost.log_io),
+                        _ => (&mut self.data_disks[site], self.cost.disk_io),
+                    };
+                    let start = disk.busy_until.max(end);
+                    disk.busy_until = start + service;
+                    let done_at = disk.busy_until;
+                    self.schedule(done_at, Event::DiskDone { site, req });
+                }
+                Output::ArmTimer { timer, delay } => {
+                    self.schedule(end + delay, Event::Timer { site, timer });
+                }
+                Output::App(reply) => self.route_reply(site, reply),
+            }
+        }
+    }
+
+    fn route_reply(&mut self, site: usize, reply: AppReply) {
+        let app_idx = reply.app().0 as usize;
+        let action = self.apps[app_idx].on_reply(&reply);
+        self.run_action(site, app_idx, action);
+    }
+
+    fn run_action(&mut self, site: usize, app_idx: usize, action: DriverAction) {
+        match action {
+            DriverAction::Submit(req) => {
+                self.push_task(site, Task::Input(Input::App(req)));
+            }
+            DriverAction::Think => {
+                let app = self.apps[app_idx].app;
+                self.push_task(site, Task::Think(app));
+            }
+            DriverAction::Idle => {}
+        }
+    }
+
+    /// Runs the simulation: `warmup` of settling, then a measurement
+    /// window until `end`. Returns the report.
+    pub fn run(&mut self, warmup: SimDuration, end: SimDuration) -> SimReport {
+        // Kick off every application.
+        for i in 0..self.apps.len() {
+            let site = self.apps[i].site.0 as usize;
+            let action = self.apps[i].start();
+            self.run_action(site, i, action);
+        }
+        let warmup_at = SimTime::ZERO + warmup;
+        let end_at = SimTime::ZERO + end;
+        let mut commits_at_warmup = vec![0u64; self.apps.len()];
+        let mut aborts_at_warmup = vec![0u64; self.apps.len()];
+        let mut snapped = false;
+
+        while let Some(item) = self.events.pop() {
+            if item.at > end_at {
+                break;
+            }
+            self.now = item.at;
+            if !snapped && self.now >= warmup_at {
+                for (i, a) in self.apps.iter().enumerate() {
+                    commits_at_warmup[i] = a.commits;
+                    aborts_at_warmup[i] = a.aborts;
+                }
+                snapped = true;
+            }
+            match item.event {
+                Event::CpuDone { site, after } => {
+                    if let Some(app) = after {
+                        let idx = app.0 as usize;
+                        let action = self.apps[idx].after_think();
+                        self.run_action(site, idx, action);
+                    }
+                    self.run_next_task(site);
+                }
+                Event::Deliver { site, from, msg } => {
+                    self.push_task(site, Task::Input(Input::Msg { from, msg }));
+                }
+                Event::DiskDone { site, req } => {
+                    self.push_task(site, Task::Input(Input::DiskDone { req }));
+                }
+                Event::Timer { site, timer } => {
+                    self.push_task(site, Task::Input(Input::TimerFired { timer }));
+                }
+            }
+        }
+        if !snapped {
+            for (i, a) in self.apps.iter().enumerate() {
+                commits_at_warmup[i] = a.commits;
+                aborts_at_warmup[i] = a.aborts;
+            }
+        }
+        let commits: u64 = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.commits - commits_at_warmup[i])
+            .sum();
+        let aborts: u64 = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.aborts - aborts_at_warmup[i])
+            .sum();
+        let window_secs = (end.saturating_sub(warmup)).as_secs_f64().max(1e-9);
+        SimReport {
+            throughput: commits as f64 / window_secs,
+            commits,
+            aborts,
+            window_secs,
+            counters: Counters::total(self.sites.iter().map(|s| s.stats)),
+        }
+    }
+
+    /// Access to the peer servers (inspection after a run).
+    pub fn sites(&self) -> &[PeerServer] {
+        &self.sites
+    }
+
+    /// Access to the applications (inspection after a run).
+    pub fn apps(&self) -> &[AppDriver] {
+        &self.apps
+    }
+}

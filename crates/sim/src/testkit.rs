@@ -1,0 +1,322 @@
+//! A small, deterministic, in-process cluster for examples, integration
+//! tests, and interactive exploration — the synchronous counterpart of
+//! the discrete-event [`Simulation`](crate::Simulation).
+//!
+//! Messages travel over a seeded [`pscc_net::SeededNet`] with the
+//! production path discipline (client→owner traffic on one FIFO path;
+//! replies and callbacks on separate paths, so the §4.2.4 races remain
+//! possible); disks complete after a fixed latency; timers fire at their
+//! due times. All scheduling is driven by a seed, so every run is
+//! reproducible.
+
+use pscc_common::{AppId, PsccError, SimDuration, SimTime, SiteId, SystemConfig, TxnId};
+use pscc_core::{
+    AppOp, AppReply, AppRequest, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId,
+};
+use pscc_net::{PathId, SeededNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The path each message kind travels on (per-path FIFO; see crate docs).
+pub fn path_for(msg: &Message) -> PathId {
+    match msg {
+        Message::ReadReply { .. }
+        | Message::WriteGranted { .. }
+        | Message::LockGranted { .. }
+        | Message::ReqDenied { .. }
+        | Message::CommitOk { .. }
+        | Message::Voted { .. }
+        | Message::Decided { .. }
+        | Message::TxnAborted { .. } => PathId(1),
+        Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
+            PathId(2)
+        }
+        _ => PathId(0),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Sched {
+    Disk(u32, DiskReqId),
+    Timer(u32, TimerId),
+}
+
+/// A deterministic in-process cluster of peer servers.
+pub struct Cluster {
+    /// The peer servers, indexed by site id.
+    pub sites: Vec<PeerServer>,
+    /// The message pool (exposed for targeted race construction).
+    pub net: SeededNet<Message>,
+    rng: StdRng,
+    now: SimTime,
+    sched: BinaryHeap<(Reverse<SimTime>, Sched)>,
+    replies: Vec<(SiteId, AppReply)>,
+    disk_latency: SimDuration,
+}
+
+impl Cluster {
+    /// Builds `n` sites with the given configuration and data placement.
+    pub fn new(n: u32, cfg: SystemConfig, owners: OwnerMap, seed: u64) -> Self {
+        let sites = (0..n)
+            .map(|i| PeerServer::new(SiteId(i), cfg.clone(), owners.clone()))
+            .collect();
+        Cluster {
+            sites,
+            net: SeededNet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            sched: BinaryHeap::new(),
+            replies: Vec::new(),
+            disk_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn run_outputs(&mut self, site: SiteId, outs: Vec<Output>) {
+        for o in outs {
+            match o {
+                Output::Send { to, msg } => {
+                    let path = path_for(&msg);
+                    self.net.send(site, to, path, msg);
+                }
+                Output::Disk { req, .. } => {
+                    self.sched
+                        .push((Reverse(self.now + self.disk_latency), Sched::Disk(site.0, req)));
+                }
+                Output::ArmTimer { timer, delay } => {
+                    self.sched
+                        .push((Reverse(self.now + delay), Sched::Timer(site.0, timer)));
+                }
+                Output::App(reply) => self.replies.push((site, reply)),
+            }
+        }
+    }
+
+    /// Submits an application request without waiting.
+    pub fn submit(&mut self, site: SiteId, app: AppId, txn: Option<TxnId>, op: AppOp) {
+        let now = self.now;
+        let outs = self.sites[site.0 as usize].handle(now, Input::App(AppRequest { app, txn, op }));
+        self.run_outputs(site, outs);
+    }
+
+    /// Delivers one pending message (seeded choice) or the earliest
+    /// scheduled disk/timer event. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        if let Some(env) = self.net.deliver_next(&mut self.rng) {
+            let now = self.now;
+            let outs = self.sites[env.to.0 as usize].handle(
+                now,
+                Input::Msg {
+                    from: env.from,
+                    msg: env.msg,
+                },
+            );
+            self.run_outputs(env.to, outs);
+            return true;
+        }
+        if let Some((Reverse(t), ev)) = self.sched.pop() {
+            self.now = self.now.max(t);
+            let now = self.now;
+            match ev {
+                Sched::Disk(s, req) => {
+                    let outs = self.sites[s as usize].handle(now, Input::DiskDone { req });
+                    self.run_outputs(SiteId(s), outs);
+                }
+                Sched::Timer(s, timer) => {
+                    let outs = self.sites[s as usize].handle(now, Input::TimerFired { timer });
+                    self.run_outputs(SiteId(s), outs);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Runs until no messages or disk completions remain (unfired timers
+    /// are left pending — they only matter for timeout scenarios).
+    pub fn pump(&mut self) {
+        for _ in 0..500_000 {
+            if self.net.is_empty() {
+                let only_timers = self
+                    .sched
+                    .iter()
+                    .all(|(_, e)| matches!(e, Sched::Timer(..)));
+                if only_timers {
+                    return;
+                }
+            }
+            if !self.step() {
+                return;
+            }
+        }
+        panic!("cluster did not quiesce");
+    }
+
+    /// Runs until fully idle, letting timers fire (timeout scenarios).
+    pub fn pump_with_timers(&mut self) {
+        for _ in 0..500_000 {
+            if !self.step() {
+                return;
+            }
+        }
+        panic!("cluster did not quiesce");
+    }
+
+    /// Takes all application replies collected so far.
+    pub fn take_replies(&mut self) -> Vec<(SiteId, AppReply)> {
+        std::mem::take(&mut self.replies)
+    }
+
+    /// Pops the first reply addressed to `txn` at `site`, if any.
+    pub fn find_reply(&mut self, site: SiteId, txn: TxnId) -> Option<AppReply> {
+        let pos = self.replies.iter().position(|(s, r)| {
+            *s == site
+                && match r {
+                    AppReply::Done { txn: t, .. }
+                    | AppReply::Committed { txn: t, .. }
+                    | AppReply::Aborted { txn: t, .. } => *t == txn,
+                    AppReply::Started { .. } => false,
+                }
+        })?;
+        Some(self.replies.remove(pos).1)
+    }
+
+    /// Begins a transaction at `site` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not answer (cannot happen for `Begin`).
+    pub fn begin(&mut self, site: SiteId, app: AppId) -> TxnId {
+        self.submit(site, app, None, AppOp::Begin);
+        self.pump();
+        let pos = self
+            .replies
+            .iter()
+            .position(|(s, r)| *s == site && matches!(r, AppReply::Started { app: a, .. } if *a == app))
+            .expect("Begin must answer");
+        match self.replies.remove(pos).1 {
+            AppReply::Started { txn, .. } => txn,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Runs one operation to completion and returns its terminal reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsccError::Aborted`] if the transaction aborted instead
+    /// of completing the operation.
+    pub fn run_op(
+        &mut self,
+        site: SiteId,
+        app: AppId,
+        txn: TxnId,
+        op: AppOp,
+    ) -> Result<AppReply, PsccError> {
+        self.submit(site, app, Some(txn), op);
+        self.pump();
+        match self.find_reply(site, txn) {
+            Some(AppReply::Aborted { txn, reason, .. }) => {
+                Err(PsccError::Aborted { txn, reason })
+            }
+            Some(r) => Ok(r),
+            None => {
+                // Blocked on a lock: let timers resolve it.
+                self.pump_with_timers();
+                match self.find_reply(site, txn) {
+                    Some(AppReply::Aborted { txn, reason, .. }) => {
+                        Err(PsccError::Aborted { txn, reason })
+                    }
+                    Some(r) => Ok(r),
+                    None => Err(PsccError::InvalidOperation("operation never completed")),
+                }
+            }
+        }
+    }
+
+    /// Reads an object's bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts.
+    pub fn read(
+        &mut self,
+        site: SiteId,
+        app: AppId,
+        txn: TxnId,
+        oid: pscc_common::Oid,
+    ) -> Result<Vec<u8>, PsccError> {
+        match self.run_op(site, app, txn, AppOp::Read(oid))? {
+            AppReply::Done { data: Some(d), .. } => Ok(d),
+            _ => Err(PsccError::NoSuchObject(oid)),
+        }
+    }
+
+    /// Updates an object (synthesized version bump when `bytes` is
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts.
+    pub fn write(
+        &mut self,
+        site: SiteId,
+        app: AppId,
+        txn: TxnId,
+        oid: pscc_common::Oid,
+        bytes: Option<Vec<u8>>,
+    ) -> Result<(), PsccError> {
+        self.run_op(site, app, txn, AppOp::Write { oid, bytes })?;
+        Ok(())
+    }
+
+    /// Commits the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aborts.
+    pub fn commit(&mut self, site: SiteId, app: AppId, txn: TxnId) -> Result<(), PsccError> {
+        match self.run_op(site, app, txn, AppOp::Commit)? {
+            AppReply::Committed { .. } => Ok(()),
+            _ => Err(PsccError::InvalidOperation("commit did not commit")),
+        }
+    }
+
+    /// Sum of all sites' counters.
+    pub fn total_stats(&self) -> pscc_common::Counters {
+        pscc_common::Counters::total(self.sites.iter().map(|s| s.stats))
+    }
+}
+
+/// Extracts the version counter of a synthesized object (first 8 bytes).
+pub fn version_of(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().expect("at least 8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, Oid, PageId, VolId};
+
+    #[test]
+    fn end_to_end_roundtrip() {
+        let cfg = SystemConfig::small();
+        let mut c = Cluster::new(2, cfg, OwnerMap::Single(SiteId(0)), 5);
+        let t = c.begin(SiteId(1), AppId(0));
+        let oid = Oid::new(PageId::new(FileId::new(VolId(0), 0), 3), 1);
+        let v0 = c.read(SiteId(1), AppId(0), t, oid).unwrap();
+        assert_eq!(version_of(&v0), 0);
+        c.write(SiteId(1), AppId(0), t, oid, None).unwrap();
+        c.commit(SiteId(1), AppId(0), t).unwrap();
+        assert_eq!(
+            version_of(c.sites[0].volume().read_object(oid).unwrap()),
+            1
+        );
+    }
+}

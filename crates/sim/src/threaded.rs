@@ -1,0 +1,279 @@
+//! A real multithreaded harness: one OS thread per peer server,
+//! communicating over [`pscc_net::InProcNetwork`] with the production
+//! path discipline, real-time timers, and immediate disks. This is the
+//! deployment shape of paper Fig. 2 — preemptive sites with genuinely
+//! concurrent message handling — and the strongest validation that the
+//! engine's state machine is driven correctly from outside.
+//!
+//! Applications submit requests through per-site channels and receive
+//! replies the same way; everything else (timing, delivery order) is up
+//! to the operating system's scheduler, so runs are *not* deterministic —
+//! exactly the point.
+
+use crate::testkit::path_for;
+use pscc_common::{AppId, PsccError, SimTime, SiteId, SystemConfig, TxnId};
+use pscc_core::{AppOp, AppReply, AppRequest, Input, Message, Output, OwnerMap, PeerServer};
+use pscc_net::{InProcNetwork, Transport};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use crossbeam::channel as mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Commands a driver can send to a site thread.
+enum Cmd {
+    App(AppRequest),
+    /// Ask the site to report its counters.
+    Stats(mpsc::Sender<pscc_common::Counters>),
+}
+
+/// A cluster of peer servers, each on its own OS thread.
+pub struct ThreadedCluster {
+    cmd_tx: Vec<mpsc::Sender<Cmd>>,
+    reply_rx: Vec<mpsc::Receiver<AppReply>>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedCluster {
+    /// Spawns `n` peer servers on their own threads over in-process
+    /// channels.
+    pub fn new(n: u32, cfg: SystemConfig, owners: OwnerMap) -> Self {
+        let sites: Vec<SiteId> = (0..n).map(SiteId).collect();
+        let net = InProcNetwork::<Message>::new(&sites, 3);
+        Self::with_transports(
+            cfg,
+            owners,
+            sites.iter().map(|s| (*s, net.endpoint(*s))).collect(),
+        )
+    }
+
+    /// Spawns peer servers over real TCP sockets on localhost — the
+    /// full deployment stack: engine + codec frames + kernel TCP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if localhost listeners cannot be bound.
+    pub fn new_tcp(n: u32, cfg: SystemConfig, owners: OwnerMap) -> Self {
+        use std::collections::HashMap;
+        use std::net::{SocketAddr, TcpListener};
+        let sites: Vec<SiteId> = (0..n).map(SiteId).collect();
+        let addrs: Vec<SocketAddr> = sites
+            .iter()
+            .map(|_| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+                let a = l.local_addr().expect("addr");
+                drop(l);
+                a
+            })
+            .collect();
+        let transports = sites
+            .iter()
+            .map(|&s| {
+                let peers: HashMap<SiteId, SocketAddr> = sites
+                    .iter()
+                    .filter(|o| **o != s)
+                    .map(|o| (*o, addrs[o.0 as usize]))
+                    .collect();
+                let node = pscc_net::tcp::TcpNode::<Message>::start(
+                    s,
+                    addrs[s.0 as usize],
+                    peers,
+                )
+                .expect("tcp node");
+                (s, node)
+            })
+            .collect();
+        Self::with_transports(cfg, owners, transports)
+    }
+
+    /// Spawns the site threads over arbitrary transports.
+    pub fn with_transports<T: Transport<Message> + Send + 'static>(
+        cfg: SystemConfig,
+        owners: OwnerMap,
+        transports: Vec<(SiteId, T)>,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut cmd_tx = Vec::new();
+        let mut reply_rx = Vec::new();
+        let mut handles = Vec::new();
+        let start = Instant::now();
+
+        for (site, endpoint) in transports {
+            let (ctx, crx) = mpsc::unbounded::<Cmd>();
+            let (rtx, rrx) = mpsc::unbounded::<AppReply>();
+            cmd_tx.push(ctx);
+            reply_rx.push(rrx);
+            let cfg = cfg.clone();
+            let owners = owners.clone();
+            let stop = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || {
+                let mut engine = PeerServer::new(site, cfg, owners);
+                // (fire-at, timer) pairs, unsorted (few at a time).
+                let mut timers: Vec<(Instant, pscc_core::TimerId)> = Vec::new();
+                let mut pending: VecDeque<Input> = VecDeque::new();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Gather one input: pending first, then commands,
+                    // then network (with a short block), then due timers.
+                    let input = if let Some(i) = pending.pop_front() {
+                        Some(i)
+                    } else if let Ok(cmd) = crx.try_recv() {
+                        match cmd {
+                            Cmd::App(req) => Some(Input::App(req)),
+                            Cmd::Stats(tx) => {
+                                let _ = tx.send(engine.stats);
+                                continue;
+                            }
+                        }
+                    } else if let Some(env) =
+                        Transport::recv_timeout(&endpoint, Duration::from_micros(200))
+                    {
+                        Some(Input::Msg {
+                            from: env.from,
+                            msg: env.msg,
+                        })
+                    } else {
+                        let now = Instant::now();
+                        let due = timers.iter().position(|(at, _)| *at <= now);
+                        due.map(|i| {
+                            let (_, t) = timers.swap_remove(i);
+                            Input::TimerFired { timer: t }
+                        })
+                    };
+                    let Some(input) = input else { continue };
+                    let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+                    let outs = engine.handle(now, input);
+                    for o in outs {
+                        match o {
+                            Output::Send { to, msg } => {
+                                let path = path_for(&msg);
+                                Transport::send(&endpoint, to, path, msg);
+                            }
+                            Output::Disk { req, .. } => {
+                                // Immediate disks: storage is in memory.
+                                pending.push_back(Input::DiskDone { req });
+                            }
+                            Output::ArmTimer { timer, delay } => {
+                                timers.push((
+                                    Instant::now()
+                                        + Duration::from_micros(delay.as_micros()),
+                                    timer,
+                                ));
+                            }
+                            Output::App(reply) => {
+                                let _ = rtx.send(reply);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        ThreadedCluster {
+            cmd_tx,
+            reply_rx,
+            shutdown,
+            handles,
+        }
+    }
+
+    /// Submits an application request to `site` without waiting.
+    pub fn submit(&self, site: SiteId, app: AppId, txn: Option<TxnId>, op: AppOp) {
+        let _ = self.cmd_tx[site.0 as usize].send(Cmd::App(AppRequest { app, txn, op }));
+    }
+
+    /// Waits (up to 10 s wall time) for the next reply from `site`.
+    ///
+    /// # Errors
+    ///
+    /// [`PsccError::InvalidOperation`] on timeout.
+    pub fn recv_reply(&self, site: SiteId) -> Result<AppReply, PsccError> {
+        self.reply_rx[site.0 as usize]
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|_| PsccError::InvalidOperation("threaded cluster reply timeout"))
+    }
+
+    /// Begins a transaction at `site`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reply timeouts.
+    pub fn begin(&self, site: SiteId, app: AppId) -> Result<TxnId, PsccError> {
+        self.submit(site, app, None, AppOp::Begin);
+        loop {
+            match self.recv_reply(site)? {
+                AppReply::Started { txn, .. } => return Ok(txn),
+                _ => continue, // stale replies from earlier aborts
+            }
+        }
+    }
+
+    /// Runs one op to completion (retrying the receive past unrelated
+    /// replies).
+    ///
+    /// # Errors
+    ///
+    /// [`PsccError::Aborted`] when the transaction aborts instead.
+    pub fn run_op(
+        &self,
+        site: SiteId,
+        app: AppId,
+        txn: TxnId,
+        op: AppOp,
+    ) -> Result<AppReply, PsccError> {
+        self.submit(site, app, Some(txn), op);
+        loop {
+            match self.recv_reply(site)? {
+                AppReply::Aborted { txn: t, reason, .. } if t == txn => {
+                    return Err(PsccError::Aborted { txn: t, reason })
+                }
+                r @ (AppReply::Done { .. } | AppReply::Committed { .. }) => {
+                    let matches_txn = match &r {
+                        AppReply::Done { txn: t, .. } | AppReply::Committed { txn: t, .. } => {
+                            *t == txn
+                        }
+                        _ => false,
+                    };
+                    if matches_txn {
+                        return Ok(r);
+                    }
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Sums the counters of every site.
+    pub fn total_stats(&self) -> pscc_common::Counters {
+        let mut total = pscc_common::Counters::default();
+        for tx in &self.cmd_tx {
+            let (stx, srx) = mpsc::unbounded();
+            if tx.send(Cmd::Stats(stx)).is_ok() {
+                if let Ok(c) = srx.recv_timeout(Duration::from_secs(5)) {
+                    total += c;
+                }
+            }
+        }
+        total
+    }
+
+    /// Stops all site threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

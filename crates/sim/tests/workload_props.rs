@@ -1,0 +1,75 @@
+//! Property tests for the Table-2 workload generators.
+
+use proptest::prelude::*;
+use pscc_common::{SystemConfig, VolId};
+use pscc_sim::{WorkloadKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn kind(k: u8) -> WorkloadKind {
+    match k % 3 {
+        0 => WorkloadKind::HotCold,
+        1 => WorkloadKind::Uniform,
+        _ => WorkloadKind::HiCon,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated reference stays inside the database; transaction
+    /// lengths stay within the configured envelope; write fractions are
+    /// bounded by the configured probability envelope.
+    #[test]
+    fn generated_references_are_in_bounds(
+        k in 0u8..3,
+        wp in 0.0f64..0.6,
+        high in any::<bool>(),
+        app in 0u32..10,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SystemConfig::paper();
+        let w = WorkloadSpec::paper(kind(k), wp, high);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let refs = w.generate(app, &cfg, |_| VolId(0), &mut rng);
+        prop_assert!(!refs.is_empty());
+        for (oid, _) in &refs {
+            prop_assert!(oid.page.page < cfg.database_pages);
+            prop_assert!(oid.slot < cfg.objects_per_page);
+        }
+        // Length envelope: pages ∈ [T/2, 3T/2], objects/page within the
+        // locality range.
+        let (lo, hi) = w.page_locality;
+        let max_len = (w.trans_size + w.trans_size / 2) as usize * hi as usize;
+        let min_len = ((w.trans_size / 2).max(1)) as usize * lo.max(1) as usize;
+        prop_assert!(refs.len() >= min_len && refs.len() <= max_len,
+            "len {} outside [{min_len}, {max_len}]", refs.len());
+    }
+
+    /// Hot ranges respect per-workload semantics: disjoint for HOTCOLD,
+    /// shared for HICON, whole-DB for UNIFORM.
+    #[test]
+    fn hot_bounds_semantics(app1 in 0u32..10, app2 in 0u32..10) {
+        let db = 11_250;
+        let hc = WorkloadSpec::paper(WorkloadKind::HotCold, 0.1, false);
+        let a = hc.hot_bounds(app1, db);
+        let b = hc.hot_bounds(app2, db);
+        if app1 != app2 {
+            prop_assert!(a.end <= b.start || b.end <= a.start, "HOTCOLD ranges overlap");
+        }
+        let hi = WorkloadSpec::paper(WorkloadKind::HiCon, 0.1, false);
+        prop_assert_eq!(hi.hot_bounds(app1, db), hi.hot_bounds(app2, db));
+        let un = WorkloadSpec::paper(WorkloadKind::Uniform, 0.1, false);
+        prop_assert_eq!(un.hot_bounds(app1, db), 0..db);
+    }
+
+    /// Generation is deterministic in the seed.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let cfg = SystemConfig::paper();
+        let w = WorkloadSpec::paper(WorkloadKind::HotCold, 0.2, true);
+        let a = w.generate(3, &cfg, |_| VolId(0), &mut StdRng::seed_from_u64(seed));
+        let b = w.generate(3, &cfg, |_| VolId(0), &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,456 @@
+//! # pscc-wal
+//!
+//! The logging substrate for the paper's **redo-at-server** update
+//! propagation scheme (paper §3.3):
+//!
+//! * a client generates a [`LogRecord`] whenever it updates a cached
+//!   object, storing it in its local [`LogCache`];
+//! * log records are shipped to the owning server at commit (or earlier,
+//!   when a dirty page is evicted from the client cache);
+//! * the server's [`ServerLog`] assigns LSNs, and [`apply_redo`] installs
+//!   the updates into the server's copy of the data — re-reading pages
+//!   from disk when they are not resident (the cost the simulation
+//!   charges);
+//! * on abort, the server undoes already-shipped updates with
+//!   [`apply_undo`], and the client simply discards its log cache and
+//!   purges the updated objects (paper §3.3).
+//!
+//! Two-phase commit is represented by control records
+//! ([`LogPayload::Prepare`], [`LogPayload::Commit`], [`LogPayload::Abort`])
+//! whose forcing the engine charges as log-disk writes. Media recovery
+//! (full ARIES restart) is out of the measured scope — see DESIGN.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use pscc_wal::{LogCache, LogRecord};
+//! use pscc_common::{Oid, PageId, FileId, VolId, TxnId, SiteId};
+//!
+//! let txn = TxnId::new(SiteId(1), 1);
+//! let oid = Oid::new(PageId::new(FileId::new(VolId(0), 0), 3), 2);
+//! let mut cache = LogCache::new();
+//! cache.append(LogRecord::update(txn, oid, vec![0; 4], vec![1; 4]));
+//! assert_eq!(cache.drain_txn(txn).len(), 1);
+//! assert!(cache.drain_txn(txn).is_empty());
+//! ```
+
+use pscc_common::{Oid, PageId, PsccError, TxnId};
+use pscc_storage::Volume;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A log sequence number assigned by a server's log.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Lsn(pub u64);
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn{}", self.0)
+    }
+}
+
+/// What a log record describes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogPayload {
+    /// An object overwrite, with before- and after-images (the
+    /// before-image enables server-side undo of shipped-but-uncommitted
+    /// updates).
+    Update {
+        /// The updated object.
+        oid: Oid,
+        /// Its bytes before the update.
+        before: Vec<u8>,
+        /// Its bytes after the update.
+        after: Vec<u8>,
+    },
+    /// Object creation.
+    Create {
+        /// The new object's id.
+        oid: Oid,
+        /// Its initial bytes.
+        body: Vec<u8>,
+    },
+    /// Object deletion.
+    Delete {
+        /// The deleted object.
+        oid: Oid,
+        /// Its bytes before deletion (for undo).
+        before: Vec<u8>,
+    },
+    /// 2PC: participant is prepared.
+    Prepare,
+    /// Transaction commit.
+    Commit,
+    /// Transaction abort.
+    Abort,
+}
+
+impl LogPayload {
+    /// The page a data payload touches (`None` for control records).
+    pub fn page(&self) -> Option<PageId> {
+        match self {
+            LogPayload::Update { oid, .. }
+            | LogPayload::Create { oid, .. }
+            | LogPayload::Delete { oid, .. } => Some(oid.page),
+            _ => None,
+        }
+    }
+}
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// The transaction that generated it.
+    pub txn: TxnId,
+    /// What it describes.
+    pub payload: LogPayload,
+}
+
+impl LogRecord {
+    /// Builds an update record.
+    pub fn update(txn: TxnId, oid: Oid, before: Vec<u8>, after: Vec<u8>) -> Self {
+        LogRecord {
+            txn,
+            payload: LogPayload::Update { oid, before, after },
+        }
+    }
+
+    /// Approximate wire size in bytes (network cost model).
+    pub fn wire_size(&self) -> usize {
+        24 + match &self.payload {
+            LogPayload::Update { before, after, .. } => before.len() + after.len(),
+            LogPayload::Create { body, .. } => body.len(),
+            LogPayload::Delete { before, .. } => before.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A client-side log cache: records accumulate per transaction and are
+/// shipped at commit, or earlier for a page being evicted while dirty.
+#[derive(Debug, Clone, Default)]
+pub struct LogCache {
+    records: Vec<LogRecord>,
+}
+
+impl LogCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, rec: LogRecord) {
+        self.records.push(rec);
+    }
+
+    /// Removes and returns all records of `txn`, in append order
+    /// (commit-time shipping).
+    pub fn drain_txn(&mut self, txn: TxnId) -> Vec<LogRecord> {
+        let (take, keep): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.records).into_iter().partition(|r| r.txn == txn);
+        self.records = keep;
+        take
+    }
+
+    /// Removes and returns all records touching `page` (early shipping on
+    /// dirty-page eviction, paper §3.3).
+    pub fn drain_page(&mut self, page: PageId) -> Vec<LogRecord> {
+        let (take, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.records)
+            .into_iter()
+            .partition(|r| r.payload.page() == Some(page));
+        self.records = keep;
+        take
+    }
+
+    /// Discards all records of `txn` (client-side abort, paper §3.3:
+    /// "when a transaction aborts, it deletes its log records from the
+    /// log cache").
+    pub fn discard_txn(&mut self, txn: TxnId) {
+        self.records.retain(|r| r.txn != txn);
+    }
+
+    /// Records currently cached (diagnostics).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Pages with cached records for `txn` (used at commit to know what
+    /// to mark clean).
+    pub fn pages_of(&self, txn: TxnId) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self
+            .records
+            .iter()
+            .filter(|r| r.txn == txn)
+            .filter_map(|r| r.payload.page())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// The server-side log: assigns LSNs, tracks durability, and remembers
+/// applied-but-uncommitted records per transaction so they can be undone
+/// on abort.
+#[derive(Debug, Default)]
+pub struct ServerLog {
+    next_lsn: u64,
+    durable_lsn: u64,
+    /// Applied data records of in-flight transactions, append order.
+    in_flight: HashMap<TxnId, Vec<LogRecord>>,
+}
+
+impl ServerLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, returning its LSN. Data records are remembered
+    /// for possible undo until [`ServerLog::end_txn`].
+    pub fn append(&mut self, rec: LogRecord) -> Lsn {
+        self.next_lsn += 1;
+        let lsn = Lsn(self.next_lsn);
+        match rec.payload {
+            LogPayload::Update { .. } | LogPayload::Create { .. } | LogPayload::Delete { .. } => {
+                self.in_flight.entry(rec.txn).or_default().push(rec);
+            }
+            _ => {}
+        }
+        lsn
+    }
+
+    /// Forces the log to disk; returns `true` if anything needed writing
+    /// (i.e. the engine should charge one log-disk I/O).
+    pub fn force(&mut self) -> bool {
+        if self.durable_lsn < self.next_lsn {
+            self.durable_lsn = self.next_lsn;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The applied-but-unfinished records of `txn` (undo candidates).
+    pub fn in_flight_of(&self, txn: TxnId) -> &[LogRecord] {
+        self.in_flight.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Forgets `txn`'s in-flight records (commit), or returns them in
+    /// reverse order for undo (abort).
+    pub fn end_txn(&mut self, txn: TxnId, abort: bool) -> Vec<LogRecord> {
+        let mut recs = self.in_flight.remove(&txn).unwrap_or_default();
+        if abort {
+            recs.reverse();
+            recs
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Highest assigned LSN.
+    pub fn current_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn)
+    }
+}
+
+/// Applies one record's redo (after-image) to the volume — the server
+/// "redoes the operations indicated by the log records in order to
+/// install the updates" (paper §3.3).
+///
+/// # Errors
+///
+/// Propagates storage errors (missing page/object, page full).
+pub fn apply_redo(vol: &mut Volume, rec: &LogRecord) -> Result<(), PsccError> {
+    match &rec.payload {
+        LogPayload::Update { oid, after, .. } => vol.write_object(*oid, after),
+        LogPayload::Create { oid, body } => {
+            // Creation targeted a specific slot at the client; recreate at
+            // the same slot if free, otherwise the home page decides.
+            match vol.read_object(*oid) {
+                Some(_) => vol.write_object(*oid, body),
+                None => {
+                    let got = vol.create_object(oid.page, body)?;
+                    debug_assert_eq!(got.slot, oid.slot, "slot allocation diverged");
+                    Ok(())
+                }
+            }
+        }
+        LogPayload::Delete { oid, .. } => vol.delete_object(*oid),
+        _ => Ok(()),
+    }
+}
+
+/// Applies one record's undo (before-image) to the volume — used when a
+/// transaction aborts after some of its updates were already shipped
+/// (paper §3.3: "any updates of the aborting transaction that have
+/// already been shipped to the server are undone by the server").
+///
+/// # Errors
+///
+/// Propagates storage errors.
+pub fn apply_undo(vol: &mut Volume, rec: &LogRecord) -> Result<(), PsccError> {
+    match &rec.payload {
+        LogPayload::Update { oid, before, .. } => vol.write_object(*oid, before),
+        LogPayload::Create { oid, .. } => vol.delete_object(*oid),
+        LogPayload::Delete { oid, before } => match vol.read_object(*oid) {
+            Some(_) => vol.write_object(*oid, before),
+            None => {
+                let got = vol.create_object(oid.page, before)?;
+                debug_assert_eq!(got.slot, oid.slot, "slot allocation diverged");
+                Ok(())
+            }
+        },
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{SiteId, SystemConfig, VolId};
+
+    fn setup() -> (Volume, Oid, TxnId) {
+        let cfg = SystemConfig::small();
+        let mut vol = Volume::create_database(VolId(0), &cfg);
+        let file = vol.files()[0];
+        let page = vol.file_pages(file).next().unwrap();
+        let oid = Oid::new(page, 0);
+        let body = vec![7u8; cfg.object_size() as usize];
+        vol.write_object(oid, &body).unwrap();
+        (vol, oid, TxnId::new(SiteId(1), 1))
+    }
+
+    #[test]
+    fn redo_installs_after_image() {
+        let (mut vol, oid, txn) = setup();
+        let before = vol.read_object(oid).unwrap().to_vec();
+        let after = vec![9u8; before.len()];
+        let rec = LogRecord::update(txn, oid, before.clone(), after.clone());
+        apply_redo(&mut vol, &rec).unwrap();
+        assert_eq!(vol.read_object(oid), Some(&after[..]));
+        apply_undo(&mut vol, &rec).unwrap();
+        assert_eq!(vol.read_object(oid), Some(&before[..]));
+    }
+
+    #[test]
+    fn create_and_delete_redo_undo() {
+        let mut vol = Volume::new(VolId(0), 1024);
+        let f = vol.create_file();
+        let p = vol.allocate_page(f);
+        let txn = TxnId::new(SiteId(1), 1);
+        let oid = Oid::new(p, 0);
+
+        let create = LogRecord {
+            txn,
+            payload: LogPayload::Create {
+                oid,
+                body: b"new".to_vec(),
+            },
+        };
+        apply_redo(&mut vol, &create).unwrap();
+        assert_eq!(vol.read_object(oid), Some(&b"new"[..]));
+        apply_undo(&mut vol, &create).unwrap();
+        assert_eq!(vol.read_object(oid), None);
+
+        apply_redo(&mut vol, &create).unwrap();
+        let del = LogRecord {
+            txn,
+            payload: LogPayload::Delete {
+                oid,
+                before: b"new".to_vec(),
+            },
+        };
+        apply_redo(&mut vol, &del).unwrap();
+        assert_eq!(vol.read_object(oid), None);
+        apply_undo(&mut vol, &del).unwrap();
+        assert_eq!(vol.read_object(oid), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn log_cache_drains_by_txn_and_page() {
+        let (_, oid, t1) = setup();
+        let t2 = TxnId::new(SiteId(1), 2);
+        let mut cache = LogCache::new();
+        cache.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        cache.append(LogRecord::update(t2, oid, vec![3], vec![4]));
+        let other = Oid::new(PageId::new(oid.page.file, oid.page.page + 1), 0);
+        cache.append(LogRecord::update(t1, other, vec![5], vec![6]));
+
+        assert_eq!(cache.pages_of(t1), {
+            let mut v = vec![oid.page, other.page];
+            v.sort();
+            v
+        });
+        let by_page = cache.drain_page(oid.page);
+        assert_eq!(by_page.len(), 2);
+        let rest = cache.drain_txn(t1);
+        assert_eq!(rest.len(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn discard_on_abort() {
+        let (_, oid, t1) = setup();
+        let mut cache = LogCache::new();
+        cache.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        cache.discard_txn(t1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn server_log_tracks_in_flight_and_undo_order() {
+        let (_, oid, t1) = setup();
+        let mut log = ServerLog::new();
+        let l1 = log.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        let l2 = log.append(LogRecord::update(t1, oid, vec![2], vec![3]));
+        assert!(l1 < l2);
+        assert_eq!(log.in_flight_of(t1).len(), 2);
+        let undo = log.end_txn(t1, true);
+        // Reverse order: newest first.
+        assert!(matches!(&undo[0].payload, LogPayload::Update { before, .. } if before == &vec![2]));
+        assert!(log.in_flight_of(t1).is_empty());
+    }
+
+    #[test]
+    fn force_is_idempotent_until_new_records() {
+        let (_, oid, t1) = setup();
+        let mut log = ServerLog::new();
+        log.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        assert!(log.force());
+        assert!(!log.force());
+        log.append(LogRecord {
+            txn: t1,
+            payload: LogPayload::Commit,
+        });
+        assert!(log.force());
+    }
+
+    #[test]
+    fn control_records_are_not_in_flight() {
+        let t1 = TxnId::new(SiteId(1), 1);
+        let mut log = ServerLog::new();
+        log.append(LogRecord {
+            txn: t1,
+            payload: LogPayload::Prepare,
+        });
+        assert!(log.in_flight_of(t1).is_empty());
+    }
+
+    #[test]
+    fn wire_size_scales_with_images() {
+        let (_, oid, t1) = setup();
+        let small = LogRecord::update(t1, oid, vec![0; 4], vec![0; 4]);
+        let big = LogRecord::update(t1, oid, vec![0; 400], vec![0; 400]);
+        assert!(big.wire_size() > small.wire_size());
+    }
+}
