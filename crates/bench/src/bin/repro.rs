@@ -10,6 +10,10 @@
 //!                           qualitative shapes (exit 1 on failure)
 //! repro ablations           design-choice ablations (timeout multiplier,
 //!                           adaptivity on/off)
+//! repro --metrics [figN]    quick run with the observability layer on:
+//!                           Prometheus text + JSON metrics snapshot
+//! repro --trace-dump [figN] quick high-contention run with protocol event
+//!                           tracing; prints the merged multi-site trace
 //! ```
 //!
 //! Full scale = Table 1 platform (11 250 pages, 10 applications) with a
@@ -19,7 +23,8 @@
 use pscc_bench::{check, expectations, format_diagnostics, format_figure, table1, table2};
 use pscc_common::{Protocol, SystemConfig};
 use pscc_sim::experiment::{
-    paper_spec, quick_spec, run_figure, run_point, ExperimentSpec, Figure, Series, WRITE_PROBS,
+    paper_spec, quick_spec, run_figure, run_point, run_point_observed, ExperimentSpec, Figure,
+    Series, WRITE_PROBS,
 };
 
 fn parse_figure(s: &str) -> Option<Figure> {
@@ -94,7 +99,9 @@ fn run_ablations(quick: bool) {
         let p = run_point(&spec);
         println!(
             "  multiplier {mult:.1}: {:.2} txn/s, {} timeout aborts, {} deadlock aborts",
-            p.report.throughput, p.report.counters.timeout_aborts, p.report.counters.deadlock_aborts
+            p.report.throughput,
+            p.report.counters.timeout_aborts,
+            p.report.counters.deadlock_aborts
         );
     }
 
@@ -144,11 +151,50 @@ fn run_ablations(quick: bool) {
     }
 }
 
+/// Runs a quick sweep point with the observability layer on and prints
+/// whatever of metrics (Prometheus text, then JSON) / trace dump was
+/// asked for. High write probability so callbacks, waits, and the
+/// §4.2.4 races actually appear in a seconds-long run.
+fn run_observed(figure: Figure, metrics: bool, trace_dump: bool) {
+    let spec = quick_spec(figure, 0.3);
+    let obs = run_point_observed(&spec, if trace_dump { 65536 } else { 0 });
+    eprintln!(
+        "# {figure} {} wp=0.30: {:.2} txn/s ({} commits, {} aborts)",
+        spec.protocol,
+        obs.point.report.throughput,
+        obs.point.report.commits,
+        obs.point.report.aborts
+    );
+    if metrics {
+        print!("{}", obs.metrics.render_prometheus());
+        println!();
+        println!("{}", obs.metrics.render_json());
+    }
+    if trace_dump {
+        print!("{}", pscc_obs::event::render_dump(&obs.trace));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let trace_dump = args.iter().any(|a| a == "--trace-dump");
     let cmd = args.iter().find(|a| !a.starts_with('-')).cloned();
+
+    if metrics || trace_dump {
+        let fig = match cmd.as_deref() {
+            None => Figure::Fig6,
+            Some(f) => parse_figure(f).unwrap_or_else(|| {
+                eprintln!("unknown figure {f:?}");
+                eprintln!("usage: repro [--metrics] [--trace-dump] [fig6..fig15]");
+                std::process::exit(2);
+            }),
+        };
+        run_observed(fig, metrics, trace_dump);
+        return;
+    }
 
     match cmd.as_deref() {
         Some("table1") => print!("{}", table1()),
@@ -189,7 +235,9 @@ fn main() {
         }
         Some(other) => {
             eprintln!("unknown command {other:?}");
-            eprintln!("usage: repro <table1|table2|fig6..fig15|all|check|ablations> [--quick] [-v]");
+            eprintln!(
+                "usage: repro <table1|table2|fig6..fig15|all|check|ablations> [--quick] [-v]"
+            );
             std::process::exit(2);
         }
         None => {

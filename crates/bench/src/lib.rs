@@ -15,7 +15,11 @@ pub fn format_figure(figure: Figure, series: &[Series]) -> String {
     let (kind, high, peers) = figure.shape();
     out.push_str(&format!(
         "{figure}: {kind}, {} (transSize={}, pageLocality≈{})\n",
-        if peers { "peer-servers" } else { "client-server" },
+        if peers {
+            "peer-servers"
+        } else {
+            "client-server"
+        },
         if high { 30 } else { 90 },
         if high { 12 } else { 4 },
     ));
@@ -24,7 +28,13 @@ pub fn format_figure(figure: Figure, series: &[Series]) -> String {
         let tag = format!(
             "{}{}",
             s.protocol,
-            if s.peers { "" } else if figure.shape().2 { " (CS)" } else { "" }
+            if s.peers {
+                ""
+            } else if figure.shape().2 {
+                " (CS)"
+            } else {
+                ""
+            }
         );
         out.push_str(&format!(" {tag:>12}"));
     }
@@ -137,15 +147,12 @@ pub enum Expectation {
 }
 
 fn throughput_at(series: &[Series], proto: Protocol, wp: f64) -> Option<f64> {
-    series
-        .iter()
-        .find(|s| s.protocol == proto)
-        .and_then(|s| {
-            s.points
-                .iter()
-                .find(|p| (p.write_prob - wp).abs() < 1e-9)
-                .map(|p| p.report.throughput)
-        })
+    series.iter().find(|s| s.protocol == proto).and_then(|s| {
+        s.points
+            .iter()
+            .find(|p| (p.write_prob - wp).abs() < 1e-9)
+            .map(|p| p.report.throughput)
+    })
 }
 
 /// Verifies an expectation; returns a human-readable pass/fail line.
@@ -193,31 +200,101 @@ pub fn expectations(figure: Figure) -> Vec<Expectation> {
         // HOTCOLD low locality: PS-AA ≥ PS, gap grows with write prob;
         // PS-OA tracks PS-AA closely.
         Figure::Fig6 => vec![
-            Close { a: Ps, b: PsAa, wp: 0.02, tol: 0.3 },
-            Beats { a: PsAa, b: Ps, wp: 0.3, margin: 1.0 },
-            Close { a: PsOa, b: PsAa, wp: 0.3, tol: 0.35 },
+            Close {
+                a: Ps,
+                b: PsAa,
+                wp: 0.02,
+                tol: 0.3,
+            },
+            Beats {
+                a: PsAa,
+                b: Ps,
+                wp: 0.3,
+                margin: 1.0,
+            },
+            Close {
+                a: PsOa,
+                b: PsAa,
+                wp: 0.3,
+                tol: 0.35,
+            },
         ],
         // HOTCOLD high locality: PS competitive; PS-AA tracks or beats.
         Figure::Fig7 => vec![
-            Close { a: Ps, b: PsAa, wp: 0.5, tol: 0.4 },
-            Beats { a: PsAa, b: PsOa, wp: 0.5, margin: 0.95 },
+            Close {
+                a: Ps,
+                b: PsAa,
+                wp: 0.5,
+                tol: 0.4,
+            },
+            Beats {
+                a: PsAa,
+                b: PsOa,
+                wp: 0.5,
+                margin: 0.95,
+            },
         ],
         // UNIFORM: more sharing, bigger PS-AA gains.
         Figure::Fig8 => vec![
-            Beats { a: PsAa, b: Ps, wp: 0.2, margin: 1.0 },
-            Beats { a: PsAa, b: Ps, wp: 0.5, margin: 1.0 },
+            Beats {
+                a: PsAa,
+                b: Ps,
+                wp: 0.2,
+                margin: 1.0,
+            },
+            Beats {
+                a: PsAa,
+                b: Ps,
+                wp: 0.5,
+                margin: 1.0,
+            },
         ],
-        Figure::Fig9 => vec![Beats { a: PsAa, b: Ps, wp: 0.3, margin: 0.95 }],
+        Figure::Fig9 => vec![Beats {
+            a: PsAa,
+            b: Ps,
+            wp: 0.3,
+            margin: 0.95,
+        }],
         // HICON low locality: PS collapses.
-        Figure::Fig10 => vec![Beats { a: PsAa, b: Ps, wp: 0.3, margin: 1.1 }],
+        Figure::Fig10 => vec![Beats {
+            a: PsAa,
+            b: Ps,
+            wp: 0.3,
+            margin: 1.1,
+        }],
         // HICON high locality: gains shrink; parity at 0.5.
-        Figure::Fig11 => vec![Close { a: PsAa, b: Ps, wp: 0.5, tol: 0.5 }],
+        Figure::Fig11 => vec![Close {
+            a: PsAa,
+            b: Ps,
+            wp: 0.5,
+            tol: 0.5,
+        }],
         // Peer-servers HOTCOLD: PS hurt by timeouts; PS-AA fine.
-        Figure::Fig12 => vec![Beats { a: PsAa, b: Ps, wp: 0.3, margin: 1.0 }],
-        Figure::Fig13 => vec![Close { a: PsAa, b: Ps, wp: 0.1, tol: 0.5 }],
+        Figure::Fig12 => vec![Beats {
+            a: PsAa,
+            b: Ps,
+            wp: 0.3,
+            margin: 1.0,
+        }],
+        Figure::Fig13 => vec![Close {
+            a: PsAa,
+            b: Ps,
+            wp: 0.1,
+            tol: 0.5,
+        }],
         // Peer-servers UNIFORM: PS-AA strong; PS collapses early.
-        Figure::Fig14 => vec![Beats { a: PsAa, b: Ps, wp: 0.1, margin: 1.0 }],
-        Figure::Fig15 => vec![Beats { a: PsAa, b: Ps, wp: 0.3, margin: 0.95 }],
+        Figure::Fig14 => vec![Beats {
+            a: PsAa,
+            b: Ps,
+            wp: 0.1,
+            margin: 1.0,
+        }],
+        Figure::Fig15 => vec![Beats {
+            a: PsAa,
+            b: Ps,
+            wp: 0.3,
+            margin: 0.95,
+        }],
     }
 }
 

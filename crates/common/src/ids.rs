@@ -264,7 +264,9 @@ impl LockableId {
 
     /// Iterator over ancestors from the immediate parent up to the volume.
     pub fn ancestors(&self) -> Ancestors {
-        Ancestors { next: self.parent() }
+        Ancestors {
+            next: self.parent(),
+        }
     }
 
     /// The path from the volume down to (and including) this granule —

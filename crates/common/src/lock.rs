@@ -138,22 +138,18 @@ mod tests {
     /// The textbook compatibility matrix, row = held, col = requested.
     const MATRIX: [[bool; 5]; 5] = [
         // IS     IX     SH     SIX    EX
-        [true, true, true, true, false],    // IS
-        [true, true, false, false, false],  // IX
-        [true, false, true, false, false],  // SH
-        [true, false, false, false, false], // SIX
-        [false, false, false, false, false],// EX
+        [true, true, true, true, false],     // IS
+        [true, true, false, false, false],   // IX
+        [true, false, true, false, false],   // SH
+        [true, false, false, false, false],  // SIX
+        [false, false, false, false, false], // EX
     ];
 
     #[test]
     fn compatibility_matches_grays_matrix() {
         for (i, held) in LockMode::ALL.iter().enumerate() {
             for (j, req) in LockMode::ALL.iter().enumerate() {
-                assert_eq!(
-                    held.compatible(*req),
-                    MATRIX[i][j],
-                    "compat({held}, {req})"
-                );
+                assert_eq!(held.compatible(*req), MATRIX[i][j], "compat({held}, {req})");
             }
         }
     }
@@ -208,10 +204,7 @@ mod tests {
                 if s.covers(w) {
                     for o in LockMode::ALL {
                         if s.compatible(o) {
-                            assert!(
-                                w.compatible(o),
-                                "{s} covers {w} but {w} !compat {o}"
-                            );
+                            assert!(w.compatible(o), "{s} covers {w} but {w} !compat {o}");
                         }
                     }
                 }

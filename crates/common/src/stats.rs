@@ -137,6 +137,39 @@ impl Counters {
         }
         t
     }
+
+    /// Every field as a `(name, value)` pair, in declaration order. The
+    /// metrics exporters and the histogram-vs-counter audit tests iterate
+    /// this instead of hard-coding the field list in several places.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
+        [
+            ("commits", self.commits),
+            ("aborts", self.aborts),
+            ("deadlock_aborts", self.deadlock_aborts),
+            ("timeout_aborts", self.timeout_aborts),
+            ("msgs_sent", self.msgs_sent),
+            ("read_requests", self.read_requests),
+            ("write_requests", self.write_requests),
+            ("callbacks_sent", self.callbacks_sent),
+            ("callbacks_purged_page", self.callbacks_purged_page),
+            ("callbacks_object_only", self.callbacks_object_only),
+            ("callbacks_blocked", self.callbacks_blocked),
+            ("adaptive_grants", self.adaptive_grants),
+            ("adaptive_hits", self.adaptive_hits),
+            ("deescalations", self.deescalations),
+            ("pages_shipped", self.pages_shipped),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("disk_reads", self.disk_reads),
+            ("disk_writes", self.disk_writes),
+            ("lock_waits", self.lock_waits),
+            ("callback_races", self.callback_races),
+            ("purge_races", self.purge_races),
+            ("callback_redos", self.callback_redos),
+            ("pages_purged", self.pages_purged),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +205,22 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", Counters::default()).is_empty());
+    }
+
+    #[test]
+    fn fields_are_unique_and_track_values() {
+        let c = Counters {
+            pages_purged: 9,
+            ..Default::default()
+        };
+        let fields = c.fields();
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len());
+        assert_eq!(
+            fields.iter().find(|(n, _)| *n == "pages_purged"),
+            Some(&("pages_purged", 9))
+        );
     }
 }

@@ -166,7 +166,10 @@ mod tests {
         let t = Time::from_micros(500) + Duration::from_millis(1);
         assert_eq!(t.as_micros(), 1_500);
         assert_eq!(t - Time::from_micros(500), Duration::from_millis(1));
-        assert_eq!(Time::from_micros(3).since(Time::from_micros(9)), Duration::ZERO);
+        assert_eq!(
+            Time::from_micros(3).since(Time::from_micros(9)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -231,7 +231,11 @@ impl ClientCache {
             cp.avail.is_available(oid.slot),
             "update of unavailable object {oid}"
         );
-        let before = cp.image.get(oid.slot).expect("available object has bytes").to_vec();
+        let before = cp
+            .image
+            .get(oid.slot)
+            .expect("available object has bytes")
+            .to_vec();
         if cp.image.update(oid.slot, bytes).is_err() {
             return None;
         }
@@ -298,12 +302,20 @@ impl ClientCache {
 
     /// All cached pages of `file` (file-level callbacks purge these).
     pub fn pages_of_file(&self, file: pscc_common::FileId) -> Vec<PageId> {
-        self.pages.keys().filter(|p| p.file == file).copied().collect()
+        self.pages
+            .keys()
+            .filter(|p| p.file == file)
+            .copied()
+            .collect()
     }
 
     /// All cached pages of `vol`.
     pub fn pages_of_volume(&self, vol: pscc_common::VolId) -> Vec<PageId> {
-        self.pages.keys().filter(|p| p.vol() == vol).copied().collect()
+        self.pages
+            .keys()
+            .filter(|p| p.vol() == vol)
+            .copied()
+            .collect()
     }
 
     /// Number of cached pages.
@@ -370,7 +382,9 @@ mod tests {
         let mut c = ClientCache::new(4);
         c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
         // Local dirty update to slot 0.
-        let before = c.apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1)).unwrap();
+        let before = c
+            .apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1))
+            .unwrap();
         assert_eq!(before, vec![0u8; 16]);
         // New copy arrives proposing slot 0 unavailable and stale bytes.
         let mut proposed = AvailMask::all_available(3);
@@ -428,8 +442,10 @@ mod tests {
     fn abort_marks_dirty_objects_unavailable() {
         let mut c = ClientCache::new(4);
         c.install(pid(1), page_with(3), AvailMask::all_available(3), 1, &[]);
-        c.apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1)).unwrap();
-        c.apply_update(Oid::new(pid(1), 1), &[9u8; 16], txn(2)).unwrap();
+        c.apply_update(Oid::new(pid(1), 0), &[9u8; 16], txn(1))
+            .unwrap();
+        c.apply_update(Oid::new(pid(1), 1), &[9u8; 16], txn(2))
+            .unwrap();
         let purged = c.abort_txn(txn(1));
         assert_eq!(purged, vec![Oid::new(pid(1), 0)]);
         assert!(!c.object_cached(Oid::new(pid(1), 0)));

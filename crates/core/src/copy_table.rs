@@ -21,7 +21,12 @@ impl CopyTable {
     /// Records a ship of `page` to `client`, returning the new ship
     /// sequence number to embed in the snapshot.
     pub fn record_ship(&mut self, page: PageId, client: SiteId) -> u64 {
-        let e = self.pages.entry(page).or_default().entry(client).or_insert(0);
+        let e = self
+            .pages
+            .entry(page)
+            .or_default()
+            .entry(client)
+            .or_insert(0);
         *e += 1;
         *e
     }
@@ -69,7 +74,10 @@ impl CopyTable {
 
     /// Clients caching `page`, excluding `except`.
     pub fn clients_except(&self, page: PageId, except: SiteId) -> Vec<SiteId> {
-        self.clients(page).into_iter().filter(|c| *c != except).collect()
+        self.clients(page)
+            .into_iter()
+            .filter(|c| *c != except)
+            .collect()
     }
 
     /// Whether anyone besides `except` caches the page.

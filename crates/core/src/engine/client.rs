@@ -4,9 +4,7 @@
 
 use super::{CbCtx, CbKey, LockCont, PeerServer, ReqCont, TimerKind};
 use crate::msg::{AppReply, CbId, CbTarget, DeId, Message, ReqId};
-use pscc_common::{
-    AbortReason, LockMode, LockableId, Oid, PageId, Protocol, SiteId, TxnId,
-};
+use pscc_common::{AbortReason, LockMode, LockableId, Oid, PageId, Protocol, SiteId, TxnId};
 use pscc_lockmgr::Acquire;
 use pscc_storage::PageSnapshot;
 use pscc_wal::LogRecord;
@@ -35,7 +33,10 @@ impl PeerServer {
                 None => return,
             };
             let op = if write {
-                crate::msg::AppOp::Write { oid, bytes: bytes.clone() }
+                crate::msg::AppOp::Write {
+                    oid,
+                    bytes: bytes.clone(),
+                }
             } else {
                 crate::msg::AppOp::Read(oid)
             };
@@ -58,8 +59,15 @@ impl PeerServer {
             match a {
                 Acquire::Granted => self.client_ps_locked(txn, oid, write, bytes),
                 Acquire::Wait(t) => {
-                    self.lock_conts
-                        .insert(t, LockCont::LocalPage { txn, oid, write, bytes });
+                    self.lock_conts.insert(
+                        t,
+                        LockCont::LocalPage {
+                            txn,
+                            oid,
+                            write,
+                            bytes,
+                        },
+                    );
                     self.arm_lock_timer(t, txn);
                     self.check_deadlocks();
                 }
@@ -71,8 +79,15 @@ impl PeerServer {
         match a {
             Acquire::Granted => self.client_access_locked(txn, oid, write, bytes),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::LocalAccess { txn, oid, write, bytes });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::LocalAccess {
+                        txn,
+                        oid,
+                        write,
+                        bytes,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -104,8 +119,9 @@ impl PeerServer {
             return;
         }
         // Write path. The page copy is needed to install the update.
+        // (`cache_hits`/`cache_misses` count object *reads* only — the
+        // fetch below is still visible through `read_requests`.)
         if !self.cache.object_cached(oid) {
-            self.stats.cache_misses += 1;
             self.fetch(txn, oid, Some(bytes));
             return;
         }
@@ -123,7 +139,8 @@ impl PeerServer {
         }
         let req = self.fresh_req();
         self.stats.write_requests += 1;
-        self.req_conts.insert(req, ReqCont::Write { txn, oid, bytes });
+        self.req_conts
+            .insert(req, ReqCont::Write { txn, oid, bytes });
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
             h.participants.insert(self.owners.owner(oid.page));
@@ -171,14 +188,22 @@ impl PeerServer {
             return;
         }
         if !self.cache.object_cached(oid) {
-            self.stats.cache_misses += 1;
+            // A write needing the page is not a read miss (see
+            // `client_access_locked`); `read_requests` counts the fetch.
             self.fetch_page(txn, oid, Some((oid, bytes)));
             return;
         }
         let req = self.fresh_req();
         self.stats.write_requests += 1;
-        self.req_conts
-            .insert(req, ReqCont::WritePage { txn, page, oid, bytes });
+        self.req_conts.insert(
+            req,
+            ReqCont::WritePage {
+                txn,
+                page,
+                oid,
+                bytes,
+            },
+        );
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
             h.participants.insert(self.owners.owner(page));
@@ -190,33 +215,54 @@ impl PeerServer {
     fn fetch(&mut self, txn: TxnId, oid: Oid, then_write: Option<Option<Vec<u8>>>) {
         let req = self.fresh_req();
         self.stats.read_requests += 1;
-        self.req_conts.insert(req, ReqCont::Fetch { txn, oid, then_write });
-        self.pending_fetches.entry(oid.page).or_default().insert(req);
+        self.req_conts.insert(
+            req,
+            ReqCont::Fetch {
+                txn,
+                oid,
+                then_write,
+            },
+        );
+        self.pending_fetches
+            .entry(oid.page)
+            .or_default()
+            .insert(req);
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
             h.participants.insert(self.owners.owner(oid.page));
         }
         let owner = self.owners.owner(oid.page);
+        self.obs.fetch_sent(req, self.now);
+        self.obs.record(pscc_obs::EventKind::FetchSent {
+            to: owner,
+            item: LockableId::Object(oid),
+        });
         self.send(owner, Message::ReadObj { req, txn, oid });
     }
 
-    fn fetch_page(
-        &mut self,
-        txn: TxnId,
-        oid: Oid,
-        then_write: Option<(Oid, Option<Vec<u8>>)>,
-    ) {
+    fn fetch_page(&mut self, txn: TxnId, oid: Oid, then_write: Option<(Oid, Option<Vec<u8>>)>) {
         let page = oid.page;
         let req = self.fresh_req();
         self.stats.read_requests += 1;
-        self.req_conts
-            .insert(req, ReqCont::FetchPage { txn, oid, then_write });
+        self.req_conts.insert(
+            req,
+            ReqCont::FetchPage {
+                txn,
+                oid,
+                then_write,
+            },
+        );
         self.pending_fetches.entry(page).or_default().insert(req);
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
             h.participants.insert(self.owners.owner(page));
         }
         let owner = self.owners.owner(page);
+        self.obs.fetch_sent(req, self.now);
+        self.obs.record(pscc_obs::EventKind::FetchSent {
+            to: owner,
+            item: LockableId::Page(page),
+        });
         self.send(owner, Message::ReadPage { req, txn, page });
     }
 
@@ -272,7 +318,15 @@ impl PeerServer {
                 h.outstanding_reqs.insert(req);
                 h.participants.insert(site);
             }
-            self.send(site, Message::LockItem { req, txn, item, mode });
+            self.send(
+                site,
+                Message::LockItem {
+                    req,
+                    txn,
+                    item,
+                    mode,
+                },
+            );
         }
     }
 
@@ -315,6 +369,11 @@ impl PeerServer {
     pub(crate) fn client_read_reply(&mut self, req: ReqId, snapshot: PageSnapshot) {
         let cont = self.req_conts.remove(&req);
         let page = snapshot.page;
+        self.obs.fetch_done(req, self.now);
+        self.obs.record(pscc_obs::EventKind::FetchDone {
+            from: self.owners.owner(page),
+            item: LockableId::Page(page),
+        });
         if let Some(p) = self.pending_fetches.get_mut(&page) {
             p.remove(&req);
             if p.is_empty() {
@@ -324,14 +383,26 @@ impl PeerServer {
         let raced = self.races.consume(page, req);
         if !raced.is_empty() {
             self.stats.callback_races += 1;
+            self.obs.record(pscc_obs::EventKind::Race {
+                item: LockableId::Page(page),
+                kind: pscc_obs::event::RaceKind::CallbackLock,
+            });
         }
-        let evicted = self
-            .cache
-            .install(page, snapshot.image, snapshot.avail, snapshot.ship_seq, &raced);
+        let evicted = self.cache.install(
+            page,
+            snapshot.image,
+            snapshot.avail,
+            snapshot.ship_seq,
+            &raced,
+        );
         self.send_purges(evicted);
 
         match cont {
-            Some(ReqCont::Fetch { txn, oid, then_write }) => {
+            Some(ReqCont::Fetch {
+                txn,
+                oid,
+                then_write,
+            }) => {
                 if let Some(h) = self.txns.home.get_mut(&txn) {
                     h.outstanding_reqs.remove(&req);
                 }
@@ -348,7 +419,11 @@ impl PeerServer {
                     Some(bytes) => self.client_access_locked(txn, oid, true, bytes),
                 }
             }
-            Some(ReqCont::FetchPage { txn, oid, then_write }) => {
+            Some(ReqCont::FetchPage {
+                txn,
+                oid,
+                then_write,
+            }) => {
                 if let Some(h) = self.txns.home.get_mut(&txn) {
                     h.outstanding_reqs.remove(&req);
                 }
@@ -392,7 +467,12 @@ impl PeerServer {
                 }
                 self.finish_write(txn, oid, bytes);
             }
-            Some(ReqCont::WritePage { txn, page, oid, bytes }) => {
+            Some(ReqCont::WritePage {
+                txn,
+                page,
+                oid,
+                bytes,
+            }) => {
                 if let Some(h) = self.txns.home.get_mut(&txn) {
                     h.outstanding_reqs.remove(&req);
                     h.page_write_grants.insert(page);
@@ -427,6 +507,7 @@ impl PeerServer {
             _ => return,
         };
         self.races.forget_request(req);
+        self.obs.fetch_drop(req);
         self.abort_txn_here(txn, reason);
     }
 
@@ -597,7 +678,10 @@ impl PeerServer {
         }
         self.log_cache.append(pscc_wal::LogRecord {
             txn,
-            payload: pscc_wal::LogPayload::Delete { oid, before: before.clone() },
+            payload: pscc_wal::LogPayload::Delete {
+                oid,
+                before: before.clone(),
+            },
         });
         self.complete_op(txn, Some(before));
     }
@@ -703,7 +787,8 @@ impl PeerServer {
                     Acquire::Wait(t) => {
                         ctx.waiting = Some(t);
                         self.cb_ctxs.insert(key, ctx);
-                        self.lock_conts.insert(t, LockCont::CbCtxPage { key, txn, oid });
+                        self.lock_conts
+                            .insert(t, LockCont::CbCtxPage { key, txn, oid });
                         self.cb_blocked_report(key, LockableId::Page(oid.page), LockMode::Ix, txn);
                         self.arm_cb_timer(key, txn);
                     }
@@ -742,7 +827,8 @@ impl PeerServer {
             Acquire::Wait(t) => {
                 ctx.waiting = Some(t);
                 self.cb_ctxs.insert(key, ctx);
-                self.lock_conts.insert(t, LockCont::CbCtxWhole { key, txn, target });
+                self.lock_conts
+                    .insert(t, LockCont::CbCtxWhole { key, txn, target });
                 self.cb_blocked_report(key, item, LockMode::Ex, txn);
                 self.arm_cb_timer(key, txn);
             }
@@ -802,7 +888,8 @@ impl PeerServer {
                 if let Some(ctx) = self.cb_ctxs.get_mut(&key) {
                     ctx.waiting = Some(t);
                 }
-                self.lock_conts.insert(t, LockCont::CbCtxObj { key, txn, oid });
+                self.lock_conts
+                    .insert(t, LockCont::CbCtxObj { key, txn, oid });
                 self.cb_blocked_report(key, item, LockMode::Ex, txn);
                 self.arm_cb_timer(key, txn);
             }
@@ -823,7 +910,8 @@ impl PeerServer {
             .get(&oid.page)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
-        self.races.register_callback_race(oid.page, oid.slot, pending);
+        self.races
+            .register_callback_race(oid.page, oid.slot, pending);
         self.cache.mark_unavailable(oid);
         self.stats.callbacks_object_only += 1;
         self.finish_cb(key, false);
@@ -930,8 +1018,17 @@ impl PeerServer {
     /// `page` and report local EX object locks.
     pub(crate) fn client_deescalate(&mut self, from: SiteId, de: DeId, page: PageId) {
         // All local transactions lose their adaptive grants on the page.
-        for h in self.txns.home.values_mut() {
-            h.adaptive_pages.remove(&page);
+        let mut revoked: Vec<TxnId> = Vec::new();
+        for (t, h) in &mut self.txns.home {
+            if h.adaptive_pages.remove(&page) {
+                revoked.push(*t);
+            }
+        }
+        for t in revoked {
+            self.obs.record(pscc_obs::EventKind::AdaptiveRevoke {
+                txn: t,
+                item: LockableId::Page(page),
+            });
         }
         // Deescalation race: in-flight write requests for this page may
         // come back with a stale adaptive bit — void it (§4.2.4).

@@ -65,6 +65,11 @@ impl PeerServer {
             p.sort();
             p
         };
+        self.obs.commit_begin(txn, self.now);
+        self.obs.record(pscc_obs::EventKind::Commit {
+            txn,
+            stage: pscc_obs::event::CommitStage::Request,
+        });
         if participants.is_empty() {
             // Purely local, read-only: nothing to ship or force.
             self.finish_home_commit(txn);
@@ -79,6 +84,10 @@ impl PeerServer {
             return;
         }
         // Two-phase commit (paper §3.3).
+        self.obs.record(pscc_obs::EventKind::Commit {
+            txn,
+            stage: pscc_obs::event::CommitStage::Prepare,
+        });
         for site in participants {
             let req = self.fresh_req();
             self.req_conts.insert(req, ReqCont::Prepare { txn, site });
@@ -120,9 +129,17 @@ impl PeerServer {
         };
         match decide {
             Some(participants) => {
+                self.obs.record(pscc_obs::EventKind::Commit {
+                    txn,
+                    stage: pscc_obs::event::CommitStage::Voted,
+                });
                 for site in participants {
                     self.send(site, Message::Decide { txn, commit: true });
                 }
+                self.obs.record(pscc_obs::EventKind::Commit {
+                    txn,
+                    stage: pscc_obs::event::CommitStage::Decided,
+                });
             }
             None => {
                 // Global abort: participants roll back on AbortTxn.
@@ -158,6 +175,11 @@ impl PeerServer {
             self.finish_wait(*t, false);
         }
         self.stats.commits += 1;
+        self.obs.commit_done(txn, self.now);
+        self.obs.record(pscc_obs::EventKind::Commit {
+            txn,
+            stage: pscc_obs::event::CommitStage::Done,
+        });
         self.reply_app(AppReply::Committed { app: h.app, txn });
         self.process_grants(out.grants);
     }
@@ -260,8 +282,7 @@ impl PeerServer {
                     // the System-R-style technique).
                     if let pscc_wal::LogPayload::Update { oid, after, .. } = &rec.payload {
                         let overflow = self.overflow_page_for(after.len());
-                        let fwd =
-                            self.volume.write_object_forwarding(*oid, after, overflow);
+                        let fwd = self.volume.write_object_forwarding(*oid, after, overflow);
                         debug_assert!(fwd.is_ok(), "forwarding failed: {fwd:?}");
                         self.touch_resident(overflow, true);
                     }
@@ -320,9 +341,7 @@ impl PeerServer {
                     yes: true,
                 },
             ),
-            CommitReplyKind::Decided { to } => {
-                self.send(to, Message::Decided { txn: state.txn })
-            }
+            CommitReplyKind::Decided { to } => self.send(to, Message::Decided { txn: state.txn }),
         }
     }
 
@@ -364,6 +383,7 @@ impl PeerServer {
         for r in reqs {
             self.req_conts.remove(&r);
             self.races.forget_request(r);
+            self.obs.fetch_drop(r);
             // A request the server will never answer (it was cancelled
             // there) must not leave a pending-fetch mark behind.
             self.pending_fetches.retain(|_, set| {
@@ -372,6 +392,8 @@ impl PeerServer {
             });
         }
         self.stats.aborts += 1;
+        self.obs.commit_drop(txn);
+        self.obs.record(pscc_obs::EventKind::Abort { txn, reason });
         self.cache.abort_txn(txn);
         // Objects updated earlier whose dirty marks were lost to an
         // eviction + re-fetch still hold uncommitted bytes: purge them.
@@ -402,6 +424,7 @@ impl PeerServer {
             .collect();
         for cb in cbs {
             let op = self.cb_ops.remove(&cb).expect("listed above");
+            self.obs.cb_closed(cb);
             if let CbTarget::Object(o) = op.target {
                 self.cb_by_object.remove(&o);
             }
@@ -478,16 +501,17 @@ impl PeerServer {
 fn input_txn(w: &crate::msg::Input) -> Option<TxnId> {
     match w {
         crate::msg::Input::App(req) => req.txn,
-        crate::msg::Input::Msg { msg, .. } => match msg {
-            Message::ReadObj { txn, .. }
-            | Message::ReadPage { txn, .. }
-            | Message::WriteObj { txn, .. }
-            | Message::WritePage { txn, .. }
-            | Message::LockItem { txn, .. }
-            | Message::CommitReq { txn, .. }
-            | Message::Prepare { txn, .. } => Some(*txn),
-            _ => None,
-        },
+        crate::msg::Input::Msg {
+            msg:
+                Message::ReadObj { txn, .. }
+                | Message::ReadPage { txn, .. }
+                | Message::WriteObj { txn, .. }
+                | Message::WritePage { txn, .. }
+                | Message::LockItem { txn, .. }
+                | Message::CommitReq { txn, .. }
+                | Message::Prepare { txn, .. },
+            ..
+        } => Some(*txn),
         _ => None,
     }
 }

@@ -41,7 +41,10 @@ pub fn decode_header_oid(bytes: &[u8]) -> Option<Oid> {
     let page = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
     let slot = u16::from_le_bytes(bytes[12..14].try_into().ok()?);
     Some(Oid::new(
-        PageId::new(pscc_common::FileId::new(pscc_common::VolId(vol), file), page),
+        PageId::new(
+            pscc_common::FileId::new(pscc_common::VolId(vol), file),
+            page,
+        ),
         slot,
     ))
 }
@@ -63,9 +66,17 @@ impl PeerServer {
     // Client side
     // ------------------------------------------------------------------
 
-    pub(crate) fn client_create_large(&mut self, txn: TxnId, header_page: PageId, content: Vec<u8>) {
+    pub(crate) fn client_create_large(
+        &mut self,
+        txn: TxnId,
+        header_page: PageId,
+        content: Vec<u8>,
+    ) {
         // The EX page lock must already be held (explicit Lock op).
-        if !self.locks.held_covers(txn, LockableId::Page(header_page), LockMode::Ex) {
+        if !self
+            .locks
+            .held_covers(txn, LockableId::Page(header_page), LockMode::Ex)
+        {
             self.complete_op(txn, None);
             return;
         }
@@ -146,7 +157,13 @@ impl PeerServer {
             return;
         }
         for (req, pg) in &pending {
-            self.send(owner, Message::FetchLargePage { req: *req, page: *pg });
+            self.send(
+                owner,
+                Message::FetchLargePage {
+                    req: *req,
+                    page: *pg,
+                },
+            );
         }
         let op = LargeRead {
             txn,
@@ -209,8 +226,17 @@ impl PeerServer {
     }
 
     /// Updates a byte range; requires the EX header lock.
-    pub(crate) fn client_write_large(&mut self, txn: TxnId, header: Oid, offset: u64, bytes: Vec<u8>) {
-        if !self.locks.held_covers(txn, LockableId::Object(header), LockMode::Ex) {
+    pub(crate) fn client_write_large(
+        &mut self,
+        txn: TxnId,
+        header: Oid,
+        offset: u64,
+        bytes: Vec<u8>,
+    ) {
+        if !self
+            .locks
+            .held_covers(txn, LockableId::Object(header), LockMode::Ex)
+        {
             self.complete_op(txn, None);
             return;
         }
@@ -310,7 +336,10 @@ impl PeerServer {
         self.txns.spread(txn);
         // The EX header lock must be held at the server by this txn —
         // that is the §4.4 protection.
-        if !self.locks.held_covers(txn, LockableId::Object(header), LockMode::Ex) {
+        if !self
+            .locks
+            .held_covers(txn, LockableId::Object(header), LockMode::Ex)
+        {
             self.send(from, Message::WriteLargeOk { req });
             return;
         }
@@ -350,10 +379,8 @@ impl PeerServer {
             return;
         }
         let inv = self.fresh_req();
-        self.large_invals.insert(
-            inv,
-            (from, req, targets.iter().copied().collect()),
-        );
+        self.large_invals
+            .insert(inv, (from, req, targets.iter().copied().collect()));
         for s in targets {
             for p in &touched {
                 self.copy_table.drop_entry(*p, s);
@@ -390,10 +417,7 @@ mod tests {
     #[test]
     fn header_oid_roundtrip() {
         let oid = Oid::new(
-            PageId::new(
-                pscc_common::FileId::new(pscc_common::VolId(3), 1),
-                12_345,
-            ),
+            PageId::new(pscc_common::FileId::new(pscc_common::VolId(3), 1), 12_345),
             7,
         );
         assert_eq!(decode_header_oid(&encode_header_oid(oid)), Some(oid));

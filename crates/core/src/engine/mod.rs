@@ -30,7 +30,7 @@ use crate::residency::Residency;
 use crate::timeout::TimeoutEstimator;
 use crate::txn::{HomeTxn, TxnRegistry, TxnStatus};
 use pscc_common::{
-    AbortReason, Counters, LockMode, LockableId, Oid, PageId, SiteId, SimTime, SystemConfig, TxnId,
+    AbortReason, Counters, LockMode, LockableId, Oid, PageId, SimTime, SiteId, SystemConfig, TxnId,
 };
 use pscc_lockmgr::{LockTable, Ticket};
 use pscc_storage::Volume;
@@ -62,13 +62,33 @@ pub(crate) enum LockCont {
         mode: LockMode,
     },
     /// Owner role: SH object lock granted; ship the page.
-    ServerRead { req: ReqId, from: SiteId, txn: TxnId, oid: Oid },
+    ServerRead {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        oid: Oid,
+    },
     /// Owner role (PS): SH page lock granted; ship the page.
-    ServerReadPage { req: ReqId, from: SiteId, txn: TxnId, page: PageId },
+    ServerReadPage {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+    },
     /// Owner role: EX object lock granted; start the callback operation.
-    ServerWrite { req: ReqId, from: SiteId, txn: TxnId, oid: Oid },
+    ServerWrite {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        oid: Oid,
+    },
     /// Owner role (PS / explicit EX page): EX page lock granted.
-    ServerWritePage { req: ReqId, from: SiteId, txn: TxnId, page: PageId },
+    ServerWritePage {
+        req: ReqId,
+        from: SiteId,
+        txn: TxnId,
+        page: PageId,
+    },
     /// Owner role: explicit lock granted at the server.
     ServerExplicit {
         req: ReqId,
@@ -88,7 +108,11 @@ pub(crate) enum LockCont {
     CbCtxObj { key: CbKey, txn: TxnId, oid: Oid },
     /// Client role, callback thread: EX on a whole page/file/volume
     /// acquired; purge and acknowledge.
-    CbCtxWhole { key: CbKey, txn: TxnId, target: CbTarget },
+    CbCtxWhole {
+        key: CbKey,
+        txn: TxnId,
+        target: CbTarget,
+    },
 }
 
 /// Client-side key of a callback operation (callback ids are only unique
@@ -212,11 +236,11 @@ pub(crate) struct CbOp {
 #[derive(Debug, Clone)]
 pub(crate) enum CbDone {
     /// Grant object write permission (`WriteGranted`).
-    GrantWrite { req: ReqId, to: SiteId, oid: Oid },
+    Write { req: ReqId, to: SiteId, oid: Oid },
     /// Grant page write permission (PS protocol).
-    GrantWritePage { req: ReqId, to: SiteId },
+    WritePage { req: ReqId, to: SiteId },
     /// Grant an explicit lock.
-    GrantLock { req: ReqId, to: SiteId },
+    Lock { req: ReqId, to: SiteId },
 }
 
 /// A deescalation operation at the owner (§4.1.2).
@@ -298,6 +322,9 @@ pub struct PeerServer {
 
     /// Event counters.
     pub stats: Counters,
+
+    /// Latency histograms and the (optional) protocol event trace.
+    pub obs: crate::obs::SiteObs,
 }
 
 impl PeerServer {
@@ -362,13 +389,29 @@ impl PeerServer {
             internal: VecDeque::new(),
             out: Vec::new(),
             stats: Counters::default(),
+            obs: crate::obs::SiteObs::default(),
             cfg,
         }
+    }
+
+    /// Turns protocol event tracing on (ring of `cap` events per site)
+    /// and returns the handle the harness keeps for snapshots. The lock
+    /// table shares the handle so lock events are stamped consistently.
+    pub fn enable_trace(&mut self, cap: usize) -> pscc_obs::event::TraceHandle {
+        let h = self.obs.enable_trace(self.site, cap);
+        self.locks.set_trace(Some(h.clone()));
+        h
     }
 
     /// This site's id.
     pub fn site(&self) -> SiteId {
         self.site
+    }
+
+    /// The adaptive lock-wait timeout estimator's current state (§5.5),
+    /// for export as gauges.
+    pub fn timeout_snapshot(&self) -> crate::timeout::TimeoutSnapshot {
+        self.timeout_est.snapshot()
     }
 
     /// The configured protocol.
@@ -396,9 +439,21 @@ impl PeerServer {
             self.site,
             self.locks.len()
         );
-        assert!(self.cb_ops.is_empty(), "site {}: callback ops leak", self.site);
-        assert!(self.cb_ctxs.is_empty(), "site {}: callback ctx leak", self.site);
-        assert!(self.de_ops.is_empty(), "site {}: deescalation leak", self.site);
+        assert!(
+            self.cb_ops.is_empty(),
+            "site {}: callback ops leak",
+            self.site
+        );
+        assert!(
+            self.cb_ctxs.is_empty(),
+            "site {}: callback ctx leak",
+            self.site
+        );
+        assert!(
+            self.de_ops.is_empty(),
+            "site {}: deescalation leak",
+            self.site
+        );
         assert!(
             self.lock_conts.is_empty(),
             "site {}: lock continuation leak",
@@ -426,10 +481,16 @@ impl PeerServer {
     pub fn debug_txns(&self) -> String {
         let mut out = String::new();
         for t in self.txns.remote.keys() {
-            out.push_str(&format!("  remote {t}: locks {:?}\n", self.locks.locks_of(*t)));
+            out.push_str(&format!(
+                "  remote {t}: locks {:?}\n",
+                self.locks.locks_of(*t)
+            ));
         }
         for t in self.txns.home.keys() {
-            out.push_str(&format!("  home {t}: locks {:?}\n", self.locks.locks_of(*t)));
+            out.push_str(&format!(
+                "  home {t}: locks {:?}\n",
+                self.locks.locks_of(*t)
+            ));
         }
         out
     }
@@ -458,6 +519,7 @@ impl PeerServer {
     pub fn handle(&mut self, now: SimTime, input: Input) -> Vec<Output> {
         debug_assert!(now >= self.now, "time went backwards");
         self.now = now;
+        self.obs.set_now(now);
         self.internal.push_back(input);
         while let Some(ev) = self.internal.pop_front() {
             self.dispatch(ev);
@@ -541,7 +603,8 @@ impl PeerServer {
     pub(crate) fn arm_lock_timer(&mut self, ticket: Ticket, txn: TxnId) {
         let timer = self.fresh_timer();
         let delay = self.timeout_est.timeout();
-        self.timers.insert(timer, TimerKind::LockWait { ticket, txn });
+        self.timers
+            .insert(timer, TimerKind::LockWait { ticket, txn });
         self.ticket_timers.insert(ticket, (timer, self.now));
         self.stats.lock_waits += 1;
         self.out.push(Output::ArmTimer { timer, delay });
@@ -553,7 +616,9 @@ impl PeerServer {
         if let Some((timer, armed_at)) = self.ticket_timers.remove(&ticket) {
             self.timers.remove(&timer);
             if record {
-                self.timeout_est.record_wait(self.now.since(armed_at));
+                let waited = self.now.since(armed_at);
+                self.timeout_est.record_wait(waited);
+                self.obs.lock_wait.record(waited);
             }
         }
     }
@@ -576,36 +641,56 @@ impl PeerServer {
     /// Runs one granted continuation.
     pub(crate) fn resume_lock(&mut self, cont: LockCont) {
         match cont {
-            LockCont::LocalAccess { txn, oid, write, bytes } => {
-                self.client_access_locked(txn, oid, write, bytes)
-            }
-            LockCont::LocalPage { txn, oid, write, bytes } => {
-                self.client_ps_locked(txn, oid, write, bytes)
-            }
+            LockCont::LocalAccess {
+                txn,
+                oid,
+                write,
+                bytes,
+            } => self.client_access_locked(txn, oid, write, bytes),
+            LockCont::LocalPage {
+                txn,
+                oid,
+                write,
+                bytes,
+            } => self.client_ps_locked(txn, oid, write, bytes),
             LockCont::LocalExplicit { txn, item, mode } => {
                 self.client_explicit_locked(txn, item, mode)
             }
-            LockCont::ServerRead { req, from, txn, oid } => {
-                self.server_read_locked(req, from, txn, oid)
-            }
-            LockCont::ServerReadPage { req, from, txn, page } => {
-                self.server_read_page_locked(req, from, txn, page)
-            }
-            LockCont::ServerWrite { req, from, txn, oid } => {
-                self.server_write_locked(req, from, txn, oid)
-            }
-            LockCont::ServerWritePage { req, from, txn, page } => {
-                self.server_write_page_locked(req, from, txn, page)
-            }
-            LockCont::ServerExplicit { req, from, txn, item, mode } => {
-                self.server_explicit_locked(req, from, txn, item, mode)
-            }
+            LockCont::ServerRead {
+                req,
+                from,
+                txn,
+                oid,
+            } => self.server_read_locked(req, from, txn, oid),
+            LockCont::ServerReadPage {
+                req,
+                from,
+                txn,
+                page,
+            } => self.server_read_page_locked(req, from, txn, page),
+            LockCont::ServerWrite {
+                req,
+                from,
+                txn,
+                oid,
+            } => self.server_write_locked(req, from, txn, oid),
+            LockCont::ServerWritePage {
+                req,
+                from,
+                txn,
+                page,
+            } => self.server_write_page_locked(req, from, txn, page),
+            LockCont::ServerExplicit {
+                req,
+                from,
+                txn,
+                item,
+                mode,
+            } => self.server_explicit_locked(req, from, txn, item, mode),
             LockCont::CbUpgrade { cb } => self.server_cb_upgrade_done(cb),
             LockCont::CbCtxPage { key, txn, oid } => self.cb_ctx_page_locked(key, txn, oid),
             LockCont::CbCtxObj { key, txn, oid } => self.cb_ctx_obj_locked(key, txn, oid),
-            LockCont::CbCtxWhole { key, txn, target } => {
-                self.cb_ctx_whole_locked(key, txn, target)
-            }
+            LockCont::CbCtxWhole { key, txn, target } => self.cb_ctx_whole_locked(key, txn, target),
         }
     }
 
@@ -637,10 +722,7 @@ impl PeerServer {
                 self.abort_txn_here(txn, AbortReason::LockTimeout);
             }
             TimerKind::CbWait { key, txn } => {
-                let still_waiting = self
-                    .cb_ctxs
-                    .get(&key)
-                    .is_some_and(|c| c.waiting.is_some());
+                let still_waiting = self.cb_ctxs.get(&key).is_some_and(|c| c.waiting.is_some());
                 if !still_waiting {
                     return;
                 }
@@ -660,9 +742,13 @@ impl PeerServer {
             return;
         };
         match cont {
-            DiskCont::Ship { req, from, txn, page, requested } => {
-                self.server_ship(req, from, txn, page, requested)
-            }
+            DiskCont::Ship {
+                req,
+                from,
+                txn,
+                page,
+                requested,
+            } => self.server_ship(req, from, txn, page, requested),
             DiskCont::CommitApply(state) => self.commit_apply_step(state),
             DiskCont::CommitForced(state) => self.commit_forced(state),
             DiskCont::Accounted => {}
@@ -695,15 +781,20 @@ impl PeerServer {
                     AppOp::Lock { item, mode } => self.client_explicit(txn, item, mode),
                     AppOp::Create { page, bytes } => self.client_create(txn, page, bytes),
                     AppOp::Delete(oid) => self.client_delete(txn, oid),
-                    AppOp::CreateLarge { header_page, content } => {
-                        self.client_create_large(txn, header_page, content)
-                    }
-                    AppOp::ReadLarge { header, offset, len } => {
-                        self.client_read_large(txn, header, offset, len)
-                    }
-                    AppOp::WriteLarge { header, offset, bytes } => {
-                        self.client_write_large(txn, header, offset, bytes)
-                    }
+                    AppOp::CreateLarge {
+                        header_page,
+                        content,
+                    } => self.client_create_large(txn, header_page, content),
+                    AppOp::ReadLarge {
+                        header,
+                        offset,
+                        len,
+                    } => self.client_read_large(txn, header, offset, len),
+                    AppOp::WriteLarge {
+                        header,
+                        offset,
+                        bytes,
+                    } => self.client_write_large(txn, header, offset, bytes),
                     AppOp::Commit => self.client_commit(txn),
                     AppOp::Abort => {
                         self.stats.aborts += 1;
@@ -722,18 +813,24 @@ impl PeerServer {
             Message::ReadPage { req, txn, page } => self.server_read_page(req, from, txn, page),
             Message::WriteObj { req, txn, oid } => self.server_write(req, from, txn, oid),
             Message::WritePage { req, txn, page } => self.server_write_page(req, from, txn, page),
-            Message::LockItem { req, txn, item, mode } => {
-                self.server_explicit(req, from, txn, item, mode)
-            }
-            Message::CbBlocked { cb, holders } => self.server_cb_blocked(cb, holders),
+            Message::LockItem {
+                req,
+                txn,
+                item,
+                mode,
+            } => self.server_explicit(req, from, txn, item, mode),
+            Message::CbBlocked { cb, holders } => self.server_cb_blocked(from, cb, holders),
             Message::CbOk { cb, purged_page } => self.server_cb_ok(cb, from, purged_page),
             Message::CbTimeout { cb } => self.server_cb_timeout(cb),
             Message::DeescalateReply { de, page, ex_locks } => {
                 self.server_deescalate_reply(de, page, ex_locks)
             }
-            Message::Purge { page, ship_seq, replicate, log_records } => {
-                self.server_purge(from, page, ship_seq, replicate, log_records)
-            }
+            Message::Purge {
+                page,
+                ship_seq,
+                replicate,
+                log_records,
+            } => self.server_purge(from, page, ship_seq, replicate, log_records),
             Message::CommitReq { req, txn, records } => {
                 self.server_commit_req(req, from, txn, records)
             }
@@ -759,15 +856,22 @@ impl PeerServer {
             Message::LargePageReply { req, page, bytes } => {
                 self.client_large_page_reply(req, page, bytes)
             }
-            Message::WriteLargeReq { req, txn, header, offset, bytes } => {
-                self.server_write_large(req, from, txn, header, offset, bytes)
-            }
+            Message::WriteLargeReq {
+                req,
+                txn,
+                header,
+                offset,
+                bytes,
+            } => self.server_write_large(req, from, txn, header, offset, bytes),
             Message::WriteLargeOk { req } => self.client_write_large_ok(req),
             Message::LargeInval { inv, pages } => self.client_large_inval(from, inv, pages),
             Message::LargeInvalOk { inv } => self.server_large_inval_ok(from, inv),
-            Message::CreateLargeReq { req, txn, header_page, content } => {
-                self.server_create_large(req, from, txn, header_page, content)
-            }
+            Message::CreateLargeReq {
+                req,
+                txn,
+                header_page,
+                content,
+            } => self.server_create_large(req, from, txn, header_page, content),
             Message::CreateLargeOk { req, header } => self.client_create_large_ok(req, header),
 
             // Forwarded (size-grown) objects, §4.4.

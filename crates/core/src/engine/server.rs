@@ -7,9 +7,7 @@
 
 use super::{CbDone, CbOp, DeOp, DiskCont, LockCont, PeerServer};
 use crate::msg::{CbId, CbTarget, DeId, DiskOp, Message, ReqId};
-use pscc_common::{
-    ids::DUMMY_SLOT, LockMode, LockableId, Oid, PageId, SiteId, TxnId,
-};
+use pscc_common::{ids::DUMMY_SLOT, LockMode, LockableId, Oid, PageId, SiteId, TxnId};
 use pscc_lockmgr::Acquire;
 use pscc_storage::{AvailMask, PageSnapshot};
 use pscc_wal::LogRecord;
@@ -33,12 +31,21 @@ impl PeerServer {
         if self.start_deescalation_if_needed(oid.page, txn, work) {
             return;
         }
-        let (a, _) = self.locks.acquire(txn, LockableId::Object(oid), LockMode::Sh);
+        let (a, _) = self
+            .locks
+            .acquire(txn, LockableId::Object(oid), LockMode::Sh);
         match a {
             Acquire::Granted => self.server_read_locked(req, from, txn, oid),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::ServerRead { req, from, txn, oid });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::ServerRead {
+                        req,
+                        from,
+                        txn,
+                        oid,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -52,12 +59,21 @@ impl PeerServer {
     pub(crate) fn server_read_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
         debug_assert_eq!(self.owners.owner(page), self.site, "misrouted read");
         self.txns.spread(txn);
-        let (a, _) = self.locks.acquire(txn, LockableId::Page(page), LockMode::Sh);
+        let (a, _) = self
+            .locks
+            .acquire(txn, LockableId::Page(page), LockMode::Sh);
         match a {
             Acquire::Granted => self.server_read_page_locked(req, from, txn, page),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::ServerReadPage { req, from, txn, page });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::ServerReadPage {
+                        req,
+                        from,
+                        txn,
+                        page,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -88,7 +104,13 @@ impl PeerServer {
         } else {
             self.disk(
                 DiskOp::ReadPage(page),
-                DiskCont::Ship { req, from, txn, page, requested },
+                DiskCont::Ship {
+                    req,
+                    from,
+                    txn,
+                    page,
+                    requested,
+                },
             );
         }
     }
@@ -152,7 +174,11 @@ impl PeerServer {
         // object to a third client while a callback on it is pending
         // means the callback must be redone once its upgrade completes.
         if let Some(o) = requested {
-            if let Some(op) = self.cb_by_object.get(&o).and_then(|cb| self.cb_ops.get_mut(cb)) {
+            if let Some(op) = self
+                .cb_by_object
+                .get(&o)
+                .and_then(|cb| self.cb_ops.get_mut(cb))
+            {
                 if op.txn.site != requester_home {
                     op.violated = true;
                 }
@@ -191,12 +217,21 @@ impl PeerServer {
         if self.start_deescalation_if_needed(oid.page, txn, work) {
             return;
         }
-        let (a, _) = self.locks.acquire(txn, LockableId::Object(oid), LockMode::Ex);
+        let (a, _) = self
+            .locks
+            .acquire(txn, LockableId::Object(oid), LockMode::Ex);
         match a {
             Acquire::Granted => self.server_write_locked(req, from, txn, oid),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::ServerWrite { req, from, txn, oid });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::ServerWrite {
+                        req,
+                        from,
+                        txn,
+                        oid,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -211,19 +246,28 @@ impl PeerServer {
             txn,
             CbTarget::Object(oid),
             oid.page,
-            CbDone::GrantWrite { req, to: from, oid },
+            CbDone::Write { req, to: from, oid },
         );
     }
 
     pub(crate) fn server_write_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
         debug_assert_eq!(self.owners.owner(page), self.site, "misrouted write");
         self.txns.spread(txn);
-        let (a, _) = self.locks.acquire(txn, LockableId::Page(page), LockMode::Ex);
+        let (a, _) = self
+            .locks
+            .acquire(txn, LockableId::Page(page), LockMode::Ex);
         match a {
             Acquire::Granted => self.server_write_page_locked(req, from, txn, page),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::ServerWritePage { req, from, txn, page });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::ServerWritePage {
+                        req,
+                        from,
+                        txn,
+                        page,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -244,7 +288,7 @@ impl PeerServer {
             txn,
             CbTarget::PageAll(page),
             page,
-            CbDone::GrantWritePage { req, to: from },
+            CbDone::WritePage { req, to: from },
         );
     }
 
@@ -319,7 +363,13 @@ impl PeerServer {
             return;
         }
         self.stats.callbacks_sent += remote.len() as u64;
+        self.obs.cb_sent(cb, self.now);
         for site in remote {
+            self.obs.record(pscc_obs::EventKind::CallbackSent {
+                to: site,
+                txn,
+                item: target.lockable(),
+            });
             self.send(site, Message::Callback { cb, txn, target });
         }
     }
@@ -403,6 +453,15 @@ impl PeerServer {
             return;
         }
         op.all_purged &= purged_page;
+        let (cb_txn, cb_item) = (op.txn, op.target.lockable());
+        self.obs.cb_acked(cb, self.now);
+        self.obs.record(pscc_obs::EventKind::CallbackPurged {
+            from,
+            txn: cb_txn,
+            item: cb_item,
+            purged_page,
+        });
+        let op = self.cb_ops.get_mut(&cb).expect("present above");
         if purged_page {
             match op.target {
                 CbTarget::Object(o) => self.copy_table.drop_entry(o.page, from),
@@ -426,6 +485,7 @@ impl PeerServer {
     /// (paper §4.2.1, §4.3.1, §4.3.2).
     pub(crate) fn server_cb_blocked(
         &mut self,
+        from: SiteId,
         cb: CbId,
         holders: Vec<(TxnId, LockableId, LockMode)>,
     ) {
@@ -434,6 +494,11 @@ impl PeerServer {
         };
         let cbtxn = op.txn;
         let target = op.target;
+        self.obs.record(pscc_obs::EventKind::CallbackBlocked {
+            from,
+            txn: cbtxn,
+            item: target.lockable(),
+        });
         if op.upgrade.is_some() {
             // Already mid-dance from another client's blocked report; the
             // new holders are replicated below, the existing upgrade
@@ -443,7 +508,9 @@ impl PeerServer {
             CbTarget::Object(oid) => {
                 let obj = LockableId::Object(oid);
                 let page = LockableId::Page(oid.page);
-                let page_level = holders.iter().any(|(_, item, _)| matches!(item, LockableId::Page(_)));
+                let page_level = holders
+                    .iter()
+                    .any(|(_, item, _)| matches!(item, LockableId::Page(_)));
                 if page_level {
                     // §4.3.2: page-level conflict. Downgrade page and
                     // object, replicate the SH page locks, upgrade at the
@@ -542,7 +609,11 @@ impl PeerServer {
                         } else {
                             LockMode::Is
                         };
-                        let m = if LockMode::Six.compatible(m) { m } else { LockMode::Is };
+                        let m = if LockMode::Six.compatible(m) {
+                            m
+                        } else {
+                            LockMode::Is
+                        };
                         self.locks.force_grant(*t, *it, m);
                     }
                 }
@@ -616,6 +687,13 @@ impl PeerServer {
         if violated {
             // Redo the whole callback operation (paper §4.3.2).
             self.stats.callback_redos += 1;
+            self.obs.cb_closed(cb);
+            if let Some(op) = self.cb_ops.get(&cb) {
+                self.obs.record(pscc_obs::EventKind::Race {
+                    item: op.target.lockable(),
+                    kind: pscc_obs::event::RaceKind::CallbackRedo,
+                });
+            }
             let (txn, target, done) = {
                 let op = self.cb_ops.get_mut(&cb).expect("checked above");
                 op.violated = false;
@@ -634,24 +712,35 @@ impl PeerServer {
             return;
         }
         let op = self.cb_ops.remove(&cb).expect("checked above");
+        self.obs.cb_closed(cb);
         if let CbTarget::Object(o) = op.target {
             self.cb_by_object.remove(&o);
         }
         match op.done {
-            CbDone::GrantWrite { req, to, oid } => {
+            CbDone::Write { req, to, oid } => {
                 let adaptive = self.cfg.protocol.adaptive_locking()
                     && op.all_purged
                     && self.can_grant_adaptive(oid.page, op.txn);
                 if adaptive {
                     self.locks.set_adaptive(op.txn, oid.page);
                     self.stats.adaptive_grants += 1;
+                    self.obs.record(pscc_obs::EventKind::AdaptiveGrant {
+                        txn: op.txn,
+                        item: LockableId::Page(oid.page),
+                    });
                 }
                 self.send(to, Message::WriteGranted { req, adaptive });
             }
-            CbDone::GrantWritePage { req, to } => {
-                self.send(to, Message::WriteGranted { req, adaptive: false });
+            CbDone::WritePage { req, to } => {
+                self.send(
+                    to,
+                    Message::WriteGranted {
+                        req,
+                        adaptive: false,
+                    },
+                );
             }
-            CbDone::GrantLock { req, to } => {
+            CbDone::Lock { req, to } => {
                 self.send(to, Message::LockGranted { req });
             }
         }
@@ -684,25 +773,17 @@ impl PeerServer {
         // A request from another client already *waiting* on the page or
         // one of its objects would, once granted, bypass the deescalation
         // check — so it also forbids the adaptive grant.
-        if self
-            .locks
-            .waiters_on_page(page)
-            .iter()
-            .any(|t| other_site(t))
-        {
+        if self.locks.waiters_on_page(page).iter().any(other_site) {
             return false;
         }
         // No pending callbacks on the page's objects by others.
-        !self
-            .cb_by_object
-            .iter()
-            .any(|(o, cbid)| {
-                o.page == page
-                    && self
-                        .cb_ops
-                        .get(cbid)
-                        .is_some_and(|op| op.txn.site != txn.site)
-            })
+        !self.cb_by_object.iter().any(|(o, cbid)| {
+            o.page == page
+                && self
+                    .cb_ops
+                    .get(cbid)
+                    .is_some_and(|op| op.txn.site != txn.site)
+        })
     }
 
     /// A callback wait timed out at a client: abort the calling-back
@@ -750,6 +831,10 @@ impl PeerServer {
         };
         let de = self.fresh_de();
         self.stats.deescalations += 1;
+        self.obs.record(pscc_obs::EventKind::Deescalated {
+            peer: client,
+            item: LockableId::Page(page),
+        });
         self.de_ops.insert(
             de,
             DeOp {
@@ -788,8 +873,10 @@ impl PeerServer {
         }
         for (t, o) in ex_locks {
             if self.replicable(t) {
-                self.locks.force_grant(t, LockableId::Object(o), LockMode::Ex);
-                self.locks.force_grant(t, LockableId::Page(o.page), LockMode::Ix);
+                self.locks
+                    .force_grant(t, LockableId::Object(o), LockMode::Ex);
+                self.locks
+                    .force_grant(t, LockableId::Page(o.page), LockMode::Ix);
             }
         }
         for t in self.locks.adaptive_holders(page) {
@@ -825,8 +912,16 @@ impl PeerServer {
         match a {
             Acquire::Granted => self.server_explicit_locked(req, from, txn, item, mode),
             Acquire::Wait(t) => {
-                self.lock_conts
-                    .insert(t, LockCont::ServerExplicit { req, from, txn, item, mode });
+                self.lock_conts.insert(
+                    t,
+                    LockCont::ServerExplicit {
+                        req,
+                        from,
+                        txn,
+                        item,
+                        mode,
+                    },
+                );
                 self.arm_lock_timer(t, txn);
                 self.check_deadlocks();
             }
@@ -844,7 +939,7 @@ impl PeerServer {
         if !self.txns.is_active(txn) {
             return;
         }
-        let done = CbDone::GrantLock { req, to: from };
+        let done = CbDone::Lock { req, to: from };
         match (item, mode) {
             // EX object (e.g. a large-object header, §4.4): ordinary
             // object callbacks.
@@ -875,13 +970,7 @@ impl PeerServer {
     /// Point-read of a forwarded object (§4.4): resolve the tombstone
     /// and return the current bytes. Protection comes from the lock the
     /// requester already holds on the (original) object.
-    pub(crate) fn server_read_forwarded(
-        &mut self,
-        req: ReqId,
-        from: SiteId,
-        txn: TxnId,
-        oid: Oid,
-    ) {
+    pub(crate) fn server_read_forwarded(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
         self.txns.spread(txn);
         self.touch_resident(oid.page, false);
         let target = self.volume.resolve_forward(oid);
@@ -906,9 +995,13 @@ impl PeerServer {
     ) {
         if !self.copy_table.purge(page, from, ship_seq) {
             self.stats.purge_races += 1;
+            self.obs.record(pscc_obs::EventKind::Race {
+                item: LockableId::Page(page),
+                kind: pscc_obs::event::RaceKind::PurgeInFlight,
+            });
         }
         for (t, item, m) in replicate {
-            if self.replicable(t) && self.locks.held_mode(t, item).map_or(true, |h| h.sup(m) != h) {
+            if self.replicable(t) && self.locks.held_mode(t, item).is_none_or(|h| h.sup(m) != h) {
                 // Only strengthen; never weaken an existing server lock.
                 if self
                     .locks

@@ -65,6 +65,7 @@ pub mod cache;
 pub mod copy_table;
 mod engine;
 pub mod msg;
+pub mod obs;
 pub mod owner_map;
 pub mod races;
 pub mod residency;
@@ -78,3 +79,4 @@ pub use msg::{
     ReqId, TimerId,
 };
 pub use owner_map::OwnerMap;
+pub use timeout::TimeoutSnapshot;

@@ -11,7 +11,7 @@
 //! traffic with two-phase commit for multi-owner transactions (§3.3).
 
 use pscc_common::{
-    AbortReason, AppId, LockMode, LockableId, Oid, PageId, SiteId, SimDuration, TxnId,
+    AbortReason, AppId, LockMode, LockableId, Oid, PageId, SimDuration, SiteId, TxnId,
 };
 use pscc_storage::PageSnapshot;
 use pscc_wal::LogRecord;
@@ -416,15 +416,16 @@ impl Message {
                 replicate,
                 log_records,
                 ..
-            } => 64 + replicate.len() * 24 + log_records.iter().map(LogRecord::wire_size).sum::<usize>(),
+            } => {
+                64 + replicate.len() * 24
+                    + log_records.iter().map(LogRecord::wire_size).sum::<usize>()
+            }
             Message::CbBlocked { holders, .. } => 32 + holders.len() * 24,
             Message::DeescalateReply { ex_locks, .. } => 32 + ex_locks.len() * 24,
             Message::LargePageReply { bytes, .. } => 64 + bytes.len(),
             Message::WriteLargeReq { bytes, .. } => 64 + bytes.len(),
             Message::CreateLargeReq { content, .. } => 64 + content.len(),
-            Message::ObjectBytes { bytes, .. } => {
-                64 + bytes.as_ref().map(Vec::len).unwrap_or(0)
-            }
+            Message::ObjectBytes { bytes, .. } => 64 + bytes.as_ref().map(Vec::len).unwrap_or(0),
             _ => 64,
         }
     }

@@ -1,0 +1,157 @@
+//! Per-site observability state carried by the engine: an optional
+//! protocol trace handle, always-on latency histograms, and the
+//! in-flight stamps used to turn request/reply pairs into round-trip
+//! latencies. Recording is O(1) and allocation-free on the hot path;
+//! the trace is off unless [`crate::PeerServer::enable_trace`] is
+//! called.
+
+use crate::msg::{CbId, ReqId};
+use pscc_common::{SimTime, SiteId, TxnId};
+use pscc_obs::event::{EventKind, TraceHandle};
+use pscc_obs::Histogram;
+use std::collections::HashMap;
+
+/// Observability state of one [`crate::PeerServer`].
+#[derive(Debug, Default)]
+pub struct SiteObs {
+    trace: Option<TraceHandle>,
+    /// Blocked lock acquisitions: queueing to grant.
+    pub lock_wait: Histogram,
+    /// Callback round trips: issue at the owner to each acknowledgment.
+    pub callback_rtt: Histogram,
+    /// Fetch round trips: request sent to page installed.
+    pub fetch_rtt: Histogram,
+    /// Commit latency: application commit to committed.
+    pub commit_latency: Histogram,
+    fetch_started: HashMap<ReqId, SimTime>,
+    cb_started: HashMap<CbId, SimTime>,
+    commit_started: HashMap<TxnId, SimTime>,
+}
+
+impl SiteObs {
+    /// Turns event tracing on with a ring of `cap` events, returning a
+    /// handle the harness keeps for snapshots/merging.
+    pub fn enable_trace(&mut self, site: SiteId, cap: usize) -> TraceHandle {
+        let h = TraceHandle::new(site, cap);
+        self.trace = Some(h.clone());
+        h
+    }
+
+    /// The trace handle, if tracing is enabled.
+    pub fn trace_handle(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
+    /// Records a protocol event (no-op when tracing is off).
+    pub fn record(&self, kind: EventKind) {
+        if let Some(t) = &self.trace {
+            t.record(kind);
+        }
+    }
+
+    /// Advances the shared virtual clock used to stamp events.
+    pub fn set_now(&self, now: SimTime) {
+        if let Some(t) = &self.trace {
+            t.set_now(now);
+        }
+    }
+
+    pub(crate) fn fetch_sent(&mut self, req: ReqId, now: SimTime) {
+        self.fetch_started.insert(req, now);
+    }
+
+    pub(crate) fn fetch_done(&mut self, req: ReqId, now: SimTime) {
+        if let Some(t0) = self.fetch_started.remove(&req) {
+            self.fetch_rtt.record(now.since(t0));
+        }
+    }
+
+    /// Forgets a fetch stamp without recording (request cancelled).
+    pub(crate) fn fetch_drop(&mut self, req: ReqId) {
+        self.fetch_started.remove(&req);
+    }
+
+    pub(crate) fn cb_sent(&mut self, cb: CbId, now: SimTime) {
+        self.cb_started.insert(cb, now);
+    }
+
+    /// One acknowledgment arrived; the stamp stays until the operation
+    /// closes so later acks of the same fan-out are measured too.
+    pub(crate) fn cb_acked(&mut self, cb: CbId, now: SimTime) {
+        if let Some(t0) = self.cb_started.get(&cb) {
+            self.callback_rtt.record(now.since(*t0));
+        }
+    }
+
+    pub(crate) fn cb_closed(&mut self, cb: CbId) {
+        self.cb_started.remove(&cb);
+    }
+
+    pub(crate) fn commit_begin(&mut self, txn: TxnId, now: SimTime) {
+        self.commit_started.insert(txn, now);
+    }
+
+    pub(crate) fn commit_done(&mut self, txn: TxnId, now: SimTime) {
+        if let Some(t0) = self.commit_started.remove(&txn) {
+            self.commit_latency.record(now.since(t0));
+        }
+    }
+
+    pub(crate) fn commit_drop(&mut self, txn: TxnId) {
+        self.commit_started.remove(&txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::SimDuration;
+
+    #[test]
+    fn rtt_pairs_measure_durations() {
+        let mut o = SiteObs::default();
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_micros(250);
+        o.fetch_sent(ReqId(1), t0);
+        o.fetch_done(ReqId(1), t1);
+        o.fetch_done(ReqId(2), t1); // unmatched: ignored
+        assert_eq!(o.fetch_rtt.count(), 1);
+        assert_eq!(o.fetch_rtt.sum_micros(), 250);
+
+        o.commit_begin(TxnId::new(SiteId(0), 1), t0);
+        o.commit_drop(TxnId::new(SiteId(0), 1));
+        o.commit_done(TxnId::new(SiteId(0), 1), t1); // dropped: ignored
+        assert_eq!(o.commit_latency.count(), 0);
+    }
+
+    #[test]
+    fn callback_stamp_survives_until_closed() {
+        let mut o = SiteObs::default();
+        let t0 = SimTime::ZERO;
+        o.cb_sent(CbId(7), t0);
+        o.cb_acked(CbId(7), t0 + SimDuration::from_micros(10));
+        o.cb_acked(CbId(7), t0 + SimDuration::from_micros(30));
+        o.cb_closed(CbId(7));
+        o.cb_acked(CbId(7), t0 + SimDuration::from_micros(50));
+        assert_eq!(o.callback_rtt.count(), 2);
+        assert_eq!(o.callback_rtt.sum_micros(), 40);
+    }
+
+    #[test]
+    fn trace_records_only_when_enabled() {
+        let mut o = SiteObs::default();
+        o.record(EventKind::Commit {
+            txn: TxnId::new(SiteId(0), 1),
+            stage: pscc_obs::event::CommitStage::Request,
+        });
+        let h = o.enable_trace(SiteId(0), 64);
+        o.set_now(SimTime::from_micros(5));
+        o.record(EventKind::Commit {
+            txn: TxnId::new(SiteId(0), 1),
+            stage: pscc_obs::event::CommitStage::Done,
+        });
+        let events = h.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at, SimTime::from_micros(5));
+    }
+}

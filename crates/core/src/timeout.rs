@@ -62,6 +62,36 @@ impl TimeoutEstimator {
     pub fn samples(&self) -> u64 {
         self.count
     }
+
+    /// A point-in-time view of the estimator state, in microseconds —
+    /// the metrics layer publishes these as gauges so a sweep can show
+    /// how the adaptive interval evolved (§5.5).
+    pub fn snapshot(&self) -> TimeoutSnapshot {
+        let var = if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        };
+        TimeoutSnapshot {
+            samples: self.count,
+            mean_micros: self.mean * 1e6,
+            stddev_micros: var.sqrt() * 1e6,
+            current_timeout_micros: self.timeout().as_micros(),
+        }
+    }
+}
+
+/// See [`TimeoutEstimator::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutSnapshot {
+    /// Lock waits observed.
+    pub samples: u64,
+    /// Mean observed wait.
+    pub mean_micros: f64,
+    /// Standard deviation of observed waits.
+    pub stddev_micros: f64,
+    /// The interval the next wait would be armed with.
+    pub current_timeout_micros: u64,
 }
 
 #[cfg(test)]
@@ -105,6 +135,21 @@ mod tests {
         }
         // Same mean, higher variance => longer timeout.
         assert!(hi.timeout() > lo.timeout());
+    }
+
+    #[test]
+    fn snapshot_reports_estimator_state() {
+        let mut e = est();
+        assert_eq!(e.snapshot().samples, 0);
+        assert_eq!(e.snapshot().stddev_micros, 0.0);
+        for _ in 0..20 {
+            e.record_wait(SimDuration::from_millis(100));
+        }
+        let s = e.snapshot();
+        assert_eq!(s.samples, 20);
+        assert!((s.mean_micros - 100_000.0).abs() < 1.0, "{s:?}");
+        assert!(s.stddev_micros < 1.0, "{s:?}");
+        assert_eq!(s.current_timeout_micros, e.timeout().as_micros());
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl TxnRegistry {
 
     /// Ensures owner-side state exists for `txn` (spreading).
     pub fn spread(&mut self, txn: TxnId) -> &mut RemoteTxn {
-        self.remote.entry(txn).or_insert_with(|| RemoteTxn::new(txn))
+        self.remote
+            .entry(txn)
+            .or_insert_with(|| RemoteTxn::new(txn))
     }
 
     /// Whether `txn` is known (either role) and not aborted.

@@ -5,9 +5,7 @@
 mod common;
 
 use common::{version_of, Cluster};
-use pscc_common::{
-    AppId, FileId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId,
-};
+use pscc_common::{AppId, FileId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId};
 use pscc_core::{AppOp, AppReply, OwnerMap};
 
 const SERVER: SiteId = SiteId(0);
@@ -130,7 +128,10 @@ fn ps_aa_grants_adaptive_lock_and_saves_messages() {
     assert_eq!(s2.adaptive_hits, 2);
     c.commit(A, APP, t);
     // Committed values durable at the owner.
-    assert_eq!(version_of(c.sites[0].volume().read_object(oid(p, 2)).unwrap()), 1);
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(oid(p, 2)).unwrap()),
+        1
+    );
 }
 
 #[test]
@@ -343,9 +344,25 @@ fn deadlock_detected_and_victim_aborted() {
     c.write(B, APP, tb, y);
 
     // Cross writes: A→y, B→x.
-    c.submit(A, APP, Some(ta), AppOp::Write { oid: y, bytes: None });
+    c.submit(
+        A,
+        APP,
+        Some(ta),
+        AppOp::Write {
+            oid: y,
+            bytes: None,
+        },
+    );
     c.pump();
-    c.submit(B, APP, Some(tb), AppOp::Write { oid: x, bytes: None });
+    c.submit(
+        B,
+        APP,
+        Some(tb),
+        AppOp::Write {
+            oid: x,
+            bytes: None,
+        },
+    );
     c.pump();
 
     let ra = c.find_reply(A, ta);
@@ -387,10 +404,7 @@ fn serializability_smoke_counter_increments() {
         c.write(site, APP, t, x);
         c.commit(site, APP, t);
     }
-    assert_eq!(
-        version_of(c.sites[0].volume().read_object(x).unwrap()),
-        10
-    );
+    assert_eq!(version_of(c.sites[0].volume().read_object(x).unwrap()), 10);
 }
 
 #[test]
@@ -420,7 +434,7 @@ fn explicit_file_lock_purges_and_blocks() {
         other => panic!("unexpected {other:?}"),
     }
     assert!(!c.sites[B.0 as usize].volume().contains_page(x.page)); // B owns nothing anyway
-    // B's new read blocks behind the file lock.
+                                                                    // B's new read blocks behind the file lock.
     let tb2 = c.begin(B, APP);
     c.submit(B, APP, Some(tb2), AppOp::Read(x));
     c.pump();
@@ -472,7 +486,15 @@ fn blocked_callback_resolves_after_holder_commits() {
 
     let ta = c.begin(A, APP);
     c.read(A, APP, ta, x);
-    c.submit(A, APP, Some(ta), AppOp::Write { oid: x, bytes: None });
+    c.submit(
+        A,
+        APP,
+        Some(ta),
+        AppOp::Write {
+            oid: x,
+            bytes: None,
+        },
+    );
     c.pump();
     assert!(c.find_reply(A, ta).is_none(), "callback blocked at B");
     assert!(c.total_stats().callbacks_blocked >= 1);

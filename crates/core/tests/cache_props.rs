@@ -25,7 +25,12 @@ fn page_image() -> SlottedPage {
 #[derive(Debug, Clone)]
 enum Op {
     /// Install a copy with the given availability bits and race list.
-    Install { page: u8, unavail: Vec<u8>, raced: Vec<u8>, seq: u64 },
+    Install {
+        page: u8,
+        unavail: Vec<u8>,
+        raced: Vec<u8>,
+        seq: u64,
+    },
     /// An object callback.
     MarkUnavailable { page: u8, slot: u8 },
     /// A page callback / eviction.
@@ -46,7 +51,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
             proptest::collection::vec(0u8..N_SLOTS as u8, 0..3),
             1u64..100
         )
-            .prop_map(|(page, unavail, raced, seq)| Op::Install { page, unavail, raced, seq }),
+            .prop_map(|(page, unavail, raced, seq)| Op::Install {
+                page,
+                unavail,
+                raced,
+                seq
+            }),
         (0u8..3, 0u8..N_SLOTS as u8).prop_map(|(page, slot)| Op::MarkUnavailable { page, slot }),
         (0u8..3).prop_map(|page| Op::Purge { page }),
         (0u8..3, 0u8..N_SLOTS as u8, 0u8..3).prop_map(|(page, slot, txn)| Op::Update {

@@ -86,8 +86,10 @@ impl Cluster {
                     self.net.send(site, to, path, msg);
                 }
                 Output::Disk { req, .. } => {
-                    self.sched
-                        .push((Reverse(self.now + self.disk_latency), Sched::Disk(site.0, req)));
+                    self.sched.push((
+                        Reverse(self.now + self.disk_latency),
+                        Sched::Disk(site.0, req),
+                    ));
                 }
                 Output::ArmTimer { timer, delay } => {
                     self.sched
@@ -183,7 +185,9 @@ impl Cluster {
         let pos = self
             .replies
             .iter()
-            .position(|(s, r)| *s == site && matches!(r, AppReply::Started { app: a, .. } if *a == app))
+            .position(|(s, r)| {
+                *s == site && matches!(r, AppReply::Started { app: a, .. } if *a == app)
+            })
             .expect("Begin must answer");
         match self.replies.remove(pos).1 {
             AppReply::Started { txn, .. } => txn,
@@ -248,6 +252,7 @@ impl Cluster {
 }
 
 /// The version counter a synthesized write bumps (first 8 bytes).
+#[allow(dead_code)] // not every test binary sharing this module uses it
 pub fn version_of(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"))
 }

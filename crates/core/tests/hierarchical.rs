@@ -6,11 +6,11 @@
 mod common;
 
 use common::{drain, version_of, Cluster};
-use pscc_net::PathId;
 use pscc_common::{
     AppId, FileId, LockMode, LockableId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId,
 };
 use pscc_core::{AppOp, AppReply, OwnerMap};
+use pscc_net::PathId;
 
 const S: SiteId = SiteId(0);
 const A: SiteId = SiteId(1);
@@ -62,7 +62,15 @@ fn page_level_blocked_callback_with_sneak_and_redo() {
     let ta = c.begin(A, APP);
     c.read(A, APP, ta, x);
     let tc = c.begin(C, APP);
-    c.submit(A, APP, Some(ta), AppOp::Write { oid: x, bytes: None });
+    c.submit(
+        A,
+        APP,
+        Some(ta),
+        AppOp::Write {
+            oid: x,
+            bytes: None,
+        },
+    );
     drain(&mut c, A, S, PathId(0)); // server takes EX(X); callback queued to B
     c.submit(C, APP, Some(tc), AppOp::Read(x));
     drain(&mut c, C, S, PathId(0)); // C's SH(X) queues behind A's EX
@@ -76,14 +84,20 @@ fn page_level_blocked_callback_with_sneak_and_redo() {
         }
         other => panic!("C's sneaked read failed: {other:?}"),
     }
-    assert!(c.find_reply(A, ta).is_none(), "A must wait for B's page lock");
+    assert!(
+        c.find_reply(A, ta).is_none(),
+        "A must wait for B's page lock"
+    );
     c.commit(C, APP, tc);
 
     // B finishes; the callback redo re-invalidates C's copy and A's
     // write completes.
     c.commit(B, APP, tb);
     c.pump();
-    assert!(c.find_reply(A, ta).is_some(), "A's write completes after redo");
+    assert!(
+        c.find_reply(A, ta).is_some(),
+        "A's write completes after redo"
+    );
     assert!(
         c.total_stats().callback_redos >= 1,
         "the second-objective violation must trigger a redo"
@@ -114,7 +128,10 @@ fn explicit_ix_page_lock_sends_dummy_callbacks() {
     // B's copy no longer *fully* cached...
     let ta = c.begin(A, APP);
     lock(&mut c, A, ta, LockableId::Page(x.page), LockMode::Ix);
-    assert!(c.total_stats().callbacks_sent >= 1, "dummy callback expected");
+    assert!(
+        c.total_stats().callbacks_sent >= 1,
+        "dummy callback expected"
+    );
 
     // ...so B's next SH page lock must go to the server (it no longer
     // qualifies as local-only) where it waits behind A's IX.
@@ -158,7 +175,10 @@ fn volume_lock_purges_everything() {
     let tb2 = c.begin(B, APP);
     c.submit(B, APP, Some(tb2), AppOp::Read(x));
     c.pump();
-    assert!(c.find_reply(B, tb2).is_none(), "volume EX blocks all readers");
+    assert!(
+        c.find_reply(B, tb2).is_none(),
+        "volume EX blocks all readers"
+    );
     c.commit(A, APP, ta);
     c.pump();
     assert!(c.find_reply(B, tb2).is_some());
@@ -227,9 +247,15 @@ fn blocked_file_callback_resolves() {
         },
     );
     c.pump();
-    assert!(c.find_reply(A, ta).is_none(), "file EX must wait for B's reader");
+    assert!(
+        c.find_reply(A, ta).is_none(),
+        "file EX must wait for B's reader"
+    );
     c.commit(B, APP, tb);
     c.pump();
-    assert!(c.find_reply(A, ta).is_some(), "file EX granted after B ends");
+    assert!(
+        c.find_reply(A, ta).is_some(),
+        "file EX granted after B ends"
+    );
     c.commit(A, APP, ta);
 }

@@ -64,7 +64,16 @@ fn read_large(
     offset: u64,
     len: u32,
 ) -> Option<Vec<u8>> {
-    match c.run_op(site, APP, txn, AppOp::ReadLarge { header, offset, len }) {
+    match c.run_op(
+        site,
+        APP,
+        txn,
+        AppOp::ReadLarge {
+            header,
+            offset,
+            len,
+        },
+    ) {
         AppReply::Done { data, .. } => data,
         other => panic!("read_large failed: {other:?}"),
     }
@@ -89,7 +98,11 @@ fn create_and_read_spanning_pages() {
     let msgs = c.total_stats().msgs_sent;
     let got2 = read_large(&mut c, B, tb, header, 1000, 100).expect("data");
     assert_eq!(got2, got);
-    assert_eq!(c.total_stats().msgs_sent, msgs, "cached large pages are free");
+    assert_eq!(
+        c.total_stats().msgs_sent,
+        msgs,
+        "cached large pages are free"
+    );
     c.commit(B, APP, tb);
 }
 

@@ -180,9 +180,25 @@ fn lock_wait_timeout_aborts_waiter() {
     c.write(s1, APP, t1, y);
     // Cross access: t0 wants y (waits at owner 1), t1 wants x (waits at
     // owner 0). Neither owner sees a full cycle locally.
-    c.submit(s0, APP, Some(t0), AppOp::Write { oid: y, bytes: None });
+    c.submit(
+        s0,
+        APP,
+        Some(t0),
+        AppOp::Write {
+            oid: y,
+            bytes: None,
+        },
+    );
     c.pump();
-    c.submit(s1, APP, Some(t1), AppOp::Write { oid: x, bytes: None });
+    c.submit(
+        s1,
+        APP,
+        Some(t1),
+        AppOp::Write {
+            oid: x,
+            bytes: None,
+        },
+    );
     c.pump();
     assert!(c.find_reply(s0, t0).is_none());
     assert!(c.find_reply(s1, t1).is_none());
@@ -256,5 +272,8 @@ fn rereading_own_evicted_dirty_object() {
     let v = c.read(site, APP, t, first);
     assert_eq!(version_of(&v), 1, "own uncommitted update must be visible");
     c.commit(site, APP, t);
-    assert_eq!(version_of(c.sites[0].volume().read_object(first).unwrap()), 1);
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(first).unwrap()),
+        1
+    );
 }

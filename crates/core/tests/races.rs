@@ -10,6 +10,7 @@ use common::{drain, version_of, Cluster};
 use pscc_common::{AppId, FileId, Oid, PageId, Protocol, SiteId, SystemConfig, VolId};
 use pscc_core::{AppOp, AppReply, OwnerMap};
 use pscc_net::PathId;
+use pscc_obs::event::{merge_traces, render_dump, TraceHandle};
 
 const S: SiteId = SiteId(0);
 const A: SiteId = SiteId(1);
@@ -28,11 +29,24 @@ fn cluster() -> Cluster {
     Cluster::new(3, cfg, OwnerMap::Single(S), 99)
 }
 
+/// Turns on protocol tracing at every site of `c`.
+fn trace_all(c: &mut Cluster) -> Vec<TraceHandle> {
+    c.sites.iter_mut().map(|s| s.enable_trace(4096)).collect()
+}
+
+/// The merged postmortem dump of all sites' rings.
+fn dump_of(traces: &[TraceHandle]) -> String {
+    render_dump(&merge_traces(
+        traces.iter().map(TraceHandle::snapshot).collect(),
+    ))
+}
+
 /// Fig. 5: a callback overtakes the read reply it races with; the raced
 /// object must stay unavailable when the stale reply lands.
 #[test]
 fn callback_race_keeps_object_unavailable() {
     let mut c = cluster();
+    let traces = trace_all(&mut c);
     let p = 2;
     let x = oid(p, 0);
     let y = oid(p, 5);
@@ -62,7 +76,15 @@ fn callback_race_keeps_object_unavailable() {
 
     // B updates Y; the callback for Y reaches A *before* the read reply
     // (different paths — Fig. 5's crossing).
-    c.submit(B, APP, Some(tb2), AppOp::Write { oid: y, bytes: None });
+    c.submit(
+        B,
+        APP,
+        Some(tb2),
+        AppOp::Write {
+            oid: y,
+            bytes: None,
+        },
+    );
     drain(&mut c, B, S, PathId(0)); // write request reaches server
     drain(&mut c, S, A, PathId(2)); // CALLBACK first (the race)
     drain(&mut c, A, S, PathId(0)); // CbOk back
@@ -94,6 +116,14 @@ fn callback_race_keeps_object_unavailable() {
         other => panic!("unexpected {other:?}"),
     }
     c.commit(A, APP, ta);
+
+    // The merged time-ordered multi-site dump must name the race.
+    let dump = dump_of(&traces);
+    assert!(
+        dump.contains("callback_race"),
+        "postmortem trace must name the §4.2.4 callback race:\n{dump}"
+    );
+    assert!(dump.contains("callback_sent"), "{dump}");
 }
 
 /// The purge race: a purge notice for an old copy arrives after the
@@ -107,6 +137,7 @@ fn stale_purge_is_ignored_and_callbacks_still_arrive() {
         ..SystemConfig::small()
     };
     let mut c = Cluster::new(3, cfg, OwnerMap::Single(S), 7);
+    let traces = trace_all(&mut c);
     let p0 = 0;
     let x0 = oid(p0, 0);
     let x5 = oid(p0, 5);
@@ -169,6 +200,12 @@ fn stale_purge_is_ignored_and_callbacks_still_arrive() {
     let v = c.read(A, APP, ta2, x0);
     assert_eq!(version_of(&v), 1, "A must observe B's committed x0");
     c.commit(A, APP, ta2);
+
+    let dump = dump_of(&traces);
+    assert!(
+        dump.contains("purge_race"),
+        "postmortem trace must name the §4.2.4 purge race:\n{dump}"
+    );
 }
 
 /// The deescalation race: a `WriteGranted{adaptive}` already in flight
@@ -177,13 +214,22 @@ fn stale_purge_is_ignored_and_callbacks_still_arrive() {
 #[test]
 fn deescalation_race_voids_stale_adaptive_grant() {
     let mut c = cluster();
+    let traces = trace_all(&mut c);
     let p = 4;
 
     // A's write request goes out; the server grants ADAPTIVE (nobody
     // else caches p). Hold the WriteGranted on path 1.
     let ta = c.begin(A, APP);
     c.read(A, APP, ta, oid(p, 0));
-    c.submit(A, APP, Some(ta), AppOp::Write { oid: oid(p, 0), bytes: None });
+    c.submit(
+        A,
+        APP,
+        Some(ta),
+        AppOp::Write {
+            oid: oid(p, 0),
+            bytes: None,
+        },
+    );
     drain(&mut c, A, S, PathId(0));
 
     // B reads another object of p: the server deescalates A's adaptive
@@ -219,4 +265,11 @@ fn deescalation_race_voids_stale_adaptive_grant() {
     let v = c.read(B, APP, tb2, oid(p, 1));
     assert_eq!(version_of(&v), 1);
     c.commit(B, APP, tb2);
+
+    let dump = dump_of(&traces);
+    assert!(
+        dump.contains("deescalated"),
+        "postmortem trace must record the deescalation:\n{dump}"
+    );
+    assert!(dump.contains("adaptive_grant"), "{dump}");
 }

@@ -35,7 +35,15 @@ fn oid(page: u32, slot: u16) -> Oid {
 }
 
 fn write_bytes(c: &mut Cluster, site: SiteId, txn: pscc_common::TxnId, o: Oid, bytes: Vec<u8>) {
-    match c.run_op(site, APP, txn, AppOp::Write { oid: o, bytes: Some(bytes) }) {
+    match c.run_op(
+        site,
+        APP,
+        txn,
+        AppOp::Write {
+            oid: o,
+            bytes: Some(bytes),
+        },
+    ) {
         AppReply::Done { .. } => {}
         other => panic!("write failed: {other:?}"),
     }
@@ -148,7 +156,10 @@ fn create_object_on_locked_page() {
         A,
         APP,
         t,
-        AppOp::Lock { item: LockableId::Page(page), mode: LockMode::Ex },
+        AppOp::Lock {
+            item: LockableId::Page(page),
+            mode: LockMode::Ex,
+        },
     ) {
         AppReply::Done { .. } => {}
         other => panic!("lock failed: {other:?}"),
@@ -157,7 +168,10 @@ fn create_object_on_locked_page() {
         A,
         APP,
         t,
-        AppOp::Create { page, bytes: b"created".to_vec() },
+        AppOp::Create {
+            page,
+            bytes: b"created".to_vec(),
+        },
     ) {
         AppReply::Done { data: Some(d), .. } => decode_header_oid(&d).expect("oid"),
         other => panic!("create failed: {other:?}"),
@@ -180,7 +194,15 @@ fn create_without_page_lock_is_refused() {
     let page = oid(43, 0).page;
     let t = c.begin(A, APP);
     c.read(A, APP, t, oid(43, 0));
-    match c.run_op(A, APP, t, AppOp::Create { page, bytes: b"x".to_vec() }) {
+    match c.run_op(
+        A,
+        APP,
+        t,
+        AppOp::Create {
+            page,
+            bytes: b"x".to_vec(),
+        },
+    ) {
         AppReply::Done { data, .. } => assert!(data.is_none(), "must refuse"),
         other => panic!("unexpected {other:?}"),
     }
@@ -197,13 +219,18 @@ fn delete_object_end_to_end() {
         A,
         APP,
         t,
-        AppOp::Lock { item: LockableId::Object(x), mode: LockMode::Ex },
+        AppOp::Lock {
+            item: LockableId::Object(x),
+            mode: LockMode::Ex,
+        },
     ) {
         AppReply::Done { .. } => {}
         other => panic!("lock failed: {other:?}"),
     }
     match c.run_op(A, APP, t, AppOp::Delete(x)) {
-        AppReply::Done { data: Some(before), .. } => {
+        AppReply::Done {
+            data: Some(before), ..
+        } => {
             assert_eq!(before.len(), SystemConfig::small().object_size() as usize)
         }
         other => panic!("delete failed: {other:?}"),
@@ -231,7 +258,10 @@ fn delete_then_abort_restores() {
         A,
         APP,
         t,
-        AppOp::Lock { item: LockableId::Object(x), mode: LockMode::Ex },
+        AppOp::Lock {
+            item: LockableId::Object(x),
+            mode: LockMode::Ex,
+        },
     ) {
         AppReply::Done { .. } => {}
         other => panic!("lock failed: {other:?}"),

@@ -148,8 +148,10 @@ fn run_stress_chaos(
                 .map(|_| {
                     let page = hot_pages[rng.gen_range(0..hot_pages.len())];
                     let slot = rng.gen_range(0..4u16);
-                    let oid =
-                        Oid::new(PageId::new(FileId::new(VolId(owner_of(page).0), 0), page), slot);
+                    let oid = Oid::new(
+                        PageId::new(FileId::new(VolId(owner_of(page).0), 0), page),
+                        slot,
+                    );
                     (oid, rng.gen_bool(0.5))
                 })
                 .collect();

@@ -71,12 +71,13 @@ pub fn detect_cycles(edges: &[(TxnId, TxnId)]) -> Vec<Vec<TxnId>> {
             if let Some(w) = next_child {
                 dfs.last_mut().expect("nonempty").1 += 1;
                 let wstate = state.entry(w).or_default().clone();
-                if wstate.index.is_none() {
-                    dfs.push((w, 0));
-                } else if wstate.on_stack {
-                    let wi = wstate.index.expect("checked above");
-                    let sv = state.get_mut(&v).expect("visited");
-                    sv.lowlink = sv.lowlink.min(wi);
+                match wstate.index {
+                    None => dfs.push((w, 0)),
+                    Some(wi) if wstate.on_stack => {
+                        let sv = state.get_mut(&v).expect("visited");
+                        sv.lowlink = sv.lowlink.min(wi);
+                    }
+                    Some(_) => {}
                 }
             } else {
                 dfs.pop();
@@ -153,12 +154,7 @@ mod tests {
 
     #[test]
     fn two_disjoint_cycles() {
-        let mut c = detect_cycles(&[
-            (t(1), t(2)),
-            (t(2), t(1)),
-            (t(5), t(6)),
-            (t(6), t(5)),
-        ]);
+        let mut c = detect_cycles(&[(t(1), t(2)), (t(2), t(1)), (t(5), t(6)), (t(6), t(5))]);
         c.sort();
         assert_eq!(c.len(), 2);
         assert_eq!(c[0], vec![t(1), t(2)]);

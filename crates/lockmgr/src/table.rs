@@ -3,6 +3,7 @@
 //! downgrades, and the adaptive bit.
 
 use pscc_common::{LockMode, LockableId, PageId, TxnId};
+use pscc_obs::event::{EventKind, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -123,12 +124,29 @@ pub struct LockTable {
     entries: HashMap<LockableId, Entry>,
     pending: HashMap<Ticket, Pending>,
     next_ticket: u64,
+    trace: Option<TraceHandle>,
 }
 
 impl LockTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches (or detaches) a protocol trace. Lock request, wait, and
+    /// grant events are recorded through it from then on; [`force_grant`]
+    /// is deliberately unrecorded (it replicates a lock granted
+    /// elsewhere, so there is no matching request at this site).
+    ///
+    /// [`force_grant`]: LockTable::force_grant
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.trace {
+            t.record(kind);
+        }
     }
 
     fn fresh_ticket(&mut self) -> Ticket {
@@ -143,6 +161,11 @@ impl LockTable {
     /// requests that side effects of this call unblocked (none today, but
     /// the signature is uniform with the other mutators).
     pub fn acquire(&mut self, txn: TxnId, id: LockableId, mode: LockMode) -> (Acquire, Vec<Grant>) {
+        self.emit(EventKind::LockRequest {
+            txn,
+            item: id,
+            mode,
+        });
         let intention = mode.ancestor_intention();
         let mut path: Vec<(LockableId, LockMode)> = id
             .path_from_root()
@@ -152,6 +175,11 @@ impl LockTable {
         // Skip steps already covered by held modes.
         path.retain(|(g, m)| !self.held_covers(txn, *g, *m));
         if path.is_empty() {
+            self.emit(EventKind::LockGrant {
+                txn,
+                item: id,
+                mode,
+            });
             return (Acquire::Granted, Vec::new());
         }
         self.run_path(txn, path, (id, mode))
@@ -166,11 +194,21 @@ impl LockTable {
         id: LockableId,
         mode: LockMode,
     ) -> (Acquire, Vec<Grant>) {
+        self.emit(EventKind::LockRequest {
+            txn,
+            item: id,
+            mode,
+        });
         if self.held_covers(txn, id, mode) {
             // Re-entrant: bump the holder count so paired releases work.
             if let Some(h) = self.entries.get_mut(&id).and_then(|e| e.holder_mut(txn)) {
                 h.count += 1;
             }
+            self.emit(EventKind::LockGrant {
+                txn,
+                item: id,
+                mode,
+            });
             return (Acquire::Granted, Vec::new());
         }
         self.run_path(txn, vec![(id, mode)], (id, mode))
@@ -180,10 +218,20 @@ impl LockTable {
     /// failure nothing is queued and `false` is returned. This is how a
     /// callback first tries for the whole-page EX lock (paper §4.1.1).
     pub fn try_acquire_single(&mut self, txn: TxnId, id: LockableId, mode: LockMode) -> bool {
+        self.emit(EventKind::LockRequest {
+            txn,
+            item: id,
+            mode,
+        });
         if self.held_covers(txn, id, mode) {
             if let Some(h) = self.entries.get_mut(&id).and_then(|e| e.holder_mut(txn)) {
                 h.count += 1;
             }
+            self.emit(EventKind::LockGrant {
+                txn,
+                item: id,
+                mode,
+            });
             return true;
         }
         let entry = self.entries.entry(id).or_default();
@@ -197,6 +245,11 @@ impl LockTable {
         };
         if grantable {
             Self::install(entry, txn, mode);
+            self.emit(EventKind::LockGrant {
+                txn,
+                item: id,
+                mode,
+            });
             true
         } else {
             false
@@ -216,8 +269,20 @@ impl LockTable {
             leaf,
         };
         match self.advance(&mut p) {
-            true => (Acquire::Granted, Vec::new()),
+            true => {
+                self.emit(EventKind::LockGrant {
+                    txn,
+                    item: leaf.0,
+                    mode: leaf.1,
+                });
+                (Acquire::Granted, Vec::new())
+            }
             false => {
+                self.emit(EventKind::LockWait {
+                    txn,
+                    item: leaf.0,
+                    mode: leaf.1,
+                });
                 let ticket = self.fresh_ticket();
                 let (g, m) = p.path[p.step];
                 let held = self
@@ -302,7 +367,10 @@ impl LockTable {
 
     /// The mode `txn` currently holds on `id`, if any.
     pub fn held_mode(&self, txn: TxnId, id: LockableId) -> Option<LockMode> {
-        self.entries.get(&id).and_then(|e| e.holder(txn)).map(|h| h.mode)
+        self.entries
+            .get(&id)
+            .and_then(|e| e.holder(txn))
+            .map(|h| h.mode)
     }
 
     /// All transactions currently waiting on `id`, with the mode each
@@ -514,6 +582,11 @@ impl LockTable {
                 .expect("waiter without pending state");
             p.step += 1;
             if self.advance(&mut p) {
+                self.emit(EventKind::LockGrant {
+                    txn: p.txn,
+                    item: p.leaf.0,
+                    mode: p.leaf.1,
+                });
                 grants.push(Grant {
                     ticket: w.ticket,
                     txn: p.txn,
@@ -627,10 +700,7 @@ impl LockTable {
     /// Every object lock (any mode) held on objects of `page`, plus the
     /// holder — the locks a client replicates when it purges a page that
     /// active local transactions are still using (paper §4.1.1).
-    pub fn object_holders_on_page(
-        &self,
-        page: PageId,
-    ) -> Vec<(TxnId, pscc_common::Oid, LockMode)> {
+    pub fn object_holders_on_page(&self, page: PageId) -> Vec<(TxnId, pscc_common::Oid, LockMode)> {
         self.entries
             .iter()
             .filter_map(|(id, e)| match id {

@@ -17,9 +17,16 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..6, 0u8..12, 0u8..5).prop_map(|(txn, granule, mode)| Op::Acquire { txn, granule, mode }),
-        (0u8..6, 0u8..12, 0u8..5)
-            .prop_map(|(txn, granule, mode)| Op::TryAcquire { txn, granule, mode }),
+        (0u8..6, 0u8..12, 0u8..5).prop_map(|(txn, granule, mode)| Op::Acquire {
+            txn,
+            granule,
+            mode
+        }),
+        (0u8..6, 0u8..12, 0u8..5).prop_map(|(txn, granule, mode)| Op::TryAcquire {
+            txn,
+            granule,
+            mode
+        }),
         (0u8..6).prop_map(|txn| Op::ReleaseAll { txn }),
         (0u8..6).prop_map(|txn| Op::CancelOldest { txn }),
     ]
@@ -51,7 +58,7 @@ proptest! {
         let mut outstanding: HashMap<u8, Vec<Ticket>> = HashMap::new();
         let mut live: Vec<Ticket> = Vec::new();
 
-        let mut settle = |granted: Vec<pscc_lockmgr::Grant>,
+        let settle = |granted: Vec<pscc_lockmgr::Grant>,
                           live: &mut Vec<Ticket>,
                           outstanding: &mut HashMap<u8, Vec<Ticket>>| {
             for g in granted {

@@ -41,7 +41,10 @@ fn intention_locks_cascade_to_ancestors() {
     let t = txn(1, 1);
     let o = obj(3, 7);
     assert_eq!(lt.acquire(t, o.into(), LockMode::Ex).0, Acquire::Granted);
-    assert_eq!(lt.held_mode(t, LockableId::Page(o.page)), Some(LockMode::Ix));
+    assert_eq!(
+        lt.held_mode(t, LockableId::Page(o.page)),
+        Some(LockMode::Ix)
+    );
     assert_eq!(
         lt.held_mode(t, LockableId::File(o.page.file)),
         Some(LockMode::Ix)
@@ -140,7 +143,10 @@ fn fig4_callback_blocked_downgrade_dance() {
     lt.force_grant(c1, x, LockMode::Sh);
     // A1 upgrades back towards EX: queued ahead of B1, waiting for C1.
     let tka = wait(lt.acquire_single(a1, x, LockMode::Ex).0);
-    assert!(lt.rescan(x).is_empty(), "B1 must stay blocked behind the upgrader");
+    assert!(
+        lt.rescan(x).is_empty(),
+        "B1 must stay blocked behind the upgrader"
+    );
     assert!(lt.detect_deadlocks().is_empty());
 
     // C1 terminates: A1's upgrade is granted first; B1 stays blocked
@@ -249,7 +255,7 @@ fn release_all_cancels_own_waits() {
     let tk = wait(lt.acquire(t2, x, LockMode::Sh).0);
     let out = lt.release_all(t2);
     assert_eq!(out.cancelled, vec![tk]);
-    assert!(lt.is_empty() == false); // t1 still holds x
+    assert!(!lt.is_empty()); // t1 still holds x
     let out = lt.release_all(t1);
     assert!(out.grants.is_empty());
     assert!(lt.is_empty());
@@ -287,10 +293,22 @@ fn multiple_adaptive_holders_same_client() {
 fn ex_object_holders_on_page_lists_only_that_page() {
     let mut lt = LockTable::new();
     let (t1, t2) = (txn(1, 1), txn(1, 2));
-    assert_eq!(lt.acquire(t1, obj(9, 2).into(), LockMode::Ex).0, Acquire::Granted);
-    assert_eq!(lt.acquire(t2, obj(9, 5).into(), LockMode::Ex).0, Acquire::Granted);
-    assert_eq!(lt.acquire(t1, obj(8, 1).into(), LockMode::Ex).0, Acquire::Granted);
-    assert_eq!(lt.acquire(t2, obj(9, 6).into(), LockMode::Sh).0, Acquire::Granted);
+    assert_eq!(
+        lt.acquire(t1, obj(9, 2).into(), LockMode::Ex).0,
+        Acquire::Granted
+    );
+    assert_eq!(
+        lt.acquire(t2, obj(9, 5).into(), LockMode::Ex).0,
+        Acquire::Granted
+    );
+    assert_eq!(
+        lt.acquire(t1, obj(8, 1).into(), LockMode::Ex).0,
+        Acquire::Granted
+    );
+    assert_eq!(
+        lt.acquire(t2, obj(9, 6).into(), LockMode::Sh).0,
+        Acquire::Granted
+    );
     let mut got = lt.ex_object_holders_on_page(page(9));
     got.sort();
     assert_eq!(got, vec![(t1, obj(9, 2)), (t2, obj(9, 5))]);
@@ -368,7 +386,10 @@ fn hierarchical_wait_can_block_twice() {
     let tk = wait(lt.acquire(t2, o.into(), LockMode::Sh).0);
     // Releasing the file lets t2 descend... into the object wait.
     let out = lt.release_all(t1);
-    assert!(out.grants.is_empty(), "t2 should still be waiting at the object");
+    assert!(
+        out.grants.is_empty(),
+        "t2 should still be waiting at the object"
+    );
     let out = lt.release_all(t3);
     assert_eq!(out.grants.len(), 1);
     assert_eq!(out.grants[0].ticket, tk);

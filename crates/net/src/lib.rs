@@ -252,7 +252,10 @@ impl<M> SeededNet<M> {
 
     /// Enqueues a message.
     pub fn send(&mut self, from: SiteId, to: SiteId, path: PathId, msg: M) {
-        self.queues.entry((from, to, path)).or_default().push_back(msg);
+        self.queues
+            .entry((from, to, path))
+            .or_default()
+            .push_back(msg);
         self.in_flight += 1;
     }
 

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -28,6 +28,38 @@ use std::time::Duration;
 struct Handshake {
     site: u32,
     path: u8,
+}
+
+/// Wire-level counters of one [`TcpNode`], shared with its reader
+/// threads. Message frames only — handshake frames are excluded from
+/// frame counts (their bytes still count on the receive side, where the
+/// stream is read as a whole).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Message frames written.
+    pub frames_sent: AtomicU64,
+    /// Bytes written (encoded frames, length prefix included).
+    pub bytes_sent: AtomicU64,
+    /// Message frames decoded.
+    pub frames_received: AtomicU64,
+    /// Bytes read off accepted connections.
+    pub bytes_received: AtomicU64,
+}
+
+impl NetStats {
+    /// Exports the counters into a metrics registry under `net_*` names.
+    pub fn export(&self, reg: &mut pscc_obs::MetricsRegistry) {
+        reg.counter("net_frames_sent", self.frames_sent.load(Ordering::Relaxed));
+        reg.counter("net_bytes_sent", self.bytes_sent.load(Ordering::Relaxed));
+        reg.counter(
+            "net_frames_received",
+            self.frames_received.load(Ordering::Relaxed),
+        );
+        reg.counter(
+            "net_bytes_received",
+            self.bytes_received.load(Ordering::Relaxed),
+        );
+    }
 }
 
 /// One site of a TCP-connected peer-servers deployment.
@@ -40,6 +72,7 @@ pub struct TcpNode<M> {
     mailbox_tx: Sender<Envelope<M>>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<NetStats>,
 }
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
@@ -58,9 +91,11 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         listener.set_nonblocking(true)?;
         let (tx, rx) = unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetStats::default());
         let acceptor = {
             let tx = tx.clone();
             let stop = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
@@ -69,7 +104,8 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
                             stream.set_nonblocking(false).ok();
                             let tx = tx.clone();
                             let stop = Arc::clone(&stop);
-                            std::thread::spawn(move || reader_loop(stream, tx, stop));
+                            let stats = Arc::clone(&stats);
+                            std::thread::spawn(move || reader_loop(stream, tx, stop, stats));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(1));
@@ -87,12 +123,18 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             mailbox_tx: tx,
             shutdown,
             acceptor: Some(acceptor),
+            stats,
         })
     }
 
     /// The local mailbox sender (loopback injection in tests).
     pub fn loopback(&self) -> Sender<Envelope<M>> {
         self.mailbox_tx.clone()
+    }
+
+    /// This node's wire-level counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
     }
 
     fn connection(&self, to: SiteId, path: PathId) -> std::io::Result<TcpStream> {
@@ -148,6 +190,7 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
     mut stream: TcpStream,
     tx: Sender<Envelope<M>>,
     stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
 ) {
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
@@ -171,6 +214,7 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
             }
             match decode_frame::<M>(&mut buf) {
                 Ok(Some(msg)) => {
+                    stats.frames_received.fetch_add(1, Ordering::Relaxed);
                     let (site, path) = from.expect("handshake first");
                     if tx
                         .send(Envelope {
@@ -190,7 +234,10 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                stats.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -204,12 +251,17 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> Transport<M> for TcpNode<M> {
     fn send(&self, to: SiteId, path: PathId, msg: M) {
+        #[cfg(feature = "spans")]
+        let _span = pscc_obs::span("tcp_send");
         let Ok(mut stream) = self.connection(to, path) else {
             return; // peer gone: drop, like a closed socket would
         };
         let mut buf = BytesMut::new();
-        if encode_frame(&msg, &mut buf).is_ok() {
-            let _ = stream.write_all(&buf);
+        if encode_frame(&msg, &mut buf).is_ok() && stream.write_all(&buf).is_ok() {
+            self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_sent
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
         }
     }
 
@@ -275,6 +327,23 @@ mod tests {
             sorted.sort();
             assert_eq!(seq, sorted, "per-path order violated over TCP");
         }
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn tcp_stats_count_frames_and_bytes() {
+        let (n0, n1) = two_nodes();
+        n0.send(SiteId(1), PathId(0), "count me".to_string());
+        let env = n1.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(env.msg, "count me");
+        assert_eq!(n0.stats().frames_sent.load(Ordering::Relaxed), 1);
+        assert!(n0.stats().bytes_sent.load(Ordering::Relaxed) > 0);
+        assert_eq!(n1.stats().frames_received.load(Ordering::Relaxed), 1);
+        assert!(n1.stats().bytes_received.load(Ordering::Relaxed) > 0);
+        let mut reg = pscc_obs::MetricsRegistry::new();
+        n0.stats().export(&mut reg);
+        assert_eq!(reg.counter_value("net_frames_sent"), Some(1));
         n0.shutdown();
         n1.shutdown();
     }

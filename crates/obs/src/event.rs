@@ -1,0 +1,404 @@
+//! Structured protocol event tracing.
+//!
+//! Every site keeps a bounded ring of typed [`TraceEvent`]s stamped with
+//! both virtual time ([`SimTime`]) and wall-clock micros. When a test or
+//! stress run goes wrong, the per-site rings are merged into one
+//! chronological dump so the §4.2.4 callback/purge interleavings (and
+//! deadlock/timeout postmortems) can be reconstructed across sites.
+
+use pscc_common::{AbortReason, LockMode, LockableId, SimTime, SiteId, TxnId};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The §4.2.4 race shapes the engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// A callback arrived for an object the local site holds a
+    /// conflicting lock on (callback blocked on a racing writer).
+    CallbackLock,
+    /// A callback crossed an in-flight purge/ship of the same page.
+    PurgeInFlight,
+    /// A callback had to be re-driven after a racing install (redo).
+    CallbackRedo,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::CallbackLock => "callback_race",
+            RaceKind::PurgeInFlight => "purge_race",
+            RaceKind::CallbackRedo => "callback_redo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Commit protocol phases (single-site fast path and 2PC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitStage {
+    /// The application's commit request reached the engine.
+    Request,
+    /// Prepare messages went out (2PC phase 1).
+    Prepare,
+    /// All votes arrived.
+    Voted,
+    /// The decision was logged/sent.
+    Decided,
+    /// The commit finished and the application was told.
+    Done,
+}
+
+impl fmt::Display for CommitStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommitStage::Request => "request",
+            CommitStage::Prepare => "prepare",
+            CommitStage::Voted => "voted",
+            CommitStage::Decided => "decided",
+            CommitStage::Done => "done",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One typed protocol event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A transaction asked the (local or owner) lock table for a lock.
+    LockRequest {
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    },
+    /// The lock table granted a lock (immediately or after a wait).
+    LockGrant {
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    },
+    /// The lock table queued the requester behind conflicting holders.
+    LockWait {
+        txn: TxnId,
+        item: LockableId,
+        mode: LockMode,
+    },
+    /// A callback was sent to `to` on behalf of `txn`.
+    CallbackSent {
+        to: SiteId,
+        txn: TxnId,
+        item: LockableId,
+    },
+    /// A remote site answered a callback with "blocked" (§4.2.2).
+    CallbackBlocked {
+        from: SiteId,
+        txn: TxnId,
+        item: LockableId,
+    },
+    /// A remote site purged the copy in response to a callback.
+    CallbackPurged {
+        from: SiteId,
+        txn: TxnId,
+        item: LockableId,
+        purged_page: bool,
+    },
+    /// A §4.2.4 race interleaving was detected and resolved.
+    Race { item: LockableId, kind: RaceKind },
+    /// A peer answered a deescalation request (PS-AA §5.3).
+    Deescalated { peer: SiteId, item: LockableId },
+    /// An adaptive (optimistic) grant was taken without global locks.
+    AdaptiveGrant { txn: TxnId, item: LockableId },
+    /// An adaptive grant was revoked/confirmed-late by the owner.
+    AdaptiveRevoke { txn: TxnId, item: LockableId },
+    /// A page/object fetch was sent to the owner.
+    FetchSent { to: SiteId, item: LockableId },
+    /// The fetch reply installed data locally.
+    FetchDone { from: SiteId, item: LockableId },
+    /// The commit path crossed a phase boundary.
+    Commit { txn: TxnId, stage: CommitStage },
+    /// A transaction aborted.
+    Abort { txn: TxnId, reason: AbortReason },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::LockRequest { txn, item, mode } => {
+                write!(f, "lock_request txn={txn:?} item={item:?} mode={mode:?}")
+            }
+            EventKind::LockGrant { txn, item, mode } => {
+                write!(f, "lock_grant txn={txn:?} item={item:?} mode={mode:?}")
+            }
+            EventKind::LockWait { txn, item, mode } => {
+                write!(f, "lock_wait txn={txn:?} item={item:?} mode={mode:?}")
+            }
+            EventKind::CallbackSent { to, txn, item } => {
+                write!(f, "callback_sent to={to:?} txn={txn:?} item={item:?}")
+            }
+            EventKind::CallbackBlocked { from, txn, item } => {
+                write!(
+                    f,
+                    "callback_blocked from={from:?} txn={txn:?} item={item:?}"
+                )
+            }
+            EventKind::CallbackPurged {
+                from,
+                txn,
+                item,
+                purged_page,
+            } => write!(
+                f,
+                "callback_purged from={from:?} txn={txn:?} item={item:?} page={purged_page}"
+            ),
+            EventKind::Race { item, kind } => write!(f, "{kind} item={item:?}"),
+            EventKind::Deescalated { peer, item } => {
+                write!(f, "deescalated peer={peer:?} item={item:?}")
+            }
+            EventKind::AdaptiveGrant { txn, item } => {
+                write!(f, "adaptive_grant txn={txn:?} item={item:?}")
+            }
+            EventKind::AdaptiveRevoke { txn, item } => {
+                write!(f, "adaptive_revoke txn={txn:?} item={item:?}")
+            }
+            EventKind::FetchSent { to, item } => {
+                write!(f, "fetch_sent to={to:?} item={item:?}")
+            }
+            EventKind::FetchDone { from, item } => {
+                write!(f, "fetch_done from={from:?} item={item:?}")
+            }
+            EventKind::Commit { txn, stage } => {
+                write!(f, "commit_{stage} txn={txn:?}")
+            }
+            EventKind::Abort { txn, reason } => {
+                write!(f, "abort txn={txn:?} reason={reason}")
+            }
+        }
+    }
+}
+
+/// A recorded event with its stamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Per-site monotone sequence number (total order within a site).
+    pub seq: u64,
+    /// Site that recorded the event.
+    pub site: SiteId,
+    /// Virtual time at recording.
+    pub at: SimTime,
+    /// Wall-clock microseconds since the ring was created.
+    pub wall_micros: u64,
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={:>12}µs site={} #{:<6}] {}",
+            self.at.as_micros(),
+            self.site.0,
+            self.seq,
+            self.kind
+        )
+    }
+}
+
+/// A bounded, allocation-stable ring of trace events.
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    epoch: Instant,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl EventRing {
+    /// Ring capacity used by the engines unless configured otherwise.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+            epoch: Instant::now(),
+            buf: VecDeque::with_capacity(cap.clamp(1, 1024)),
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&mut self, site: SiteId, at: SimTime, kind: EventKind) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back(TraceEvent {
+            seq,
+            site,
+            at,
+            wall_micros: self.epoch.elapsed().as_micros() as u64,
+            kind,
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A cloneable, thread-safe handle to one site's ring plus a shared
+/// virtual-time clock, so components that don't receive `now` in their
+/// call signatures (e.g. the lock table inside the engine) can still
+/// stamp events consistently.
+#[derive(Clone)]
+pub struct TraceHandle {
+    site: SiteId,
+    clock_micros: Arc<AtomicU64>,
+    ring: Arc<Mutex<EventRing>>,
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceHandle(site={})", self.site.0)
+    }
+}
+
+impl TraceHandle {
+    #[must_use]
+    pub fn new(site: SiteId, cap: usize) -> Self {
+        TraceHandle {
+            site,
+            clock_micros: Arc::new(AtomicU64::new(0)),
+            ring: Arc::new(Mutex::new(EventRing::new(cap))),
+        }
+    }
+
+    /// Advances the shared virtual clock (called once per engine step).
+    pub fn set_now(&self, now: SimTime) {
+        self.clock_micros.store(now.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Records `kind` at the current virtual time.
+    pub fn record(&self, kind: EventKind) {
+        let at = SimTime::from_micros(self.clock_micros.load(Ordering::Relaxed));
+        self.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .record(self.site, at, kind);
+    }
+
+    /// Copies out the retained events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .events()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace ring poisoned").dropped()
+    }
+}
+
+/// Merges per-site event snapshots into one chronological trace,
+/// ordered by (virtual time, site, per-site sequence).
+#[must_use]
+pub fn merge_traces(per_site: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = per_site.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.at, e.site.0, e.seq));
+    all
+}
+
+/// Renders a merged trace as a line-per-event postmortem dump.
+#[must_use]
+pub fn render_dump(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== merged protocol trace ({} events) ===\n",
+        events.len()
+    ));
+    for e in events {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::{FileId, PageId, VolId};
+
+    fn item(page: u32) -> LockableId {
+        LockableId::Page(PageId::new(FileId::new(VolId(0), 0), page))
+    }
+
+    #[test]
+    fn ring_bounds_and_drops() {
+        let mut r = EventRing::new(3);
+        for i in 0..5u32 {
+            r.record(
+                SiteId(0),
+                SimTime::from_micros(u64::from(i)),
+                EventKind::FetchSent {
+                    to: SiteId(1),
+                    item: item(i),
+                },
+            );
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_site() {
+        let h0 = TraceHandle::new(SiteId(0), 16);
+        let h1 = TraceHandle::new(SiteId(1), 16);
+        h1.set_now(SimTime::from_micros(5));
+        h1.record(EventKind::Race {
+            item: item(1),
+            kind: RaceKind::PurgeInFlight,
+        });
+        h0.set_now(SimTime::from_micros(2));
+        h0.record(EventKind::Race {
+            item: item(1),
+            kind: RaceKind::CallbackLock,
+        });
+        let merged = merge_traces(vec![h0.snapshot(), h1.snapshot()]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged[0].at <= merged[1].at);
+        let dump = render_dump(&merged);
+        assert!(dump.contains("callback_race"), "{dump}");
+        assert!(dump.contains("purge_race"), "{dump}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Fixed log-bucket latency histograms.
+//!
+//! Values are microsecond durations. Bucket `i` covers `[2^(i-1), 2^i)`
+//! microseconds (bucket 0 holds exact zeros), so the whole `u64` range
+//! fits in 65 fixed slots — recording is allocation-free and O(1), cheap
+//! enough for the engine's hot paths.
+
+use pscc_common::SimDuration;
+
+const N_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of microsecond latencies.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` in microseconds.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_micros(d.as_micros());
+    }
+
+    /// Records one microsecond value.
+    pub fn record_micros(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(v);
+        self.max_micros = self.max_micros.max(v);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[must_use]
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    #[must_use]
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Mean in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`); 0 when empty.
+    #[must_use]
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(upper_bound_micros, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_upper(i), *c))
+    }
+
+    /// Cumulative counts at each non-empty bucket boundary (for the
+    /// Prometheus `_bucket{le=...}` series), ascending.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            if *c > 0 {
+                acc += c;
+                out.push((bucket_upper(i), acc));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record_micros(0);
+        h.record_micros(1);
+        h.record_micros(2);
+        h.record_micros(3);
+        h.record_micros(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_micros(), 1030);
+        assert_eq!(h.max_micros(), 1024);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 → bucket 0; 1 → (0,1]; 2,3 → (1,3]; 1024 → (1023, 2047].
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            a.record_micros(v);
+        }
+        for v in [1000u64, 2000] {
+            b.record_micros(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert!(a.quantile_upper_micros(0.5) <= 63);
+        assert!(a.quantile_upper_micros(1.0) >= 2000);
+        let cum = a.cumulative_buckets();
+        assert_eq!(cum.last().expect("non-empty").1, 6);
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = Histogram::new();
+        h.record_micros(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_upper_micros(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,15 @@
+//! # pscc-obs
+//!
+//! Observability substrate for the peer-server stack: structured
+//! protocol event traces, fixed log-bucket latency histograms, and a
+//! metrics registry with Prometheus-text and JSON exporters.
+
+pub mod event;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use event::{EventKind, EventRing, TraceEvent};
+pub use hist::Histogram;
+pub use registry::MetricsRegistry;
+pub use span::{span, SpanGuard};

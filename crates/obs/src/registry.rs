@@ -1,0 +1,244 @@
+//! Metrics registry and exporters.
+//!
+//! A [`MetricsRegistry`] is a point-in-time snapshot assembled after (or
+//! during) a run: named counters, gauges, and [`Histogram`]s. It renders
+//! to Prometheus text exposition format and to a JSON document; both
+//! renderers are hand-rolled so the export path has no dependency needs.
+
+use crate::hist::Histogram;
+use pscc_common::Counters;
+
+/// A snapshot of named metrics.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl MetricsRegistry {
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds (or accumulates into) a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Adds (or overwrites) a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if let Some((_, v)) = self.gauges.iter_mut().find(|(n, _)| n == name) {
+            *v = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Adds (or merges into) a histogram.
+    pub fn histogram(&mut self, name: &str, hist: &Histogram) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.merge(hist);
+        } else {
+            self.histograms.push((name.to_string(), hist.clone()));
+        }
+    }
+
+    /// Adds every [`Counters`] field as a counter under its field name.
+    pub fn counters_struct(&mut self, c: &Counters) {
+        for (name, value) in c.fields() {
+            self.counter(name, value);
+        }
+    }
+
+    /// Registered counter value (tests/tools).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Registered gauge value (tests/tools).
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Registered histogram (tests/tools).
+    #[must_use]
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Number of registered histograms.
+    #[must_use]
+    pub fn histogram_count(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format. Metric
+    /// names get a `pscc_` prefix; histogram bucket bounds are emitted in
+    /// microseconds via the `le` label.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE pscc_{n}_total counter\npscc_{n}_total {v}\n"
+            ));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE pscc_{n} gauge\npscc_{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE pscc_{n}_micros histogram\n"));
+            for (le, cum) in h.cumulative_buckets() {
+                out.push_str(&format!("pscc_{n}_micros_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!(
+                "pscc_{n}_micros_bucket{{le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!("pscc_{n}_micros_sum {}\n", h.sum_micros()));
+            out.push_str(&format!("pscc_{n}_micros_count {}\n", h.count()));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", sanitize(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rendered = if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("\n    \"{}\": {rendered}", sanitize(name)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_micros\": {}, \"max_micros\": {}, \
+                 \"mean_micros\": {:.3}, \"p50_le_micros\": {}, \"p99_le_micros\": {}, \
+                 \"buckets\": [",
+                sanitize(name),
+                h.count(),
+                h.sum_micros(),
+                h.max_micros(),
+                h.mean_micros(),
+                h.quantile_upper_micros(0.5),
+                h.quantile_upper_micros(0.99),
+            ));
+            for (j, (le, c)) in h.nonzero_buckets().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le_micros\": {le}, \"count\": {c}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("commits", 12);
+        reg.gauge("timeout_current_micros", 1500.5);
+        let mut h = Histogram::new();
+        h.record_micros(5);
+        h.record_micros(100);
+        reg.histogram("lock_wait", &h);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE pscc_commits_total counter"), "{text}");
+        assert!(text.contains("pscc_commits_total 12"), "{text}");
+        assert!(
+            text.contains("pscc_timeout_current_micros 1500.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pscc_lock_wait_micros_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("pscc_lock_wait_micros_count 2"), "{text}");
+    }
+
+    #[test]
+    fn json_shape_and_counter_merge() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("commits", 5);
+        reg.counter("commits", 7);
+        let mut h = Histogram::new();
+        h.record_micros(1);
+        reg.histogram("fetch_rtt", &h);
+        reg.histogram("fetch_rtt", &h);
+        let json = reg.render_json();
+        assert!(json.contains("\"commits\": 12"), "{json}");
+        assert!(json.contains("\"fetch_rtt\""), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert_eq!(reg.counter_value("commits"), Some(12));
+        assert_eq!(reg.histogram_count(), 1);
+    }
+
+    #[test]
+    fn counters_struct_exports_every_field() {
+        let c = pscc_common::Counters {
+            commits: 3,
+            ..Default::default()
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.counters_struct(&c);
+        assert_eq!(reg.counter_value("commits"), Some(3));
+        let json = reg.render_json();
+        for (name, _) in c.fields() {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Lightweight timing spans for the threaded/TCP paths.
+//!
+//! A [`SpanGuard`] measures the wall-clock duration of a scope and, when
+//! the `spans` cargo feature is enabled, prints one line per span to
+//! stderr on drop (`span name=... micros=...`). With the feature off the
+//! guard still measures (so callers can read [`SpanGuard::elapsed_micros`])
+//! but emits nothing — the hot path stays silent. The surface is shaped
+//! like `tracing::span!` entry guards so a real subscriber can slot in
+//! later without touching call sites.
+
+use std::time::Instant;
+
+/// RAII scope timer; see module docs for emission rules.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    emitted: bool,
+}
+
+/// Opens a span over the enclosing scope.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: Instant::now(),
+        emitted: false,
+    }
+}
+
+impl SpanGuard {
+    /// Wall-clock microseconds since the span opened.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Span name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Closes the span now, emitting (at most once) if the feature is on.
+    pub fn finish(mut self) {
+        self.emit();
+    }
+
+    fn emit(&mut self) {
+        if self.emitted {
+            return;
+        }
+        self.emitted = true;
+        #[cfg(feature = "spans")]
+        eprintln!("span name={} micros={}", self.name, self.elapsed_micros());
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_measures_time() {
+        let s = span("test_scope");
+        assert_eq!(s.name(), "test_scope");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(s.elapsed_micros() >= 1000);
+        s.finish();
+    }
+}

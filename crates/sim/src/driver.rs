@@ -64,10 +64,7 @@ pub struct AppDriver {
 }
 
 fn vol_of_page(page: u32, owners: &pscc_core::OwnerMap) -> VolId {
-    let pid = pscc_common::PageId::new(
-        pscc_common::FileId::new(VolId(0), 0),
-        page,
-    );
+    let pid = pscc_common::PageId::new(pscc_common::FileId::new(VolId(0), 0), page);
     // Owner volumes are `VolId(owning site)`; resolve through the map.
     VolId(owners.owner(pid).0)
 }
@@ -232,27 +229,36 @@ mod tests {
     fn driver() -> AppDriver {
         let cfg = SystemConfig::small();
         let w = WorkloadSpec::paper(WorkloadKind::Uniform, 0.5, false).scaled(25);
-        AppDriver::new(
-            AppId(0),
-            SiteId(1),
-            w,
-            cfg,
-            OwnerMap::Single(SiteId(0)),
-            9,
-        )
+        AppDriver::new(AppId(0), SiteId(1), w, cfg, OwnerMap::Single(SiteId(0)), 9)
     }
 
     #[test]
     fn walks_read_think_write_think_commit() {
         let mut d = driver();
         let a = d.start();
-        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        assert!(matches!(
+            a,
+            DriverAction::Submit(AppRequest {
+                op: AppOp::Begin,
+                ..
+            })
+        ));
         let txn = TxnId::new(SiteId(1), 1);
         let a = d.on_reply(&AppReply::Started { app: AppId(0), txn });
-        let first_is_read = matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Read(_), .. }));
+        let first_is_read = matches!(
+            a,
+            DriverAction::Submit(AppRequest {
+                op: AppOp::Read(_),
+                ..
+            })
+        );
         assert!(first_is_read, "got {a:?}");
         // Read done -> think.
-        let a = d.on_reply(&AppReply::Done { app: AppId(0), txn, data: None });
+        let a = d.on_reply(&AppReply::Done {
+            app: AppId(0),
+            txn,
+            data: None,
+        });
         assert_eq!(a, DriverAction::Think);
         // After think: either a write of the same object or next read.
         let a = d.after_think();
@@ -281,7 +287,13 @@ mod tests {
         let txn = TxnId::new(SiteId(1), 1);
         d.on_reply(&AppReply::Started { app: AppId(0), txn });
         let a = d.on_reply(&AppReply::Committed { app: AppId(0), txn });
-        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        assert!(matches!(
+            a,
+            DriverAction::Submit(AppRequest {
+                op: AppOp::Begin,
+                ..
+            })
+        ));
         assert_ne!(d.script, script, "a new script should be generated");
         assert_eq!(d.commits, 1);
     }
@@ -291,7 +303,11 @@ mod tests {
         let mut d = driver();
         let txn = TxnId::new(SiteId(1), 1);
         d.on_reply(&AppReply::Started { app: AppId(0), txn });
-        let a = d.on_reply(&AppReply::Done { app: AppId(0), txn, data: None });
+        let a = d.on_reply(&AppReply::Done {
+            app: AppId(0),
+            txn,
+            data: None,
+        });
         assert_eq!(a, DriverAction::Think);
         // Abort lands while thinking: the driver restarts...
         let a = d.on_reply(&AppReply::Aborted {
@@ -299,7 +315,13 @@ mod tests {
             txn,
             reason: pscc_common::AbortReason::LockTimeout,
         });
-        assert!(matches!(a, DriverAction::Submit(AppRequest { op: AppOp::Begin, .. })));
+        assert!(matches!(
+            a,
+            DriverAction::Submit(AppRequest {
+                op: AppOp::Begin,
+                ..
+            })
+        ));
         // ...and the stale think completion is ignored.
         assert_eq!(d.after_think(), DriverAction::Idle);
     }

@@ -220,8 +220,9 @@ pub fn owner_map(spec: &ExperimentSpec) -> (OwnerMap, u32, Vec<SiteId>) {
     }
 }
 
-/// Runs one experiment point to completion.
-pub fn run_point(spec: &ExperimentSpec) -> Point {
+/// Builds the simulation for a spec (applications placed per
+/// [`owner_map`]) without running it.
+pub fn build_sim(spec: &ExperimentSpec) -> Simulation {
     let (owners, n_sites, app_sites) = owner_map(spec);
     let apps: Vec<AppDriver> = app_sites
         .iter()
@@ -237,11 +238,48 @@ pub fn run_point(spec: &ExperimentSpec) -> Point {
             )
         })
         .collect();
-    let mut sim = Simulation::new(spec.cfg.clone(), owners, n_sites, apps, CostModel::sp2());
+    Simulation::new(spec.cfg.clone(), owners, n_sites, apps, CostModel::sp2())
+}
+
+/// Runs one experiment point to completion.
+pub fn run_point(spec: &ExperimentSpec) -> Point {
+    let mut sim = build_sim(spec);
     let report = sim.run(spec.warmup, spec.end);
     Point {
         write_prob: spec.write_prob,
         report,
+    }
+}
+
+/// A point measured with observability on: the report plus a metrics
+/// snapshot and (when `trace_cap > 0`) the merged multi-site trace.
+#[derive(Debug)]
+pub struct ObservedPoint {
+    /// The measured point, as [`run_point`] returns it.
+    pub point: Point,
+    /// Counters, merged latency histograms, and timeout gauges.
+    pub metrics: pscc_obs::MetricsRegistry,
+    /// The chronological multi-site protocol trace (empty when
+    /// `trace_cap` was 0).
+    pub trace: Vec<pscc_obs::TraceEvent>,
+}
+
+/// Like [`run_point`] but with the observability layer surfaced: event
+/// tracing at every site (ring of `trace_cap` events each; 0 disables)
+/// and a [`pscc_obs::MetricsRegistry`] snapshot taken at the end.
+pub fn run_point_observed(spec: &ExperimentSpec, trace_cap: usize) -> ObservedPoint {
+    let mut sim = build_sim(spec);
+    if trace_cap > 0 {
+        sim.enable_trace(trace_cap);
+    }
+    let report = sim.run(spec.warmup, spec.end);
+    ObservedPoint {
+        point: Point {
+            write_prob: spec.write_prob,
+            report,
+        },
+        metrics: sim.metrics(),
+        trace: sim.merged_trace(),
     }
 }
 

@@ -5,17 +5,16 @@
 use crate::cost::CostModel;
 use crate::driver::{AppDriver, DriverAction};
 use pscc_common::{AppId, Counters, SimDuration, SimTime, SiteId, SystemConfig};
-use pscc_core::{AppReply, DiskOp, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId};
+use pscc_core::{
+    AppReply, DiskOp, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId,
+};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug)]
 enum Event {
     /// A CPU finished its current task.
-    CpuDone {
-        site: usize,
-        after: Option<AppId>,
-    },
+    CpuDone { site: usize, after: Option<AppId> },
     /// A message arrives at `site`.
     Deliver {
         site: usize,
@@ -171,7 +170,13 @@ impl Simulation {
             }
             Task::Think(app) => {
                 let end = self.now + self.cost.per_obj_proc;
-                self.schedule(end, Event::CpuDone { site, after: Some(app) });
+                self.schedule(
+                    end,
+                    Event::CpuDone {
+                        site,
+                        after: Some(app),
+                    },
+                );
             }
         }
     }
@@ -300,6 +305,67 @@ impl Simulation {
             window_secs,
             counters: Counters::total(self.sites.iter().map(|s| s.stats)),
         }
+    }
+
+    /// Turns protocol event tracing on at every site (a bounded ring of
+    /// `cap` events each). Call before [`Simulation::run`]; afterwards
+    /// [`Simulation::merged_trace`] yields the chronological multi-site
+    /// postmortem.
+    pub fn enable_trace(&mut self, cap: usize) {
+        for s in &mut self.sites {
+            s.enable_trace(cap);
+        }
+    }
+
+    /// The per-site event rings merged into one chronological trace
+    /// (empty unless [`Simulation::enable_trace`] was called).
+    pub fn merged_trace(&self) -> Vec<pscc_obs::TraceEvent> {
+        pscc_obs::event::merge_traces(
+            self.sites
+                .iter()
+                .filter_map(|s| s.obs.trace_handle())
+                .map(|h| h.snapshot())
+                .collect(),
+        )
+    }
+
+    /// The merged trace rendered as a line-per-event dump (§4.2.4
+    /// postmortems).
+    pub fn trace_dump(&self) -> String {
+        pscc_obs::event::render_dump(&self.merged_trace())
+    }
+
+    /// A metrics snapshot of the whole system: every engine counter,
+    /// the latency histograms merged across sites, and gauges for the
+    /// adaptive lock-wait timeout estimators (§5.5).
+    pub fn metrics(&self) -> pscc_obs::MetricsRegistry {
+        let mut reg = pscc_obs::MetricsRegistry::new();
+        reg.counters_struct(&Counters::total(self.sites.iter().map(|s| s.stats)));
+        for s in &self.sites {
+            reg.histogram("lock_wait", &s.obs.lock_wait);
+            reg.histogram("callback_rtt", &s.obs.callback_rtt);
+            reg.histogram("fetch_rtt", &s.obs.fetch_rtt);
+            reg.histogram("commit_latency", &s.obs.commit_latency);
+        }
+        reg.gauge("sites", self.sites.len() as f64);
+        let mut current_sum = 0.0;
+        for s in &self.sites {
+            let t = s.timeout_snapshot();
+            let id = s.site().0;
+            reg.gauge(&format!("timeout_samples_site{id}"), t.samples as f64);
+            reg.gauge(&format!("timeout_mean_micros_site{id}"), t.mean_micros);
+            reg.gauge(&format!("timeout_stddev_micros_site{id}"), t.stddev_micros);
+            reg.gauge(
+                &format!("timeout_current_micros_site{id}"),
+                t.current_timeout_micros as f64,
+            );
+            current_sum += t.current_timeout_micros as f64;
+        }
+        reg.gauge(
+            "timeout_current_micros_mean",
+            current_sum / self.sites.len().max(1) as f64,
+        );
+        reg
     }
 
     /// Access to the peer servers (inspection after a run).

@@ -86,8 +86,10 @@ impl Cluster {
                     self.net.send(site, to, path, msg);
                 }
                 Output::Disk { req, .. } => {
-                    self.sched
-                        .push((Reverse(self.now + self.disk_latency), Sched::Disk(site.0, req)));
+                    self.sched.push((
+                        Reverse(self.now + self.disk_latency),
+                        Sched::Disk(site.0, req),
+                    ));
                 }
                 Output::ArmTimer { timer, delay } => {
                     self.sched
@@ -198,7 +200,9 @@ impl Cluster {
         let pos = self
             .replies
             .iter()
-            .position(|(s, r)| *s == site && matches!(r, AppReply::Started { app: a, .. } if *a == app))
+            .position(|(s, r)| {
+                *s == site && matches!(r, AppReply::Started { app: a, .. } if *a == app)
+            })
             .expect("Begin must answer");
         match self.replies.remove(pos).1 {
             AppReply::Started { txn, .. } => txn,
@@ -222,9 +226,7 @@ impl Cluster {
         self.submit(site, app, Some(txn), op);
         self.pump();
         match self.find_reply(site, txn) {
-            Some(AppReply::Aborted { txn, reason, .. }) => {
-                Err(PsccError::Aborted { txn, reason })
-            }
+            Some(AppReply::Aborted { txn, reason, .. }) => Err(PsccError::Aborted { txn, reason }),
             Some(r) => Ok(r),
             None => {
                 // Blocked on a lock: let timers resolve it.
@@ -314,9 +316,6 @@ mod tests {
         assert_eq!(version_of(&v0), 0);
         c.write(SiteId(1), AppId(0), t, oid, None).unwrap();
         c.commit(SiteId(1), AppId(0), t).unwrap();
-        assert_eq!(
-            version_of(c.sites[0].volume().read_object(oid).unwrap()),
-            1
-        );
+        assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 1);
     }
 }

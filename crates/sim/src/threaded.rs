@@ -11,12 +11,12 @@
 //! exactly the point.
 
 use crate::testkit::path_for;
+use crossbeam::channel as mpsc;
 use pscc_common::{AppId, PsccError, SimTime, SiteId, SystemConfig, TxnId};
 use pscc_core::{AppOp, AppReply, AppRequest, Input, Message, Output, OwnerMap, PeerServer};
 use pscc_net::{InProcNetwork, Transport};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use crossbeam::channel as mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,12 +76,8 @@ impl ThreadedCluster {
                     .filter(|o| **o != s)
                     .map(|o| (*o, addrs[o.0 as usize]))
                     .collect();
-                let node = pscc_net::tcp::TcpNode::<Message>::start(
-                    s,
-                    addrs[s.0 as usize],
-                    peers,
-                )
-                .expect("tcp node");
+                let node = pscc_net::tcp::TcpNode::<Message>::start(s, addrs[s.0 as usize], peers)
+                    .expect("tcp node");
                 (s, node)
             })
             .collect();
@@ -159,8 +155,7 @@ impl ThreadedCluster {
                             }
                             Output::ArmTimer { timer, delay } => {
                                 timers.push((
-                                    Instant::now()
-                                        + Duration::from_micros(delay.as_micros()),
+                                    Instant::now() + Duration::from_micros(delay.as_micros()),
                                     timer,
                                 ));
                             }

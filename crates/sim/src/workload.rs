@@ -212,7 +212,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let refs = w.generate(2, &c, |_| VolId(0), &mut rng);
         let hot = w.hot_bounds(2, c.database_pages);
-        let in_hot = refs.iter().filter(|(o, _)| hot.contains(&o.page.page)).count();
+        let in_hot = refs
+            .iter()
+            .filter(|(o, _)| hot.contains(&o.page.page))
+            .count();
         let frac = in_hot as f64 / refs.len() as f64;
         assert!((0.6..0.95).contains(&frac), "hot fraction {frac}");
     }

@@ -47,8 +47,8 @@ fn throughput_decreases_with_write_probability() {
 fn psaa_beats_ps_under_low_locality_contention() {
     // Low page locality + high write probability: PS suffers false
     // sharing that PS-AA avoids (Fig. 6/8/10's right-hand side).
-    let ps = point(Figure::Fig8, Protocol::Ps, 0.3, 25);
-    let psaa = point(Figure::Fig8, Protocol::PsAa, 0.3, 25);
+    let ps = point(Figure::Fig8, Protocol::Ps, 0.3, 40);
+    let psaa = point(Figure::Fig8, Protocol::PsAa, 0.3, 40);
     assert!(
         psaa > ps,
         "PS-AA ({psaa}) must beat PS ({ps}) under false sharing"
@@ -177,10 +177,7 @@ fn workload_spec_scaling_is_consistent_with_db() {
     let (m, _, _) = owner_map(&spec);
     // Every page has an owner.
     for p in [0, spec.cfg.database_pages - 1] {
-        let pid = pscc_common::PageId::new(
-            pscc_common::FileId::new(pscc_common::VolId(0), 0),
-            p,
-        );
+        let pid = pscc_common::PageId::new(pscc_common::FileId::new(pscc_common::VolId(0), 0), p);
         let _ = m.owner(pid);
     }
 }

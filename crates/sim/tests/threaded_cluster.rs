@@ -29,11 +29,21 @@ fn threaded_counter_increments_serialize() {
                 let app = AppId(site_no);
                 let mut done = 0;
                 while done < total_increments / 2 {
-                    let Ok(txn) = cluster.begin(site, app) else { continue };
+                    let Ok(txn) = cluster.begin(site, app) else {
+                        continue;
+                    };
                     let ok = cluster
                         .run_op(site, app, txn, AppOp::Read(x))
                         .and_then(|_| {
-                            cluster.run_op(site, app, txn, AppOp::Write { oid: x, bytes: None })
+                            cluster.run_op(
+                                site,
+                                app,
+                                txn,
+                                AppOp::Write {
+                                    oid: x,
+                                    bytes: None,
+                                },
+                            )
                         })
                         .and_then(|_| cluster.run_op(site, app, txn, AppOp::Commit));
                     if ok.is_ok() {
@@ -70,10 +80,7 @@ fn threaded_peer_partition_transactions() {
         protocol: Protocol::PsAa,
         ..SystemConfig::small()
     };
-    let owners = OwnerMap::Ranges(vec![
-        (0, 225, SiteId(0)),
-        (225, 450, SiteId(1)),
-    ]);
+    let owners = OwnerMap::Ranges(vec![(0, 225, SiteId(0)), (225, 450, SiteId(1))]);
     let cluster = ThreadedCluster::new(2, cfg, owners);
 
     // Cross-partition transactions from both peers, concurrently.
@@ -93,15 +100,33 @@ fn threaded_peer_partition_transactions() {
                 );
                 let mut done = 0;
                 while done < 5 {
-                    let Ok(txn) = cluster.begin(site, app) else { continue };
+                    let Ok(txn) = cluster.begin(site, app) else {
+                        continue;
+                    };
                     let ok = cluster
                         .run_op(site, app, txn, AppOp::Read(local))
                         .and_then(|_| {
-                            cluster.run_op(site, app, txn, AppOp::Write { oid: local, bytes: None })
+                            cluster.run_op(
+                                site,
+                                app,
+                                txn,
+                                AppOp::Write {
+                                    oid: local,
+                                    bytes: None,
+                                },
+                            )
                         })
                         .and_then(|_| cluster.run_op(site, app, txn, AppOp::Read(remote)))
                         .and_then(|_| {
-                            cluster.run_op(site, app, txn, AppOp::Write { oid: remote, bytes: None })
+                            cluster.run_op(
+                                site,
+                                app,
+                                txn,
+                                AppOp::Write {
+                                    oid: remote,
+                                    bytes: None,
+                                },
+                            )
                         })
                         .and_then(|_| cluster.run_op(site, app, txn, AppOp::Commit));
                     if ok.is_ok() {
@@ -154,11 +179,21 @@ fn tcp_cluster_end_to_end() {
                 let app = AppId(site_no);
                 let mut done = 0;
                 while done < per_site {
-                    let Ok(txn) = cluster.begin(site, app) else { continue };
+                    let Ok(txn) = cluster.begin(site, app) else {
+                        continue;
+                    };
                     let ok = cluster
                         .run_op(site, app, txn, AppOp::Read(x))
                         .and_then(|_| {
-                            cluster.run_op(site, app, txn, AppOp::Write { oid: x, bytes: None })
+                            cluster.run_op(
+                                site,
+                                app,
+                                txn,
+                                AppOp::Write {
+                                    oid: x,
+                                    bytes: None,
+                                },
+                            )
                         })
                         .and_then(|_| cluster.run_op(site, app, txn, AppOp::Commit));
                     if ok.is_ok() {

@@ -39,7 +39,10 @@ impl AvailMask {
     ///
     /// Panics if `n_slots > 63`.
     pub fn all_available(n_slots: u16) -> Self {
-        assert!(n_slots as u32 <= MAX_SLOT as u32 + 1, "too many slots for mask");
+        assert!(
+            n_slots as u32 <= MAX_SLOT as u32 + 1,
+            "too many slots for mask"
+        );
         let bits = if n_slots == 0 {
             0
         } else {
@@ -87,7 +90,11 @@ impl AvailMask {
 
     /// Number of available real slots among the first `n_slots`.
     pub fn count_available(&self, n_slots: u16) -> u32 {
-        let real = if n_slots == 0 { 0 } else { (1u64 << n_slots) - 1 };
+        let real = if n_slots == 0 {
+            0
+        } else {
+            (1u64 << n_slots) - 1
+        };
         (self.bits & real).count_ones()
     }
 

@@ -109,9 +109,16 @@ impl LargeObjectStore {
     /// # Errors
     ///
     /// [`PsccError::InvalidOperation`] if the range exceeds the object.
-    pub fn read(&self, header: &LargeHeader, offset: u64, len: usize) -> Result<Vec<u8>, PsccError> {
+    pub fn read(
+        &self,
+        header: &LargeHeader,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, PsccError> {
         if offset + len as u64 > header.size {
-            return Err(PsccError::InvalidOperation("large-object read out of range"));
+            return Err(PsccError::InvalidOperation(
+                "large-object read out of range",
+            ));
         }
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
@@ -143,7 +150,9 @@ impl LargeObjectStore {
         bytes: &[u8],
     ) -> Result<(), PsccError> {
         if offset + bytes.len() as u64 > header.size {
-            return Err(PsccError::InvalidOperation("large-object write out of range"));
+            return Err(PsccError::InvalidOperation(
+                "large-object write out of range",
+            ));
         }
         let mut pos = offset;
         let mut src = 0usize;
@@ -164,19 +173,22 @@ impl LargeObjectStore {
 
     /// Appends bytes, growing the page tree; returns the updated header
     /// (the caller re-stores it through the header's small-object slot).
-    pub fn append(&mut self, header: &LargeHeader, file: pscc_common::FileId, bytes: &[u8]) -> LargeHeader {
+    pub fn append(
+        &mut self,
+        header: &LargeHeader,
+        file: pscc_common::FileId,
+        bytes: &[u8],
+    ) -> LargeHeader {
         let mut h = header.clone();
         let mut rest = bytes;
         // Fill the tail page first.
         let tail_used = (h.size % self.page_payload as u64) as usize;
-        if tail_used != 0 || (h.size > 0 && !h.pages.is_empty()) {
-            if tail_used != 0 {
-                let tail = h.pages.last().copied().expect("nonempty");
-                let page = self.pages.get_mut(&tail).expect("tail page exists");
-                let take = rest.len().min(self.page_payload as usize - tail_used);
-                page.extend_from_slice(&rest[..take]);
-                rest = &rest[take..];
-            }
+        if tail_used != 0 {
+            let tail = h.pages.last().copied().expect("nonempty");
+            let page = self.pages.get_mut(&tail).expect("tail page exists");
+            let take = rest.len().min(self.page_payload as usize - tail_used);
+            page.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
         }
         for chunk in rest.chunks(self.page_payload as usize) {
             let pid = PageId::new(file, self.next_page);
@@ -235,7 +247,10 @@ mod tests {
     fn header_encode_decode_roundtrip() {
         let h = LargeHeader {
             size: 1234,
-            pages: vec![PageId::new(file(), 1_000_000), PageId::new(file(), 1_000_001)],
+            pages: vec![
+                PageId::new(file(), 1_000_000),
+                PageId::new(file(), 1_000_001),
+            ],
         };
         assert_eq!(LargeHeader::decode(&h.encode()), Some(h));
         assert_eq!(LargeHeader::decode(b"garbage"), None);

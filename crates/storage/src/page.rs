@@ -184,6 +184,7 @@ impl SlottedPage {
     /// place; size-changing updates relocate within the page. Returns
     /// `Err(())` if the new size does not fit (the caller must forward
     /// the object to another page, paper §4.4).
+    #[allow(clippy::result_unit_err)] // the only failure is "does not fit"
     pub fn update(&mut self, slot: u16, bytes: &[u8]) -> Result<(), ()> {
         let (off, len) = self.slot(slot).ok_or(())?;
         if bytes.len() == len as usize {
@@ -225,7 +226,9 @@ impl SlottedPage {
 
     /// Live slots, in slot order.
     pub fn live_slots(&self) -> Vec<u16> {
-        (0..self.slot_count()).filter(|s| self.slot(*s).is_some()).collect()
+        (0..self.slot_count())
+            .filter(|s| self.slot(*s).is_some())
+            .collect()
     }
 
     /// Rewrites all live records contiguously, turning holes into

@@ -82,7 +82,11 @@ impl Volume {
                 page.insert(&body).expect("object must fit by config");
             }
             vol.pages.insert(pid, page);
-            vol.files.get_mut(&file.file).expect("file exists").pages.push(n);
+            vol.files
+                .get_mut(&file.file)
+                .expect("file exists")
+                .pages
+                .push(n);
             vol.next_page = vol.next_page.max(n + 1);
         }
         vol
@@ -108,7 +112,10 @@ impl Volume {
 
     /// All files in the volume.
     pub fn files(&self) -> Vec<FileId> {
-        self.files.keys().map(|f| FileId::new(self.id, *f)).collect()
+        self.files
+            .keys()
+            .map(|f| FileId::new(self.id, *f))
+            .collect()
     }
 
     /// Allocates a fresh page in `file`.
@@ -170,7 +177,10 @@ impl Volume {
     /// [`PsccError::NoSuchPage`] if the page does not exist;
     /// [`PsccError::PageFull`] if it cannot hold the record.
     pub fn create_object(&mut self, page: PageId, body: &[u8]) -> Result<Oid, PsccError> {
-        let p = self.pages.get_mut(&page).ok_or(PsccError::NoSuchPage(page))?;
+        let p = self
+            .pages
+            .get_mut(&page)
+            .ok_or(PsccError::NoSuchPage(page))?;
         let slot = p.insert(body).ok_or(PsccError::PageFull(page))?;
         Ok(Oid::new(page, slot))
     }
@@ -211,7 +221,8 @@ impl Volume {
         if p.get(target.slot).is_none() {
             return Err(PsccError::NoSuchObject(oid));
         }
-        p.update(target.slot, body).map_err(|_| PsccError::PageFull(target.page))
+        p.update(target.slot, body)
+            .map_err(|_| PsccError::PageFull(target.page))
     }
 
     /// Writes an object, forwarding it to `overflow` if it no longer
@@ -358,7 +369,8 @@ mod tests {
         let a = vol.create_object(home, &[1u8; 40]).unwrap();
         let _b = vol.create_object(home, &[2u8; 40]).unwrap();
         // Growing `a` to 80 bytes cannot fit on the 128-byte home page.
-        vol.write_object_forwarding(a, &[3u8; 80], overflow).unwrap();
+        vol.write_object_forwarding(a, &[3u8; 80], overflow)
+            .unwrap();
         // Id stays valid; reads follow the tombstone.
         assert_eq!(vol.read_object(a), Some(&[3u8; 80][..]));
         assert_ne!(vol.resolve_forward(a), a);
@@ -378,7 +390,8 @@ mod tests {
         let home = vol.allocate_page(f);
         let overflow = vol.allocate_page(f);
         let a = vol.create_object(home, &[1u8; 10]).unwrap();
-        vol.write_object_forwarding(a, &[2u8; 20], overflow).unwrap();
+        vol.write_object_forwarding(a, &[2u8; 20], overflow)
+            .unwrap();
         assert_eq!(vol.resolve_forward(a), a, "should grow in place");
     }
 

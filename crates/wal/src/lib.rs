@@ -150,8 +150,9 @@ impl LogCache {
     /// Removes and returns all records of `txn`, in append order
     /// (commit-time shipping).
     pub fn drain_txn(&mut self, txn: TxnId) -> Vec<LogRecord> {
-        let (take, keep): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.records).into_iter().partition(|r| r.txn == txn);
+        let (take, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.records)
+            .into_iter()
+            .partition(|r| r.txn == txn);
         self.records = keep;
         take
     }
@@ -417,7 +418,9 @@ mod tests {
         assert_eq!(log.in_flight_of(t1).len(), 2);
         let undo = log.end_txn(t1, true);
         // Reverse order: newest first.
-        assert!(matches!(&undo[0].payload, LogPayload::Update { before, .. } if before == &vec![2]));
+        assert!(
+            matches!(&undo[0].payload, LogPayload::Update { before, .. } if before == &vec![2])
+        );
         assert!(log.in_flight_of(t1).is_empty());
     }
 

@@ -39,7 +39,8 @@ fn main() {
         let t = c.begin(ws, app);
         for p in 0..8u16 {
             c.read(ws, app, t, part(assembly, p)).expect("read part");
-            c.write(ws, app, t, part(assembly, p), None).expect("edit part");
+            c.write(ws, app, t, part(assembly, p), None)
+                .expect("edit part");
         }
         c.commit(ws, app, t).expect("check in");
         println!("engineer {} checked in assembly {assembly}", i + 1);
@@ -49,7 +50,10 @@ fn main() {
         "private edits: {} adaptive page-lock grants saved {} write round-trips",
         s.adaptive_grants, s.adaptive_hits
     );
-    assert!(s.adaptive_hits > 0, "adaptive locking should have kicked in");
+    assert!(
+        s.adaptive_hits > 0,
+        "adaptive locking should have kicked in"
+    );
 
     // Now two engineers collaborate on the *same* assembly, editing
     // different parts: the server deescalates to object-level sharing so
@@ -57,11 +61,13 @@ fn main() {
     let shared = 30u32;
     let t1 = c.begin(engineers[0], app);
     c.read(engineers[0], app, t1, part(shared, 0)).unwrap();
-    c.write(engineers[0], app, t1, part(shared, 0), None).unwrap();
+    c.write(engineers[0], app, t1, part(shared, 0), None)
+        .unwrap();
 
     let t2 = c.begin(engineers[1], app);
     c.read(engineers[1], app, t2, part(shared, 5)).unwrap();
-    c.write(engineers[1], app, t2, part(shared, 5), None).unwrap();
+    c.write(engineers[1], app, t2, part(shared, 5), None)
+        .unwrap();
 
     c.commit(engineers[0], app, t1).unwrap();
     c.commit(engineers[1], app, t2).unwrap();
@@ -72,8 +78,14 @@ fn main() {
 
     // Both committed edits are durable at the repository.
     let server = &c.sites[0];
-    assert_eq!(version_of(server.volume().read_object(part(shared, 0)).unwrap()), 1);
-    assert_eq!(version_of(server.volume().read_object(part(shared, 5)).unwrap()), 1);
+    assert_eq!(
+        version_of(server.volume().read_object(part(shared, 0)).unwrap()),
+        1
+    );
+    assert_eq!(
+        version_of(server.volume().read_object(part(shared, 5)).unwrap()),
+        1
+    );
 
     // A reviewer scans the whole shared assembly with an explicit SH
     // page lock (hierarchical locking, §4.3): one lock instead of ten.

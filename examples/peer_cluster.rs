@@ -28,9 +28,8 @@ fn main() {
     let app = AppId(0);
 
     // Objects live on the volume of their owning peer.
-    let on_peer = |peer: u32, page: u32| {
-        Oid::new(PageId::new(FileId::new(VolId(peer), 0), page), 0)
-    };
+    let on_peer =
+        |peer: u32, page: u32| Oid::new(PageId::new(FileId::new(VolId(peer), 0), page), 0);
 
     // 1. Purely local work at peer 1 — no messages at all.
     let t = c.begin(SiteId(1), app);
@@ -56,7 +55,8 @@ fn main() {
     let t = c.begin(SiteId(2), app);
     for (peer, page) in [(0u32, 10u32), (1, 210), (2, 410)] {
         c.read(SiteId(2), app, t, on_peer(peer, page)).unwrap();
-        c.write(SiteId(2), app, t, on_peer(peer, page), None).unwrap();
+        c.write(SiteId(2), app, t, on_peer(peer, page), None)
+            .unwrap();
     }
     c.commit(SiteId(2), app, t).unwrap();
     println!("distributed transaction committed across all three peers (2PC)");

@@ -130,7 +130,10 @@ fn hierarchical_file_lock_spans_partitions() {
         .expect("begin");
     c.submit(scanner, app, Some(t2), AppOp::Read(obj(0, 10, 0)));
     c.pump();
-    assert!(c.find_reply(scanner, t2).is_none(), "file EX must block readers");
+    assert!(
+        c.find_reply(scanner, t2).is_none(),
+        "file EX must block readers"
+    );
     c.commit(writer, app, t).unwrap();
     c.pump();
     assert!(c.find_reply(scanner, t2).is_some());
@@ -180,7 +183,11 @@ fn protocol_messages_survive_wire_roundtrip() {
     }
     let txn = pscc_common::TxnId::new(SiteId(2), 9);
     let msgs = vec![
-        Message::ReadObj { req: ReqId(1), txn, oid: Oid::new(page, 3) },
+        Message::ReadObj {
+            req: ReqId(1),
+            txn,
+            oid: Oid::new(page, 3),
+        },
         Message::ReadReply {
             req: ReqId(1),
             snapshot: PageSnapshot {
@@ -190,7 +197,10 @@ fn protocol_messages_survive_wire_roundtrip() {
                 ship_seq: 3,
             },
         },
-        Message::WriteGranted { req: ReqId(2), adaptive: true },
+        Message::WriteGranted {
+            req: ReqId(2),
+            adaptive: true,
+        },
         Message::Callback {
             cb: pscc_core::CbId(4),
             txn,

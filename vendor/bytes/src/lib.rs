@@ -1,0 +1,181 @@
+//! Offline shim for the subset of `bytes` this workspace uses: a growable
+//! [`BytesMut`] with big-endian put helpers, front consumption via
+//! [`Buf::advance`] / [`BytesMut::split_to`], and an immutable [`Bytes`].
+//! Front consumption is O(n) (a `Vec` drain) — fine for the frame sizes
+//! the codec handles in tests and tools.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side operations.
+pub trait Buf {
+    /// Discards the first `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+}
+
+/// Write-side operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    #[must_use]
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.buf.len(), "split_to out of bounds");
+        let rest = self.buf.split_off(n);
+        let head = std::mem::replace(&mut self.buf, rest);
+        BytesMut { buf: head }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf }
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.buf.len(), "advance out of bounds");
+        self.buf.drain(..n);
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { buf: src.to_vec() }
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+}
+
+impl Bytes {
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_advance_split_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u8(7);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(&b[0..4], &[0xDE, 0xAD, 0xBE, 0xEF]);
+        b.advance(4);
+        let head = b.split_to(1).freeze();
+        assert_eq!(&head[..], &[7]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,526 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro, `Strategy` with `prop_map`/`boxed`, ranges, tuples,
+//! `Just`, `any`, `prop_oneof!`, `collection::vec`, `prop_assert!`/
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`. Cases are
+//! generated from a deterministic per-case RNG; failures report the
+//! failing case without shrinking (rerunning is deterministic, which
+//! serves the same debugging purpose here).
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic per-case RNG (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for a full integer/bool domain.
+pub struct FullDomain<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                <$t>::try_from(rng.next_u64() & u64::from(<$t>::MAX)).expect("masked")
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullDomain { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32);
+
+impl Strategy for FullDomain<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = FullDomain<u64>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullDomain {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Strategy for FullDomain<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullDomain<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullDomain {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count envelope for collection strategies.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Per-test configuration (`ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// A rejected or failed test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => f.write_str(m),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives a strategy/closure pair over `config.cases` cases.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `test` over generated inputs.
+        ///
+        /// # Errors
+        ///
+        /// The first failing case's message, with its case number and a
+        /// debug dump of the input.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::new(0xC0FF_EE00 ^ u64::from(case));
+                let value = strategy.generate(&mut rng);
+                let dump = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(format!(
+                        "case {case}/{total} failed: {e}\n  input: {dump}",
+                        total = self.config.cases
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Defines property tests. Mirrors proptest's surface grammar:
+/// an optional `#![proptest_config(...)]` followed by `#[test] fn`
+/// items whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let result = runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(e) = result {
+                panic!("proptest `{}`: {}", stringify!($name), e);
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts inside a property body, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (`{:?}` != `{:?}`)",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Arbitrary, BoxedStrategy, Just, Strategy, Union};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Smoke: generated values respect bounds; tuple args work.
+        #[test]
+        fn bounds_hold(x in 3u32..17, v in collection::vec(0u8..4, 1..9), b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|e| *e < 4));
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_map(y in prop_oneof![
+            (0u8..3).prop_map(|v| v as u16),
+            Just(99u16),
+            (10u8..12, 0u8..2).prop_map(|(a, b)| u16::from(a + b)),
+        ]) {
+            prop_assert!(y < 3 || y == 99 || (10..13).contains(&y));
+        }
+    }
+
+    #[test]
+    fn failure_reports_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(10));
+        let err = runner
+            .run(&(0u32..5,), |(x,)| {
+                prop_assert!(x < 3, "too big: {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("too big"), "{err}");
+    }
+}

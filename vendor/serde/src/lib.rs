@@ -1,0 +1,652 @@
+//! Offline shim for the subset of `serde` this workspace uses. Instead of
+//! upstream's generic `Serializer`/`Deserializer` model, both traits here
+//! target JSON text directly — the only data format the workspace touches
+//! (`serde_json` frames in `pscc-net`). The `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from the local `serde_derive` shim)
+//! generate impls of these traits following serde's conventions:
+//! externally tagged enums, transparent newtype structs, tuples and
+//! tuple variants as arrays, `Option` as `null`/value. Maps serialize as
+//! arrays of `[key, value]` pairs so non-string keys round-trip.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-serializable value.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// JSON-deserializable value.
+pub trait Deserialize: Sized {
+    /// Parses one value off the front of `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`de::Error`] on malformed or mistyped input.
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+pub mod de {
+    use std::fmt;
+
+    /// Marker for owned deserialization (mirrors serde's bound).
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    /// A deserialization failure, with byte position where known.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        #[must_use]
+        pub fn custom(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+
+        #[must_use]
+        pub fn missing_field(name: &str) -> Self {
+            Error {
+                msg: format!("missing field `{name}`"),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A single-pass JSON pull parser over a byte slice.
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        #[must_use]
+        pub fn new(bytes: &'a [u8]) -> Self {
+            Parser { bytes, pos: 0 }
+        }
+
+        fn err(&self, what: &str) -> Error {
+            Error::custom(format!("{what} at byte {}", self.pos))
+        }
+
+        pub fn skip_ws(&mut self) {
+            while let Some(b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        /// Whether only whitespace remains.
+        #[must_use]
+        pub fn at_end(&mut self) -> bool {
+            self.skip_ws();
+            self.pos >= self.bytes.len()
+        }
+
+        /// Peeks the next non-whitespace byte without consuming it.
+        #[must_use]
+        pub fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        /// Consumes `c` if it is next (after whitespace).
+        pub fn try_consume(&mut self, c: u8) -> bool {
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Consumes `c` or fails.
+        ///
+        /// # Errors
+        ///
+        /// When the next byte is not `c`.
+        pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+            if self.try_consume(c) {
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", c as char)))
+            }
+        }
+
+        fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{kw}`")))
+            }
+        }
+
+        /// Parses `true`/`false`.
+        ///
+        /// # Errors
+        ///
+        /// On anything else.
+        pub fn parse_bool(&mut self) -> Result<bool, Error> {
+            match self.peek() {
+                Some(b't') => self.expect_keyword("true").map(|()| true),
+                Some(b'f') => self.expect_keyword("false").map(|()| false),
+                _ => Err(self.err("expected boolean")),
+            }
+        }
+
+        /// Parses `null`.
+        ///
+        /// # Errors
+        ///
+        /// On anything else.
+        pub fn parse_null(&mut self) -> Result<(), Error> {
+            self.expect_keyword("null")
+        }
+
+        fn number_slice(&mut self) -> Result<&'a str, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(b) = self.bytes.get(self.pos) {
+                if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if start == self.pos {
+                return Err(self.err("expected number"));
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("non-utf8 number"))
+        }
+
+        /// Parses an unsigned integer exactly (no float round-trip).
+        ///
+        /// # Errors
+        ///
+        /// On malformed or out-of-range input.
+        pub fn parse_u64(&mut self) -> Result<u64, Error> {
+            let s = self.number_slice()?;
+            s.parse::<u64>()
+                .map_err(|_| Error::custom(format!("invalid u64 `{s}`")))
+        }
+
+        /// Parses a signed integer exactly.
+        ///
+        /// # Errors
+        ///
+        /// On malformed or out-of-range input.
+        pub fn parse_i64(&mut self) -> Result<i64, Error> {
+            let s = self.number_slice()?;
+            s.parse::<i64>()
+                .map_err(|_| Error::custom(format!("invalid i64 `{s}`")))
+        }
+
+        /// Parses a float.
+        ///
+        /// # Errors
+        ///
+        /// On malformed input.
+        pub fn parse_f64(&mut self) -> Result<f64, Error> {
+            let s = self.number_slice()?;
+            s.parse::<f64>()
+                .map_err(|_| Error::custom(format!("invalid f64 `{s}`")))
+        }
+
+        /// Parses a JSON string.
+        ///
+        /// # Errors
+        ///
+        /// On malformed input or bad escapes.
+        pub fn parse_string(&mut self) -> Result<String, Error> {
+            self.skip_ws();
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&e) = self.bytes.get(self.pos) else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                // Surrogate pairs are not produced by this
+                                // shim's serializer; reject rather than
+                                // mis-decode.
+                                let c = char::from_u32(cp)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?;
+                                out.push(c);
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    _ => {
+                        // Collect the full UTF-8 sequence starting here.
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = start + width;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated utf8"))?;
+                        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        /// Skips one complete JSON value of any type.
+        ///
+        /// # Errors
+        ///
+        /// On malformed input.
+        pub fn skip_value(&mut self) -> Result<(), Error> {
+            match self.peek() {
+                Some(b'"') => {
+                    self.parse_string()?;
+                    Ok(())
+                }
+                Some(b't') | Some(b'f') => {
+                    self.parse_bool()?;
+                    Ok(())
+                }
+                Some(b'n') => self.parse_null(),
+                Some(b'[') => {
+                    self.expect(b'[')?;
+                    if self.try_consume(b']') {
+                        return Ok(());
+                    }
+                    loop {
+                        self.skip_value()?;
+                        if !self.try_consume(b',') {
+                            return self.expect(b']');
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    self.expect(b'{')?;
+                    if self.try_consume(b'}') {
+                        return Ok(());
+                    }
+                    loop {
+                        self.parse_string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if !self.try_consume(b',') {
+                            return self.expect(b'}');
+                        }
+                    }
+                }
+                Some(_) => {
+                    self.number_slice()?;
+                    Ok(())
+                }
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+    }
+
+    fn utf8_width(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// Escapes and appends `s` as a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_uint {
+    ($($t:ty => $parse:ident),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                let v = p.$parse()?;
+                <$t>::try_from(v).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8 => parse_u64, u16 => parse_u64, u32 => parse_u64, u64 => parse_u64,
+           usize => parse_u64, i8 => parse_i64, i16 => parse_i64, i32 => parse_i64,
+           i64 => parse_i64, isize => parse_i64);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.peek() == Some(b'n') {
+            p.parse_null()?;
+            return Ok(f64::NAN);
+        }
+        p.parse_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        f64::deserialize_json(p).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let s = p.parse_string()?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        T::deserialize_json(p).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.peek() == Some(b'n') {
+            p.parse_null()?;
+            Ok(None)
+        } else {
+            T::deserialize_json(p).map(Some)
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        let mut out = Vec::new();
+        p.expect(b'[')?;
+        if p.try_consume(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if !p.try_consume(b',') {
+                p.expect(b']')?;
+                return Ok(out);
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.expect(b'[')?;
+                let mut first = true;
+                let v = ($(
+                    {
+                        if !first { p.expect(b',')?; }
+                        first = false;
+                        $t::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect(b']')?;
+                Ok(v)
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    // Non-string keys cannot be JSON object keys; encode maps as arrays
+    // of [key, value] pairs (both codec ends are this shim).
+    out.push('[');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        k.serialize_json(out);
+        out.push(',');
+        v.serialize_json(out);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(
+    p: &mut de::Parser<'_>,
+) -> Result<Vec<(K, V)>, de::Error> {
+    let mut out = Vec::new();
+    p.expect(b'[')?;
+    if p.try_consume(b']') {
+        return Ok(out);
+    }
+    loop {
+        p.expect(b'[')?;
+        let k = K::deserialize_json(p)?;
+        p.expect(b',')?;
+        let v = V::deserialize_json(p)?;
+        p.expect(b']')?;
+        out.push((k, v));
+        if !p.try_consume(b',') {
+            p.expect(b']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(deserialize_pairs::<K, V>(p)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(deserialize_pairs::<K, V>(p)?.into_iter().collect())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_null()
+    }
+}

@@ -1,0 +1,437 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! With no registry access there is no `syn`/`quote`, so this macro
+//! parses the item declaration directly from the raw token stream and
+//! emits the impl as source text. It supports exactly the shapes this
+//! workspace derives on: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, tuple, and struct variants), with no
+//! `#[serde(...)]` attributes. Anything else panics at compile time with
+//! a clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next index.
+fn skip_attrs_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(t) if is_punct(t, '#') => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = skip_attrs_vis(&toks, 0);
+    let kw = ident_of(&toks[i]).expect("serde shim: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("serde shim: expected item name");
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde shim: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("serde shim: expected enum body for `{name}`");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Type
+/// tokens are consumed with `<`/`>` depth tracking so commas inside
+/// generic arguments don't split fields.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim: expected field name");
+        i += 1;
+        assert!(
+            toks.get(i).is_some_and(|t| is_punct(t, ':')),
+            "serde shim: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = false;
+    for t in &toks {
+        match t {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => {
+                saw_tokens_since_comma = false;
+                count += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde shim: expected variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if toks.get(i).is_some_and(|t| is_punct(t, '=')) {
+            panic!("serde shim: explicit discriminants are not supported (variant `{name}`)");
+        }
+        if toks.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn ser_field(expr: &str) -> String {
+    format!("::serde::Serialize::serialize_json({expr}, out);\n")
+}
+
+fn push_lit(out: &mut String, lit: &str) {
+    let _ = writeln!(out, "out.push_str({lit:?});");
+}
+
+/// Emits the statements serializing `fields` (already-bound local names
+/// for enums, `&self.x` accessors for structs) as the variant/struct
+/// payload.
+fn gen_ser_fields(body: &mut String, fields: &Fields, access: &dyn Fn(usize, &str) -> String) {
+    match fields {
+        Fields::Unit => push_lit(body, "null"),
+        Fields::Tuple(1) => body.push_str(&ser_field(&access(0, ""))),
+        Fields::Tuple(n) => {
+            push_lit(body, "[");
+            for k in 0..*n {
+                if k > 0 {
+                    push_lit(body, ",");
+                }
+                body.push_str(&ser_field(&access(k, "")));
+            }
+            push_lit(body, "]");
+        }
+        Fields::Named(names) => {
+            push_lit(body, "{");
+            for (k, f) in names.iter().enumerate() {
+                let sep = if k > 0 { "," } else { "" };
+                push_lit(body, &format!("{sep}\"{f}\":"));
+                body.push_str(&ser_field(&access(k, f)));
+            }
+            push_lit(body, "}");
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, fields } => {
+            gen_ser_fields(&mut body, fields, &|k, f| {
+                if f.is_empty() {
+                    format!("&self.{k}")
+                } else {
+                    format!("&self.{f}")
+                }
+            });
+            name
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(body, "{name}::{vn} => {{");
+                        push_lit(&mut body, &format!("\"{vn}\""));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let _ = writeln!(body, "{name}::{vn}({}) => {{", binds.join(", "));
+                        push_lit(&mut body, &format!("{{\"{vn}\":"));
+                        gen_ser_fields(&mut body, &v.fields, &|k, _| format!("f{k}"));
+                        push_lit(&mut body, "}");
+                    }
+                    Fields::Named(fs) => {
+                        let _ = writeln!(body, "{name}::{vn} {{ {} }} => {{", fs.join(", "));
+                        push_lit(&mut body, &format!("{{\"{vn}\":"));
+                        gen_ser_fields(&mut body, &v.fields, &|_, f| f.to_string());
+                        push_lit(&mut body, "}");
+                    }
+                }
+                body.push_str("}\n");
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Emits an expression parsing `fields` into constructor `ctor` (e.g.
+/// `Foo` or `Foo::Bar`).
+fn gen_de_fields(ctor: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ p.parse_null()?; {ctor} }}\n"),
+        Fields::Tuple(1) => format!("{ctor}(::serde::Deserialize::deserialize_json(p)?)\n"),
+        Fields::Tuple(n) => {
+            let mut s = String::from("{\np.expect(b'[')?;\n");
+            let mut binds = Vec::new();
+            for k in 0..*n {
+                if k > 0 {
+                    s.push_str("p.expect(b',')?;\n");
+                }
+                let _ = writeln!(s, "let f{k} = ::serde::Deserialize::deserialize_json(p)?;");
+                binds.push(format!("f{k}"));
+            }
+            let _ = writeln!(s, "p.expect(b']')?;\n{ctor}({})\n}}", binds.join(", "));
+            s
+        }
+        Fields::Named(names) => {
+            let mut s = String::from("{\np.expect(b'{')?;\n");
+            for f in names {
+                let _ = writeln!(s, "let mut f_{f} = ::core::option::Option::None;");
+            }
+            s.push_str(
+                "loop {\n\
+                 if p.try_consume(b'}') { break; }\n\
+                 let key = p.parse_string()?;\n\
+                 p.expect(b':')?;\n\
+                 match key.as_str() {\n",
+            );
+            for f in names {
+                let _ = writeln!(
+                    s,
+                    "\"{f}\" => {{ f_{f} = ::core::option::Option::Some(\
+                     ::serde::Deserialize::deserialize_json(p)?); }}"
+                );
+            }
+            s.push_str(
+                "_ => { p.skip_value()?; }\n\
+                 }\n\
+                 if !p.try_consume(b',') { p.expect(b'}')?; break; }\n\
+                 }\n",
+            );
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("{f}: f_{f}.ok_or_else(|| ::serde::de::Error::missing_field(\"{f}\"))?")
+                })
+                .collect();
+            let _ = writeln!(s, "{ctor} {{ {} }}\n}}", inits.join(", "));
+            s
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let expr = gen_de_fields(name, fields);
+            (name, format!("::core::result::Result::Ok({expr})\n"))
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            let mut body = String::from("if p.peek() == ::core::option::Option::Some(b'\"') {\n");
+            body.push_str("let tag = p.parse_string()?;\n");
+            if unit.is_empty() {
+                let _ = writeln!(
+                    body,
+                    "return ::core::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{tag}}` of {name}\")));"
+                );
+            } else {
+                body.push_str("return match tag.as_str() {\n");
+                for v in &unit {
+                    let _ = writeln!(
+                        body,
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    );
+                }
+                let _ = writeln!(
+                    body,
+                    "_ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{tag}}` of {name}\"))),\n}};"
+                );
+            }
+            body.push_str("}\n");
+            if data.is_empty() {
+                let _ = writeln!(
+                    body,
+                    "::core::result::Result::Err(::serde::de::Error::custom(\
+                     \"expected string variant tag for {name}\"))"
+                );
+            } else {
+                body.push_str("p.expect(b'{')?;\nlet tag = p.parse_string()?;\np.expect(b':')?;\n");
+                body.push_str("let value = match tag.as_str() {\n");
+                for v in &data {
+                    let expr = gen_de_fields(&format!("{name}::{}", v.name), &v.fields);
+                    let _ = writeln!(body, "\"{vn}\" => {expr},", vn = v.name);
+                }
+                let _ = writeln!(
+                    body,
+                    "_ => return ::core::result::Result::Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{tag}}` of {name}\"))),\n}};"
+                );
+                body.push_str("p.expect(b'}')?;\n::core::result::Result::Ok(value)\n");
+            }
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(p: &mut ::serde::de::Parser<'_>) \
+         -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,159 @@
+//! Offline shim for the `serde_json` entry points this workspace uses,
+//! backed by the local serde shim's direct-to-JSON traits.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a JSON string.
+///
+/// # Errors
+///
+/// Infallible in this shim; `Result` kept for API compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON bytes.
+///
+/// # Errors
+///
+/// Infallible in this shim; `Result` kept for API compatibility.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// On malformed or mistyped input, or trailing non-whitespace.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(bytes);
+    let v = T::deserialize_json(&mut p).map_err(|e| Error { msg: e.to_string() })?;
+    if !p.at_end() {
+        return Err(Error {
+            msg: "trailing bytes after JSON value".to_string(),
+        });
+    }
+    Ok(v)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// On malformed or mistyped input.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    from_slice(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pairish {
+        id: Newtype,
+        tags: Vec<String>,
+        blob: Vec<u8>,
+        opt: Option<u64>,
+        pair: (u8, i32),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        One(u64),
+        Two(u8, u8),
+        Named { a: String, b: Option<bool> },
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Pairish {
+            id: Newtype(9),
+            tags: vec!["x\"y".into(), "new\nline".into()],
+            blob: vec![0, 255, 128],
+            opt: None,
+            pair: (3, -4),
+        };
+        let s = super::to_string(&v).unwrap();
+        let back: Pairish = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn enum_roundtrip_all_shapes() {
+        for v in [
+            Kind::Unit,
+            Kind::One(u64::MAX),
+            Kind::Two(1, 2),
+            Kind::Named {
+                a: "héllo".into(),
+                b: Some(false),
+            },
+            Kind::Named {
+                a: String::new(),
+                b: None,
+            },
+        ] {
+            let s = super::to_string(&v).unwrap();
+            let back: Kind = super::from_str(&s).unwrap();
+            assert_eq!(back, v, "failed on {s}");
+        }
+    }
+
+    #[test]
+    fn map_with_struct_keys() {
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+        struct Key {
+            a: u32,
+            b: u16,
+        }
+
+        let mut m = BTreeMap::new();
+        m.insert(Key { a: 1, b: 2 }, vec![1u8, 2, 3]);
+        m.insert(Key { a: 9, b: 0 }, vec![]);
+        let s = super::to_string(&m).unwrap();
+        let back: BTreeMap<Key, Vec<u8>> = super::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Small {
+            a: u32,
+        }
+        let got: Small = super::from_str(r#"{"zzz": [1, {"x": "y"}], "a": 7, "w": null}"#).unwrap();
+        assert_eq!(got, Small { a: 7 });
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(super::from_str::<u32>("12 34").is_err());
+        assert!(super::from_str::<u32>("-1").is_err());
+    }
+}
