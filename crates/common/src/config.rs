@@ -87,6 +87,32 @@ pub struct SystemConfig {
     pub initial_lock_timeout: Duration,
     /// Multiplier applied to the adaptive timeout estimate (paper: 1.5).
     pub timeout_multiplier: f64,
+    /// Lower clamp on the adaptive lock-wait timeout. Chaos tests tighten
+    /// this far below the default so orphan detection fires quickly.
+    pub lock_timeout_floor: Duration,
+    /// Upper clamp on the adaptive lock-wait timeout.
+    pub lock_timeout_ceiling: Duration,
+    /// Whether servers arm per-client lease timers and declare a client
+    /// dead when its lease expires without a heartbeat. Off by default so
+    /// failure-free workloads are byte-for-byte unchanged.
+    pub leases_enabled: bool,
+    /// How often a client sends a heartbeat to each server it talks to.
+    pub heartbeat_interval: Duration,
+    /// How long a server waits past the last heartbeat before declaring
+    /// the client crashed. Must comfortably exceed `heartbeat_interval`.
+    pub lease_duration: Duration,
+    /// Bound on how long an owner waits for a callback response before
+    /// treating the unresponsive client as crashed (only when leases are
+    /// enabled; complements the lease timer for clients that heartbeat
+    /// but wedge mid-callback).
+    pub callback_response_timeout: Duration,
+    /// First retry delay for a failed TCP connect/write; doubles each
+    /// attempt up to `net_backoff_max`.
+    pub net_backoff_base: Duration,
+    /// Ceiling on the exponential reconnect backoff.
+    pub net_backoff_max: Duration,
+    /// Connect/write attempts before the transport gives up on a send.
+    pub net_max_retries: u32,
 }
 
 impl SystemConfig {
@@ -103,6 +129,15 @@ impl SystemConfig {
             protocol: Protocol::PsAa,
             initial_lock_timeout: Duration::from_millis(2_000),
             timeout_multiplier: 1.5,
+            lock_timeout_floor: Duration::from_millis(50),
+            lock_timeout_ceiling: Duration::from_secs(30),
+            leases_enabled: false,
+            heartbeat_interval: Duration::from_millis(500),
+            lease_duration: Duration::from_millis(2_000),
+            callback_response_timeout: Duration::from_secs(10),
+            net_backoff_base: Duration::from_millis(10),
+            net_backoff_max: Duration::from_millis(1_000),
+            net_max_retries: 5,
         }
     }
 
@@ -171,6 +206,18 @@ mod tests {
         assert!(per_obj * c.objects_per_page as u32 + 64 <= c.page_size);
         let s = SystemConfig::small();
         assert!((s.object_size() + 8) * s.objects_per_page as u32 + 64 <= s.page_size);
+    }
+
+    #[test]
+    fn failure_knob_defaults_preserve_legacy_behavior() {
+        let c = SystemConfig::paper();
+        assert!(!c.leases_enabled);
+        assert_eq!(c.lock_timeout_floor, Duration::from_millis(50));
+        assert_eq!(c.lock_timeout_ceiling, Duration::from_secs(30));
+        assert!(c.lease_duration > c.heartbeat_interval);
+        assert!(c.net_backoff_base <= c.net_backoff_max);
+        // small() inherits the failure knobs from paper().
+        assert_eq!(SystemConfig::small().lease_duration, c.lease_duration);
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub struct Counters {
     pub callback_redos: u64,
     /// Pages purged from a client cache (evictions + callbacks).
     pub pages_purged: u64,
+    /// Client/site crashes detected via lease expiry or callback-response
+    /// timeout at an owning server.
+    pub crashes_detected: u64,
+    /// Orphan transactions aborted on behalf of a crashed client.
+    pub orphans_aborted: u64,
+    /// Faults injected by the chaos harness (drops, delays, duplicates,
+    /// reorders, partitions, crashes) attributed to this site.
+    pub faults_injected: u64,
 }
 
 impl AddAssign for Counters {
@@ -91,6 +99,9 @@ impl AddAssign for Counters {
         self.purge_races += o.purge_races;
         self.callback_redos += o.callback_redos;
         self.pages_purged += o.pages_purged;
+        self.crashes_detected += o.crashes_detected;
+        self.orphans_aborted += o.orphans_aborted;
+        self.faults_injected += o.faults_injected;
     }
 }
 
@@ -100,7 +111,8 @@ impl fmt::Display for Counters {
             f,
             "commits={} aborts={} (dl={}, to={}) msgs={} reads={} writes={} \
              cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
-             shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={}",
+             shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
+             crashes={} orphans={} faults={}",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -124,6 +136,9 @@ impl fmt::Display for Counters {
             self.lock_waits,
             self.callback_races,
             self.purge_races,
+            self.crashes_detected,
+            self.orphans_aborted,
+            self.faults_injected,
         )
     }
 }
@@ -142,7 +157,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 24] {
+    pub fn fields(&self) -> [(&'static str, u64); 27] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -168,6 +183,9 @@ impl Counters {
             ("purge_races", self.purge_races),
             ("callback_redos", self.callback_redos),
             ("pages_purged", self.pages_purged),
+            ("crashes_detected", self.crashes_detected),
+            ("orphans_aborted", self.orphans_aborted),
+            ("faults_injected", self.faults_injected),
         ]
     }
 }

@@ -123,6 +123,20 @@ impl CopyTable {
         });
     }
 
+    /// Drops every entry of `client` across all pages (the site crashed,
+    /// so its cache no longer exists). Returns how many pages lost an
+    /// entry.
+    pub fn drop_site_entries(&mut self, client: SiteId) -> usize {
+        let mut dropped = 0;
+        self.pages.retain(|_, clients| {
+            if clients.remove(&client).is_some() {
+                dropped += 1;
+            }
+            !clients.is_empty()
+        });
+        dropped
+    }
+
     /// Number of (page, client) entries (diagnostics).
     pub fn len(&self) -> usize {
         self.pages.values().map(HashMap::len).sum()
@@ -174,6 +188,18 @@ mod tests {
         assert!(ct.cached_elsewhere(pid(1), SiteId(1)));
         ct.drop_entry(pid(1), SiteId(2));
         assert!(!ct.cached_elsewhere(pid(1), SiteId(1)));
+    }
+
+    #[test]
+    fn drop_site_entries_clears_a_crashed_client() {
+        let mut ct = CopyTable::new();
+        ct.record_ship(pid(1), SiteId(1));
+        ct.record_ship(pid(1), SiteId(2));
+        ct.record_ship(pid(2), SiteId(1));
+        assert_eq!(ct.drop_site_entries(SiteId(1)), 2);
+        assert_eq!(ct.clients(pid(1)), vec![SiteId(2)]);
+        assert!(ct.clients(pid(2)).is_empty());
+        assert_eq!(ct.drop_site_entries(SiteId(1)), 0);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Crash detection and orphan cleanup.
+//!
+//! The paper's protocols assume clients never vanish: SHORE only times
+//! out lock waits (§5.5), so a crashed client would strand its locks,
+//! callbacks, and copy-table entries forever. This module adds the
+//! failure handling the reproduction needs to run under fault
+//! injection, in the spirit of lease-based self-invalidation:
+//!
+//! * **Leases** — when `SystemConfig::leases_enabled`, a server notes
+//!   the virtual time of every message received from a remote peer and
+//!   keeps a lease timer armed; if a full `lease_duration` passes in
+//!   silence, the peer is declared crashed.
+//! * **Heartbeats** — each site periodically sends
+//!   [`Message::Heartbeat`] to every peer it has contacted, so healthy
+//!   but idle clients keep their leases alive.
+//! * **Callback-response bound** — a callback fan-out arms one extra
+//!   timer; if responses are still pending when it fires, the stragglers
+//!   are declared crashed even if their heartbeats still flow (they are
+//!   wedged mid-callback).
+//! * **Orphan cleanup** — [`PeerServer::declare_site_dead`] aborts the
+//!   dead client's in-flight transactions through the WAL undo path,
+//!   releases their (replicated) locks, revokes the client's copy-table
+//!   entries, re-drives callbacks blocked on its acknowledgment, and
+//!   completes deescalations addressed to it.
+//!
+//! All timers follow the engine's stale-fire idiom: a fire whose state
+//! has moved on is a no-op. With leases disabled (the default) none of
+//! this arms, so failure-free runs are unchanged.
+
+use super::{CbKey, PeerServer, TimerKind};
+use crate::msg::{CbId, DeId, Message, Output};
+use pscc_common::{AbortReason, SiteId, TxnId};
+
+impl PeerServer {
+    /// Records a message received from `from`, renewing its lease and
+    /// arming the lease timer on first contact. A message from a peer
+    /// previously declared dead means it restarted: forget the
+    /// declaration and lease it afresh.
+    pub(crate) fn observe_peer(&mut self, from: SiteId) {
+        self.dead_sites.remove(&from);
+        if self.lease_heard.insert(from, self.now).is_none() {
+            self.arm_lease_timer(from, self.cfg.lease_duration);
+        }
+    }
+
+    /// Records that this site sent a message to `to`; arms the periodic
+    /// heartbeat tick on first remote contact.
+    pub(crate) fn note_contact(&mut self, to: SiteId) {
+        self.hb_peers.insert(to);
+        if !self.hb_armed {
+            self.hb_armed = true;
+            let timer = self.fresh_timer();
+            self.timers.insert(timer, TimerKind::Heartbeat);
+            self.out.push(Output::ArmTimer {
+                timer,
+                delay: self.cfg.heartbeat_interval,
+            });
+        }
+    }
+
+    fn arm_lease_timer(&mut self, site: SiteId, delay: pscc_common::SimDuration) {
+        let timer = self.fresh_timer();
+        self.timers.insert(timer, TimerKind::Lease { site });
+        self.out.push(Output::ArmTimer { timer, delay });
+    }
+
+    /// A lease timer fired: declare the peer crashed if it has been
+    /// silent for a full lease, else re-arm for the remaining time.
+    pub(crate) fn lease_fired(&mut self, site: SiteId) {
+        let Some(&heard) = self.lease_heard.get(&site) else {
+            return; // lease retired (peer already declared dead)
+        };
+        let elapsed = self.now.since(heard);
+        if elapsed >= self.cfg.lease_duration {
+            self.declare_site_dead(site);
+        } else {
+            self.arm_lease_timer(site, self.cfg.lease_duration.saturating_sub(elapsed));
+        }
+    }
+
+    /// The heartbeat tick fired: ping every contacted peer and re-arm.
+    pub(crate) fn heartbeat_fired(&mut self) {
+        let peers: Vec<SiteId> = self.hb_peers.iter().copied().collect();
+        for p in peers {
+            self.send(p, Message::Heartbeat);
+        }
+        let timer = self.fresh_timer();
+        self.timers.insert(timer, TimerKind::Heartbeat);
+        self.out.push(Output::ArmTimer {
+            timer,
+            delay: self.cfg.heartbeat_interval,
+        });
+    }
+
+    /// The bounded callback-response timer fired: any client still
+    /// pending on the operation is wedged — declare it crashed (which
+    /// removes it from the pending set and re-drives the operation).
+    pub(crate) fn cb_response_fired(&mut self, cb: CbId) {
+        let Some(op) = self.cb_ops.get(&cb) else {
+            return; // operation completed in time
+        };
+        let mut stragglers: Vec<SiteId> = op
+            .pending
+            .iter()
+            .copied()
+            .filter(|s| *s != self.site)
+            .collect();
+        stragglers.sort();
+        for s in stragglers {
+            self.declare_site_dead(s);
+        }
+    }
+
+    /// Declares `dead` crashed and cleans up everything it stranded
+    /// here. Idempotent until the site is heard from again (restart).
+    /// Harnesses may call this directly; the lease and
+    /// callback-response timers call it on expiry.
+    pub fn declare_site_dead(&mut self, dead: SiteId) {
+        if dead == self.site || !self.dead_sites.insert(dead) {
+            return;
+        }
+        self.lease_heard.remove(&dead);
+        self.hb_peers.remove(&dead);
+        self.stats.crashes_detected += 1;
+        self.obs
+            .record(pscc_obs::EventKind::CrashDetected { site: dead });
+
+        // Abort every in-flight transaction whose home is the dead site:
+        // WAL undo, replicated-lock release, callback cancellation and
+        // grant re-processing all happen in `server_abort_core`.
+        let mut orphans: Vec<TxnId> = self
+            .txns
+            .remote
+            .keys()
+            .copied()
+            .filter(|t| t.site == dead)
+            .collect();
+        orphans.sort();
+        for txn in orphans {
+            self.stats.orphans_aborted += 1;
+            self.obs
+                .record(pscc_obs::EventKind::OrphanAborted { txn, dead });
+            self.server_abort_core(txn);
+        }
+
+        // Its cache no longer exists: revoke its copy-table entries so
+        // future callbacks and adaptive-grant checks skip it.
+        self.copy_table.drop_site_entries(dead);
+
+        // Re-drive callback operations blocked on its acknowledgment
+        // (the purge is moot — the cache is gone).
+        let mut blocked: Vec<CbId> = self
+            .cb_ops
+            .iter()
+            .filter(|(_, op)| op.pending.contains(&dead))
+            .map(|(id, _)| *id)
+            .collect();
+        blocked.sort();
+        for cb in blocked {
+            if let Some(op) = self.cb_ops.get_mut(&cb) {
+                op.pending.remove(&dead);
+            }
+            self.try_finish_cb_op(cb);
+        }
+
+        // Deescalations addressed to the dead client complete with no
+        // reported locks (its transactions were aborted above).
+        let mut des: Vec<DeId> = self
+            .de_ops
+            .iter()
+            .filter(|(_, op)| op.client == dead)
+            .map(|(id, _)| *id)
+            .collect();
+        des.sort();
+        for de in des {
+            let page = self.de_ops[&de].page;
+            self.server_deescalate_reply(de, page, Vec::new());
+        }
+
+        // Client role: drop callback threads running on behalf of the
+        // dead owner — it will never collect the acknowledgment.
+        let mut keys: Vec<CbKey> = self
+            .cb_ctxs
+            .keys()
+            .copied()
+            .filter(|(owner, _)| *owner == dead)
+            .collect();
+        keys.sort();
+        for k in keys {
+            self.cancel_cb_ctx(k);
+        }
+
+        // Home transactions that enlisted the dead site as a participant
+        // cannot commit; abort the still-active ones now instead of
+        // letting 2PC hang (`home_abort` ignores ones already past the
+        // point of no return).
+        let mut doomed: Vec<TxnId> = self
+            .txns
+            .home
+            .iter()
+            .filter(|(_, h)| h.participants.contains(&dead))
+            .map(|(t, _)| *t)
+            .collect();
+        doomed.sort();
+        for txn in doomed {
+            self.abort_txn_here(txn, AbortReason::Internal);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 mod client;
 mod commit;
 pub mod large;
+mod liveness;
 mod server;
 
 use crate::cache::ClientCache;
@@ -195,6 +196,20 @@ pub(crate) enum TimerKind {
     /// A callback thread's lock wait at a client; firing notifies the
     /// owner to abort the calling-back transaction.
     CbWait { key: CbKey, txn: TxnId },
+    /// A per-peer lease at a server (leases enabled only). Firing with no
+    /// message heard from `site` for a full `lease_duration` declares the
+    /// site crashed and triggers orphan cleanup; otherwise it re-arms for
+    /// the remaining lease time.
+    Lease { site: SiteId },
+    /// The periodic client-side heartbeat tick (leases enabled only);
+    /// firing sends [`Message::Heartbeat`] to every contacted peer and
+    /// re-arms.
+    Heartbeat,
+    /// Bound on a callback fan-out's response time (leases enabled
+    /// only). Firing while the operation still has pending clients
+    /// declares those clients crashed — they may be heartbeating but
+    /// wedged mid-callback.
+    CbResponse { cb: CbId },
 }
 
 /// State of a client-side callback thread (the per-callback thread of
@@ -247,6 +262,9 @@ pub(crate) enum CbDone {
 #[derive(Debug)]
 pub(crate) struct DeOp {
     pub page: PageId,
+    /// The adaptive-lock holder the request was sent to; if it crashes,
+    /// the operation completes with no reported locks.
+    pub client: SiteId,
     /// Work that arrived for this page while deescalation was in flight
     /// (remote requests and owner-local application accesses);
     /// re-processed afterwards.
@@ -308,6 +326,18 @@ pub struct PeerServer {
 
     // Timeout estimation (§5.5).
     pub(crate) timeout_est: TimeoutEstimator,
+
+    // Crash detection (leases enabled only).
+    /// When each remote peer was last heard from; a lease timer is
+    /// armed for every entry.
+    pub(crate) lease_heard: HashMap<SiteId, SimTime>,
+    /// Remote peers this site has sent to (heartbeat recipients).
+    pub(crate) hb_peers: std::collections::BTreeSet<SiteId>,
+    /// Whether the periodic heartbeat timer is armed.
+    pub(crate) hb_armed: bool,
+    /// Peers already declared crashed (makes the declaration idempotent;
+    /// a later message from the peer means it restarted and clears it).
+    pub(crate) dead_sites: HashSet<SiteId>,
 
     // Id allocation.
     next_req: u64,
@@ -381,6 +411,10 @@ impl PeerServer {
             timers: HashMap::new(),
             ticket_timers: HashMap::new(),
             timeout_est,
+            lease_heard: HashMap::new(),
+            hb_peers: std::collections::BTreeSet::new(),
+            hb_armed: false,
+            dead_sites: HashSet::new(),
             next_req: 0,
             next_cb: 0,
             next_de: 0,
@@ -422,6 +456,18 @@ impl PeerServer {
     /// Read-only access to the site's volume (tests and examples).
     pub fn volume(&self) -> &Volume {
         &self.volume
+    }
+
+    /// Transactions holding `id` in EX mode in this site's lock table.
+    /// Chaos harnesses sum this across sites to check the one-exclusive-
+    /// copy invariant while faults are in flight.
+    pub fn ex_holders(&self, id: LockableId) -> Vec<TxnId> {
+        self.locks
+            .holders(id)
+            .into_iter()
+            .filter(|(_, m)| *m == LockMode::Ex)
+            .map(|(t, _)| t)
+            .collect()
     }
 
     /// Asserts that no transaction state lingers: empty lock table, no
@@ -550,6 +596,9 @@ impl PeerServer {
         } else {
             self.stats.msgs_sent += 1;
             self.out.push(Output::Send { to, msg });
+            if self.cfg.leases_enabled {
+                self.note_contact(to);
+            }
         }
     }
 
@@ -734,6 +783,9 @@ impl PeerServer {
                 self.send(owner, Message::CbTimeout { cb });
                 let _ = txn;
             }
+            TimerKind::Lease { site } => self.lease_fired(site),
+            TimerKind::Heartbeat => self.heartbeat_fired(),
+            TimerKind::CbResponse { cb } => self.cb_response_fired(cb),
         }
     }
 
@@ -807,7 +859,11 @@ impl PeerServer {
     }
 
     fn handle_msg(&mut self, from: SiteId, msg: Message) {
+        if self.cfg.leases_enabled && from != self.site {
+            self.observe_peer(from);
+        }
         match msg {
+            Message::Heartbeat => (),
             // Owner role.
             Message::ReadObj { req, txn, oid } => self.server_read(req, from, txn, oid),
             Message::ReadPage { req, txn, page } => self.server_read_page(req, from, txn, page),

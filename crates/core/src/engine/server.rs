@@ -5,7 +5,7 @@
 //! second-objective violation redo (§4.3.2), and purge handling with
 //! purge-race detection (§4.2.4).
 
-use super::{CbDone, CbOp, DeOp, DiskCont, LockCont, PeerServer};
+use super::{CbDone, CbOp, DeOp, DiskCont, LockCont, PeerServer, TimerKind};
 use crate::msg::{CbId, CbTarget, DeId, DiskOp, Message, ReqId};
 use pscc_common::{ids::DUMMY_SLOT, LockMode, LockableId, Oid, PageId, SiteId, TxnId};
 use pscc_lockmgr::Acquire;
@@ -364,6 +364,17 @@ impl PeerServer {
         }
         self.stats.callbacks_sent += remote.len() as u64;
         self.obs.cb_sent(cb, self.now);
+        if self.cfg.leases_enabled {
+            // Bound the fan-out's response time: clients still pending
+            // when this fires are declared crashed (they may heartbeat
+            // yet be wedged mid-callback).
+            let timer = self.fresh_timer();
+            self.timers.insert(timer, TimerKind::CbResponse { cb });
+            self.out.push(crate::msg::Output::ArmTimer {
+                timer,
+                delay: self.cfg.callback_response_timeout,
+            });
+        }
         for site in remote {
             self.obs.record(pscc_obs::EventKind::CallbackSent {
                 to: site,
@@ -839,6 +850,7 @@ impl PeerServer {
             de,
             DeOp {
                 page,
+                client,
                 queued: vec![work],
             },
         );

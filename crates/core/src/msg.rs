@@ -309,6 +309,12 @@ pub enum Message {
         /// Why.
         reason: AbortReason,
     },
+    /// Any site → any peer it talks to: "I am alive". Sent periodically
+    /// when leases are enabled (`SystemConfig::leases_enabled`) so the
+    /// receiver can keep the sender's lease from expiring while the
+    /// sender is idle. Carries no payload — receipt of *any* message
+    /// renews the lease; this one just guarantees a floor on frequency.
+    Heartbeat,
     /// Client → owner: fetch one large-object data page (paper §4.4 —
     /// cached large-object pages are valid without locks; the header
     /// lock provides all access protection).

@@ -29,8 +29,8 @@ impl TimeoutEstimator {
             m2: 0.0,
             multiplier: cfg.timeout_multiplier,
             initial: cfg.initial_lock_timeout,
-            floor: SimDuration::from_millis(50),
-            ceiling: SimDuration::from_secs(30),
+            floor: cfg.lock_timeout_floor,
+            ceiling: cfg.lock_timeout_ceiling,
         }
     }
 
@@ -154,15 +154,32 @@ mod tests {
 
     #[test]
     fn clamped_to_floor_and_ceiling() {
+        let cfg = SystemConfig::paper();
         let mut e = est();
         for _ in 0..20 {
             e.record_wait(SimDuration::from_micros(1));
         }
-        assert_eq!(e.timeout(), SimDuration::from_millis(50));
+        assert_eq!(e.timeout(), cfg.lock_timeout_floor);
         let mut e = est();
         for _ in 0..20 {
             e.record_wait(SimDuration::from_secs(1000));
         }
-        assert_eq!(e.timeout(), SimDuration::from_secs(30));
+        assert_eq!(e.timeout(), cfg.lock_timeout_ceiling);
+    }
+
+    #[test]
+    fn clamps_follow_config_overrides() {
+        let mut cfg = SystemConfig::small();
+        cfg.lock_timeout_floor = SimDuration::from_millis(1);
+        cfg.lock_timeout_ceiling = SimDuration::from_millis(5);
+        let mut e = TimeoutEstimator::new(&cfg);
+        for _ in 0..20 {
+            e.record_wait(SimDuration::from_micros(1));
+        }
+        assert_eq!(e.timeout(), SimDuration::from_millis(1));
+        for _ in 0..20 {
+            e.record_wait(SimDuration::from_secs(100));
+        }
+        assert_eq!(e.timeout(), SimDuration::from_millis(5));
     }
 }

@@ -59,7 +59,12 @@ pub fn decode_frame<M: DeserializeOwned>(buf: &mut BytesMut) -> Result<Option<M>
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let Ok(prefix) = <[u8; 4]>::try_from(&buf[0..4]) else {
+        // Unreachable after the length check, but a malformed peer
+        // stream must never panic the reader thread.
+        return Err(CodecError::Serde("short length prefix".to_string()));
+    };
+    let len = u32::from_be_bytes(prefix);
     if len > MAX_FRAME {
         return Err(CodecError::Oversized(len));
     }

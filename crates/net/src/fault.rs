@@ -1,0 +1,48 @@
+//! Fault injection at the physical transport boundary (feature
+//! `fault-inject`).
+//!
+//! The deterministic chaos harness lives in `pscc-sim`, where virtual
+//! time makes every schedule reproducible. This module is the
+//! real-socket counterpart: a hook consulted by [`crate::tcp::TcpNode`]
+//! before every frame write, so chaos experiments can also run over
+//! genuine TCP (dropped and duplicated frames; delays and partitions
+//! compose from repeated drops on the caller's side). It is compiled
+//! out entirely without the feature — production builds carry no hook,
+//! no branch, no cost.
+
+use crate::PathId;
+use pscc_common::SiteId;
+
+/// What to do with one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Write it normally.
+    Deliver,
+    /// Silently discard it (a lost frame).
+    Drop,
+    /// Write it twice on the same ordered stream (a duplicated frame).
+    Duplicate,
+}
+
+/// A hook deciding the fate of each outgoing frame, keyed by
+/// destination and path. Must be deterministic in its own right (e.g.
+/// seeded) if the experiment is to be reproducible.
+pub type FaultHook = Box<dyn Fn(SiteId, PathId) -> FaultAction + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_type_is_usable() {
+        let hook: FaultHook = Box::new(|to, _| {
+            if to == SiteId(7) {
+                FaultAction::Drop
+            } else {
+                FaultAction::Deliver
+            }
+        });
+        assert_eq!(hook(SiteId(7), PathId(0)), FaultAction::Drop);
+        assert_eq!(hook(SiteId(1), PathId(0)), FaultAction::Deliver);
+    }
+}

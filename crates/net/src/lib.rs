@@ -32,6 +32,8 @@
 //! ```
 
 pub mod codec;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod tcp;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};

@@ -44,6 +44,11 @@ pub struct NetStats {
     pub frames_received: AtomicU64,
     /// Bytes read off accepted connections.
     pub bytes_received: AtomicU64,
+    /// Send attempts retried after a connect/write failure.
+    pub retries: AtomicU64,
+    /// Connections that died: read/decode errors, peer closes, and sends
+    /// abandoned after the retry budget. Never silently swallowed.
+    pub disconnects: AtomicU64,
 }
 
 impl NetStats {
@@ -59,8 +64,26 @@ impl NetStats {
             "net_bytes_received",
             self.bytes_received.load(Ordering::Relaxed),
         );
+        reg.counter("net_retries", self.retries.load(Ordering::Relaxed));
+        reg.counter("net_disconnects", self.disconnects.load(Ordering::Relaxed));
     }
 }
+
+/// Shared optional trace sink: reader threads and the send path record
+/// disconnect/retry events through it when a harness installs a handle.
+type SharedTrace = Arc<Mutex<Option<pscc_obs::event::TraceHandle>>>;
+
+fn trace_record(trace: &SharedTrace, kind: pscc_obs::EventKind) {
+    if let Ok(guard) = trace.lock() {
+        if let Some(h) = guard.as_ref() {
+            h.record(kind);
+        }
+    }
+}
+
+/// The placeholder peer id recorded for a connection that died before
+/// its handshake identified the sender.
+const UNKNOWN_PEER: SiteId = SiteId(u32::MAX);
 
 /// One site of a TCP-connected peer-servers deployment.
 pub struct TcpNode<M> {
@@ -73,6 +96,13 @@ pub struct TcpNode<M> {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     stats: Arc<NetStats>,
+    trace: SharedTrace,
+    // Reconnect policy (see `configure_retry`).
+    backoff_base: Duration,
+    backoff_max: Duration,
+    max_retries: u32,
+    #[cfg(feature = "fault-inject")]
+    fault_hook: Mutex<Option<crate::fault::FaultHook>>,
 }
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
@@ -92,10 +122,12 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         let (tx, rx) = unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetStats::default());
+        let trace: SharedTrace = Arc::new(Mutex::new(None));
         let acceptor = {
             let tx = tx.clone();
             let stop = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let trace = Arc::clone(&trace);
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
@@ -105,7 +137,8 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
                             let tx = tx.clone();
                             let stop = Arc::clone(&stop);
                             let stats = Arc::clone(&stats);
-                            std::thread::spawn(move || reader_loop(stream, tx, stop, stats));
+                            let trace = Arc::clone(&trace);
+                            std::thread::spawn(move || reader_loop(stream, tx, stop, stats, trace));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(1));
@@ -124,7 +157,39 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             shutdown,
             acceptor: Some(acceptor),
             stats,
+            trace,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(1_000),
+            max_retries: 5,
+            #[cfg(feature = "fault-inject")]
+            fault_hook: Mutex::new(None),
         })
+    }
+
+    /// Overrides the reconnect policy (defaults: 10 ms base doubling to
+    /// a 1 s cap, 5 retries). Mirrors the `net_backoff_*` knobs of
+    /// `SystemConfig`.
+    pub fn configure_retry(&mut self, base: Duration, max: Duration, retries: u32) {
+        self.backoff_base = base;
+        self.backoff_max = max;
+        self.max_retries = retries;
+    }
+
+    /// Installs a trace handle; disconnects and retries are recorded as
+    /// protocol events from then on (including from reader threads).
+    pub fn set_trace(&self, handle: pscc_obs::event::TraceHandle) {
+        if let Ok(mut guard) = self.trace.lock() {
+            *guard = Some(handle);
+        }
+    }
+
+    /// Installs a fault-injection hook consulted before every physical
+    /// write (chaos testing over real sockets).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_fault_hook(&self, hook: crate::fault::FaultHook) {
+        if let Ok(mut guard) = self.fault_hook.lock() {
+            *guard = Some(hook);
+        }
     }
 
     /// The local mailbox sender (loopback injection in tests).
@@ -163,6 +228,20 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         Ok(clone)
     }
 
+    /// One write attempt: (re)establish the connection and write the
+    /// whole frame. On failure the cached connection is dropped so the
+    /// next attempt redials instead of reusing a dead socket.
+    fn try_write(&self, to: SiteId, path: PathId, buf: &[u8]) -> std::io::Result<()> {
+        let mut stream = self.connection(to, path)?;
+        match stream.write_all(buf) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.conns.lock().map(|mut c| c.remove(&(to, path))).ok();
+                Err(e)
+            }
+        }
+    }
+
     /// Stops the acceptor and closes connections.
     pub fn shutdown(mut self) {
         self.stop();
@@ -191,6 +270,7 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
     tx: Sender<Envelope<M>>,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
+    trace: SharedTrace,
 ) {
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
@@ -198,9 +278,17 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
     let mut buf = BytesMut::new();
     let mut from: Option<(SiteId, PathId)> = None;
     let mut chunk = [0u8; 16 * 1024];
+    // Records the connection's death before the thread exits, so no
+    // failure path is silent.
+    let disconnect = |peer: Option<(SiteId, PathId)>, why: &str| {
+        stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        let peer = peer.map_or(UNKNOWN_PEER, |(s, _)| s);
+        trace_record(&trace, pscc_obs::EventKind::NetDisconnect { peer });
+        let _ = why; // kept for debugger visibility in the closure frame
+    };
     loop {
         if stop.load(Ordering::Relaxed) {
-            return;
+            return; // orderly local shutdown, not a disconnect
         }
         // Drain complete frames already buffered.
         loop {
@@ -208,14 +296,22 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
                 match decode_frame::<Handshake>(&mut buf) {
                     Ok(Some(h)) => from = Some((SiteId(h.site), PathId(h.path))),
                     Ok(None) => break,
-                    Err(_) => return,
+                    Err(_) => {
+                        disconnect(from, "bad handshake frame");
+                        return;
+                    }
                 }
                 continue;
             }
             match decode_frame::<M>(&mut buf) {
                 Ok(Some(msg)) => {
                     stats.frames_received.fetch_add(1, Ordering::Relaxed);
-                    let (site, path) = from.expect("handshake first");
+                    let Some((site, path)) = from else {
+                        // Unreachable (handshake decoded above), but a
+                        // peer must never be able to panic this thread.
+                        disconnect(None, "frame before handshake");
+                        return;
+                    };
                     if tx
                         .send(Envelope {
                             from: site,
@@ -225,15 +321,21 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
                         })
                         .is_err()
                     {
-                        return;
+                        return; // local node dropped its mailbox
                     }
                 }
                 Ok(None) => break,
-                Err(_) => return,
+                Err(_) => {
+                    disconnect(from, "bad message frame");
+                    return;
+                }
             }
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return, // closed
+            Ok(0) => {
+                disconnect(from, "peer closed");
+                return;
+            }
             Ok(n) => {
                 stats.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
                 buf.extend_from_slice(&chunk[..n]);
@@ -244,7 +346,10 @@ fn reader_loop<M: DeserializeOwned + Send + 'static>(
             {
                 continue;
             }
-            Err(_) => return,
+            Err(_) => {
+                disconnect(from, "read error");
+                return;
+            }
         }
     }
 }
@@ -253,16 +358,60 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> Transport<M> for TcpNode<
     fn send(&self, to: SiteId, path: PathId, msg: M) {
         #[cfg(feature = "spans")]
         let _span = pscc_obs::span("tcp_send");
-        let Ok(mut stream) = self.connection(to, path) else {
-            return; // peer gone: drop, like a closed socket would
+        #[cfg(feature = "fault-inject")]
+        let msg = {
+            let action = self
+                .fault_hook
+                .lock()
+                .ok()
+                .and_then(|g| g.as_ref().map(|h| h(to, path)))
+                .unwrap_or(crate::fault::FaultAction::Deliver);
+            match action {
+                crate::fault::FaultAction::Deliver => msg,
+                crate::fault::FaultAction::Drop => return,
+                crate::fault::FaultAction::Duplicate => {
+                    // Physical duplicate on the same ordered stream.
+                    let mut buf = BytesMut::new();
+                    if encode_frame(&msg, &mut buf).is_ok()
+                        && self.try_write(to, path, &buf).is_ok()
+                    {
+                        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .bytes_sent
+                            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                    }
+                    msg
+                }
+            }
         };
         let mut buf = BytesMut::new();
-        if encode_frame(&msg, &mut buf).is_ok() && stream.write_all(&buf).is_ok() {
-            self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_sent
-                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if encode_frame(&msg, &mut buf).is_err() {
+            return; // local serialization bug; nothing to retry
         }
+        // Retry with exponential backoff + reconnect instead of dying
+        // silently on the first connect/write failure.
+        let mut delay = self.backoff_base;
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                trace_record(
+                    &self.trace,
+                    pscc_obs::EventKind::NetRetry { peer: to, attempt },
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(self.backoff_max);
+            }
+            if self.try_write(to, path, &buf).is_ok() {
+                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_sent
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Retry budget exhausted: the peer is unreachable. Surface it.
+        self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        trace_record(&self.trace, pscc_obs::EventKind::NetDisconnect { peer: to });
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
@@ -344,6 +493,82 @@ mod tests {
         let mut reg = pscc_obs::MetricsRegistry::new();
         n0.stats().export(&mut reg);
         assert_eq!(reg.counter_value("net_frames_sent"), Some(1));
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn tcp_send_retries_then_reports_disconnect() {
+        // No one listens at the peer address: every attempt fails.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = addr_of(&l0);
+        let l_dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_dead = addr_of(&l_dead);
+        drop((l0, l_dead));
+        let peers: HashMap<SiteId, SocketAddr> = [(SiteId(1), a_dead)].into();
+        let mut n0 = TcpNode::<String>::start(SiteId(0), a0, peers).unwrap();
+        n0.configure_retry(Duration::from_millis(1), Duration::from_millis(4), 3);
+        let trace = pscc_obs::event::TraceHandle::new(SiteId(0), 64);
+        n0.set_trace(trace.clone());
+        n0.send(SiteId(1), PathId(0), "lost".to_string());
+        assert_eq!(n0.stats().retries.load(Ordering::Relaxed), 3);
+        assert_eq!(n0.stats().disconnects.load(Ordering::Relaxed), 1);
+        assert_eq!(n0.stats().frames_sent.load(Ordering::Relaxed), 0);
+        let events = trace.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, pscc_obs::EventKind::NetRetry { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, pscc_obs::EventKind::NetDisconnect { .. })));
+        let mut reg = pscc_obs::MetricsRegistry::new();
+        n0.stats().export(&mut reg);
+        assert_eq!(reg.counter_value("net_retries"), Some(3));
+        assert_eq!(reg.counter_value("net_disconnects"), Some(1));
+        n0.shutdown();
+    }
+
+    #[test]
+    fn tcp_reader_counts_peer_disconnect() {
+        let (n0, n1) = two_nodes();
+        n0.send(SiteId(1), PathId(0), "warmup".to_string());
+        n1.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        n0.shutdown(); // closes the established connection into n1
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while n1.stats().disconnects.load(Ordering::Relaxed) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            n1.stats().disconnects.load(Ordering::Relaxed) >= 1,
+            "peer close was swallowed"
+        );
+        n1.shutdown();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn tcp_fault_hook_drops_and_duplicates() {
+        use std::sync::atomic::AtomicUsize;
+        let (n0, n1) = two_nodes();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        n0.set_fault_hook(Box::new(move |_, _| {
+            match c.fetch_add(1, Ordering::Relaxed) {
+                0 => crate::fault::FaultAction::Drop,
+                1 => crate::fault::FaultAction::Duplicate,
+                _ => crate::fault::FaultAction::Deliver,
+            }
+        }));
+        n0.send(SiteId(1), PathId(0), "dropped".to_string());
+        n0.send(SiteId(1), PathId(0), "duped".to_string());
+        n0.send(SiteId(1), PathId(0), "normal".to_string());
+        let mut got = Vec::new();
+        while let Some(env) = n1.recv_timeout(Duration::from_millis(500)) {
+            got.push(env.msg);
+        }
+        assert_eq!(got, vec!["duped", "duped", "normal"]);
         n0.shutdown();
         n1.shutdown();
     }

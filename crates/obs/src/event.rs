@@ -120,6 +120,25 @@ pub enum EventKind {
     Commit { txn: TxnId, stage: CommitStage },
     /// A transaction aborted.
     Abort { txn: TxnId, reason: AbortReason },
+    /// The chaos harness injected a fault on the path `from -> to`
+    /// (`what` is the fault's short label: drop/dup/delay/reorder/
+    /// partition/crash).
+    FaultInjected {
+        from: SiteId,
+        to: SiteId,
+        what: &'static str,
+    },
+    /// A server declared `site` crashed (lease expiry or bounded
+    /// callback-response timeout).
+    CrashDetected { site: SiteId },
+    /// An in-flight transaction of a crashed client was aborted and its
+    /// locks/callbacks released.
+    OrphanAborted { txn: TxnId, dead: SiteId },
+    /// A transport connection died (read error, bad frame, or peer
+    /// close) and its error was surfaced rather than swallowed.
+    NetDisconnect { peer: SiteId },
+    /// The transport retried a connect/send after a failure.
+    NetRetry { peer: SiteId, attempt: u32 },
 }
 
 impl fmt::Display for EventKind {
@@ -173,6 +192,21 @@ impl fmt::Display for EventKind {
             }
             EventKind::Abort { txn, reason } => {
                 write!(f, "abort txn={txn:?} reason={reason}")
+            }
+            EventKind::FaultInjected { from, to, what } => {
+                write!(f, "fault_injected {what} from={from:?} to={to:?}")
+            }
+            EventKind::CrashDetected { site } => {
+                write!(f, "crash_detected site={site:?}")
+            }
+            EventKind::OrphanAborted { txn, dead } => {
+                write!(f, "orphan_aborted txn={txn:?} dead={dead:?}")
+            }
+            EventKind::NetDisconnect { peer } => {
+                write!(f, "net_disconnect peer={peer:?}")
+            }
+            EventKind::NetRetry { peer, attempt } => {
+                write!(f, "net_retry peer={peer:?} attempt={attempt}")
             }
         }
     }

@@ -33,6 +33,7 @@
 //! assert!(point.report.throughput > 0.0);
 //! ```
 
+pub mod chaos;
 pub mod cost;
 pub mod driver;
 pub mod experiment;

@@ -9,15 +9,17 @@
 //! due times. All scheduling is driven by a seed, so every run is
 //! reproducible.
 
+use crate::chaos::{FaultDecision, FaultPlan};
 use pscc_common::{AppId, PsccError, SimDuration, SimTime, SiteId, SystemConfig, TxnId};
 use pscc_core::{
     AppOp, AppReply, AppRequest, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId,
 };
 use pscc_net::{PathId, SeededNet};
+use pscc_obs::EventKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// The path each message kind travels on (per-path FIFO; see crate docs).
 pub fn path_for(msg: &Message) -> PathId {
@@ -54,6 +56,14 @@ pub struct Cluster {
     sched: BinaryHeap<(Reverse<SimTime>, Sched)>,
     replies: Vec<(SiteId, AppReply)>,
     disk_latency: SimDuration,
+    cfg: SystemConfig,
+    owners: OwnerMap,
+    faults: Option<FaultPlan>,
+    crashed: HashSet<SiteId>,
+    /// Messages held by a delay/partition fault until their due time.
+    delayed: Vec<(SimTime, SiteId, SiteId, PathId, Message)>,
+    /// Messages held by a reorder fault until later same-link traffic.
+    reorder_held: HashMap<(SiteId, SiteId, PathId), Vec<Message>>,
 }
 
 impl Cluster {
@@ -70,6 +80,12 @@ impl Cluster {
             sched: BinaryHeap::new(),
             replies: Vec::new(),
             disk_latency: SimDuration::from_millis(1),
+            cfg,
+            owners,
+            faults: None,
+            crashed: HashSet::new(),
+            delayed: Vec::new(),
+            reorder_held: HashMap::new(),
         }
     }
 
@@ -78,12 +94,140 @@ impl Cluster {
         self.now
     }
 
+    /// Installs a fault plan; every subsequent send consults it.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (e.g. to read `injected`).
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Whether `site` is currently crashed.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.contains(&site)
+    }
+
+    /// Crashes `site`: it stops executing, its pending disk and timer
+    /// events are discarded, and messages addressed to it are dropped.
+    /// Messages it already put on the wire still deliver (they left the
+    /// NIC before the crash). The dead state machine is kept around
+    /// untouched so post-mortem inspection and counter totals still see
+    /// it; only [`Self::restart_site`] replaces it.
+    pub fn crash_site(&mut self, site: SiteId) {
+        let i = site.0 as usize;
+        self.sites[i].stats.faults_injected += 1;
+        self.sites[i].obs.record(EventKind::FaultInjected {
+            from: site,
+            to: site,
+            what: "crash",
+        });
+        if let Some(plan) = &mut self.faults {
+            plan.injected += 1;
+        }
+        self.crashed.insert(site);
+    }
+
+    /// Restarts a crashed site with a fresh, empty state machine — the
+    /// model of a process that lost all volatile state. Note that a
+    /// restarted site also reinitializes its volume, so only sites that
+    /// own no data (pure clients under `OwnerMap::Single`) should be
+    /// restarted; owner recovery from the WAL is tracked in ROADMAP.md.
+    pub fn restart_site(&mut self, site: SiteId) {
+        assert!(
+            self.crashed.remove(&site),
+            "restart_site({site}): site is not crashed"
+        );
+        let i = site.0 as usize;
+        self.sites[i] = PeerServer::new(site, self.cfg.clone(), self.owners.clone());
+        self.sites[i].stats.faults_injected += 1;
+        self.sites[i].obs.record(EventKind::FaultInjected {
+            from: site,
+            to: site,
+            what: "restart",
+        });
+    }
+
+    /// Asserts [`PeerServer::assert_quiescent`] on every live site.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the leaking site's description.
+    pub fn assert_survivors_quiescent(&self) {
+        for s in &self.sites {
+            if !self.crashed.contains(&s.site()) {
+                s.assert_quiescent();
+            }
+        }
+    }
+
+    fn note_fault(&mut self, from: SiteId, to: SiteId, what: &'static str) {
+        self.sites[from.0 as usize].stats.faults_injected += 1;
+        self.sites[from.0 as usize]
+            .obs
+            .record(EventKind::FaultInjected { from, to, what });
+    }
+
+    /// Routes one send through the fault plan (if any) into the net.
+    fn route(&mut self, from: SiteId, to: SiteId, path: PathId, msg: Message) {
+        let decision = match &mut self.faults {
+            Some(plan) => plan.decide(self.now, from, to, path),
+            None => FaultDecision::Deliver,
+        };
+        match decision {
+            FaultDecision::Deliver => {}
+            FaultDecision::Drop => {
+                self.note_fault(from, to, "drop");
+                return;
+            }
+            FaultDecision::Duplicate => {
+                self.note_fault(from, to, "duplicate");
+                self.net.send(from, to, path, msg.clone());
+            }
+            FaultDecision::Delay { by, what } => {
+                self.note_fault(from, to, what);
+                self.delayed.push((self.now + by, from, to, path, msg));
+                return;
+            }
+            FaultDecision::Reorder => {
+                self.note_fault(from, to, "reorder");
+                self.reorder_held
+                    .entry((from, to, path))
+                    .or_default()
+                    .push(msg);
+                return;
+            }
+        }
+        self.net.send(from, to, path, msg);
+        // Anything held for reordering on this link now goes behind.
+        if let Some(held) = self.reorder_held.remove(&(from, to, path)) {
+            for m in held {
+                self.net.send(from, to, path, m);
+            }
+        }
+    }
+
+    /// Moves due delayed messages into the net (in insertion order).
+    fn release_due_delayed(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, from, to, path, msg) = self.delayed.remove(i);
+                self.net.send(from, to, path, msg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     fn run_outputs(&mut self, site: SiteId, outs: Vec<Output>) {
         for o in outs {
             match o {
                 Output::Send { to, msg } => {
                     let path = path_for(&msg);
-                    self.net.send(site, to, path, msg);
+                    self.route(site, to, path, msg);
                 }
                 Output::Disk { req, .. } => {
                     self.sched.push((
@@ -108,9 +252,17 @@ impl Cluster {
     }
 
     /// Delivers one pending message (seeded choice) or the earliest
-    /// scheduled disk/timer event. Returns `false` when idle.
+    /// scheduled disk/timer/delayed-release event. Returns `false` when
+    /// idle. Events of a crashed site are consumed without executing.
     pub fn step(&mut self) -> bool {
+        self.release_due_delayed();
         if let Some(env) = self.net.deliver_next(&mut self.rng) {
+            if self.crashed.contains(&env.to) {
+                // The receiver is down; the frame is lost. Frames *from*
+                // a crashed site still deliver — they left its NIC
+                // before the crash.
+                return true;
+            }
             let now = self.now;
             let outs = self.sites[env.to.0 as usize].handle(
                 now,
@@ -122,15 +274,46 @@ impl Cluster {
             self.run_outputs(env.to, outs);
             return true;
         }
+        // The net is drained; reorder holds can no longer get "behind"
+        // anything, so flush them rather than strand the protocol.
+        if !self.reorder_held.is_empty() {
+            let mut keys: Vec<_> = self.reorder_held.keys().copied().collect();
+            keys.sort();
+            for k in keys {
+                if let Some(held) = self.reorder_held.remove(&k) {
+                    for m in held {
+                        self.net.send(k.0, k.1, k.2, m);
+                    }
+                }
+            }
+            return true;
+        }
+        // Advance time to whichever comes first: a scheduled event or a
+        // delayed message's release.
+        let next_delayed = self.delayed.iter().map(|d| d.0).min();
+        let next_sched = self.sched.peek().map(|(Reverse(t), _)| *t);
+        if let Some(td) = next_delayed {
+            if next_sched.is_none_or(|ts| td <= ts) {
+                self.now = self.now.max(td);
+                self.release_due_delayed();
+                return true;
+            }
+        }
         if let Some((Reverse(t), ev)) = self.sched.pop() {
             self.now = self.now.max(t);
             let now = self.now;
             match ev {
                 Sched::Disk(s, req) => {
+                    if self.crashed.contains(&SiteId(s)) {
+                        return true;
+                    }
                     let outs = self.sites[s as usize].handle(now, Input::DiskDone { req });
                     self.run_outputs(SiteId(s), outs);
                 }
                 Sched::Timer(s, timer) => {
+                    if self.crashed.contains(&SiteId(s)) {
+                        return true;
+                    }
                     let outs = self.sites[s as usize].handle(now, Input::TimerFired { timer });
                     self.run_outputs(SiteId(s), outs);
                 }
@@ -144,7 +327,7 @@ impl Cluster {
     /// are left pending — they only matter for timeout scenarios).
     pub fn pump(&mut self) {
         for _ in 0..500_000 {
-            if self.net.is_empty() {
+            if self.net.is_empty() && self.delayed.is_empty() && self.reorder_held.is_empty() {
                 let only_timers = self
                     .sched
                     .iter()
@@ -161,6 +344,10 @@ impl Cluster {
     }
 
     /// Runs until fully idle, letting timers fire (timeout scenarios).
+    ///
+    /// Not usable once leases are enabled: heartbeat and lease timers
+    /// re-arm forever, so the cluster never goes idle — chaos tests use
+    /// [`Self::pump_for`] instead.
     pub fn pump_with_timers(&mut self) {
         for _ in 0..500_000 {
             if !self.step() {
@@ -168,6 +355,23 @@ impl Cluster {
             }
         }
         panic!("cluster did not quiesce");
+    }
+
+    /// Runs for `dur` of virtual time (or until fully idle), firing
+    /// every timer that comes due — the chaos-test pump, bounded so the
+    /// perpetual heartbeat/lease timers of `leases_enabled` cannot spin
+    /// it forever.
+    pub fn pump_for(&mut self, dur: SimDuration) {
+        let deadline = self.now + dur;
+        for _ in 0..2_000_000 {
+            if self.now >= deadline {
+                return;
+            }
+            if !self.step() {
+                return;
+            }
+        }
+        panic!("cluster did not reach the pump_for deadline");
     }
 
     /// Takes all application replies collected so far.

@@ -1,0 +1,395 @@
+//! Seeded chaos schedules against the real protocol engine: client
+//! crashes (detected by lease expiry), orphan-transaction cleanup,
+//! duplicated messages, and partition-then-heal — each asserting that
+//! the surviving sites converge to a quiescent, consistent state and
+//! that the one-exclusive-copy invariant holds across PS, PS-OA and
+//! PS-AA.
+//!
+//! Every schedule is reproducible from its seed pair (cluster seed +
+//! fault-plan seed); `EXPERIMENTS.md` documents how to replay one.
+
+use pscc_common::{
+    AppId, FileId, LockableId, Oid, PageId, Protocol, SimDuration, SiteId, SystemConfig, TxnId,
+    VolId,
+};
+use pscc_core::{AppOp, AppReply, OwnerMap};
+use pscc_obs::MetricsRegistry;
+use pscc_sim::chaos::FaultPlan;
+use pscc_sim::testkit::{version_of, Cluster};
+use std::collections::HashSet;
+
+const OWNER: SiteId = SiteId(0);
+const A: SiteId = SiteId(1);
+const B: SiteId = SiteId(2);
+const APP: AppId = AppId(0);
+
+fn oid_on_page(page: u32, slot: u16) -> Oid {
+    Oid::new(PageId::new(FileId::new(VolId(0), 0), page), slot)
+}
+
+/// Per-test base seed, perturbed by `CHAOS_SEED` from the environment
+/// so CI can sweep schedules: `CHAOS_SEED=2 cargo test --test chaos`.
+/// Every assertion below is seed-independent (final versions, counters,
+/// quiescence); only the interleaving varies.
+fn seed(base: u64) -> u64 {
+    let sweep = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    base ^ sweep.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Failure-detection knobs tightened so chaos runs converge in a couple
+/// of virtual seconds (production defaults are in `SystemConfig`).
+fn chaos_cfg(proto: Protocol) -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.protocol = proto;
+    cfg.leases_enabled = true;
+    cfg.heartbeat_interval = SimDuration::from_millis(20);
+    cfg.lease_duration = SimDuration::from_millis(100);
+    cfg.callback_response_timeout = SimDuration::from_millis(200);
+    cfg
+}
+
+/// At most one distinct transaction holds EX on `items` across the
+/// surviving sites (the same transaction legitimately appears in both
+/// its home table and the owner's).
+fn assert_one_ex_copy(c: &Cluster, items: &[LockableId]) {
+    for item in items {
+        let holders: HashSet<TxnId> = c
+            .sites
+            .iter()
+            .filter(|s| !c.is_crashed(s.site()))
+            .flat_map(|s| s.ex_holders(*item))
+            .collect();
+        assert!(
+            holders.len() <= 1,
+            "one-EX-copy violated on {item:?}: {holders:?}"
+        );
+    }
+}
+
+/// The acceptance schedule: client A holds an EX object lock and has a
+/// callback pending against it (blocked on A's local read lock) when it
+/// crashes. The owner must detect the crash, abort the orphan via WAL
+/// undo, release its locks, re-drive the blocked callback, and let B's
+/// stalled write commit. Returns the cluster for further assertions.
+fn crash_holding_ex_lock(proto: Protocol, seed: u64) -> Cluster {
+    let mut c = Cluster::new(3, chaos_cfg(proto), OwnerMap::Single(OWNER), seed);
+    c.install_faults(FaultPlan::seeded(seed ^ 0xc4a0));
+    let contested = oid_on_page(3, 1);
+    let private = oid_on_page(7, 1);
+
+    // Warm A's cache on the contested page under a committed
+    // transaction, so the next read is a pure cache hit whose lock
+    // exists only in A's local table — invisible to the owner.
+    let t0 = c.begin(A, APP);
+    c.read(A, APP, t0, contested).unwrap();
+    c.commit(A, APP, t0).unwrap();
+
+    // A: local read lock on the contested object + an EX object lock
+    // registered at the owner.
+    let t1 = c.begin(A, APP);
+    c.read(A, APP, t1, contested).unwrap();
+    c.write(A, APP, t1, private, None).unwrap();
+
+    // B: write the contested object. The owner grants it and calls back
+    // A's cached copy; the callback blocks on A's local lock, so B gets
+    // no reply.
+    let t2 = c.begin(B, APP);
+    c.submit(
+        B,
+        APP,
+        Some(t2),
+        AppOp::Write {
+            oid: contested,
+            bytes: None,
+        },
+    );
+    c.pump();
+    assert!(
+        c.find_reply(B, t2).is_none(),
+        "B must be stalled behind A's callback"
+    );
+    assert_one_ex_copy(
+        &c,
+        &[LockableId::Object(contested), LockableId::Object(private)],
+    );
+
+    // Crash A. Lease expiry (backed up by the callback-response bound)
+    // must detect it and clean up without any help from A.
+    c.crash_site(A);
+    c.pump_for(SimDuration::from_secs(2));
+
+    match c.find_reply(B, t2) {
+        Some(AppReply::Done { .. }) => {}
+        other => panic!("B's write never unblocked: {other:?}"),
+    }
+    assert_one_ex_copy(
+        &c,
+        &[LockableId::Object(contested), LockableId::Object(private)],
+    );
+    c.commit(B, APP, t2).unwrap();
+
+    let total = c.total_stats();
+    assert!(total.crashes_detected >= 1, "crash never detected: {total}");
+    assert!(total.orphans_aborted >= 1, "orphan never aborted: {total}");
+    assert!(total.faults_injected >= 1, "crash fault not counted");
+    // B's write landed; A's uncommitted EX write did not.
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(contested).unwrap()),
+        1
+    );
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(private).unwrap()),
+        0
+    );
+    c.assert_survivors_quiescent();
+    c
+}
+
+#[test]
+fn crash_with_ex_lock_and_pending_callback_ps() {
+    crash_holding_ex_lock(Protocol::Ps, seed(11));
+}
+
+#[test]
+fn crash_with_ex_lock_and_pending_callback_ps_oa() {
+    crash_holding_ex_lock(Protocol::PsOa, seed(11));
+}
+
+#[test]
+fn crash_with_ex_lock_and_pending_callback_ps_aa() {
+    crash_holding_ex_lock(Protocol::PsAa, seed(11));
+}
+
+#[test]
+fn same_seed_replays_identical_chaos_run() {
+    let a = crash_holding_ex_lock(Protocol::PsAa, seed(42));
+    let b = crash_holding_ex_lock(Protocol::PsAa, seed(42));
+    assert_eq!(
+        a.total_stats(),
+        b.total_stats(),
+        "chaos run not deterministic"
+    );
+    assert_eq!(
+        a.faults().map(|f| f.injected),
+        b.faults().map(|f| f.injected)
+    );
+}
+
+#[test]
+fn client_crash_mid_commit_preserves_the_committed_outcome() {
+    // A crashes immediately after putting CommitReq on the wire: the
+    // frame still delivers, redo-at-server makes the commit durable, and
+    // the CommitOk ack is lost with the crash. Detection must then find
+    // *no* orphan — the transaction already committed.
+    let mut c = Cluster::new(
+        3,
+        chaos_cfg(Protocol::PsAa),
+        OwnerMap::Single(OWNER),
+        seed(17),
+    );
+    let oid = oid_on_page(5, 1);
+    let t1 = c.begin(A, APP);
+    c.write(A, APP, t1, oid, None).unwrap();
+    c.submit(A, APP, Some(t1), AppOp::Commit);
+    c.crash_site(A);
+    c.pump_for(SimDuration::from_secs(2));
+
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(oid).unwrap()),
+        1,
+        "a commit request that reached the owner must be durable"
+    );
+    let total = c.total_stats();
+    assert!(total.crashes_detected >= 1, "crash never detected: {total}");
+    assert_eq!(total.orphans_aborted, 0, "committed txn treated as orphan");
+    c.assert_survivors_quiescent();
+
+    // The object is free for others.
+    let t2 = c.begin(B, APP);
+    c.write(B, APP, t2, oid, None).unwrap();
+    c.commit(B, APP, t2).unwrap();
+    assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 2);
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn client_crash_before_commit_rolls_back_and_frees_locks() {
+    let mut c = Cluster::new(
+        3,
+        chaos_cfg(Protocol::PsAa),
+        OwnerMap::Single(OWNER),
+        seed(23),
+    );
+    let oid = oid_on_page(5, 1);
+    let t1 = c.begin(A, APP);
+    c.write(A, APP, t1, oid, None).unwrap();
+    assert_one_ex_copy(&c, &[LockableId::Object(oid)]);
+    c.crash_site(A);
+    c.pump_for(SimDuration::from_secs(2));
+
+    let total = c.total_stats();
+    assert!(total.crashes_detected >= 1, "crash never detected: {total}");
+    assert!(total.orphans_aborted >= 1, "orphan never aborted: {total}");
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(oid).unwrap()),
+        0,
+        "uncommitted update must not survive the orphan abort"
+    );
+    c.assert_survivors_quiescent();
+
+    // The orphan's EX lock is gone: B writes the same object.
+    let t2 = c.begin(B, APP);
+    c.write(B, APP, t2, oid, None).unwrap();
+    c.commit(B, APP, t2).unwrap();
+    assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 1);
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn restart_after_crash_rejoins_cleanly() {
+    let mut c = Cluster::new(
+        3,
+        chaos_cfg(Protocol::PsAa),
+        OwnerMap::Single(OWNER),
+        seed(29),
+    );
+    let oid = oid_on_page(5, 1);
+    let t1 = c.begin(A, APP);
+    c.write(A, APP, t1, oid, None).unwrap();
+    c.crash_site(A);
+    c.pump_for(SimDuration::from_secs(1));
+    c.restart_site(A);
+
+    // The reborn client starts fresh and can run transactions again.
+    let t2 = c.begin(A, APP);
+    c.write(A, APP, t2, oid, None).unwrap();
+    c.commit(A, APP, t2).unwrap();
+    assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 1);
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+fn duplicated_replies_are_harmless(proto: Protocol) {
+    // Duplicate every message on the reply/grant path (ReadReply,
+    // WriteGranted, LockGranted, CommitOk, ...). Stale duplicates must
+    // be ignored, not re-applied.
+    let mut c = Cluster::new(3, chaos_cfg(proto), OwnerMap::Single(OWNER), seed(31));
+    let mut plan = FaultPlan::seeded(seed(31));
+    plan.dup_prob = 1.0;
+    plan.only_path = Some(pscc_net::PathId(1));
+    c.install_faults(plan);
+
+    let x = oid_on_page(3, 1);
+    let y = oid_on_page(7, 1);
+    for (site, oid) in [(A, x), (B, y), (A, y), (B, x)] {
+        let t = c.begin(site, APP);
+        c.read(site, APP, t, oid).unwrap();
+        c.write(site, APP, t, oid, None).unwrap();
+        c.commit(site, APP, t).unwrap();
+        assert_one_ex_copy(&c, &[LockableId::Object(x), LockableId::Object(y)]);
+    }
+    // Each object saw exactly two committed writes — duplicated grants
+    // never double-applied an update.
+    assert_eq!(version_of(c.sites[0].volume().read_object(x).unwrap()), 2);
+    assert_eq!(version_of(c.sites[0].volume().read_object(y).unwrap()), 2);
+    let injected = c.faults().map(|f| f.injected).unwrap_or(0);
+    assert!(injected > 0, "duplication plan never fired");
+    assert!(c.total_stats().faults_injected > 0);
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn duplicated_replies_are_harmless_ps() {
+    duplicated_replies_are_harmless(Protocol::Ps);
+}
+
+#[test]
+fn duplicated_replies_are_harmless_ps_oa() {
+    duplicated_replies_are_harmless(Protocol::PsOa);
+}
+
+#[test]
+fn duplicated_replies_are_harmless_ps_aa() {
+    duplicated_replies_are_harmless(Protocol::PsAa);
+}
+
+#[test]
+fn partition_then_heal_aborts_in_flight_work_and_recovers() {
+    // An asymmetric cut silences the owner towards client A while A's
+    // read is in flight. A falsely suspects the owner, aborts its own
+    // transaction (the AbortTxn still reaches the owner, which cleans
+    // the remote half), and after the cut heals a fresh transaction
+    // completes normally.
+    let mut c = Cluster::new(
+        2,
+        chaos_cfg(Protocol::PsAa),
+        OwnerMap::Single(OWNER),
+        seed(37),
+    );
+    let warm = oid_on_page(3, 1);
+    let cold = oid_on_page(9, 1);
+
+    // Contact first, so both sides have leases armed.
+    let t0 = c.begin(A, APP);
+    c.read(A, APP, t0, warm).unwrap();
+    c.commit(A, APP, t0).unwrap();
+
+    let heal_at = c.now() + SimDuration::from_millis(400);
+    c.install_faults(FaultPlan::seeded(seed(37)).partition_one_way(vec![OWNER], vec![A], heal_at));
+
+    let t1 = c.begin(A, APP);
+    c.submit(A, APP, Some(t1), AppOp::Read(cold));
+    c.pump_for(SimDuration::from_secs(1));
+    match c.find_reply(A, t1) {
+        Some(AppReply::Aborted { .. }) => {}
+        other => panic!("suspected-dead owner must abort the in-flight txn: {other:?}"),
+    }
+    assert!(
+        c.sites[A.0 as usize].stats.crashes_detected >= 1,
+        "A never suspected the silent owner"
+    );
+    assert!(
+        c.faults().unwrap().injected > 0,
+        "partition held no messages"
+    );
+
+    // Healed: a fresh transaction runs end to end.
+    let t2 = c.begin(A, APP);
+    c.read(A, APP, t2, cold).unwrap();
+    c.write(A, APP, t2, cold, None).unwrap();
+    c.commit(A, APP, t2).unwrap();
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(cold).unwrap()),
+        1
+    );
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn chaos_counters_reach_prometheus_and_json_exports() {
+    let c = crash_holding_ex_lock(Protocol::PsAa, seed(47));
+    let mut reg = MetricsRegistry::new();
+    reg.counters_struct(&c.total_stats());
+    pscc_net::tcp::NetStats::default().export(&mut reg);
+
+    assert!(reg.counter_value("crashes_detected").unwrap() >= 1);
+    assert!(reg.counter_value("orphans_aborted").unwrap() >= 1);
+    assert!(reg.counter_value("faults_injected").unwrap() >= 1);
+    let prom = reg.render_prometheus();
+    let json = reg.render_json();
+    for name in [
+        "faults_injected",
+        "crashes_detected",
+        "orphans_aborted",
+        "net_retries",
+        "net_disconnects",
+    ] {
+        assert!(prom.contains(name), "{name} missing from Prometheus export");
+        assert!(json.contains(name), "{name} missing from JSON export");
+    }
+}
