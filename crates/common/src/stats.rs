@@ -71,6 +71,12 @@ pub struct Counters {
     /// Faults injected by the chaos harness (drops, delays, duplicates,
     /// reorders, partitions, crashes) attributed to this site.
     pub faults_injected: u64,
+    /// Log records re-applied by restart recovery's redo pass.
+    pub recovery_redo_records: u64,
+    /// Before-images applied by restart recovery's undo pass.
+    pub recovery_undo_records: u64,
+    /// Server epoch bumps (one per completed restart recovery).
+    pub epoch_bumps: u64,
 }
 
 impl AddAssign for Counters {
@@ -102,6 +108,9 @@ impl AddAssign for Counters {
         self.crashes_detected += o.crashes_detected;
         self.orphans_aborted += o.orphans_aborted;
         self.faults_injected += o.faults_injected;
+        self.recovery_redo_records += o.recovery_redo_records;
+        self.recovery_undo_records += o.recovery_undo_records;
+        self.epoch_bumps += o.epoch_bumps;
     }
 }
 
@@ -112,7 +121,7 @@ impl fmt::Display for Counters {
             "commits={} aborts={} (dl={}, to={}) msgs={} reads={} writes={} \
              cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
              shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
-             crashes={} orphans={} faults={}",
+             crashes={} orphans={} faults={} recovery={}r/{}u epochs={}",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -139,6 +148,9 @@ impl fmt::Display for Counters {
             self.crashes_detected,
             self.orphans_aborted,
             self.faults_injected,
+            self.recovery_redo_records,
+            self.recovery_undo_records,
+            self.epoch_bumps,
         )
     }
 }
@@ -157,7 +169,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 27] {
+    pub fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -186,6 +198,9 @@ impl Counters {
             ("crashes_detected", self.crashes_detected),
             ("orphans_aborted", self.orphans_aborted),
             ("faults_injected", self.faults_injected),
+            ("recovery_redo_records", self.recovery_redo_records),
+            ("recovery_undo_records", self.recovery_undo_records),
+            ("epoch_bumps", self.epoch_bumps),
         ]
     }
 }

@@ -309,6 +309,14 @@ impl ClientCache {
             .collect()
     }
 
+    /// Every cached page id, sorted (rejoin-time self-invalidation
+    /// scans these to find pages owned by a suspect server).
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self.pages.keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// All cached pages of `vol`.
     pub fn pages_of_volume(&self, vol: pscc_common::VolId) -> Vec<PageId> {
         self.pages

@@ -104,8 +104,10 @@ impl PeerServer {
         self.finish_home_commit(txn);
     }
 
-    /// A 2PC vote arrived.
-    pub(crate) fn client_voted(&mut self, req: ReqId, txn: TxnId, yes: bool) {
+    /// A 2PC vote arrived — from the wire, or synthesized by recovery
+    /// when a restarted participant's durable prepare stands in for a
+    /// `Voted` message the crash swallowed.
+    pub(crate) fn register_vote(&mut self, req: ReqId, txn: TxnId, yes: bool) {
         let Some(ReqCont::Prepare { txn: t, site }) = self.req_conts.remove(&req) else {
             return;
         };
@@ -164,7 +166,7 @@ impl PeerServer {
 
     /// All participants are done: release local locks, mark cached
     /// objects clean, answer the application.
-    fn finish_home_commit(&mut self, txn: TxnId) {
+    pub(crate) fn finish_home_commit(&mut self, txn: TxnId) {
         let Some(h) = self.txns.home.remove(&txn) else {
             return;
         };
@@ -223,6 +225,17 @@ impl PeerServer {
     }
 
     pub(crate) fn server_decide(&mut self, from: SiteId, txn: TxnId, commit: bool) {
+        // Decisions must be idempotent: recovery retries the outcome
+        // query (once from restart, once per rejoin handshake), so the
+        // same decision can arrive more than once — and a retry that
+        // reaches the coordinator after it has forgotten the transaction
+        // comes back as a stale presumed abort. Once our commit record
+        // is logged the authoritative decision was commit; anything
+        // later only needs the ack re-sent.
+        if self.log.was_committed(txn) {
+            self.send(from, Message::Decided { txn });
+            return;
+        }
         if commit {
             self.apply_records_async(
                 txn,
@@ -273,7 +286,7 @@ impl PeerServer {
                 return;
             }
             let rec = state.records.pop_front().expect("peeked above");
-            self.log.append(rec.clone());
+            let lsn = self.log.append(rec.clone());
             match pscc_wal::apply_redo(&mut self.volume, &rec) {
                 Ok(()) => {}
                 Err(pscc_common::PsccError::PageFull(_)) => {
@@ -285,10 +298,15 @@ impl PeerServer {
                         let fwd = self.volume.write_object_forwarding(*oid, after, overflow);
                         debug_assert!(fwd.is_ok(), "forwarding failed: {fwd:?}");
                         self.touch_resident(overflow, true);
+                        pscc_wal::stamp_page_lsn(&mut self.volume, overflow, lsn);
                     }
                 }
                 Err(e) => debug_assert!(false, "redo failed: {e:?}"),
             }
+            // Stamp the page LSN so restart redo can skip records whose
+            // effects are already in the checkpoint base (ARIES
+            // idempotence).
+            pscc_wal::stamp_page_lsn(&mut self.volume, page, lsn);
         }
         // Finalize: write the control record and force the log, unless
         // this was a pure early-ship (purge) application.
@@ -443,6 +461,16 @@ impl PeerServer {
         // Drop deescalation-queued work from the aborted transaction.
         for op in self.de_ops.values_mut() {
             op.queued.retain(|w| input_txn(w) != Some(txn));
+        }
+        // A durable Abort record lets restart analysis tell a
+        // rolled-back transaction from an in-doubt one (it is not
+        // forced — if it is lost, the transaction is a loser anyway).
+        let was_prepared = self.txns.remote.get(&txn).is_some_and(|r| r.prepared);
+        if was_prepared || !self.log.in_flight_of(txn).is_empty() {
+            self.log.append(LogRecord {
+                txn,
+                payload: LogPayload::Abort,
+            });
         }
         // Undo already-applied updates (before-images, §3.3). Disk reads
         // for non-resident pages are charged without blocking the abort.

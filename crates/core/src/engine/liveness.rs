@@ -21,14 +21,26 @@
 //!   dead client's in-flight transactions through the WAL undo path,
 //!   releases their (replicated) locks, revokes the client's copy-table
 //!   entries, re-drives callbacks blocked on its acknowledgment, and
-//!   completes deescalations addressed to it.
+//!   completes deescalations addressed to it. Transactions the dead
+//!   site *prepared* here are kept in doubt (2PC safety) and resolved
+//!   by `QueryTxn` when their home rejoins.
+//! * **Rejoin fencing** — declaring a site dead also marks it with the
+//!   must-rejoin sentinel in the epoch registry, so a revived or
+//!   falsely-suspected client cannot act on stale registrations: its
+//!   next request is refused with [`Message::RejoinRequired`] and it
+//!   re-synchronizes through the handshake in `engine/recovery.rs`.
+//!   Symmetrically, the declaring site self-invalidates its own cached
+//!   pages owned by the suspect — callbacks from a dead (or
+//!   partitioned-away) owner would never arrive to keep them
+//!   consistent.
 //!
 //! All timers follow the engine's stale-fire idiom: a fire whose state
 //! has moved on is a no-op. With leases disabled (the default) none of
 //! this arms, so failure-free runs are unchanged.
 
-use super::{CbKey, PeerServer, TimerKind};
-use crate::msg::{CbId, DeId, Message, Output};
+use super::{CbKey, PeerServer, ReqCont, TimerKind};
+use crate::msg::{CbId, DeId, Message, Output, ReqId};
+use crate::txn::TxnStatus;
 use pscc_common::{AbortReason, SiteId, TxnId};
 
 impl PeerServer {
@@ -125,15 +137,39 @@ impl PeerServer {
         self.obs
             .record(pscc_obs::EventKind::CrashDetected { site: dead });
 
+        // Fence the (possibly falsely-suspected) site: its registrations
+        // here are about to be revoked, so it must complete the rejoin
+        // handshake before any new work is served (engine/recovery.rs).
+        self.joined.insert(dead, 0);
+
+        // Client role: pages cached from the dead owner are no longer
+        // protected by callbacks — self-invalidate them, and void any
+        // grants backed by its (gone) lock state.
+        let cached = self.cache.pages();
+        for page in cached {
+            if self.owners.owner(page) == dead {
+                self.cache.purge(page);
+            }
+        }
+        let owners = self.owners.clone();
+        for h in self.txns.home.values_mut() {
+            h.adaptive_pages.retain(|p| owners.owner(*p) != dead);
+            h.page_write_grants.retain(|p| owners.owner(*p) != dead);
+        }
+
         // Abort every in-flight transaction whose home is the dead site:
         // WAL undo, replicated-lock release, callback cancellation and
-        // grant re-processing all happen in `server_abort_core`.
+        // grant re-processing all happen in `server_abort_core`. The
+        // exception is transactions the dead site durably *prepared*
+        // here: presumed abort would race a decision its home may
+        // already have sent, so they stay in doubt until the home
+        // rejoins and answers `QueryTxn`.
         let mut orphans: Vec<TxnId> = self
             .txns
             .remote
-            .keys()
-            .copied()
-            .filter(|t| t.site == dead)
+            .iter()
+            .filter(|(t, r)| t.site == dead && !r.prepared)
+            .map(|(t, _)| *t)
             .collect();
         orphans.sort();
         for txn in orphans {
@@ -192,8 +228,11 @@ impl PeerServer {
 
         // Home transactions that enlisted the dead site as a participant
         // cannot commit; abort the still-active ones now instead of
-        // letting 2PC hang (`home_abort` ignores ones already past the
-        // point of no return).
+        // letting 2PC hang. Ones already committing need triage: if the
+        // decision has not been made (a prepare is still outstanding),
+        // presumed abort is safe; but a single-round `CommitReq` or a
+        // sent `Decide` may already be durable at the dead site — those
+        // are left to resolve via `QueryTxn` when it restarts.
         let mut doomed: Vec<TxnId> = self
             .txns
             .home
@@ -203,7 +242,35 @@ impl PeerServer {
             .collect();
         doomed.sort();
         for txn in doomed {
-            self.abort_txn_here(txn, AbortReason::Internal);
+            let committing = self
+                .txns
+                .home
+                .get(&txn)
+                .is_some_and(|h| h.status == TxnStatus::Committing);
+            if !committing {
+                self.abort_txn_here(txn, AbortReason::Internal);
+                continue;
+            }
+            let commit_pending = self
+                .req_conts
+                .values()
+                .any(|c| matches!(c, ReqCont::Commit { txn: t } if *t == txn));
+            let prepare_pending: Vec<ReqId> = self
+                .req_conts
+                .iter()
+                .filter(|(_, c)| matches!(c, ReqCont::Prepare { txn: t, .. } if *t == txn))
+                .map(|(r, _)| *r)
+                .collect();
+            if commit_pending || prepare_pending.is_empty() {
+                continue; // outcome possibly durable at the dead site
+            }
+            for r in prepare_pending {
+                self.req_conts.remove(&r);
+            }
+            if let Some(h) = self.txns.home.get_mut(&txn) {
+                h.status = TxnStatus::Active;
+            }
+            self.home_abort(txn, AbortReason::Internal);
         }
     }
 }

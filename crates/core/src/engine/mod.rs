@@ -17,6 +17,7 @@ mod client;
 mod commit;
 pub mod large;
 mod liveness;
+mod recovery;
 mod server;
 
 use crate::cache::ClientCache;
@@ -339,6 +340,21 @@ pub struct PeerServer {
     /// a later message from the peer means it restarted and clears it).
     pub(crate) dead_sites: HashSet<SiteId>,
 
+    // Restart recovery and the rejoin/epoch protocol (server role).
+    /// This server's epoch: 1 at first boot, bumped by every restart
+    /// recovery. Carried in the rejoin handshake to fence stale clients.
+    pub(crate) epoch: u64,
+    /// Epoch each peer last joined under. A value of `0` (never a real
+    /// epoch) marks a peer that was declared dead here and must rejoin
+    /// before new protocol work is served.
+    pub(crate) joined: HashMap<SiteId, u64>,
+    /// Set by restart recovery: the copy table is gone, so *every* peer
+    /// must rejoin — first contact no longer joins implicitly.
+    pub(crate) require_rejoin: bool,
+    /// Client role: the epoch this site last completed a rejoin
+    /// handshake under, per owner.
+    pub(crate) peer_epochs: HashMap<SiteId, u64>,
+
     // Id allocation.
     next_req: u64,
     next_cb: u64,
@@ -415,6 +431,10 @@ impl PeerServer {
             hb_peers: std::collections::BTreeSet::new(),
             hb_armed: false,
             dead_sites: HashSet::new(),
+            epoch: 1,
+            joined: HashMap::new(),
+            require_rejoin: false,
+            peer_epochs: HashMap::new(),
             next_req: 0,
             next_cb: 0,
             next_de: 0,
@@ -862,6 +882,12 @@ impl PeerServer {
         if self.cfg.leases_enabled && from != self.site {
             self.observe_peer(from);
         }
+        // Epoch fence: a peer that must rejoin (this server restarted,
+        // or declared it dead) gets `RejoinRequired` and its new-work
+        // requests dropped (see engine/recovery.rs).
+        if self.fence_check(from, &msg) {
+            return;
+        }
         match msg {
             Message::Heartbeat => (),
             // Owner role.
@@ -903,9 +929,18 @@ impl PeerServer {
             Message::CbCancel { cb } => self.cancel_cb_ctx((from, cb)),
             Message::Deescalate { de, page } => self.client_deescalate(from, de, page),
             Message::CommitOk { req } => self.client_commit_ok(req),
-            Message::Voted { req, txn, yes } => self.client_voted(req, txn, yes),
+            Message::Voted { req, txn, yes } => self.register_vote(req, txn, yes),
             Message::Decided { txn } => self.client_decided(from, txn),
             Message::TxnAborted { txn, reason } => self.client_txn_aborted(txn, reason),
+
+            // Restart recovery and the rejoin/epoch protocol.
+            Message::RejoinRequired { epoch } => self.client_rejoin_required(from, epoch),
+            Message::Rejoin { epoch } => self.server_rejoin(from, epoch),
+            Message::RejoinOk { epoch } => self.client_rejoin_ok(from, epoch),
+            Message::QueryTxn { txn } => self.handle_query_txn(from, txn),
+            Message::TxnResolved { txn, committed } => {
+                self.client_txn_resolved(from, txn, committed)
+            }
 
             // Large objects (paper §4.4).
             Message::FetchLargePage { req, page } => self.server_fetch_large(req, from, page),

@@ -407,6 +407,52 @@ pub enum Message {
         /// The bytes.
         bytes: Option<Vec<u8>>,
     },
+
+    // Restart recovery and the rejoin/epoch protocol (DESIGN.md §6).
+    /// Server → client: the sender will not serve protocol requests
+    /// until the client rejoins under the carried epoch — the server
+    /// restarted (its copy table is gone) or had declared the client
+    /// dead (its registrations were revoked). The fenced request was
+    /// dropped; the client must treat its cached pages from this owner
+    /// as suspect.
+    RejoinRequired {
+        /// The server's current epoch.
+        epoch: u64,
+    },
+    /// Client → server: rejoin handshake. The client has invalidated
+    /// its cached pages from this owner and aborted the transactions
+    /// they supported; register it under `epoch`.
+    Rejoin {
+        /// The epoch the client is acknowledging (from
+        /// [`Message::RejoinRequired`]).
+        epoch: u64,
+    },
+    /// Server → client: rejoin accepted; subsequent requests are
+    /// served. Pages are re-fetched lazily on demand.
+    RejoinOk {
+        /// The epoch the client is now registered under.
+        epoch: u64,
+    },
+    /// Either direction: "what do you know about `txn`'s outcome?".
+    /// A recovered participant sends it to the coordinator for each
+    /// in-doubt prepared transaction (answered with
+    /// [`Message::Decide`], presumed abort when the coordinator has
+    /// forgotten the transaction); a coordinator sends it to a restarted
+    /// participant whose `CommitOk` was lost (answered with
+    /// [`Message::TxnResolved`] from the recovered winner set).
+    QueryTxn {
+        /// The transaction in question.
+        txn: TxnId,
+    },
+    /// Participant → coordinator: the queried transaction's durable
+    /// outcome at the participant.
+    TxnResolved {
+        /// The transaction queried.
+        txn: TxnId,
+        /// Whether its commit record survived (`false` means its
+        /// effects were never durably applied or were rolled back).
+        committed: bool,
+    },
 }
 
 impl Message {

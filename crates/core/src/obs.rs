@@ -23,6 +23,9 @@ pub struct SiteObs {
     pub fetch_rtt: Histogram,
     /// Commit latency: application commit to committed.
     pub commit_latency: Histogram,
+    /// Restart recovery duration (analysis + redo + undo wall clock,
+    /// one sample per completed recovery).
+    pub recovery_time: Histogram,
     fetch_started: HashMap<ReqId, SimTime>,
     cb_started: HashMap<CbId, SimTime>,
     commit_started: HashMap<TxnId, SimTime>,

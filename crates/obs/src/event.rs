@@ -134,6 +134,18 @@ pub enum EventKind {
     /// An in-flight transaction of a crashed client was aborted and its
     /// locks/callbacks released.
     OrphanAborted { txn: TxnId, dead: SiteId },
+    /// A restarted server finished ARIES-style restart recovery and
+    /// bumped its epoch; clients must rejoin before being served.
+    Recovered {
+        site: SiteId,
+        epoch: u64,
+        redo: u64,
+        undo: u64,
+        in_doubt: usize,
+    },
+    /// A client completed the rejoin handshake with a restarted (or
+    /// falsely-suspecting) server, invalidating its stale cached pages.
+    Rejoined { server: SiteId, epoch: u64 },
     /// A transport connection died (read error, bad frame, or peer
     /// close) and its error was surfaced rather than swallowed.
     NetDisconnect { peer: SiteId },
@@ -201,6 +213,19 @@ impl fmt::Display for EventKind {
             }
             EventKind::OrphanAborted { txn, dead } => {
                 write!(f, "orphan_aborted txn={txn:?} dead={dead:?}")
+            }
+            EventKind::Recovered {
+                site,
+                epoch,
+                redo,
+                undo,
+                in_doubt,
+            } => write!(
+                f,
+                "recovered site={site:?} epoch={epoch} redo={redo} undo={undo} in_doubt={in_doubt}"
+            ),
+            EventKind::Rejoined { server, epoch } => {
+                write!(f, "rejoined server={server:?} epoch={epoch}")
             }
             EventKind::NetDisconnect { peer } => {
                 write!(f, "net_disconnect peer={peer:?}")

@@ -336,8 +336,10 @@ impl Simulation {
     }
 
     /// A metrics snapshot of the whole system: every engine counter,
-    /// the latency histograms merged across sites, and gauges for the
-    /// adaptive lock-wait timeout estimators (§5.5).
+    /// the latency histograms merged across sites (including restart
+    /// `recovery_time`), gauges for the adaptive lock-wait timeout
+    /// estimators (§5.5), and per-site log-durability gauges (durable
+    /// LSN, checkpoint age, server epoch).
     pub fn metrics(&self) -> pscc_obs::MetricsRegistry {
         let mut reg = pscc_obs::MetricsRegistry::new();
         reg.counters_struct(&Counters::total(self.sites.iter().map(|s| s.stats)));
@@ -346,8 +348,18 @@ impl Simulation {
             reg.histogram("callback_rtt", &s.obs.callback_rtt);
             reg.histogram("fetch_rtt", &s.obs.fetch_rtt);
             reg.histogram("commit_latency", &s.obs.commit_latency);
+            reg.histogram("recovery_time", &s.obs.recovery_time);
         }
         reg.gauge("sites", self.sites.len() as f64);
+        for s in &self.sites {
+            let id = s.site().0;
+            reg.gauge(&format!("durable_lsn_site{id}"), s.durable_lsn() as f64);
+            reg.gauge(
+                &format!("checkpoint_age_site{id}"),
+                s.checkpoint_age() as f64,
+            );
+            reg.gauge(&format!("epoch_site{id}"), s.epoch() as f64);
+        }
         let mut current_sum = 0.0;
         for s in &self.sites {
             let t = s.timeout_snapshot();

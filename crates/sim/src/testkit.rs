@@ -31,7 +31,10 @@ pub fn path_for(msg: &Message) -> PathId {
         | Message::CommitOk { .. }
         | Message::Voted { .. }
         | Message::Decided { .. }
-        | Message::TxnAborted { .. } => PathId(1),
+        | Message::TxnAborted { .. }
+        | Message::RejoinRequired { .. }
+        | Message::RejoinOk { .. }
+        | Message::TxnResolved { .. } => PathId(1),
         Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
             PathId(2)
         }
@@ -129,24 +132,48 @@ impl Cluster {
         self.crashed.insert(site);
     }
 
-    /// Restarts a crashed site with a fresh, empty state machine — the
-    /// model of a process that lost all volatile state. Note that a
-    /// restarted site also reinitializes its volume, so only sites that
-    /// own no data (pure clients under `OwnerMap::Single`) should be
-    /// restarted; owner recovery from the WAL is tracked in ROADMAP.md.
+    /// Restarts a crashed site. A pure client (owning no pages) comes
+    /// back as a fresh, empty state machine — the model of a process
+    /// that lost all volatile state. A site that owns data runs
+    /// ARIES-style restart recovery instead: the crash image its WAL
+    /// left behind (the model of a surviving log device) is replayed
+    /// through [`PeerServer::recover`], its epoch is bumped, and its
+    /// recovery outputs (coordinator queries, timer arms) are routed.
     pub fn restart_site(&mut self, site: SiteId) {
         assert!(
             self.crashed.remove(&site),
             "restart_site({site}): site is not crashed"
         );
         let i = site.0 as usize;
-        self.sites[i] = PeerServer::new(site, self.cfg.clone(), self.owners.clone());
+        let owns_data = !self
+            .owners
+            .pages_of(site, self.cfg.database_pages)
+            .is_empty();
+        let outs = if owns_data {
+            let durable = self.sites[i].crash_image();
+            let prior = self.sites[i].epoch();
+            let (s, outs) =
+                PeerServer::recover(site, self.cfg.clone(), self.owners.clone(), &durable, prior);
+            self.sites[i] = s;
+            outs
+        } else {
+            self.sites[i] = PeerServer::new(site, self.cfg.clone(), self.owners.clone());
+            Vec::new()
+        };
         self.sites[i].stats.faults_injected += 1;
         self.sites[i].obs.record(EventKind::FaultInjected {
             from: site,
             to: site,
             what: "restart",
         });
+        self.run_outputs(site, outs);
+    }
+
+    /// Takes a fuzzy checkpoint of `site`'s owner log (ATT + DPT + base
+    /// snapshot). Returns whether the preceding log force wrote
+    /// anything.
+    pub fn checkpoint_site(&mut self, site: SiteId) -> bool {
+        self.sites[site.0 as usize].checkpoint()
     }
 
     /// Asserts [`PeerServer::assert_quiescent`] on every live site.

@@ -263,10 +263,16 @@ fn restart_after_crash_rejoins_cleanly() {
     c.pump_for(SimDuration::from_secs(1));
     c.restart_site(A);
 
-    // The reborn client starts fresh and can run transactions again.
+    // The owner fenced A when it declared it dead, so the reborn
+    // client's first request is refused with `RejoinRequired`; the
+    // handshake aborts the transaction that carried it.
     let t2 = c.begin(A, APP);
-    c.write(A, APP, t2, oid, None).unwrap();
-    c.commit(A, APP, t2).unwrap();
+    assert!(c.write(A, APP, t2, oid, None).is_err());
+
+    // With the rejoin complete, the client runs transactions again.
+    let t3 = c.begin(A, APP);
+    c.write(A, APP, t3, oid, None).unwrap();
+    c.commit(A, APP, t3).unwrap();
     assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 1);
     c.pump_for(SimDuration::from_millis(500));
     c.assert_survivors_quiescent();

@@ -17,8 +17,21 @@
 //!
 //! Two-phase commit is represented by control records
 //! ([`LogPayload::Prepare`], [`LogPayload::Commit`], [`LogPayload::Abort`])
-//! whose forcing the engine charges as log-disk writes. Media recovery
-//! (full ARIES restart) is out of the measured scope — see DESIGN.md.
+//! whose forcing the engine charges as log-disk writes.
+//!
+//! # Restart recovery
+//!
+//! The server log is *replayable*: [`ServerLog::force`] serializes every
+//! newly durable record into a checksummed byte image, and
+//! [`ServerLog::checkpoint`] takes a fuzzy checkpoint — a base volume
+//! snapshot, the active-transaction table (with prepared flags), the
+//! dirty page table, and the cumulative commit outcomes — then truncates
+//! the image. [`ServerLog::crash_image`] yields the [`DurableState`]
+//! that survives a crash; `pscc-recovery` runs ARIES-style
+//! analysis → redo → undo over it ([`decode_log`] tolerates a torn tail,
+//! [`redo_upto`] skips records already reflected in a page's LSN), and
+//! [`ServerLog::after_recovery`] rebuilds the log with the surviving
+//! in-doubt transactions. See DESIGN.md §6.
 //!
 //! # Examples
 //!
@@ -37,7 +50,7 @@
 use pscc_common::{Oid, PageId, PsccError, TxnId};
 use pscc_storage::Volume;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A log sequence number assigned by a server's log.
@@ -199,21 +212,97 @@ impl LogCache {
     }
 }
 
+/// One active-transaction-table entry in a fuzzy checkpoint: the
+/// transaction's applied data records (undo information that would
+/// otherwise be lost to log truncation) and whether it had prepared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttEntry {
+    /// Applied data records, append order.
+    pub records: Vec<LogRecord>,
+    /// Whether a `Prepare` control record preceded the checkpoint.
+    pub prepared: bool,
+}
+
+/// A fuzzy checkpoint: everything restart analysis needs besides the
+/// post-checkpoint log tail.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Volume snapshot as of the checkpoint (page LSNs included, so
+    /// redo can skip records the base already reflects).
+    pub base: Volume,
+    /// All records with LSN ≤ this are reflected in `base` or `att`.
+    pub base_lsn: Lsn,
+    /// Active-transaction table: in-flight transactions at checkpoint.
+    pub att: HashMap<TxnId, AttEntry>,
+    /// Dirty page table: pages touched since the previous checkpoint
+    /// with their recovery LSNs (first dirtying record).
+    pub dpt: Vec<(PageId, Lsn)>,
+    /// Cumulative commit outcomes (presumed abort makes this the only
+    /// side the coordinator must be able to re-learn).
+    pub committed: HashSet<TxnId>,
+}
+
+/// What survives a server crash: the last checkpoint (if any) plus the
+/// forced byte image of the log tail. Records appended but never forced
+/// are lost, exactly as on a real machine.
+#[derive(Debug, Clone, Default)]
+pub struct DurableState {
+    /// The last fuzzy checkpoint taken, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Encoded log records since that checkpoint (see [`decode_log`]).
+    pub log: Vec<u8>,
+}
+
 /// The server-side log: assigns LSNs, tracks durability, and remembers
 /// applied-but-uncommitted records per transaction so they can be undone
-/// on abort.
+/// on abort. Forced records are additionally serialized into a durable
+/// byte image so an owner crash is survivable (see [`DurableState`]).
 #[derive(Debug, Default)]
 pub struct ServerLog {
     next_lsn: u64,
     durable_lsn: u64,
     /// Applied data records of in-flight transactions, append order.
     in_flight: HashMap<TxnId, Vec<LogRecord>>,
+    /// In-flight transactions that have logged a `Prepare`.
+    prepared: HashSet<TxnId>,
+    /// Transactions that have logged a `Commit` (cumulative).
+    committed: HashSet<TxnId>,
+    /// Records since the last checkpoint, append order (the volatile
+    /// log tail; the prefix up to `durable_lsn` is also in `durable`).
+    tail: Vec<(Lsn, LogRecord)>,
+    /// Encoded image of the forced tail prefix.
+    durable: Vec<u8>,
+    /// The last fuzzy checkpoint.
+    checkpoint: Option<Checkpoint>,
 }
 
 impl ServerLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a log after restart recovery: LSN allocation resumes
+    /// past everything in the durable image, the in-doubt transactions'
+    /// records are re-registered in flight (with their prepared flag),
+    /// and the recovered commit outcomes are retained for
+    /// outcome queries. The caller should take a fresh checkpoint
+    /// immediately so the new durable image is self-contained.
+    pub fn after_recovery(
+        max_lsn: Lsn,
+        in_doubt: HashMap<TxnId, Vec<LogRecord>>,
+        committed: HashSet<TxnId>,
+    ) -> Self {
+        ServerLog {
+            next_lsn: max_lsn.0,
+            durable_lsn: max_lsn.0,
+            prepared: in_doubt.keys().copied().collect(),
+            in_flight: in_doubt,
+            committed,
+            tail: Vec::new(),
+            durable: Vec::new(),
+            checkpoint: None,
+        }
     }
 
     /// Appends a record, returning its LSN. Data records are remembered
@@ -223,21 +312,83 @@ impl ServerLog {
         let lsn = Lsn(self.next_lsn);
         match rec.payload {
             LogPayload::Update { .. } | LogPayload::Create { .. } | LogPayload::Delete { .. } => {
-                self.in_flight.entry(rec.txn).or_default().push(rec);
+                self.in_flight.entry(rec.txn).or_default().push(rec.clone());
             }
-            _ => {}
+            LogPayload::Prepare => {
+                self.prepared.insert(rec.txn);
+            }
+            LogPayload::Commit => {
+                self.committed.insert(rec.txn);
+            }
+            LogPayload::Abort => {}
         }
+        self.tail.push((lsn, rec));
         lsn
     }
 
     /// Forces the log to disk; returns `true` if anything needed writing
-    /// (i.e. the engine should charge one log-disk I/O).
+    /// (i.e. the engine should charge one log-disk I/O). Newly durable
+    /// records are serialized into the crash-surviving byte image.
     pub fn force(&mut self) -> bool {
         if self.durable_lsn < self.next_lsn {
+            for (lsn, rec) in &self.tail {
+                if lsn.0 > self.durable_lsn {
+                    encode_frame(&mut self.durable, *lsn, rec);
+                }
+            }
             self.durable_lsn = self.next_lsn;
             true
         } else {
             false
+        }
+    }
+
+    /// Takes a fuzzy checkpoint against `base` (the caller's current
+    /// volume image, cloned) and truncates the log tail. Forces first;
+    /// returns `true` if that force needed a log-disk write (the caller
+    /// charges the I/O).
+    pub fn checkpoint(&mut self, base: Volume) -> bool {
+        let wrote = self.force();
+        let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
+        for (lsn, rec) in &self.tail {
+            if let Some(page) = rec.payload.page() {
+                dpt.entry(page).or_insert(*lsn);
+            }
+        }
+        let mut dpt: Vec<(PageId, Lsn)> = dpt.into_iter().collect();
+        dpt.sort();
+        let att = self
+            .in_flight
+            .iter()
+            .map(|(t, recs)| {
+                (
+                    *t,
+                    AttEntry {
+                        records: recs.clone(),
+                        prepared: self.prepared.contains(t),
+                    },
+                )
+            })
+            .collect();
+        self.checkpoint = Some(Checkpoint {
+            base,
+            base_lsn: Lsn(self.durable_lsn),
+            att,
+            dpt,
+            committed: self.committed.clone(),
+        });
+        self.tail.clear();
+        self.durable.clear();
+        wrote
+    }
+
+    /// The state that would survive a crash right now: the last
+    /// checkpoint plus the *forced* portion of the log tail. Unforced
+    /// records are lost, as they would be on a real machine.
+    pub fn crash_image(&self) -> DurableState {
+        DurableState {
+            checkpoint: self.checkpoint.clone(),
+            log: self.durable.clone(),
         }
     }
 
@@ -249,6 +400,7 @@ impl ServerLog {
     /// Forgets `txn`'s in-flight records (commit), or returns them in
     /// reverse order for undo (abort).
     pub fn end_txn(&mut self, txn: TxnId, abort: bool) -> Vec<LogRecord> {
+        self.prepared.remove(&txn);
         let mut recs = self.in_flight.remove(&txn).unwrap_or_default();
         if abort {
             recs.reverse();
@@ -261,6 +413,24 @@ impl ServerLog {
     /// Highest assigned LSN.
     pub fn current_lsn(&self) -> Lsn {
         Lsn(self.next_lsn)
+    }
+
+    /// Highest LSN known durable (forced).
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.durable_lsn)
+    }
+
+    /// Records appended since the last checkpoint (its age in log
+    /// records; the whole log if no checkpoint was ever taken).
+    pub fn checkpoint_age(&self) -> u64 {
+        let base = self.checkpoint.as_ref().map(|c| c.base_lsn.0).unwrap_or(0);
+        self.next_lsn - base
+    }
+
+    /// Whether `txn` logged a `Commit` (here or before a recovered
+    /// crash) — the coordinator-side answer to an outcome query.
+    pub fn was_committed(&self, txn: TxnId) -> bool {
+        self.committed.contains(&txn)
     }
 }
 
@@ -312,6 +482,89 @@ pub fn apply_undo(vol: &mut Volume, rec: &LogRecord) -> Result<(), PsccError> {
             }
         },
         _ => Ok(()),
+    }
+}
+
+/// FNV-1a over `bytes`, folded to 32 bits (per-frame checksum).
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Appends one `[len | checksum | payload]` frame to `buf`.
+fn encode_frame(buf: &mut Vec<u8>, lsn: Lsn, rec: &LogRecord) {
+    let payload = serde_json::to_vec(&(lsn, rec)).expect("log record serializes");
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// Decodes a durable log image back into `(lsn, record)` pairs.
+///
+/// A crash can tear the tail of the image mid-frame; analysis must not
+/// panic on it. Decoding stops at the first incomplete or
+/// checksum-corrupt frame and reports it through the second return
+/// value — the intact prefix is the recoverable log.
+pub fn decode_log(bytes: &[u8]) -> (Vec<(Lsn, LogRecord)>, bool) {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        if at + 8 > bytes.len() {
+            return (out, true); // torn inside a frame header
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let sum = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let start = at + 8;
+        let Some(end) = start.checked_add(len).filter(|e| *e <= bytes.len()) else {
+            return (out, true); // torn inside the payload
+        };
+        let payload = &bytes[start..end];
+        if fnv32(payload) != sum {
+            return (out, true); // corrupt frame
+        }
+        match serde_json::from_slice::<(Lsn, LogRecord)>(payload) {
+            Ok(pair) => out.push(pair),
+            Err(_) => return (out, true),
+        }
+        at = end;
+    }
+    (out, false)
+}
+
+/// Stamps `page`'s header LSN after a redo application, never moving it
+/// backwards (the monotone page LSN is what makes restart redo
+/// idempotent).
+pub fn stamp_page_lsn(vol: &mut Volume, page: PageId, lsn: Lsn) {
+    if let Some(p) = vol.page_mut(page) {
+        if p.lsn() < lsn.0 {
+            p.set_lsn(lsn.0);
+        }
+    }
+}
+
+/// Restart redo of one record: skipped (returning `Ok(false)`) when the
+/// target page's LSN shows the update already applied, else applied via
+/// [`apply_redo`] and stamped.
+///
+/// # Errors
+///
+/// Propagates storage errors from [`apply_redo`].
+pub fn redo_upto(vol: &mut Volume, rec: &LogRecord, lsn: Lsn) -> Result<bool, PsccError> {
+    if let Some(page) = rec.payload.page() {
+        if let Some(p) = vol.page(page) {
+            if p.lsn() >= lsn.0 {
+                return Ok(false);
+            }
+        }
+        apply_redo(vol, rec)?;
+        stamp_page_lsn(vol, page, lsn);
+        Ok(true)
+    } else {
+        Ok(false)
     }
 }
 
@@ -455,5 +708,120 @@ mod tests {
         let small = LogRecord::update(t1, oid, vec![0; 4], vec![0; 4]);
         let big = LogRecord::update(t1, oid, vec![0; 400], vec![0; 400]);
         assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn durable_image_roundtrips_and_omits_unforced_tail() {
+        let (_, oid, t1) = setup();
+        let mut log = ServerLog::new();
+        log.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        log.append(LogRecord {
+            txn: t1,
+            payload: LogPayload::Commit,
+        });
+        assert!(log.force());
+        // Appended after the force: lost at a crash.
+        log.append(LogRecord::update(t1, oid, vec![2], vec![3]));
+
+        let image = log.crash_image();
+        let (recs, torn) = decode_log(&image.log);
+        assert!(!torn);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, Lsn(1));
+        assert!(matches!(recs[1].1.payload, LogPayload::Commit));
+    }
+
+    #[test]
+    fn torn_tail_truncates_instead_of_panicking() {
+        let (_, oid, t1) = setup();
+        let mut log = ServerLog::new();
+        log.append(LogRecord::update(t1, oid, vec![1; 8], vec![2; 8]));
+        log.append(LogRecord::update(t1, oid, vec![2; 8], vec![3; 8]));
+        log.force();
+        let full = log.crash_image().log;
+
+        // Tear the image mid-way through the second frame.
+        for cut in [full.len() - 1, full.len() - 9, 4] {
+            let (recs, torn) = decode_log(&full[..cut]);
+            assert!(torn, "cut at {cut} should report a torn tail");
+            assert!(recs.len() <= 1);
+        }
+        // Flip a payload byte: checksum catches it, prefix survives.
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        let (recs, torn) = decode_log(&corrupt);
+        assert!(torn);
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_snapshots_att_and_truncates() {
+        let (vol, oid, t1) = setup();
+        let t2 = TxnId::new(SiteId(2), 1);
+        let mut log = ServerLog::new();
+        log.append(LogRecord::update(t1, oid, vec![1], vec![2]));
+        log.append(LogRecord {
+            txn: t1,
+            payload: LogPayload::Prepare,
+        });
+        log.append(LogRecord::update(t2, oid, vec![2], vec![3]));
+        log.append(LogRecord {
+            txn: t2,
+            payload: LogPayload::Commit,
+        });
+        log.end_txn(t2, false);
+        assert!(log.checkpoint(vol.clone()));
+
+        let image = log.crash_image();
+        let ckpt = image.checkpoint.expect("checkpoint taken");
+        assert_eq!(ckpt.base_lsn, Lsn(4));
+        assert_eq!(ckpt.att.len(), 1);
+        assert!(ckpt.att[&t1].prepared);
+        assert!(ckpt.committed.contains(&t2));
+        assert_eq!(ckpt.dpt.len(), 1);
+        assert_eq!(ckpt.dpt[0], (oid.page, Lsn(1)));
+        // Tail truncated: nothing new to decode, nothing to force.
+        assert!(decode_log(&image.log).0.is_empty());
+        assert!(!log.force());
+        assert_eq!(log.checkpoint_age(), 0);
+    }
+
+    #[test]
+    fn redo_upto_skips_already_stamped_pages() {
+        let (mut vol, oid, t1) = setup();
+        let before = vol.read_object(oid).unwrap().to_vec();
+        let after = vec![9u8; before.len()];
+        let rec = LogRecord::update(t1, oid, before.clone(), after.clone());
+        assert!(redo_upto(&mut vol, &rec, Lsn(5)).unwrap());
+        assert_eq!(vol.page(oid.page).unwrap().lsn(), 5);
+
+        // Same or older LSN: already applied, skipped.
+        let older = LogRecord::update(t1, oid, before.clone(), vec![1u8; before.len()]);
+        assert!(!redo_upto(&mut vol, &older, Lsn(5)).unwrap());
+        assert!(!redo_upto(&mut vol, &older, Lsn(3)).unwrap());
+        assert_eq!(vol.read_object(oid), Some(&after[..]));
+
+        // Newer LSN: applies and advances the stamp.
+        assert!(redo_upto(&mut vol, &older, Lsn(6)).unwrap());
+        assert_eq!(vol.page(oid.page).unwrap().lsn(), 6);
+    }
+
+    #[test]
+    fn after_recovery_resumes_lsns_and_outcomes() {
+        let (_, oid, t1) = setup();
+        let t2 = TxnId::new(SiteId(2), 7);
+        let mut in_doubt = HashMap::new();
+        in_doubt.insert(t1, vec![LogRecord::update(t1, oid, vec![1], vec![2])]);
+        let mut log = ServerLog::after_recovery(Lsn(42), in_doubt, HashSet::from([t2]));
+        assert_eq!(log.current_lsn(), Lsn(42));
+        assert_eq!(log.durable_lsn(), Lsn(42));
+        assert!(log.was_committed(t2));
+        assert!(!log.was_committed(t1));
+        assert_eq!(log.in_flight_of(t1).len(), 1);
+        assert_eq!(
+            log.append(LogRecord::update(t1, oid, vec![2], vec![3])),
+            Lsn(43)
+        );
     }
 }
