@@ -113,6 +113,26 @@ pub struct SystemConfig {
     pub net_backoff_max: Duration,
     /// Connect/write attempts before the transport gives up on a send.
     pub net_max_retries: u32,
+    /// Capacity of each bounded transport mailbox (per lane). Sized so
+    /// failure-free workloads never block on it; overload tests shrink
+    /// it to exercise backpressure.
+    pub mailbox_capacity: u32,
+    /// Per-owner request credits a client starts with. A credit is
+    /// consumed by each data/lock request on the wire and returned by
+    /// its reply; at zero the client queues locally instead of sending.
+    pub fetch_credits: u32,
+    /// Cap on concurrently admitted remote data requests at a server.
+    /// Beyond it, new requests are answered with `Busy { retry_after }`
+    /// and retried by the client with exponential backoff.
+    pub admission_cap: u32,
+    /// The `retry_after` hint a shed request carries back to the client
+    /// (base of its exponential, jittered backoff).
+    pub busy_retry_hint: Duration,
+    /// Arm the callback-response bound even when leases are disabled, so
+    /// one stalled client cannot wedge a callback fan-out for everyone
+    /// else (the slow-peer bypass). Off by default: failure-free runs
+    /// stay byte-for-byte unchanged.
+    pub slow_peer_bypass: bool,
 }
 
 impl SystemConfig {
@@ -138,6 +158,11 @@ impl SystemConfig {
             net_backoff_base: Duration::from_millis(10),
             net_backoff_max: Duration::from_millis(1_000),
             net_max_retries: 5,
+            mailbox_capacity: 4_096,
+            fetch_credits: 64,
+            admission_cap: 256,
+            busy_retry_hint: Duration::from_millis(10),
+            slow_peer_bypass: false,
         }
     }
 
@@ -218,6 +243,21 @@ mod tests {
         assert!(c.net_backoff_base <= c.net_backoff_max);
         // small() inherits the failure knobs from paper().
         assert_eq!(SystemConfig::small().lease_duration, c.lease_duration);
+    }
+
+    #[test]
+    fn overload_knob_defaults_preserve_legacy_behavior() {
+        let c = SystemConfig::paper();
+        // Credits/admission far above what the paper workloads generate
+        // (10 applications, one outstanding request each), so the seed
+        // experiments never stall, shed, or block on a mailbox.
+        assert!(c.fetch_credits > c.num_applications);
+        assert!(c.admission_cap > c.num_applications);
+        assert!(c.mailbox_capacity >= c.admission_cap);
+        assert!(!c.slow_peer_bypass);
+        assert!(c.busy_retry_hint < c.initial_lock_timeout);
+        // small() inherits the overload knobs from paper().
+        assert_eq!(SystemConfig::small().admission_cap, c.admission_cap);
     }
 
     #[test]

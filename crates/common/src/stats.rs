@@ -77,6 +77,14 @@ pub struct Counters {
     pub recovery_undo_records: u64,
     /// Server epoch bumps (one per completed restart recovery).
     pub epoch_bumps: u64,
+    /// Remote data requests refused with `Busy` by an overloaded server
+    /// (admission control; each is retried by the client).
+    pub requests_shed: u64,
+    /// Requests a client queued locally because it was out of credits
+    /// for the target owner (credit-based flow control).
+    pub credits_stalled: u64,
+    /// Retries of requests previously shed with `Busy`, after backoff.
+    pub busy_retries: u64,
 }
 
 impl AddAssign for Counters {
@@ -111,6 +119,9 @@ impl AddAssign for Counters {
         self.recovery_redo_records += o.recovery_redo_records;
         self.recovery_undo_records += o.recovery_undo_records;
         self.epoch_bumps += o.epoch_bumps;
+        self.requests_shed += o.requests_shed;
+        self.credits_stalled += o.credits_stalled;
+        self.busy_retries += o.busy_retries;
     }
 }
 
@@ -121,7 +132,8 @@ impl fmt::Display for Counters {
             "commits={} aborts={} (dl={}, to={}) msgs={} reads={} writes={} \
              cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
              shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
-             crashes={} orphans={} faults={} recovery={}r/{}u epochs={}",
+             crashes={} orphans={} faults={} recovery={}r/{}u epochs={} \
+             shed={} stalled={} busy_retries={}",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -151,6 +163,9 @@ impl fmt::Display for Counters {
             self.recovery_redo_records,
             self.recovery_undo_records,
             self.epoch_bumps,
+            self.requests_shed,
+            self.credits_stalled,
+            self.busy_retries,
         )
     }
 }
@@ -169,7 +184,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 30] {
+    pub fn fields(&self) -> [(&'static str, u64); 33] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -201,6 +216,9 @@ impl Counters {
             ("recovery_redo_records", self.recovery_redo_records),
             ("recovery_undo_records", self.recovery_undo_records),
             ("epoch_bumps", self.epoch_bumps),
+            ("requests_shed", self.requests_shed),
+            ("credits_stalled", self.credits_stalled),
+            ("busy_retries", self.busy_retries),
         ]
     }
 }

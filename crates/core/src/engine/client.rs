@@ -517,6 +517,67 @@ impl PeerServer {
     }
 
     // ------------------------------------------------------------------
+    // Overload protection: Busy refusals and backoff (DESIGN.md §6)
+    // ------------------------------------------------------------------
+
+    /// An overloaded owner refused a data request with `Busy`: back off
+    /// exponentially (with deterministic jitter derived from the request
+    /// id) and arm a retry timer. The retained in-flight copy keeps the
+    /// request replayable; its continuation stays installed, so the
+    /// eventual reply resumes it exactly as a first-try reply would.
+    pub(crate) fn client_busy(
+        &mut self,
+        from: SiteId,
+        req: ReqId,
+        retry_after: pscc_common::SimDuration,
+    ) {
+        if !self.req_conts.contains_key(&req) {
+            // The transaction ended (aborted) while the refusal was in
+            // flight; nothing left to retry.
+            self.inflight.remove(&req);
+            return;
+        }
+        let Some((_, _, attempt)) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        *attempt = attempt.saturating_add(1);
+        let attempt = *attempt;
+        let base = retry_after.as_micros().max(1);
+        let backoff = base.saturating_mul(1 << attempt.min(6) as u64);
+        // Deterministic jitter (no RNG in the engine): spread retries of
+        // different requests by up to a quarter of the backoff.
+        let jitter = req.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (backoff / 4 + 1);
+        let delay = (backoff + jitter).min(self.cfg.lock_timeout_ceiling.as_micros());
+        let timer = self.fresh_timer();
+        self.timers.insert(timer, TimerKind::BusyRetry { req });
+        self.out.push(crate::msg::Output::ArmTimer {
+            timer,
+            delay: pscc_common::SimDuration::from_micros(delay),
+        });
+        self.obs.record(pscc_obs::EventKind::BusyBackoff {
+            peer: from,
+            attempt,
+        });
+    }
+
+    /// A Busy-retry timer fired: re-send the retained request if its
+    /// transaction still wants it (the send re-enters credit-based flow
+    /// control, so it may queue locally instead of going out).
+    pub(crate) fn busy_retry_fired(&mut self, req: ReqId) {
+        if !self.req_conts.contains_key(&req) {
+            self.inflight.remove(&req);
+            return;
+        }
+        let Some((site, msg, _)) = self.inflight.get(&req).cloned() else {
+            return;
+        };
+        self.stats.busy_retries += 1;
+        self.obs
+            .record(pscc_obs::EventKind::BusyRetry { peer: site });
+        self.send(site, msg);
+    }
+
+    // ------------------------------------------------------------------
     // Local updates and op completion
     // ------------------------------------------------------------------
 

@@ -398,6 +398,18 @@ impl PeerServer {
                 h.updated.iter().copied().collect::<Vec<_>>(),
             )
         };
+        // Overload protection: requests of this transaction still queued
+        // for a credit die with it; in-flight ones return their credit
+        // now (a late reply re-releases, but the pool is capped).
+        for q in self.credit_waiters.values_mut() {
+            q.retain(|m| super::credit_request(m).map(|(_, t)| t) != Some(txn));
+        }
+        self.credit_waiters.retain(|_, q| !q.is_empty());
+        for r in &reqs {
+            if let Some((site, _, _)) = self.inflight.remove(r) {
+                self.credit_release(site);
+            }
+        }
         for r in reqs {
             self.req_conts.remove(&r);
             self.races.forget_request(r);
@@ -494,6 +506,9 @@ impl PeerServer {
         for k in keys {
             self.cancel_cb_ctx(k);
         }
+        // Admission slots held by the transaction's requests are void —
+        // no verdict will ever depart for them.
+        self.admitted.retain(|_, t| *t != txn);
         // Release all locks and cancel all waits.
         let out = self.locks.release_all(txn);
         for t in &out.cancelled {

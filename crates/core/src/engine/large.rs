@@ -404,7 +404,12 @@ impl PeerServer {
             pending.is_empty()
         };
         if done {
-            let (to, req, _) = self.large_invals.remove(&inv).expect("checked");
+            let Some((to, req, _)) = self.large_invals.remove(&inv) else {
+                self.obs.record(pscc_obs::EventKind::StaleDrop {
+                    what: "large-object invalidation ack without operation",
+                });
+                return;
+            };
             self.send(to, Message::WriteLargeOk { req });
         }
     }

@@ -183,6 +183,16 @@ impl PeerServer {
         // future callbacks and adaptive-grant checks skip it.
         self.copy_table.drop_site_entries(dead);
 
+        // Overload protection: admission slots its requests held are
+        // void, and this site's credit state toward it resets — queued
+        // requests for the dead owner will never be answered (their
+        // transactions are aborted below), and a fresh credit pool is
+        // lazily seeded if it rejoins.
+        self.admitted.retain(|(s, _), _| *s != dead);
+        self.credits.remove(&dead);
+        self.credit_waiters.remove(&dead);
+        self.inflight.retain(|_, (s, _, _)| *s != dead);
+
         // Re-drive callback operations blocked on its acknowledgment
         // (the purge is moot — the cache is gone).
         let mut blocked: Vec<CbId> = self

@@ -206,11 +206,14 @@ pub(crate) enum TimerKind {
     /// firing sends [`Message::Heartbeat`] to every contacted peer and
     /// re-arms.
     Heartbeat,
-    /// Bound on a callback fan-out's response time (leases enabled
-    /// only). Firing while the operation still has pending clients
-    /// declares those clients crashed — they may be heartbeating but
-    /// wedged mid-callback.
+    /// Bound on a callback fan-out's response time (leases or the
+    /// slow-peer bypass enabled). Firing while the operation still has
+    /// pending clients declares those clients crashed — they may be
+    /// heartbeating but wedged mid-callback.
     CbResponse { cb: CbId },
+    /// Backoff before re-sending a request an overloaded owner refused
+    /// with [`Message::Busy`] (admission control, DESIGN.md §6).
+    BusyRetry { req: ReqId },
 }
 
 /// State of a client-side callback thread (the per-callback thread of
@@ -355,6 +358,24 @@ pub struct PeerServer {
     /// handshake under, per owner.
     pub(crate) peer_epochs: HashMap<SiteId, u64>,
 
+    // Overload protection (DESIGN.md §6).
+    /// Server role: remote data requests currently admitted, keyed by
+    /// requester and request id. Bounded by `cfg.admission_cap`; a
+    /// request arriving over the cap is refused with [`Message::Busy`].
+    pub(crate) admitted: HashMap<(SiteId, ReqId), TxnId>,
+    /// High-water mark of `admitted` (exported as a gauge).
+    pub(crate) admitted_peak: usize,
+    /// Client role: remaining request credits per owner (lazily seeded
+    /// with `cfg.fetch_credits`).
+    pub(crate) credits: HashMap<SiteId, u32>,
+    /// Client role: data requests queued locally until a credit for
+    /// their owner is returned by a reply.
+    pub(crate) credit_waiters: HashMap<SiteId, VecDeque<Message>>,
+    /// Client role: retained copies of in-flight data requests, so a
+    /// `Busy` refusal can re-send them after backoff. Value is
+    /// `(owner, message, busy-attempt count)`.
+    pub(crate) inflight: HashMap<ReqId, (SiteId, Message, u32)>,
+
     // Id allocation.
     next_req: u64,
     next_cb: u64,
@@ -435,6 +456,11 @@ impl PeerServer {
             joined: HashMap::new(),
             require_rejoin: false,
             peer_epochs: HashMap::new(),
+            admitted: HashMap::new(),
+            admitted_peak: 0,
+            credits: HashMap::new(),
+            credit_waiters: HashMap::new(),
+            inflight: HashMap::new(),
             next_req: 0,
             next_cb: 0,
             next_de: 0,
@@ -540,6 +566,22 @@ impl PeerServer {
             "site {}: pending fetches leak",
             self.site
         );
+        assert!(
+            self.admitted.is_empty(),
+            "site {}: admitted requests leak ({} slots)",
+            self.site,
+            self.admitted.len()
+        );
+        assert!(
+            self.inflight.is_empty(),
+            "site {}: in-flight request copies leak",
+            self.site
+        );
+        assert!(
+            self.credit_waiters.values().all(VecDeque::is_empty),
+            "site {}: credit-stalled requests leak",
+            self.site
+        );
         self.locks.assert_consistent();
     }
 
@@ -607,19 +649,107 @@ impl PeerServer {
     // ------------------------------------------------------------------
 
     /// Sends `msg` to `to`; a self-send loops back internally for free.
+    ///
+    /// Remote sends run the overload-protection bookkeeping (DESIGN.md
+    /// §6): a departing request verdict retires its admission slot, and
+    /// an outgoing data request spends one of the owner's credits — or
+    /// waits locally when the credits are exhausted.
     pub(crate) fn send(&mut self, to: SiteId, msg: Message) {
         if to == self.site {
             self.internal.push_back(Input::Msg {
                 from: self.site,
                 msg,
             });
-        } else {
-            self.stats.msgs_sent += 1;
-            self.out.push(Output::Send { to, msg });
-            if self.cfg.leases_enabled {
-                self.note_contact(to);
-            }
+            return;
         }
+        match &msg {
+            Message::ReadReply { req, .. }
+            | Message::WriteGranted { req, .. }
+            | Message::LockGranted { req }
+            | Message::ReqDenied { req, .. } => {
+                self.admitted.remove(&(to, *req));
+            }
+            _ => {}
+        }
+        if let Some((req, _)) = credit_request(&msg) {
+            let cap = self.cfg.fetch_credits.max(1);
+            let c = self.credits.entry(to).or_insert(cap);
+            if *c == 0 {
+                self.stats.credits_stalled += 1;
+                self.obs
+                    .record(pscc_obs::EventKind::CreditStalled { peer: to });
+                self.credit_waiters.entry(to).or_default().push_back(msg);
+                return;
+            }
+            *c -= 1;
+            self.inflight
+                .entry(req)
+                .or_insert_with(|| (to, msg.clone(), 0));
+        }
+        self.stats.msgs_sent += 1;
+        self.out.push(Output::Send { to, msg });
+        if self.cfg.leases_enabled {
+            self.note_contact(to);
+        }
+    }
+
+    /// Returns one credit for `site` (capped at the configured pool) and
+    /// releases the oldest request waiting on it, if any.
+    pub(crate) fn credit_release(&mut self, site: SiteId) {
+        let cap = self.cfg.fetch_credits.max(1);
+        let c = self.credits.entry(site).or_insert(cap);
+        *c = (*c + 1).min(cap);
+        let next = self
+            .credit_waiters
+            .get_mut(&site)
+            .and_then(std::collections::VecDeque::pop_front);
+        if self
+            .credit_waiters
+            .get(&site)
+            .is_some_and(VecDeque::is_empty)
+        {
+            self.credit_waiters.remove(&site);
+        }
+        if let Some(msg) = next {
+            self.send(site, msg);
+        }
+    }
+
+    /// Admits a remote data request, or refuses it with `Busy` when the
+    /// server already has `admission_cap` requests in progress. Work
+    /// re-driven from a deescalation queue is already admitted and
+    /// passes unconditionally.
+    pub(crate) fn admit(&mut self, from: SiteId, req: ReqId, txn: TxnId) -> bool {
+        if self.admitted.contains_key(&(from, req)) {
+            return true;
+        }
+        if self.admitted.len() >= self.cfg.admission_cap as usize {
+            self.stats.requests_shed += 1;
+            self.obs
+                .record(pscc_obs::EventKind::RequestShed { peer: from });
+            self.send(
+                from,
+                Message::Busy {
+                    req,
+                    retry_after: self.cfg.busy_retry_hint,
+                },
+            );
+            return false;
+        }
+        self.admitted.insert((from, req), txn);
+        self.admitted_peak = self.admitted_peak.max(self.admitted.len());
+        true
+    }
+
+    /// Server role: remote data requests currently admitted (the
+    /// engine-level queue depth, exported as a gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// High-water mark of [`Self::queue_depth`] over the site's life.
+    pub fn queue_depth_peak(&self) -> usize {
+        self.admitted_peak
     }
 
     pub(crate) fn reply_app(&mut self, reply: AppReply) {
@@ -806,6 +936,7 @@ impl PeerServer {
             TimerKind::Lease { site } => self.lease_fired(site),
             TimerKind::Heartbeat => self.heartbeat_fired(),
             TimerKind::CbResponse { cb } => self.cb_response_fired(cb),
+            TimerKind::BusyRetry { req } => self.busy_retry_fired(req),
         }
     }
 
@@ -888,6 +1019,32 @@ impl PeerServer {
         if self.fence_check(from, &msg) {
             return;
         }
+        // Overload protection (DESIGN.md §6): data requests from remote
+        // peers pass admission control; incoming request verdicts return
+        // the credit they consumed (and retire the retained in-flight
+        // copy) before normal processing.
+        if from != self.site {
+            match &msg {
+                Message::ReadObj { req, txn, .. }
+                | Message::ReadPage { req, txn, .. }
+                | Message::WriteObj { req, txn, .. }
+                | Message::WritePage { req, txn, .. }
+                | Message::LockItem { req, txn, .. }
+                    if !self.admit(from, *req, *txn) =>
+                {
+                    return;
+                }
+                Message::ReadReply { req, .. }
+                | Message::WriteGranted { req, .. }
+                | Message::LockGranted { req }
+                | Message::ReqDenied { req, .. } => {
+                    self.inflight.remove(req);
+                    self.credit_release(from);
+                }
+                Message::Busy { .. } => self.credit_release(from),
+                _ => {}
+            }
+        }
         match msg {
             Message::Heartbeat => (),
             // Owner role.
@@ -928,6 +1085,7 @@ impl PeerServer {
             Message::Callback { cb, txn, target } => self.client_callback(from, cb, txn, target),
             Message::CbCancel { cb } => self.cancel_cb_ctx((from, cb)),
             Message::Deescalate { de, page } => self.client_deescalate(from, de, page),
+            Message::Busy { req, retry_after } => self.client_busy(from, req, retry_after),
             Message::CommitOk { req } => self.client_commit_ok(req),
             Message::Voted { req, txn, yes } => self.register_vote(req, txn, yes),
             Message::Decided { txn } => self.client_decided(from, txn),
@@ -971,5 +1129,20 @@ impl PeerServer {
             }
             Message::ObjectBytes { req, bytes } => self.client_object_bytes(req, bytes),
         }
+    }
+}
+
+/// The request and transaction ids of a credit-consuming data request
+/// (the five message kinds subject to flow and admission control); the
+/// consistency lane — callbacks, commit, 2PC, rejoin — is exempt so
+/// overload can never wedge transaction termination.
+pub(crate) fn credit_request(msg: &Message) -> Option<(ReqId, TxnId)> {
+    match msg {
+        Message::ReadObj { req, txn, .. }
+        | Message::ReadPage { req, txn, .. }
+        | Message::WriteObj { req, txn, .. }
+        | Message::WritePage { req, txn, .. }
+        | Message::LockItem { req, txn, .. } => Some((*req, *txn)),
+        _ => None,
     }
 }

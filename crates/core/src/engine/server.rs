@@ -125,9 +125,15 @@ impl PeerServer {
         requested: Option<Oid>,
     ) {
         if !self.txns.is_active(txn) {
-            return; // aborted while waiting for the disk
+            return; // aborted while waiting for the disk (slot released)
         }
         let Some(image) = self.volume.page(page).cloned() else {
+            // No such page: the request dies silently (the requester's
+            // lock timeout handles it), but its admission slot must not.
+            self.admitted.remove(&(from, req));
+            self.obs.record(pscc_obs::EventKind::StaleDrop {
+                what: "ship of a missing page",
+            });
             return;
         };
         let n_slots = image.slot_count();
@@ -364,10 +370,12 @@ impl PeerServer {
         }
         self.stats.callbacks_sent += remote.len() as u64;
         self.obs.cb_sent(cb, self.now);
-        if self.cfg.leases_enabled {
+        if self.cfg.leases_enabled || self.cfg.slow_peer_bypass {
             // Bound the fan-out's response time: clients still pending
             // when this fires are declared crashed (they may heartbeat
-            // yet be wedged mid-callback).
+            // yet be wedged mid-callback). With `slow_peer_bypass` this
+            // also caps how long one stalled client can hold up the
+            // whole copy-table pass, even without leases (DESIGN.md §6).
             let timer = self.fresh_timer();
             self.timers.insert(timer, TimerKind::CbResponse { cb });
             self.out.push(crate::msg::Output::ArmTimer {
@@ -472,7 +480,14 @@ impl PeerServer {
             item: cb_item,
             purged_page,
         });
-        let op = self.cb_ops.get_mut(&cb).expect("present above");
+        let Some(op) = self.cb_ops.get_mut(&cb) else {
+            // The operation vanished mid-ack (e.g. cancelled by an abort
+            // the tracing above interleaved with); drop, don't panic.
+            self.obs.record(pscc_obs::EventKind::StaleDrop {
+                what: "cb_ok without operation",
+            });
+            return;
+        };
         if purged_page {
             match op.target {
                 CbTarget::Object(o) => self.copy_table.drop_entry(o.page, from),
@@ -706,7 +721,12 @@ impl PeerServer {
                 });
             }
             let (txn, target, done) = {
-                let op = self.cb_ops.get_mut(&cb).expect("checked above");
+                let Some(op) = self.cb_ops.get_mut(&cb) else {
+                    self.obs.record(pscc_obs::EventKind::StaleDrop {
+                        what: "callback redo without operation",
+                    });
+                    return;
+                };
                 op.violated = false;
                 (op.txn, op.target, op.done.clone())
             };
@@ -722,7 +742,12 @@ impl PeerServer {
             self.start_callbacks(txn, target, anchor, done);
             return;
         }
-        let op = self.cb_ops.remove(&cb).expect("checked above");
+        let Some(op) = self.cb_ops.remove(&cb) else {
+            self.obs.record(pscc_obs::EventKind::StaleDrop {
+                what: "callback completion without operation",
+            });
+            return;
+        };
         self.obs.cb_closed(cb);
         if let CbTarget::Object(o) = op.target {
             self.cb_by_object.remove(&o);

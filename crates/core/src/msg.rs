@@ -453,6 +453,19 @@ pub enum Message {
         /// effects were never durably applied or were rolled back).
         committed: bool,
     },
+
+    // Overload protection (DESIGN.md §6).
+    /// Server → client: the request was *shed* — the server's admitted
+    /// in-flight work is at `SystemConfig::admission_cap`. The client
+    /// must hold the request and retry after roughly `retry_after`
+    /// (exponentially backed off and jittered on repeated sheds). The
+    /// request is not failed: shed work must eventually succeed.
+    Busy {
+        /// The shed request.
+        req: ReqId,
+        /// Suggested base delay before retrying.
+        retry_after: SimDuration,
+    },
 }
 
 impl Message {
@@ -480,6 +493,44 @@ impl Message {
             Message::ObjectBytes { bytes, .. } => 64 + bytes.as_ref().map(Vec::len).unwrap_or(0),
             _ => 64,
         }
+    }
+
+    /// Whether this message is *consistency traffic*: callbacks and
+    /// their resolutions, deescalations, commit/2PC control, aborts,
+    /// liveness, rejoin/epoch handshakes, and flow-control verdicts.
+    /// Transports drain this lane ahead of bulk fetch traffic and never
+    /// shed it — dropping any of these can wedge a writer waiting on a
+    /// callback or stall 2PC (the §4.2.4 failure mode induced by load).
+    pub fn is_consistency(&self) -> bool {
+        matches!(
+            self,
+            // Callbacks/deescalations, commit/2PC/abort control,
+            // liveness and rejoin/epoch fencing, and flow-control
+            // verdicts (a shed `Busy` must not itself be shed).
+            Message::Callback { .. }
+                | Message::CbBlocked { .. }
+                | Message::CbOk { .. }
+                | Message::CbTimeout { .. }
+                | Message::CbCancel { .. }
+                | Message::Deescalate { .. }
+                | Message::DeescalateReply { .. }
+                | Message::CommitReq { .. }
+                | Message::CommitOk { .. }
+                | Message::Prepare { .. }
+                | Message::Voted { .. }
+                | Message::Decide { .. }
+                | Message::Decided { .. }
+                | Message::AbortTxn { .. }
+                | Message::TxnAborted { .. }
+                | Message::Heartbeat
+                | Message::RejoinRequired { .. }
+                | Message::Rejoin { .. }
+                | Message::RejoinOk { .. }
+                | Message::QueryTxn { .. }
+                | Message::TxnResolved { .. }
+                | Message::Busy { .. }
+                | Message::ReqDenied { .. }
+        )
     }
 }
 
@@ -713,6 +764,41 @@ mod tests {
         };
         assert!(big.wire_size() > 4000);
         assert!(small.wire_size() <= 64);
+    }
+
+    #[test]
+    fn consistency_lane_classification() {
+        let t = TxnId {
+            site: SiteId(1),
+            seq: 1,
+        };
+        // Consistency lane: callbacks, commit control, flow verdicts.
+        assert!(Message::CbCancel { cb: CbId(1) }.is_consistency());
+        assert!(Message::Decide {
+            txn: t,
+            commit: true
+        }
+        .is_consistency());
+        assert!(Message::Busy {
+            req: ReqId(1),
+            retry_after: SimDuration::from_millis(10),
+        }
+        .is_consistency());
+        assert!(Message::Heartbeat.is_consistency());
+        // Bulk lane: fetches and write-permission traffic.
+        let p = PageId::new(FileId::new(VolId(0), 0), 1);
+        assert!(!Message::ReadPage {
+            req: ReqId(1),
+            txn: t,
+            page: p,
+        }
+        .is_consistency());
+        assert!(!Message::WriteObj {
+            req: ReqId(1),
+            txn: t,
+            oid: Oid::new(p, 0),
+        }
+        .is_consistency());
     }
 
     #[test]

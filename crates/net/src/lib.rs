@@ -16,6 +16,21 @@
 //!   and the *choice of which path delivers next* is driven by a seeded
 //!   RNG, so every adversarial interleaving is reproducible.
 //!
+//! ## Overload protection
+//!
+//! Every mailbox is **bounded** (`SystemConfig::mailbox_capacity` in the
+//! harnesses; [`DEFAULT_MAILBOX_CAPACITY`] otherwise) and split into two
+//! lanes. An optional [`LaneClassifier`] marks *consistency* traffic
+//! (callbacks, commit decisions, rejoin handshakes, flow-control
+//! verdicts); that lane is never shed and receivers drain it ahead of
+//! the bulk lane, so a fetch flood cannot wedge the messages callback
+//! locking depends on. Bulk-lane sends on a full mailbox wait briefly
+//! and then drop — counted, never silent — which the engine's
+//! timeout-and-retry machinery already tolerates. Without a classifier
+//! all traffic uses the priority lane (bounded, blocking, lossless),
+//! which preserves the historical unbounded-channel semantics for
+//! message types the classifier has never seen.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,12 +51,35 @@ pub mod codec;
 pub mod fault;
 pub mod tcp;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{
+    bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
 use pscc_common::SiteId;
 use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default per-lane mailbox capacity when a harness does not size it
+/// from `SystemConfig::mailbox_capacity`.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 4_096;
+
+/// How long a bulk-lane send waits on a full mailbox before dropping the
+/// message (counted via [`Endpoint::dropped`]). Short: the sender is an
+/// engine thread whose time is better spent draining its own mailbox.
+const BULK_FULL_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Poll slice of the two-lane receive loop: how long a blocked receiver
+/// parks on the priority lane before re-checking the bulk lane.
+const RECV_POLL_SLICE: Duration = Duration::from_micros(500);
+
+/// Decides the lane of an outbound message: `true` routes it onto the
+/// never-shed priority (consistency) lane, `false` onto the sheddable
+/// bulk lane. The engine's `Message::is_consistency` is the canonical
+/// classifier; the transport stays generic over the payload type.
+pub type LaneClassifier<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
 
 /// One of the parallel communication paths between a pair of peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -70,56 +108,107 @@ pub struct Envelope<M> {
 // Threaded network
 // ---------------------------------------------------------------------
 
+/// The two bounded mailbox lanes of one destination.
+struct Lanes<M> {
+    prio: Sender<Envelope<M>>,
+    bulk: Sender<Envelope<M>>,
+}
+
+impl<M> Clone for Lanes<M> {
+    fn clone(&self) -> Self {
+        Lanes {
+            prio: self.prio.clone(),
+            bulk: self.bulk.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Lanes<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lanes(prio={}, bulk={})",
+            self.prio.len(),
+            self.bulk.len()
+        )
+    }
+}
+
+/// Paired (priority, bulk) receive ends of a site's mailbox.
+type LaneReceivers<M> = (Receiver<Envelope<M>>, Receiver<Envelope<M>>);
+
 /// A crossbeam-channel network between a fixed set of sites with
-/// `n_paths` independent FIFO paths per ordered pair.
-#[derive(Debug)]
+/// `n_paths` independent FIFO paths per ordered pair and bounded,
+/// two-lane mailboxes (see the module docs on overload protection).
 pub struct InProcNetwork<M> {
     n_paths: u8,
-    // (src, dst) -> per-path senders into dst's mailbox.
-    senders: HashMap<(SiteId, SiteId), Vec<Sender<Envelope<M>>>>,
-    receivers: HashMap<SiteId, Receiver<Envelope<M>>>,
+    // dst -> its mailbox lanes (every source shares them; per-path FIFO
+    // holds because a sending thread enqueues in program order).
+    senders: HashMap<SiteId, Lanes<M>>,
+    receivers: HashMap<SiteId, LaneReceivers<M>>,
+    classify: Option<LaneClassifier<M>>,
+    /// Bulk-lane messages dropped on overflow, network-wide.
+    dropped: Arc<AtomicU64>,
+}
+
+impl<M> fmt::Debug for InProcNetwork<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InProcNetwork")
+            .field("n_paths", &self.n_paths)
+            .field("sites", &self.receivers.len())
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl<M: Send + 'static> InProcNetwork<M> {
-    /// Builds a network among `sites` with `n_paths` paths per pair.
-    ///
-    /// Each destination has a single mailbox; per-path FIFO holds because
-    /// a path's messages pass through one channel and are enqueued by the
-    /// sending thread in send order. Cross-path interleaving depends on
-    /// thread scheduling, as on the SP2.
+    /// Builds a network among `sites` with `n_paths` paths per pair,
+    /// [`DEFAULT_MAILBOX_CAPACITY`] mailboxes, and no lane classifier
+    /// (all traffic on the lossless priority lane).
     ///
     /// # Panics
     ///
     /// Panics if `n_paths == 0`.
     pub fn new(sites: &[SiteId], n_paths: u8) -> Self {
+        Self::with_overload(sites, n_paths, DEFAULT_MAILBOX_CAPACITY, None)
+    }
+
+    /// Builds a network with explicit overload knobs: per-lane mailbox
+    /// `capacity` (from `SystemConfig::mailbox_capacity`) and an
+    /// optional lane classifier routing consistency traffic onto the
+    /// never-shed priority lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_paths == 0` or `capacity == 0`.
+    pub fn with_overload(
+        sites: &[SiteId],
+        n_paths: u8,
+        capacity: usize,
+        classify: Option<LaneClassifier<M>>,
+    ) -> Self {
         assert!(n_paths > 0, "need at least one path");
+        assert!(capacity > 0, "need a non-zero mailbox capacity");
         let mut senders = HashMap::new();
         let mut receivers = HashMap::new();
-        let mut mailbox_tx: HashMap<SiteId, Sender<Envelope<M>>> = HashMap::new();
         for &s in sites {
-            let (tx, rx) = unbounded();
-            mailbox_tx.insert(s, tx);
-            receivers.insert(s, rx);
-        }
-        for &src in sites {
-            for &dst in sites {
-                if src == dst {
-                    continue;
-                }
-                // All paths currently share the destination mailbox
-                // channel; a dedicated channel per path plus a merger
-                // thread would model separate TCP connections, but since
-                // each sender thread writes in program order, per-path
-                // FIFO already holds and cross-path reorder arises from
-                // concurrent sender threads.
-                let v = (0..n_paths).map(|_| mailbox_tx[&dst].clone()).collect();
-                senders.insert((src, dst), v);
-            }
+            let (ptx, prx) = bounded(capacity);
+            let (btx, brx) = bounded(capacity);
+            senders.insert(
+                s,
+                Lanes {
+                    prio: ptx,
+                    bulk: btx,
+                },
+            );
+            receivers.insert(s, (prx, brx));
         }
         InProcNetwork {
             n_paths,
             senders,
             receivers,
+            classify,
+            dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -133,20 +222,37 @@ impl<M: Send + 'static> InProcNetwork<M> {
         let out = self
             .senders
             .iter()
-            .filter(|((src, _), _)| *src == site)
-            .map(|((_, dst), v)| (*dst, v.clone()))
+            .filter(|(dst, _)| **dst != site)
+            .map(|(dst, lanes)| (*dst, lanes.clone()))
             .collect();
+        let (prio_rx, bulk_rx) = self.receivers[&site].clone();
         Endpoint {
             site,
             n_paths: self.n_paths,
             out,
-            mailbox: self.receivers[&site].clone(),
+            prio_rx,
+            bulk_rx,
+            classify: self.classify.clone(),
+            dropped: Arc::clone(&self.dropped),
         }
     }
 
     /// Number of paths per pair.
     pub fn n_paths(&self) -> u8 {
         self.n_paths
+    }
+
+    /// Current mailbox depth (both lanes) of `site` — the per-peer queue
+    /// gauge harnesses export.
+    pub fn queue_depth(&self, site: SiteId) -> usize {
+        self.receivers
+            .get(&site)
+            .map_or(0, |(p, b)| p.len() + b.len())
+    }
+
+    /// Bulk-lane messages dropped on overflow so far, network-wide.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -163,12 +269,38 @@ pub trait Transport<M> {
 }
 
 /// One site's handle onto an [`InProcNetwork`].
-#[derive(Debug, Clone)]
 pub struct Endpoint<M> {
     site: SiteId,
     n_paths: u8,
-    out: HashMap<SiteId, Vec<Sender<Envelope<M>>>>,
-    mailbox: Receiver<Envelope<M>>,
+    out: HashMap<SiteId, Lanes<M>>,
+    prio_rx: Receiver<Envelope<M>>,
+    bulk_rx: Receiver<Envelope<M>>,
+    classify: Option<LaneClassifier<M>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            site: self.site,
+            n_paths: self.n_paths,
+            out: self.out.clone(),
+            prio_rx: self.prio_rx.clone(),
+            bulk_rx: self.bulk_rx.clone(),
+            classify: self.classify.clone(),
+            dropped: Arc::clone(&self.dropped),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("site", &self.site)
+            .field("n_paths", &self.n_paths)
+            .field("depth", &(self.prio_rx.len() + self.bulk_rx.len()))
+            .finish()
+    }
 }
 
 impl<M: Send + 'static> Endpoint<M> {
@@ -179,38 +311,106 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Sends `msg` to `to` along `path`.
     ///
+    /// Consistency traffic (and all traffic when no classifier is
+    /// installed) goes to the priority lane: bounded and blocking, never
+    /// dropped. Bulk traffic on a full mailbox waits [`BULK_FULL_TIMEOUT`]
+    /// and is then dropped and counted — the engine's lock timeouts and
+    /// `Busy` retries re-drive the work.
+    ///
     /// # Panics
     ///
     /// Panics on an unknown destination or path (protocol error).
     pub fn send(&self, to: SiteId, path: PathId, msg: M) {
-        let chans = self
+        let lanes = self
             .out
             .get(&to)
             .unwrap_or_else(|| panic!("unknown destination {to}"));
         assert!(path.0 < self.n_paths, "unknown {path}");
-        // Receivers may have shut down during teardown; losing the
-        // message then is fine.
-        let _ = chans[path.0 as usize].send(Envelope {
+        let prio = self.classify.as_ref().is_none_or(|c| c(&msg));
+        let env = Envelope {
             from: self.site,
             to,
             path,
             msg,
-        });
+        };
+        if prio {
+            // Receivers may have shut down during teardown; losing the
+            // message then is fine.
+            let _ = lanes.prio.send(env);
+        } else {
+            match lanes.bulk.try_send(env) {
+                Ok(()) => {}
+                Err(TrySendError::Full(env)) => {
+                    if let Err(SendTimeoutError::Timeout(_)) =
+                        lanes.bulk.send_timeout(env, BULK_FULL_TIMEOUT)
+                    {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {} // teardown
+            }
+        }
     }
 
     /// Blocks until a message arrives; `None` when all senders are gone.
     pub fn recv(&self) -> Option<Envelope<M>> {
-        self.mailbox.recv().ok()
+        loop {
+            match self.recv_timeout(Duration::from_secs(3600)) {
+                Ok(e) => return Some(e),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
     }
 
-    /// Waits up to `timeout` for a message.
+    /// Waits up to `timeout` for a message, draining the priority lane
+    /// ahead of the bulk lane.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvTimeoutError> {
-        self.mailbox.recv_timeout(timeout)
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Ok(e) = self.prio_rx.try_recv() {
+                return Ok(e);
+            }
+            if let Ok(e) = self.bulk_rx.try_recv() {
+                return Ok(e);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            // Park on the priority lane in short slices so bulk arrivals
+            // are still noticed promptly.
+            let slice = RECV_POLL_SLICE.min(deadline - now);
+            match self.prio_rx.recv_timeout(slice) {
+                Ok(e) => return Ok(e),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Lanes close together (they live in one struct):
+                    // drain what the bulk lane still buffers, then report
+                    // the disconnect.
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    return self.bulk_rx.recv_timeout(left);
+                }
+            }
+        }
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive (priority lane first).
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        self.mailbox.try_recv().ok()
+        self.prio_rx
+            .try_recv()
+            .ok()
+            .or_else(|| self.bulk_rx.try_recv().ok())
+    }
+
+    /// Current depth of this endpoint's own mailbox (both lanes).
+    pub fn queue_depth(&self) -> usize {
+        self.prio_rx.len() + self.bulk_rx.len()
+    }
+
+    /// Bulk-lane messages dropped on overflow, network-wide.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -358,6 +558,42 @@ mod tests {
         h.join().unwrap();
         got.sort();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn priority_lane_drained_before_bulk() {
+        // Odd payloads are "consistency" traffic.
+        let classify: LaneClassifier<u32> = Arc::new(|m: &u32| m % 2 == 1);
+        let net =
+            InProcNetwork::<u32>::with_overload(&[SiteId(0), SiteId(1)], 1, 64, Some(classify));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        // Bulk first, then priority: the receiver must see priority first.
+        a.send(SiteId(1), PathId(0), 2);
+        a.send(SiteId(1), PathId(0), 4);
+        a.send(SiteId(1), PathId(0), 1);
+        assert_eq!(b.queue_depth(), 3);
+        let got: Vec<u32> = (0..3).map(|_| b.recv().unwrap().msg).collect();
+        assert_eq!(got, vec![1, 2, 4]);
+        assert_eq!(b.queue_depth(), 0);
+    }
+
+    #[test]
+    fn bulk_overflow_drops_are_counted_and_priority_survives() {
+        let classify: LaneClassifier<u32> = Arc::new(|m: &u32| m % 2 == 1);
+        // Capacity 1: the second undrained bulk send must overflow.
+        let net =
+            InProcNetwork::<u32>::with_overload(&[SiteId(0), SiteId(1)], 1, 1, Some(classify));
+        let a = net.endpoint(SiteId(0));
+        let b = net.endpoint(SiteId(1));
+        a.send(SiteId(1), PathId(0), 2); // fills the bulk lane
+        a.send(SiteId(1), PathId(0), 4); // overflows: dropped after the wait
+        a.send(SiteId(1), PathId(0), 1); // priority: never dropped
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(net.queue_depth(SiteId(1)), 2);
+        let got: Vec<u32> = (0..2).map(|_| b.recv().unwrap().msg).collect();
+        assert_eq!(got, vec![1, 2]);
     }
 
     #[test]

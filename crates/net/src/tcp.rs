@@ -11,9 +11,9 @@
 //! frames into the node's mailbox.
 
 use crate::codec::{decode_frame, encode_frame};
-use crate::{Envelope, PathId, Transport};
+use crate::{Envelope, LaneClassifier, PathId, Transport, DEFAULT_MAILBOX_CAPACITY};
 use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
 use pscc_common::SiteId;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
@@ -85,14 +85,49 @@ fn trace_record(trace: &SharedTrace, kind: pscc_obs::EventKind) {
 /// its handshake identified the sender.
 const UNKNOWN_PEER: SiteId = SiteId(u32::MAX);
 
+/// Poll slice of the two-lane receive loop (priority drained first).
+const RECV_POLL_SLICE: Duration = Duration::from_micros(500);
+
+/// The bounded, two-lane mailbox as seen by reader threads. Inserts
+/// block when a lane is full — the reader then stops reading its socket,
+/// the kernel's TCP window fills, and the *sender's* retry loop takes
+/// over: bounded memory with no message loss.
+struct MailboxTx<M> {
+    prio: Sender<Envelope<M>>,
+    bulk: Sender<Envelope<M>>,
+    classify: Option<LaneClassifier<M>>,
+}
+
+impl<M> Clone for MailboxTx<M> {
+    fn clone(&self) -> Self {
+        MailboxTx {
+            prio: self.prio.clone(),
+            bulk: self.bulk.clone(),
+            classify: self.classify.clone(),
+        }
+    }
+}
+
+impl<M> MailboxTx<M> {
+    fn send(&self, env: Envelope<M>) -> Result<(), SendError<Envelope<M>>> {
+        let prio = self.classify.as_ref().is_none_or(|c| c(&env.msg));
+        if prio {
+            self.prio.send(env)
+        } else {
+            self.bulk.send(env)
+        }
+    }
+}
+
 /// One site of a TCP-connected peer-servers deployment.
 pub struct TcpNode<M> {
     site: SiteId,
     peers: HashMap<SiteId, SocketAddr>,
     // (dst, path) -> established outgoing connection.
     conns: Mutex<HashMap<(SiteId, PathId), TcpStream>>,
-    mailbox_rx: Receiver<Envelope<M>>,
-    mailbox_tx: Sender<Envelope<M>>,
+    prio_rx: Receiver<Envelope<M>>,
+    bulk_rx: Receiver<Envelope<M>>,
+    mailbox_tx: MailboxTx<M>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     stats: Arc<NetStats>,
@@ -117,9 +152,39 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         listen: SocketAddr,
         peers: HashMap<SiteId, SocketAddr>,
     ) -> std::io::Result<Self> {
+        Self::start_bounded(site, listen, peers, DEFAULT_MAILBOX_CAPACITY, None)
+    }
+
+    /// Like [`TcpNode::start`] with explicit overload knobs: per-lane
+    /// mailbox `capacity` (from `SystemConfig::mailbox_capacity`) and an
+    /// optional classifier routing consistency traffic onto a priority
+    /// lane that [`Transport::recv_timeout`] drains first. Without a
+    /// classifier all traffic uses the priority lane.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn start_bounded(
+        site: SiteId,
+        listen: SocketAddr,
+        peers: HashMap<SiteId, SocketAddr>,
+        capacity: usize,
+        classify: Option<LaneClassifier<M>>,
+    ) -> std::io::Result<Self> {
+        assert!(capacity > 0, "need a non-zero mailbox capacity");
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
-        let (tx, rx) = unbounded();
+        let (ptx, prx) = bounded(capacity);
+        let (btx, brx) = bounded(capacity);
+        let tx = MailboxTx {
+            prio: ptx,
+            bulk: btx,
+            classify,
+        };
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetStats::default());
         let trace: SharedTrace = Arc::new(Mutex::new(None));
@@ -152,7 +217,8 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             site,
             peers,
             conns: Mutex::new(HashMap::new()),
-            mailbox_rx: rx,
+            prio_rx: prx,
+            bulk_rx: brx,
             mailbox_tx: tx,
             shutdown,
             acceptor: Some(acceptor),
@@ -192,14 +258,21 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         }
     }
 
-    /// The local mailbox sender (loopback injection in tests).
+    /// The local mailbox sender (loopback injection in tests). Injected
+    /// messages travel the priority lane.
     pub fn loopback(&self) -> Sender<Envelope<M>> {
-        self.mailbox_tx.clone()
+        self.mailbox_tx.prio.clone()
     }
 
     /// This node's wire-level counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Current mailbox depth (both lanes) — the queue gauge harnesses
+    /// export per node.
+    pub fn queue_depth(&self) -> usize {
+        self.prio_rx.len() + self.bulk_rx.len()
     }
 
     fn connection(&self, to: SiteId, path: PathId) -> std::io::Result<TcpStream> {
@@ -267,7 +340,7 @@ impl<M> Drop for TcpNode<M> {
 
 fn reader_loop<M: DeserializeOwned + Send + 'static>(
     mut stream: TcpStream,
-    tx: Sender<Envelope<M>>,
+    tx: MailboxTx<M>,
     stop: Arc<AtomicBool>,
     stats: Arc<NetStats>,
     trace: SharedTrace,
@@ -415,10 +488,34 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> Transport<M> for TcpNode<
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        self.mailbox_rx.recv_timeout(timeout).ok().map(|mut e| {
+        let deadline = std::time::Instant::now() + timeout;
+        let stamp = |mut e: Envelope<M>| {
             e.to = self.site;
             e
-        })
+        };
+        loop {
+            // Priority lane first, so consistency traffic is never stuck
+            // behind a backlog of bulk fetches.
+            if let Ok(e) = self.prio_rx.try_recv() {
+                return Some(stamp(e));
+            }
+            if let Ok(e) = self.bulk_rx.try_recv() {
+                return Some(stamp(e));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let slice = RECV_POLL_SLICE.min(deadline - now);
+            match self.prio_rx.recv_timeout(slice) {
+                Ok(e) => return Some(stamp(e)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    return self.bulk_rx.recv_timeout(left).ok().map(stamp);
+                }
+            }
+        }
     }
 }
 
@@ -569,6 +666,42 @@ mod tests {
             got.push(env.msg);
         }
         assert_eq!(got, vec!["duped", "duped", "normal"]);
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn tcp_priority_lane_drained_first() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = addr_of(&l0);
+        let a1 = addr_of(&l1);
+        drop((l0, l1));
+        let peers0: HashMap<SiteId, SocketAddr> = [(SiteId(1), a1)].into();
+        let peers1: HashMap<SiteId, SocketAddr> = [(SiteId(0), a0)].into();
+        // Messages starting with '!' are consistency traffic.
+        let classify: LaneClassifier<String> = Arc::new(|m: &String| m.starts_with('!'));
+        let n0 = TcpNode::<String>::start(SiteId(0), a0, peers0).unwrap();
+        let n1 =
+            TcpNode::<String>::start_bounded(SiteId(1), a1, peers1, 16, Some(classify)).unwrap();
+        n0.send(SiteId(1), PathId(0), "bulk-a".to_string());
+        n0.send(SiteId(1), PathId(0), "bulk-b".to_string());
+        n0.send(SiteId(1), PathId(0), "!urgent".to_string());
+        // Wait for all three to be decoded into the mailbox before
+        // draining, so lane order (not arrival timing) decides.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while n1.queue_depth() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(n1.queue_depth(), 3);
+        let got: Vec<String> = (0..3)
+            .map(|_| {
+                n1.recv_timeout(Duration::from_secs(5))
+                    .expect("delivery")
+                    .msg
+            })
+            .collect();
+        assert_eq!(got, vec!["!urgent", "bulk-a", "bulk-b"]);
         n0.shutdown();
         n1.shutdown();
     }

@@ -151,6 +151,19 @@ pub enum EventKind {
     NetDisconnect { peer: SiteId },
     /// The transport retried a connect/send after a failure.
     NetRetry { peer: SiteId, attempt: u32 },
+    /// An overloaded server refused `peer`'s data request with `Busy`
+    /// (admission control, DESIGN.md §6).
+    RequestShed { peer: SiteId },
+    /// A client received `Busy` and armed an exponential-backoff retry.
+    BusyBackoff { peer: SiteId, attempt: u32 },
+    /// A backoff timer fired and the refused request was re-sent.
+    BusyRetry { peer: SiteId },
+    /// A data request waited locally because the owner's credit pool was
+    /// exhausted (credit-based flow control).
+    CreditStalled { peer: SiteId },
+    /// A message or acknowledgment referencing state that no longer
+    /// exists was dropped (traced instead of panicking).
+    StaleDrop { what: &'static str },
 }
 
 impl fmt::Display for EventKind {
@@ -232,6 +245,21 @@ impl fmt::Display for EventKind {
             }
             EventKind::NetRetry { peer, attempt } => {
                 write!(f, "net_retry peer={peer:?} attempt={attempt}")
+            }
+            EventKind::RequestShed { peer } => {
+                write!(f, "request_shed peer={peer:?}")
+            }
+            EventKind::BusyBackoff { peer, attempt } => {
+                write!(f, "busy_backoff peer={peer:?} attempt={attempt}")
+            }
+            EventKind::BusyRetry { peer } => {
+                write!(f, "busy_retry peer={peer:?}")
+            }
+            EventKind::CreditStalled { peer } => {
+                write!(f, "credit_stalled peer={peer:?}")
+            }
+            EventKind::StaleDrop { what } => {
+                write!(f, "stale_drop {what}")
             }
         }
     }

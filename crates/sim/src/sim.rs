@@ -338,8 +338,9 @@ impl Simulation {
     /// A metrics snapshot of the whole system: every engine counter,
     /// the latency histograms merged across sites (including restart
     /// `recovery_time`), gauges for the adaptive lock-wait timeout
-    /// estimators (§5.5), and per-site log-durability gauges (durable
-    /// LSN, checkpoint age, server epoch).
+    /// estimators (§5.5), per-site log-durability gauges (durable
+    /// LSN, checkpoint age, server epoch), and per-site admission
+    /// queue-depth gauges (current and peak, DESIGN.md §6).
     pub fn metrics(&self) -> pscc_obs::MetricsRegistry {
         let mut reg = pscc_obs::MetricsRegistry::new();
         reg.counters_struct(&Counters::total(self.sites.iter().map(|s| s.stats)));
@@ -359,6 +360,11 @@ impl Simulation {
                 s.checkpoint_age() as f64,
             );
             reg.gauge(&format!("epoch_site{id}"), s.epoch() as f64);
+            reg.gauge(&format!("queue_depth_site{id}"), s.queue_depth() as f64);
+            reg.gauge(
+                &format!("queue_depth_peak_site{id}"),
+                s.queue_depth_peak() as f64,
+            );
         }
         let mut current_sum = 0.0;
         for s in &self.sites {

@@ -34,7 +34,8 @@ pub fn path_for(msg: &Message) -> PathId {
         | Message::TxnAborted { .. }
         | Message::RejoinRequired { .. }
         | Message::RejoinOk { .. }
-        | Message::TxnResolved { .. } => PathId(1),
+        | Message::TxnResolved { .. }
+        | Message::Busy { .. } => PathId(1),
         Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
             PathId(2)
         }

@@ -41,7 +41,15 @@ impl ThreadedCluster {
     /// channels.
     pub fn new(n: u32, cfg: SystemConfig, owners: OwnerMap) -> Self {
         let sites: Vec<SiteId> = (0..n).map(SiteId).collect();
-        let net = InProcNetwork::<Message>::new(&sites, 3);
+        // Bounded mailboxes sized from the config, with consistency
+        // traffic (callbacks, commit decisions, rejoin) classified onto
+        // the lossless priority lane (DESIGN.md §6).
+        let net = InProcNetwork::<Message>::with_overload(
+            &sites,
+            3,
+            cfg.mailbox_capacity as usize,
+            Some(Arc::new(|m: &Message| m.is_consistency())),
+        );
         Self::with_transports(
             cfg,
             owners,
@@ -96,9 +104,13 @@ impl ThreadedCluster {
         let mut handles = Vec::new();
         let start = Instant::now();
 
+        // Drivers are trusted not to flood, but the channels are bounded
+        // anyway so a runaway workload blocks at submission instead of
+        // growing memory without limit.
+        let cmd_capacity = cfg.mailbox_capacity.max(1) as usize;
         for (site, endpoint) in transports {
-            let (ctx, crx) = mpsc::unbounded::<Cmd>();
-            let (rtx, rrx) = mpsc::unbounded::<AppReply>();
+            let (ctx, crx) = mpsc::bounded::<Cmd>(cmd_capacity);
+            let (rtx, rrx) = mpsc::bounded::<AppReply>(cmd_capacity);
             cmd_tx.push(ctx);
             reply_rx.push(rrx);
             let cfg = cfg.clone();
@@ -245,7 +257,7 @@ impl ThreadedCluster {
     pub fn total_stats(&self) -> pscc_common::Counters {
         let mut total = pscc_common::Counters::default();
         for tx in &self.cmd_tx {
-            let (stx, srx) = mpsc::unbounded();
+            let (stx, srx) = mpsc::bounded(1);
             if tx.send(Cmd::Stats(stx)).is_ok() {
                 if let Ok(c) = srx.recv_timeout(Duration::from_secs(5)) {
                     total += c;

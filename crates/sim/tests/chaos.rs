@@ -376,6 +376,208 @@ fn partition_then_heal_aborts_in_flight_work_and_recovers() {
     c.assert_survivors_quiescent();
 }
 
+/// Thundering herd (DESIGN.md §6): N clients flood the one owner with
+/// writes to the same contested object while a writer's grant is stuck
+/// behind a callback to A's cached copy. With a tiny admission cap the
+/// owner must shed the overflow with `Busy` (never the consistency
+/// traffic — the callback round trip completes as soon as A commits),
+/// the shed clients must back off and eventually commit, the admission
+/// queue must never exceed the cap, and one-EX-copy must hold
+/// throughout. Client C runs two concurrent transactions against one
+/// fetch credit, so its second request stalls locally.
+fn thundering_herd(proto: Protocol, seed: u64) -> Cluster {
+    const C: SiteId = SiteId(3);
+    const HERD: [SiteId; 3] = [SiteId(4), SiteId(5), SiteId(6)];
+
+    let mut cfg = chaos_cfg(proto);
+    cfg.admission_cap = 2;
+    cfg.fetch_credits = 1;
+    cfg.busy_retry_hint = SimDuration::from_millis(2);
+    cfg.slow_peer_bypass = true;
+    let cb_bound = cfg.callback_response_timeout;
+    let mut c = Cluster::new(7, cfg, OwnerMap::Single(OWNER), seed);
+    let contested = oid_on_page(3, 1);
+    let c_objs = [oid_on_page(11, 1), oid_on_page(12, 1)];
+
+    // Warm A's cache on the contested page, then pin it with a local
+    // read lock so the owner's callback blocks at A.
+    let t0 = c.begin(A, APP);
+    c.read(A, APP, t0, contested).unwrap();
+    c.commit(A, APP, t0).unwrap();
+    let t1 = c.begin(A, APP);
+    c.read(A, APP, t1, contested).unwrap();
+
+    // B's write is granted the EX lock at the owner but gets no reply
+    // until the callback completes — it holds an admission slot for the
+    // whole stall, leaving one free slot for the herd.
+    let t2 = c.begin(B, APP);
+    c.submit(
+        B,
+        APP,
+        Some(t2),
+        AppOp::Write {
+            oid: contested,
+            bytes: None,
+        },
+    );
+    c.pump();
+    assert!(
+        c.find_reply(B, t2).is_none(),
+        "B must be stalled behind A's callback"
+    );
+
+    // The flood: C fires two transactions back-to-back against distinct
+    // cold objects (the second must stall on C's single fetch credit),
+    // and the herd piles reads onto the contested object — they block
+    // behind B's EX lock, each occupying an admission slot, so the
+    // overflow is refused with `Busy`. (Reads, not writes: concurrent
+    // upgrades on one object would deadlock by design, §4.2.1, and the
+    // point here is that every shed request eventually succeeds.)
+    let tc: Vec<TxnId> = c_objs.iter().map(|_| c.begin(C, APP)).collect();
+    let mut herd: Vec<(SiteId, TxnId)> = Vec::new();
+    for s in HERD {
+        let t = c.begin(s, APP);
+        herd.push((s, t));
+    }
+    for (t, oid) in tc.iter().zip(c_objs) {
+        c.submit(C, APP, Some(*t), AppOp::Write { oid, bytes: None });
+    }
+    for (s, t) in &herd {
+        c.submit(*s, APP, Some(*t), AppOp::Read(contested));
+    }
+    c.pump();
+
+    let owner = &c.sites[OWNER.0 as usize];
+    assert!(
+        owner.queue_depth() <= 2 && owner.queue_depth_peak() <= 2,
+        "admission queue exceeded the cap: depth={} peak={}",
+        owner.queue_depth(),
+        owner.queue_depth_peak()
+    );
+    let mid = c.total_stats();
+    assert!(mid.requests_shed >= 1, "overload never shed: {mid}");
+    assert!(mid.credits_stalled >= 1, "credit pool never stalled: {mid}");
+    // Every queued writer holds a *local* EX intent, so the cross-site
+    // helper does not apply mid-flood; the owner's table is the arbiter
+    // and must have granted at most one EX.
+    let owner_ex = |c: &Cluster, item| c.sites[OWNER.0 as usize].ex_holders(item).len();
+    assert!(
+        owner_ex(&c, LockableId::Object(contested)) <= 1,
+        "owner granted EX on the contested object to several writers"
+    );
+
+    // Unblock the callback: B's grant (consistency traffic, never shed)
+    // must round-trip within the callback-response bound even while the
+    // owner is refusing bulk work.
+    let before = c.now();
+    c.commit(A, APP, t1).unwrap();
+    c.pump();
+    match c.find_reply(B, t2) {
+        Some(AppReply::Done { .. }) => {}
+        other => panic!("B's write never unblocked: {other:?}"),
+    }
+    assert!(
+        c.now().since(before) <= cb_bound,
+        "callback round trip exceeded its bound under overload"
+    );
+    c.commit(B, APP, t2).unwrap();
+
+    // Every shed transaction must eventually get a slot, the lock, and a
+    // commit. Drive retries with virtual time and commit as they land.
+    let mut open: Vec<(SiteId, TxnId)> = herd.clone();
+    open.extend(tc.iter().map(|t| (C, *t)));
+    for _ in 0..200 {
+        if open.is_empty() {
+            break;
+        }
+        c.pump_for(SimDuration::from_millis(25));
+        let mut still_open = Vec::new();
+        for (s, t) in open {
+            match c.find_reply(s, t) {
+                Some(AppReply::Done { .. }) => c.commit(s, APP, t).unwrap(),
+                Some(other) => panic!("herd txn {t:?} at {s:?} failed: {other:?}"),
+                None => still_open.push((s, t)),
+            }
+        }
+        open = still_open;
+        assert!(
+            owner_ex(&c, LockableId::Object(contested)) <= 1,
+            "owner granted EX on the contested object to several writers"
+        );
+    }
+    assert!(
+        open.is_empty(),
+        "shed transactions never committed: {open:?}"
+    );
+    assert_one_ex_copy(&c, &[LockableId::Object(contested)]);
+
+    // B's write landed exactly once; C's two transactions landed on
+    // their own objects.
+    assert_eq!(
+        version_of(c.sites[0].volume().read_object(contested).unwrap()),
+        1
+    );
+    for oid in c_objs {
+        assert_eq!(version_of(c.sites[0].volume().read_object(oid).unwrap()), 1);
+    }
+    let total = c.total_stats();
+    assert!(total.requests_shed >= 1, "no shedding recorded: {total}");
+    assert!(total.busy_retries >= 1, "no busy retries recorded: {total}");
+    assert!(total.credits_stalled >= 1, "no credit stalls: {total}");
+    let owner = &c.sites[OWNER.0 as usize];
+    assert!(owner.queue_depth_peak() <= 2, "cap breached after drain");
+    assert_eq!(owner.queue_depth(), 0, "admission slots leaked");
+    // Let stale backoff timers fire, then check nothing leaks.
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+    c
+}
+
+#[test]
+fn thundering_herd_sheds_and_recovers_ps() {
+    thundering_herd(Protocol::Ps, seed(53));
+}
+
+#[test]
+fn thundering_herd_sheds_and_recovers_ps_oa() {
+    thundering_herd(Protocol::PsOa, seed(53));
+}
+
+#[test]
+fn thundering_herd_sheds_and_recovers_ps_aa() {
+    thundering_herd(Protocol::PsAa, seed(53));
+}
+
+#[test]
+fn overload_counters_reach_prometheus_and_json_exports() {
+    let c = thundering_herd(Protocol::PsAa, seed(59));
+    let mut reg = MetricsRegistry::new();
+    reg.counters_struct(&c.total_stats());
+    for s in &c.sites {
+        let id = s.site().0;
+        reg.gauge(&format!("queue_depth_site{id}"), s.queue_depth() as f64);
+        reg.gauge(
+            &format!("queue_depth_peak_site{id}"),
+            s.queue_depth_peak() as f64,
+        );
+    }
+    assert!(reg.counter_value("requests_shed").unwrap() >= 1);
+    assert!(reg.counter_value("credits_stalled").unwrap() >= 1);
+    assert!(reg.counter_value("busy_retries").unwrap() >= 1);
+    let prom = reg.render_prometheus();
+    let json = reg.render_json();
+    for name in [
+        "requests_shed",
+        "credits_stalled",
+        "busy_retries",
+        "queue_depth_site0",
+        "queue_depth_peak_site0",
+    ] {
+        assert!(prom.contains(name), "{name} missing from Prometheus export");
+        assert!(json.contains(name), "{name} missing from JSON export");
+    }
+}
+
 #[test]
 fn chaos_counters_reach_prometheus_and_json_exports() {
     let c = crash_holding_ex_lock(Protocol::PsAa, seed(47));

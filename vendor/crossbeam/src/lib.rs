@@ -1,8 +1,9 @@
 //! Offline shim for the subset of `crossbeam::channel` this workspace
-//! uses: unbounded MPMC channels whose `Sender` *and* `Receiver` are
-//! both `Clone`, with `send`/`recv`/`recv_timeout`/`try_recv` and the
-//! matching error types. Built on `Mutex` + `Condvar`; throughput is
-//! adequate for the in-process transports and test harnesses here.
+//! uses: unbounded *and bounded* MPMC channels whose `Sender` and
+//! `Receiver` are both `Clone`, with `send`/`try_send`/`send_timeout`/
+//! `recv`/`recv_timeout`/`try_recv` and the matching error types. Built
+//! on `Mutex` + `Condvar`; throughput is adequate for the in-process
+//! transports and test harnesses here.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -18,18 +19,24 @@ pub mod channel {
 
     struct Inner<T> {
         state: Mutex<State<T>>,
+        /// `None` = unbounded; `Some(cap)` = senders block at `cap`.
+        capacity: Option<usize>,
+        /// Signals receivers waiting for a message.
         ready: Condvar,
+        /// Signals senders waiting for space (bounded channels only).
+        space: Condvar,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
             }),
+            capacity,
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -37,6 +44,24 @@ pub mod channel {
             },
             Receiver { inner },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel: sends block (or fail, for the
+    /// `try_`/`_timeout` variants) while `cap` messages are queued.
+    /// Unlike real crossbeam, `cap == 0` is not a rendezvous channel —
+    /// it is rejected, since the shim has no sender/receiver handoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity (rendezvous) channels unsupported");
+        channel(Some(cap))
     }
 
     /// The sending half; cloneable.
@@ -94,24 +119,108 @@ pub mod channel {
         fn drop(&mut self) {
             let mut st = self.inner.state.lock().expect("channel poisoned");
             st.receivers -= 1;
+            if st.receivers == 0 {
+                // Senders blocked on a full bounded channel must wake up
+                // and observe the disconnect.
+                self.inner.space.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `msg`; fails only when every receiver is gone.
+        fn at_capacity(&self, st: &State<T>) -> bool {
+            self.inner.capacity.is_some_and(|c| st.queue.len() >= c)
+        }
+
+        /// Enqueues `msg`, blocking while a bounded channel is full;
+        /// fails only when every receiver is gone.
         ///
         /// # Errors
         ///
         /// [`SendError`] returning the message when disconnected.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut st = self.inner.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if !self.at_capacity(&st) {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    self.inner.ready.notify_one();
+                    return Ok(());
+                }
+                st = self.inner.space.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking send.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone;
+        /// both return the message.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.state.lock().expect("channel poisoned");
             if st.receivers == 0 {
-                return Err(SendError(msg));
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if self.at_capacity(&st) {
+                return Err(TrySendError::Full(msg));
             }
             st.queue.push_back(msg);
             drop(st);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Blocks up to `timeout` for space on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// [`SendTimeoutError::Timeout`] on deadline,
+        /// [`SendTimeoutError::Disconnected`] when every receiver is
+        /// gone; both return the message.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if !self.at_capacity(&st) {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    self.inner.ready.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+                let (guard, _res) = self
+                    .inner
+                    .space
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel poisoned");
+                st = guard;
+            }
+        }
+
+        /// Number of queued messages right now.
+        pub fn len(&self) -> usize {
+            self.inner
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -125,6 +234,7 @@ pub mod channel {
             let mut st = self.inner.state.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -145,6 +255,7 @@ pub mod channel {
             let mut st = self.inner.state.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -171,6 +282,7 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.inner.state.lock().expect("channel poisoned");
             if let Some(v) = st.queue.pop_front() {
+                self.inner.space.notify_one();
                 Ok(v)
             } else if st.senders == 0 {
                 Err(TryRecvError::Disconnected)
@@ -234,6 +346,60 @@ pub mod channel {
         }
     }
 
+    /// A non-blocking send that could not complete; carries the message.
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// A timed send that could not complete; carries the message.
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full past the deadline.
+        Timeout(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out waiting for channel space"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
         Empty,
@@ -251,8 +417,12 @@ pub mod channel {
 }
 
 #[cfg(test)]
+// The shim's own tests exercise the unbounded constructor it exports.
+#[allow(clippy::disallowed_methods)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use super::channel::{
+        bounded, unbounded, RecvTimeoutError, SendTimeoutError, TryRecvError, TrySendError,
+    };
     use std::time::Duration;
 
     #[test]
@@ -278,6 +448,43 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn bounded_try_send_full_then_timeout_then_space() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(3))
+        ));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_blocking_send_waits_for_space() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert!(tx.send(2).is_err());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
     }
 
     #[test]
