@@ -14,6 +14,11 @@
 //!                           Prometheus text + JSON metrics snapshot
 //! repro --trace-dump [figN] quick high-contention run with protocol event
 //!                           tracing; prints the merged multi-site trace
+//! repro --bench-json [path] quick fixed-workload benchmark (all three
+//!                           protocols); writes machine-readable
+//!                           throughput + commit-latency quantiles to
+//!                           `path` (default BENCH_6.json) for the
+//!                           PR-over-PR perf trajectory
 //! ```
 //!
 //! Full scale = Table 1 platform (11 250 pages, 10 applications) with a
@@ -175,6 +180,58 @@ fn run_observed(figure: Figure, metrics: bool, trace_dump: bool) {
     }
 }
 
+/// Runs a fixed quick workload (Fig. 6 HOTCOLD, wp = 0.20) under every
+/// protocol and writes a small hand-rolled JSON document with
+/// throughput and commit-latency quantiles. The workload is pinned so
+/// the numbers are comparable PR over PR.
+fn run_bench_json(path: &str) {
+    let mut entries = Vec::new();
+    for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
+        let base = quick_spec(Figure::Fig6, 0.2);
+        let spec = ExperimentSpec {
+            protocol: proto,
+            cfg: SystemConfig {
+                protocol: proto,
+                ..base.cfg
+            },
+            ..base
+        };
+        // Fail loudly on an un-runnable knob combination instead of
+        // benchmarking a deadlock.
+        if let Err(e) = spec.cfg.validate() {
+            eprintln!("invalid benchmark config: {e}");
+            std::process::exit(2);
+        }
+        let obs = run_point_observed(&spec, 0);
+        let (p50, p99) = obs
+            .metrics
+            .histogram_ref("commit_latency")
+            .map_or((0, 0), |h| {
+                (h.quantile_upper_micros(0.5), h.quantile_upper_micros(0.99))
+            });
+        eprintln!(
+            "# {proto}: {:.2} txn/s, p50 {p50} us, p99 {p99} us",
+            obs.point.report.throughput
+        );
+        entries.push(format!(
+            "    {{\"protocol\": \"{proto}\", \"txns_per_sec\": {:.2}, \
+             \"commits\": {}, \"aborts\": {}, \
+             \"p50_commit_latency_us\": {p50}, \"p99_commit_latency_us\": {p99}}}",
+            obs.point.report.throughput, obs.point.report.commits, obs.point.report.aborts,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"quick fig6 HOTCOLD wp=0.20\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("# wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -182,6 +239,11 @@ fn main() {
     let metrics = args.iter().any(|a| a == "--metrics");
     let trace_dump = args.iter().any(|a| a == "--trace-dump");
     let cmd = args.iter().find(|a| !a.starts_with('-')).cloned();
+
+    if args.iter().any(|a| a == "--bench-json") {
+        run_bench_json(cmd.as_deref().unwrap_or("BENCH_6.json"));
+        return;
+    }
 
     if metrics || trace_dump {
         let fig = match cmd.as_deref() {

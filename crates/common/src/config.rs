@@ -135,6 +135,96 @@ pub struct SystemConfig {
     pub slow_peer_bypass: bool,
 }
 
+/// A knob combination [`SystemConfig::validate`] rejects: each variant is a
+/// configuration that would not crash at construction time but would wedge,
+/// deadlock, or silently misbehave at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `admission_cap == 0`: every remote data request would be shed with
+    /// `Busy` forever and no transaction could ever fetch remote data.
+    ZeroAdmissionCap,
+    /// `fetch_credits == 0`: clients could never put a data request on the
+    /// wire — all work queues locally and the cluster is silently idle.
+    ZeroFetchCredits,
+    /// `mailbox_capacity` below the consistency-lane minimum. The lossless
+    /// lane must absorb at least a small burst of callbacks/commit/2PC
+    /// traffic per peer or the transport blocks senders into a cycle.
+    MailboxBelowConsistencyMinimum { capacity: u32, minimum: u32 },
+    /// `lock_timeout_floor > lock_timeout_ceiling`: the adaptive clamp is
+    /// empty and the timeout oscillates between contradictory bounds.
+    TimeoutFloorAboveCeiling { floor: Duration, ceiling: Duration },
+    /// `leases_enabled` with `lease_duration <= heartbeat_interval`: every
+    /// lease would expire before its renewing heartbeat can arrive, so the
+    /// cluster declares healthy peers dead in a loop.
+    LeaseWithinHeartbeat {
+        lease: Duration,
+        heartbeat: Duration,
+    },
+    /// `net_backoff_base > net_backoff_max`: the exponential reconnect
+    /// schedule is inverted and the clamp produces a zero-width range.
+    BackoffBaseAboveMax { base: Duration, max: Duration },
+    /// `busy_retry_hint == 0`: shed requests would retry immediately,
+    /// turning admission control into a hot spin loop instead of backoff.
+    ZeroBusyRetryHint,
+    /// `timeout_multiplier` is not a positive finite number, so the
+    /// adaptive lock-timeout estimate collapses to zero or NaN.
+    NonPositiveTimeoutMultiplier { value: f64 },
+    /// A structural size knob (`num_applications`, `database_pages`,
+    /// `objects_per_page`, or `page_size`) is zero / too small to hold a
+    /// single object.
+    DegenerateSize { what: &'static str },
+    /// A buffer fraction is outside `[0, 1]` or not finite.
+    BufFracOutOfRange { what: &'static str, value: f64 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroAdmissionCap => {
+                write!(f, "admission_cap must be > 0 (0 sheds every data request forever)")
+            }
+            ConfigError::ZeroFetchCredits => {
+                write!(f, "fetch_credits must be > 0 (0 queues every request locally forever)")
+            }
+            ConfigError::MailboxBelowConsistencyMinimum { capacity, minimum } => write!(
+                f,
+                "mailbox_capacity {capacity} is below the consistency-lane minimum {minimum}"
+            ),
+            ConfigError::TimeoutFloorAboveCeiling { floor, ceiling } => write!(
+                f,
+                "lock_timeout_floor ({floor:?}) exceeds lock_timeout_ceiling ({ceiling:?})"
+            ),
+            ConfigError::LeaseWithinHeartbeat { lease, heartbeat } => write!(
+                f,
+                "lease_duration ({lease:?}) must exceed heartbeat_interval ({heartbeat:?}) when leases are enabled"
+            ),
+            ConfigError::BackoffBaseAboveMax { base, max } => write!(
+                f,
+                "net_backoff_base ({base:?}) exceeds net_backoff_max ({max:?})"
+            ),
+            ConfigError::ZeroBusyRetryHint => {
+                write!(f, "busy_retry_hint must be > 0 (0 spins on Busy instead of backing off)")
+            }
+            ConfigError::NonPositiveTimeoutMultiplier { value } => {
+                write!(f, "timeout_multiplier must be positive and finite, got {value}")
+            }
+            ConfigError::DegenerateSize { what } => {
+                write!(f, "{what} is zero or too small to be usable")
+            }
+            ConfigError::BufFracOutOfRange { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Smallest mailbox the consistency lane tolerates: room for a burst of
+/// callback + commit + liveness control frames from one peer without
+/// blocking the sender (see `ConfigError::MailboxBelowConsistencyMinimum`).
+pub const MIN_MAILBOX_CAPACITY: u32 = 4;
+
 impl SystemConfig {
     /// The configuration of the paper's Table 1.
     pub fn paper() -> Self {
@@ -200,6 +290,91 @@ impl SystemConfig {
         let usable = self.page_size.saturating_sub(64) / self.objects_per_page as u32;
         usable.saturating_sub(8).max(8)
     }
+
+    /// Reject knob combinations that would not fail at construction but
+    /// would wedge or misbehave at runtime (latent deadlocks, hot spins,
+    /// empty clamp ranges). Entry points — the testkit `Cluster`, the
+    /// threaded harness, the simulation builder, and the `repro` binary —
+    /// call this before instantiating any site.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use pscc_common::SystemConfig;
+    /// assert!(SystemConfig::paper().validate().is_ok());
+    /// let mut bad = SystemConfig::small();
+    /// bad.admission_cap = 0;
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.admission_cap == 0 {
+            return Err(ConfigError::ZeroAdmissionCap);
+        }
+        if self.fetch_credits == 0 {
+            return Err(ConfigError::ZeroFetchCredits);
+        }
+        if self.mailbox_capacity < MIN_MAILBOX_CAPACITY {
+            return Err(ConfigError::MailboxBelowConsistencyMinimum {
+                capacity: self.mailbox_capacity,
+                minimum: MIN_MAILBOX_CAPACITY,
+            });
+        }
+        if self.lock_timeout_floor > self.lock_timeout_ceiling {
+            return Err(ConfigError::TimeoutFloorAboveCeiling {
+                floor: self.lock_timeout_floor,
+                ceiling: self.lock_timeout_ceiling,
+            });
+        }
+        if self.leases_enabled && self.lease_duration <= self.heartbeat_interval {
+            return Err(ConfigError::LeaseWithinHeartbeat {
+                lease: self.lease_duration,
+                heartbeat: self.heartbeat_interval,
+            });
+        }
+        if self.net_backoff_base > self.net_backoff_max {
+            return Err(ConfigError::BackoffBaseAboveMax {
+                base: self.net_backoff_base,
+                max: self.net_backoff_max,
+            });
+        }
+        if self.busy_retry_hint == Duration::ZERO {
+            return Err(ConfigError::ZeroBusyRetryHint);
+        }
+        if !self.timeout_multiplier.is_finite() || self.timeout_multiplier <= 0.0 {
+            return Err(ConfigError::NonPositiveTimeoutMultiplier {
+                value: self.timeout_multiplier,
+            });
+        }
+        if self.num_applications == 0 {
+            return Err(ConfigError::DegenerateSize {
+                what: "num_applications",
+            });
+        }
+        if self.database_pages == 0 {
+            return Err(ConfigError::DegenerateSize {
+                what: "database_pages",
+            });
+        }
+        if self.objects_per_page == 0 {
+            return Err(ConfigError::DegenerateSize {
+                what: "objects_per_page",
+            });
+        }
+        // One object plus its slot plus the page header must fit.
+        if self.page_size < 64 + 8 + 8 {
+            return Err(ConfigError::DegenerateSize { what: "page_size" });
+        }
+        for (what, value) in [
+            ("client_buf_frac", self.client_buf_frac),
+            ("server_buf_frac", self.server_buf_frac),
+            ("peer_buf_frac", self.peer_buf_frac),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::BufFracOutOfRange { what, value });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -258,6 +433,89 @@ mod tests {
         assert!(c.busy_retry_hint < c.initial_lock_timeout);
         // small() inherits the overload knobs from paper().
         assert_eq!(SystemConfig::small().admission_cap, c.admission_cap);
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configs() {
+        assert_eq!(SystemConfig::paper().validate(), Ok(()));
+        assert_eq!(SystemConfig::small().validate(), Ok(()));
+        // The chaos thundering-herd config: tiny but legal overload knobs.
+        let mut herd = SystemConfig::small();
+        herd.admission_cap = 2;
+        herd.fetch_credits = 1;
+        assert_eq!(herd.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_latent_deadlocks() {
+        let base = SystemConfig::small;
+
+        let mut c = base();
+        c.admission_cap = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroAdmissionCap));
+
+        let mut c = base();
+        c.fetch_credits = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroFetchCredits));
+
+        let mut c = base();
+        c.mailbox_capacity = MIN_MAILBOX_CAPACITY - 1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::MailboxBelowConsistencyMinimum { .. })
+        ));
+
+        let mut c = base();
+        c.lock_timeout_floor = Duration::from_secs(60);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TimeoutFloorAboveCeiling { .. })
+        ));
+
+        let mut c = base();
+        c.leases_enabled = true;
+        c.lease_duration = c.heartbeat_interval;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::LeaseWithinHeartbeat { .. })
+        ));
+        // Leases off: the same pair is fine because no lease timer arms.
+        c.leases_enabled = false;
+        assert_eq!(c.validate(), Ok(()));
+
+        let mut c = base();
+        c.net_backoff_base = Duration::from_secs(10);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BackoffBaseAboveMax { .. })
+        ));
+
+        let mut c = base();
+        c.busy_retry_hint = Duration::ZERO;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBusyRetryHint));
+
+        let mut c = base();
+        c.timeout_multiplier = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveTimeoutMultiplier { .. })
+        ));
+
+        let mut c = base();
+        c.database_pages = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DegenerateSize { .. })
+        ));
+
+        let mut c = base();
+        c.server_buf_frac = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BufFracOutOfRange { .. })
+        ));
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("server_buf_frac"));
     }
 
     #[test]

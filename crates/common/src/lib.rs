@@ -32,7 +32,7 @@ pub mod lock;
 pub mod stats;
 pub mod time;
 
-pub use config::{Protocol, SystemConfig};
+pub use config::{ConfigError, Protocol, SystemConfig, MIN_MAILBOX_CAPACITY};
 pub use error::{AbortReason, PsccError};
 pub use ids::{AppId, FileId, LockLevel, LockableId, Oid, PageId, SiteId, TxnId, VolId};
 pub use lock::LockMode;

@@ -85,6 +85,15 @@ pub struct Counters {
     pub credits_stalled: u64,
     /// Retries of requests previously shed with `Busy`, after backoff.
     pub busy_retries: u64,
+    /// Remote data requests refused because their transaction was
+    /// already aborted here (the request was reordered behind its own
+    /// abort on a slower transport lane).
+    pub stale_requests_refused: u64,
+    /// Graceful drains begun at this site (control-plane `DrainReq`).
+    pub drains_started: u64,
+    /// Graceful drains that reached the drained state (WAL forced, all
+    /// admitted work retired) and reported `DrainOk`.
+    pub drains_completed: u64,
 }
 
 impl AddAssign for Counters {
@@ -122,6 +131,9 @@ impl AddAssign for Counters {
         self.requests_shed += o.requests_shed;
         self.credits_stalled += o.credits_stalled;
         self.busy_retries += o.busy_retries;
+        self.stale_requests_refused += o.stale_requests_refused;
+        self.drains_started += o.drains_started;
+        self.drains_completed += o.drains_completed;
     }
 }
 
@@ -133,7 +145,7 @@ impl fmt::Display for Counters {
              cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
              shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
              crashes={} orphans={} faults={} recovery={}r/{}u epochs={} \
-             shed={} stalled={} busy_retries={}",
+             shed={} stalled={} busy_retries={} drains={}/{}",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -166,6 +178,8 @@ impl fmt::Display for Counters {
             self.requests_shed,
             self.credits_stalled,
             self.busy_retries,
+            self.drains_started,
+            self.drains_completed,
         )
     }
 }
@@ -184,7 +198,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 33] {
+    pub fn fields(&self) -> [(&'static str, u64); 36] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -219,6 +233,9 @@ impl Counters {
             ("requests_shed", self.requests_shed),
             ("credits_stalled", self.credits_stalled),
             ("busy_retries", self.busy_retries),
+            ("stale_requests_refused", self.stale_requests_refused),
+            ("drains_started", self.drains_started),
+            ("drains_completed", self.drains_completed),
         ]
     }
 }

@@ -1,0 +1,62 @@
+//! # pscc-control
+//!
+//! The declarative cluster control plane (DESIGN.md §8): a
+//! [`ClusterManifest`] describes the *desired* state of a peer-server
+//! cluster (which sites exist, whether each should be up, and — for
+//! rolling restarts — the minimum epoch each must have been reborn
+//! into), and a [`Supervisor`] reconciles it against the *observed*
+//! state (a [`ClusterView`] assembled from the engines' liveness
+//! signals and probes), emitting a bounded plan of safe steps:
+//!
+//! ```text
+//! Drain → Stop → Restart (Recover + Rejoin) → Undrain
+//! ```
+//!
+//! At most `max_unavailable` sites are in flight at a time; every step
+//! carries a deadline, a bounded retry budget with widening backoff,
+//! and a rollback path (undrain what was draining, restart what was
+//! stopped) if the cluster refuses to converge.
+//!
+//! The crate is sans-IO in the same spirit as `pscc-core`: the
+//! supervisor never talks to a network or clock. Harnesses feed it
+//! views stamped with virtual time and execute the [`ControlAction`]s
+//! it returns (the testkit `Cluster::converge` and the threaded
+//! harness's supervisor thread both do).
+//!
+//! # Examples
+//!
+//! ```
+//! use pscc_common::{SimDuration, SimTime, SiteId};
+//! use pscc_control::{
+//!     ClusterManifest, ClusterView, ControlAction, ControlStatus, ObservedSite, SitePhase,
+//!     Supervisor,
+//! };
+//!
+//! // Desired: site 0 restarted into an epoch >= 2.
+//! let manifest =
+//!     ClusterManifest::rolling_restart(&[(SiteId(0), 1)], 1, SimDuration::from_secs(1));
+//! let mut sup = Supervisor::new(manifest).unwrap();
+//!
+//! // Observed: site 0 up in epoch 1 → first step is a drain.
+//! let view = ClusterView {
+//!     now: SimTime::ZERO,
+//!     sites: vec![ObservedSite {
+//!         site: SiteId(0),
+//!         up: true,
+//!         epoch: 1,
+//!         phase: SitePhase::Active,
+//!         queue_depth: 0,
+//!     }],
+//! };
+//! let tick = sup.tick(&view);
+//! assert_eq!(tick.actions, vec![ControlAction::Drain(SiteId(0))]);
+//! assert_eq!(tick.status, ControlStatus::InProgress);
+//! ```
+
+pub mod manifest;
+pub mod reconcile;
+pub mod view;
+
+pub use manifest::{ClusterManifest, DesiredState, ManifestError, SiteSpec};
+pub use reconcile::{ControlAction, ControlStatus, StepKind, Supervisor, TickResult};
+pub use view::{ClusterView, ObservedSite, SitePhase};

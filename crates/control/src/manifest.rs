@@ -1,0 +1,162 @@
+//! The desired-state half of the control plane.
+
+use pscc_common::{SimDuration, SiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the operator wants a site to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DesiredState {
+    /// The site should be serving, in an epoch of at least `min_epoch`.
+    /// A rolling restart is declared by setting `min_epoch` to one more
+    /// than the site's current epoch: the only way the cluster can
+    /// converge is to take the site through a full
+    /// drain → stop → recover → rejoin cycle.
+    Up {
+        /// Minimum acceptable epoch (1 = any running instance).
+        min_epoch: u64,
+    },
+    /// The site should be stopped (drained first, never yanked).
+    Down,
+}
+
+/// One site's row in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// The site.
+    pub site: SiteId,
+    /// What it should be.
+    pub desired: DesiredState,
+}
+
+/// A declarative description of the cluster the operator wants,
+/// together with the safety envelope the reconciler must respect while
+/// getting there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterManifest {
+    /// Desired state per site, in reconciliation (walk) order.
+    pub sites: Vec<SiteSpec>,
+    /// How many sites may be mid-operation (draining, stopped, or
+    /// recovering) at once. `1` is the classic one-at-a-time roll.
+    pub max_unavailable: usize,
+    /// Deadline for each individual step (drain, stop, restart,
+    /// undrain). A step that misses it is retried with a widening
+    /// deadline until `max_step_retries` is exhausted.
+    pub step_timeout: SimDuration,
+    /// Retries per step before the whole operation aborts and rolls
+    /// back.
+    pub max_step_retries: u32,
+}
+
+/// A manifest the reconciler refuses to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// No sites: nothing to reconcile.
+    Empty,
+    /// The same site appears twice; the walk order would be ambiguous.
+    DuplicateSite(SiteId),
+    /// `max_unavailable == 0` can never make progress.
+    ZeroMaxUnavailable,
+    /// A zero step timeout would retry every step on its first tick.
+    ZeroStepTimeout,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Empty => write!(f, "manifest lists no sites"),
+            ManifestError::DuplicateSite(s) => write!(f, "site {s:?} appears twice"),
+            ManifestError::ZeroMaxUnavailable => {
+                write!(f, "max_unavailable must be >= 1 to make progress")
+            }
+            ManifestError::ZeroStepTimeout => write!(f, "step_timeout must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl ClusterManifest {
+    /// The manifest for a rolling restart: every `(site, current_epoch)`
+    /// pair becomes `Up { min_epoch: current_epoch + 1 }`, so the only
+    /// converged state is one where each site has been reborn at least
+    /// once, in walk order, at most `max_unavailable` at a time.
+    pub fn rolling_restart(
+        current: &[(SiteId, u64)],
+        max_unavailable: usize,
+        step_timeout: SimDuration,
+    ) -> Self {
+        ClusterManifest {
+            sites: current
+                .iter()
+                .map(|&(site, epoch)| SiteSpec {
+                    site,
+                    desired: DesiredState::Up {
+                        min_epoch: epoch + 1,
+                    },
+                })
+                .collect(),
+            max_unavailable,
+            step_timeout,
+            max_step_retries: 3,
+        }
+    }
+
+    /// Structural sanity, checked by [`crate::Supervisor::new`].
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        if self.sites.is_empty() {
+            return Err(ManifestError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.sites {
+            if !seen.insert(s.site) {
+                return Err(ManifestError::DuplicateSite(s.site));
+            }
+        }
+        if self.max_unavailable == 0 {
+            return Err(ManifestError::ZeroMaxUnavailable);
+        }
+        if self.step_timeout == SimDuration::ZERO {
+            return Err(ManifestError::ZeroStepTimeout);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_restart_bumps_epochs() {
+        let m = ClusterManifest::rolling_restart(
+            &[(SiteId(0), 1), (SiteId(1), 4)],
+            1,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(m.sites.len(), 2);
+        assert_eq!(m.sites[1].desired, DesiredState::Up { min_epoch: 5 });
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_manifests() {
+        let ok = ClusterManifest::rolling_restart(&[(SiteId(0), 1)], 1, SimDuration::from_secs(1));
+
+        let mut m = ok.clone();
+        m.sites.clear();
+        assert_eq!(m.validate(), Err(ManifestError::Empty));
+
+        let mut m = ok.clone();
+        m.sites.push(m.sites[0]);
+        assert_eq!(m.validate(), Err(ManifestError::DuplicateSite(SiteId(0))));
+
+        let mut m = ok.clone();
+        m.max_unavailable = 0;
+        assert_eq!(m.validate(), Err(ManifestError::ZeroMaxUnavailable));
+
+        let mut m = ok;
+        m.step_timeout = SimDuration::ZERO;
+        assert_eq!(m.validate(), Err(ManifestError::ZeroStepTimeout));
+    }
+}

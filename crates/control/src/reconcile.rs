@@ -1,0 +1,565 @@
+//! The reconciler: diff desired vs. observed, emit bounded safe steps.
+//!
+//! [`Supervisor::tick`] is a pure state-machine transition: given the
+//! latest [`ClusterView`], it advances per-site step programs, enforces
+//! per-step deadlines with a widening retry backoff, admits new sites
+//! into the operation while fewer than `max_unavailable` are in flight,
+//! and — if any step exhausts its retries — aborts the whole operation
+//! and emits the rollback actions that return the cluster to service
+//! (undrain what was draining, restart what was stopped).
+
+use crate::manifest::{ClusterManifest, DesiredState, ManifestError, SiteSpec};
+use crate::view::{ClusterView, SitePhase};
+use pscc_common::{SimTime, SiteId};
+use std::collections::VecDeque;
+
+/// One step of a site's program, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Ask the site to drain (graceful admission close + WAL force).
+    Drain,
+    /// Stop the drained site's process.
+    Stop,
+    /// Start the site again (restart recovery bumps its epoch).
+    Restart,
+    /// Reopen admission (auto-skipped when the site came back active).
+    Undrain,
+}
+
+impl StepKind {
+    /// The step's name as it appears in `converge_step` events.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepKind::Drain => "drain",
+            StepKind::Stop => "stop",
+            StepKind::Restart => "restart",
+            StepKind::Undrain => "undrain",
+        }
+    }
+}
+
+/// An instruction for the harness executing the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Send `DrainReq` to the site.
+    Drain(SiteId),
+    /// Stop (crash) the site's process.
+    Stop(SiteId),
+    /// Restart the site (restart recovery + rejoin happen inside).
+    Restart(SiteId),
+    /// Send `UndrainReq` to the site.
+    Undrain(SiteId),
+}
+
+impl ControlAction {
+    fn for_step(step: StepKind, site: SiteId) -> ControlAction {
+        match step {
+            StepKind::Drain => ControlAction::Drain(site),
+            StepKind::Stop => ControlAction::Stop(site),
+            StepKind::Restart => ControlAction::Restart(site),
+            StepKind::Undrain => ControlAction::Undrain(site),
+        }
+    }
+
+    /// The site the action targets.
+    pub fn site(self) -> SiteId {
+        match self {
+            ControlAction::Drain(s)
+            | ControlAction::Stop(s)
+            | ControlAction::Restart(s)
+            | ControlAction::Undrain(s) => s,
+        }
+    }
+}
+
+/// Where the operation stands after a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlStatus {
+    /// Observed state matches the manifest; nothing in flight.
+    Converged,
+    /// Steps are in flight or still to be admitted.
+    InProgress,
+    /// A step exhausted its retries; rollback actions were emitted and
+    /// the supervisor will make no further progress.
+    Aborted {
+        /// The site whose step gave up.
+        site: SiteId,
+        /// The step that could not complete.
+        step: StepKind,
+    },
+}
+
+/// The output of one reconciliation tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickResult {
+    /// Where the operation stands now.
+    pub status: ControlStatus,
+    /// Actions the harness must execute, in order.
+    pub actions: Vec<ControlAction>,
+}
+
+/// A site currently being walked through its program.
+#[derive(Debug, Clone)]
+struct InFlight {
+    site: SiteId,
+    /// Remaining steps; front is the one in flight.
+    plan: VecDeque<StepKind>,
+    /// Deadline for the current step.
+    deadline: SimTime,
+    /// Retries consumed by the current step.
+    retries: u32,
+}
+
+/// The reconciling cluster supervisor. See the crate docs for the
+/// model; see [`ClusterManifest`] for the safety envelope.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    manifest: ClusterManifest,
+    in_flight: Vec<InFlight>,
+    status: ControlStatus,
+    steps_executed: u64,
+    last_draining: u64,
+    last_down: u64,
+}
+
+impl Supervisor {
+    /// Builds a supervisor for `manifest`, validating it first.
+    pub fn new(manifest: ClusterManifest) -> Result<Self, ManifestError> {
+        manifest.validate()?;
+        Ok(Supervisor {
+            manifest,
+            in_flight: Vec::new(),
+            status: ControlStatus::InProgress,
+            steps_executed: 0,
+            last_draining: 0,
+            last_down: 0,
+        })
+    }
+
+    /// The manifest being reconciled.
+    pub fn manifest(&self) -> &ClusterManifest {
+        &self.manifest
+    }
+
+    /// Current status (also returned by every tick).
+    pub fn status(&self) -> ControlStatus {
+        self.status
+    }
+
+    /// Total step executions so far, retries included (the
+    /// `converge_done` event's step count).
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Sites observed draining at the last tick (`sites_draining`
+    /// gauge).
+    pub fn sites_draining(&self) -> u64 {
+        self.last_draining
+    }
+
+    /// Sites observed down at the last tick (`rolling_unavailable`
+    /// gauge).
+    pub fn rolling_unavailable(&self) -> u64 {
+        self.last_down
+    }
+
+    /// The program that takes `spec.site` from its observation to its
+    /// desired state. Empty when the site is already there.
+    fn plan_for(spec: &SiteSpec, view: &ClusterView) -> VecDeque<StepKind> {
+        let Some(obs) = view.get(spec.site) else {
+            // Unobserved sites cannot be reconciled; an empty plan keeps
+            // them out of flight (the operation will not converge, and
+            // the caller's budget surfaces that).
+            return VecDeque::new();
+        };
+        match spec.desired {
+            DesiredState::Down => {
+                if obs.up {
+                    VecDeque::from([StepKind::Drain, StepKind::Stop])
+                } else {
+                    VecDeque::new()
+                }
+            }
+            DesiredState::Up { min_epoch } => {
+                if !obs.up {
+                    VecDeque::from([StepKind::Restart, StepKind::Undrain])
+                } else if obs.epoch < min_epoch {
+                    VecDeque::from([
+                        StepKind::Drain,
+                        StepKind::Stop,
+                        StepKind::Restart,
+                        StepKind::Undrain,
+                    ])
+                } else if obs.phase != SitePhase::Active {
+                    VecDeque::from([StepKind::Undrain])
+                } else {
+                    VecDeque::new()
+                }
+            }
+        }
+    }
+
+    /// Whether `step` has completed for `spec.site` per the view.
+    fn step_complete(spec: &SiteSpec, step: StepKind, view: &ClusterView) -> bool {
+        let Some(obs) = view.get(spec.site) else {
+            return false;
+        };
+        match step {
+            StepKind::Drain => obs.up && obs.phase == SitePhase::Drained,
+            StepKind::Stop => !obs.up,
+            StepKind::Restart => {
+                let min = match spec.desired {
+                    DesiredState::Up { min_epoch } => min_epoch,
+                    DesiredState::Down => 1,
+                };
+                obs.up && obs.epoch >= min
+            }
+            StepKind::Undrain => obs.up && obs.phase == SitePhase::Active,
+        }
+    }
+
+    fn spec_of(&self, site: SiteId) -> &SiteSpec {
+        self.manifest
+            .sites
+            .iter()
+            .find(|s| s.site == site)
+            .expect("in-flight site is always from the manifest")
+    }
+
+    /// One reconciliation transition. Pure with respect to IO: reads
+    /// the view, mutates supervisor state, returns actions to execute.
+    pub fn tick(&mut self, view: &ClusterView) -> TickResult {
+        self.last_draining = view.sites_draining();
+        self.last_down = view.sites_down();
+        if let ControlStatus::Aborted { .. } = self.status {
+            // Terminal: rollback was already emitted.
+            return TickResult {
+                status: self.status,
+                actions: Vec::new(),
+            };
+        }
+
+        let mut actions = Vec::new();
+        let mut aborted: Option<(SiteId, StepKind)> = None;
+
+        // Advance (or time out) every in-flight program.
+        let mut still = Vec::new();
+        for mut fly in std::mem::take(&mut self.in_flight) {
+            let spec = *self.spec_of(fly.site);
+            let mut advanced = false;
+            // A site that died while we were draining (or reopening) it
+            // cannot answer the step in flight; re-plan from what is
+            // actually there (typically straight to Restart) instead of
+            // retrying a handshake with a corpse.
+            if matches!(fly.plan.front(), Some(StepKind::Drain | StepKind::Undrain))
+                && view.get(fly.site).is_some_and(|o| !o.up)
+            {
+                fly.plan = Self::plan_for(&spec, view);
+                advanced = true;
+            }
+            while let Some(&step) = fly.plan.front() {
+                if Self::step_complete(&spec, step, view) {
+                    fly.plan.pop_front();
+                    advanced = true;
+                } else {
+                    break;
+                }
+            }
+            let Some(&step) = fly.plan.front() else {
+                continue; // program finished; site leaves the flight
+            };
+            if advanced {
+                actions.push(ControlAction::for_step(step, fly.site));
+                fly.deadline = view.now + self.manifest.step_timeout;
+                fly.retries = 0;
+                self.steps_executed += 1;
+            } else if view.now >= fly.deadline {
+                if fly.retries >= self.manifest.max_step_retries {
+                    aborted = Some((fly.site, step));
+                    still.push(fly);
+                    continue;
+                }
+                fly.retries += 1;
+                // Widening backoff: each retry gets a longer deadline.
+                let patience = self
+                    .manifest
+                    .step_timeout
+                    .mul_f64(f64::from(fly.retries) + 1.0);
+                fly.deadline = view.now + patience;
+                actions.push(ControlAction::for_step(step, fly.site));
+                self.steps_executed += 1;
+            }
+            still.push(fly);
+        }
+        self.in_flight = still;
+
+        if let Some((site, step)) = aborted {
+            // Roll back: reopen every site the operation touched. A
+            // draining/drained site is undrained; a stopped site is
+            // restarted (best effort — it may itself be the stuck one).
+            let mut rollback = Vec::new();
+            for fly in self.in_flight.drain(..) {
+                match view.get(fly.site) {
+                    Some(obs) if !obs.up => rollback.push(ControlAction::Restart(fly.site)),
+                    Some(obs) if obs.phase != SitePhase::Active => {
+                        rollback.push(ControlAction::Undrain(fly.site))
+                    }
+                    _ => {}
+                }
+            }
+            self.steps_executed += rollback.len() as u64;
+            self.status = ControlStatus::Aborted { site, step };
+            return TickResult {
+                status: self.status,
+                actions: rollback,
+            };
+        }
+
+        // Admit new sites while the unavailability budget allows.
+        for spec in &self.manifest.sites {
+            if self.in_flight.len() >= self.manifest.max_unavailable {
+                break;
+            }
+            if self.in_flight.iter().any(|f| f.site == spec.site) {
+                continue;
+            }
+            let plan = Self::plan_for(spec, view);
+            let Some(&first) = plan.front() else {
+                continue; // already at desired state
+            };
+            actions.push(ControlAction::for_step(first, spec.site));
+            self.steps_executed += 1;
+            self.in_flight.push(InFlight {
+                site: spec.site,
+                plan,
+                deadline: view.now + self.manifest.step_timeout,
+                retries: 0,
+            });
+        }
+
+        let all_satisfied = self
+            .manifest
+            .sites
+            .iter()
+            .all(|s| Self::plan_for(s, view).is_empty());
+        self.status = if self.in_flight.is_empty() && all_satisfied {
+            ControlStatus::Converged
+        } else {
+            ControlStatus::InProgress
+        };
+        TickResult {
+            status: self.status,
+            actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ObservedSite;
+    use pscc_common::SimDuration;
+
+    fn obs(site: u32, up: bool, epoch: u64, phase: SitePhase) -> ObservedSite {
+        ObservedSite {
+            site: SiteId(site),
+            up,
+            epoch,
+            phase,
+            queue_depth: 0,
+        }
+    }
+
+    fn view(now_us: u64, sites: Vec<ObservedSite>) -> ClusterView {
+        ClusterView {
+            now: SimTime::from_micros(now_us),
+            sites,
+        }
+    }
+
+    fn rolling(n: u32, max_unavailable: usize) -> Supervisor {
+        let current: Vec<(SiteId, u64)> = (0..n).map(|i| (SiteId(i), 1)).collect();
+        Supervisor::new(ClusterManifest::rolling_restart(
+            &current,
+            max_unavailable,
+            SimDuration::from_millis(100),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn one_at_a_time_walk() {
+        let mut sup = rolling(2, 1);
+
+        // Both up in epoch 1: drain the first site only.
+        let t = sup.tick(&view(
+            0,
+            vec![
+                obs(0, true, 1, SitePhase::Active),
+                obs(1, true, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(t.actions, vec![ControlAction::Drain(SiteId(0))]);
+        assert_eq!(t.status, ControlStatus::InProgress);
+
+        // Site 0 drained → stop it. Site 1 must stay untouched.
+        let t = sup.tick(&view(
+            10,
+            vec![
+                obs(0, true, 1, SitePhase::Drained),
+                obs(1, true, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(t.actions, vec![ControlAction::Stop(SiteId(0))]);
+
+        // Site 0 down → restart it.
+        let t = sup.tick(&view(
+            20,
+            vec![
+                obs(0, false, 1, SitePhase::Active),
+                obs(1, true, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(t.actions, vec![ControlAction::Restart(SiteId(0))]);
+
+        // Site 0 reborn in epoch 2 and active: undrain auto-skips, its
+        // program finishes, and site 1 is admitted in the same tick.
+        let t = sup.tick(&view(
+            30,
+            vec![
+                obs(0, true, 2, SitePhase::Active),
+                obs(1, true, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(t.actions, vec![ControlAction::Drain(SiteId(1))]);
+
+        // Walk site 1 the same way; after its rebirth the plan is done.
+        sup.tick(&view(
+            40,
+            vec![
+                obs(0, true, 2, SitePhase::Active),
+                obs(1, true, 1, SitePhase::Drained),
+            ],
+        ));
+        sup.tick(&view(
+            50,
+            vec![
+                obs(0, true, 2, SitePhase::Active),
+                obs(1, false, 1, SitePhase::Active),
+            ],
+        ));
+        let t = sup.tick(&view(
+            60,
+            vec![
+                obs(0, true, 2, SitePhase::Active),
+                obs(1, true, 2, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(t.status, ControlStatus::Converged);
+        assert!(t.actions.is_empty());
+    }
+
+    #[test]
+    fn max_unavailable_bounds_the_flight() {
+        let mut sup = rolling(3, 2);
+        let t = sup.tick(&view(
+            0,
+            vec![
+                obs(0, true, 1, SitePhase::Active),
+                obs(1, true, 1, SitePhase::Active),
+                obs(2, true, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(
+            t.actions,
+            vec![
+                ControlAction::Drain(SiteId(0)),
+                ControlAction::Drain(SiteId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn timeout_retries_then_aborts_with_rollback() {
+        let mut sup = rolling(1, 1);
+        let stuck = |now: u64| view(now, vec![obs(0, true, 1, SitePhase::Draining)]);
+
+        let t = sup.tick(&view(0, vec![obs(0, true, 1, SitePhase::Active)]));
+        assert_eq!(t.actions, vec![ControlAction::Drain(SiteId(0))]);
+
+        // Deadline passes (100ms steps): three widening retries.
+        let mut now = 150_000;
+        for _ in 0..3 {
+            let t = sup.tick(&stuck(now));
+            assert_eq!(t.actions, vec![ControlAction::Drain(SiteId(0))]);
+            assert_eq!(t.status, ControlStatus::InProgress);
+            now += 500_000;
+        }
+
+        // Fourth miss: abort, and the stuck-draining site is reopened.
+        let t = sup.tick(&stuck(now));
+        assert_eq!(
+            t.status,
+            ControlStatus::Aborted {
+                site: SiteId(0),
+                step: StepKind::Drain
+            }
+        );
+        assert_eq!(t.actions, vec![ControlAction::Undrain(SiteId(0))]);
+
+        // Terminal: further ticks do nothing.
+        let t = sup.tick(&stuck(now + 1));
+        assert!(t.actions.is_empty());
+        assert!(matches!(t.status, ControlStatus::Aborted { .. }));
+    }
+
+    #[test]
+    fn down_desired_drains_then_stops() {
+        let manifest = ClusterManifest {
+            sites: vec![SiteSpec {
+                site: SiteId(0),
+                desired: DesiredState::Down,
+            }],
+            max_unavailable: 1,
+            step_timeout: SimDuration::from_millis(100),
+            max_step_retries: 1,
+        };
+        let mut sup = Supervisor::new(manifest).unwrap();
+        let t = sup.tick(&view(0, vec![obs(0, true, 1, SitePhase::Active)]));
+        assert_eq!(t.actions, vec![ControlAction::Drain(SiteId(0))]);
+        let t = sup.tick(&view(1, vec![obs(0, true, 1, SitePhase::Drained)]));
+        assert_eq!(t.actions, vec![ControlAction::Stop(SiteId(0))]);
+        let t = sup.tick(&view(2, vec![obs(0, false, 1, SitePhase::Active)]));
+        assert_eq!(t.status, ControlStatus::Converged);
+    }
+
+    #[test]
+    fn crashed_while_draining_replans_to_restart() {
+        // The site dies mid-drain: the Drain handshake can never finish,
+        // so the reconciler re-plans from the observation instead of
+        // retrying a handshake with a corpse — straight to Restart, and
+        // the operation still converges.
+        let mut sup = rolling(1, 1);
+        sup.tick(&view(0, vec![obs(0, true, 1, SitePhase::Active)]));
+        let t = sup.tick(&view(10, vec![obs(0, false, 1, SitePhase::Active)]));
+        assert_eq!(t.actions, vec![ControlAction::Restart(SiteId(0))]);
+        assert_eq!(t.status, ControlStatus::InProgress);
+        let t = sup.tick(&view(20, vec![obs(0, true, 2, SitePhase::Active)]));
+        assert_eq!(t.status, ControlStatus::Converged);
+    }
+
+    #[test]
+    fn gauges_reflect_last_view() {
+        let mut sup = rolling(2, 2);
+        sup.tick(&view(
+            0,
+            vec![
+                obs(0, true, 1, SitePhase::Draining),
+                obs(1, false, 1, SitePhase::Active),
+            ],
+        ));
+        assert_eq!(sup.sites_draining(), 1);
+        assert_eq!(sup.rolling_unavailable(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! The observed-state half of the control plane.
+//!
+//! A [`ClusterView`] is a point-in-time snapshot the harness assembles
+//! from signals that already exist: liveness (is the site's process
+//! alive), the engine's epoch probe (has a restart recovery completed),
+//! the drain-phase probe, and the admission queue depth gauge. The
+//! supervisor never inspects a site directly — it only ever sees views.
+
+use pscc_common::{SimTime, SiteId};
+
+/// Where a site stands in the drain lifecycle, as observed. Mirrors
+/// `pscc_core::DrainPhase` without depending on the engine crate (the
+/// control plane sees phases, not engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SitePhase {
+    /// Admitting data requests normally.
+    Active,
+    /// Drain in progress.
+    Draining,
+    /// Drain complete; admission closed until undrain or restart.
+    Drained,
+}
+
+/// One site's observed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedSite {
+    /// The site.
+    pub site: SiteId,
+    /// Whether the site's process is up (liveness signal).
+    pub up: bool,
+    /// The engine's current epoch (1 at first boot, +1 per recovery).
+    /// Meaningless when `up` is false.
+    pub epoch: u64,
+    /// Drain lifecycle phase. Meaningless when `up` is false.
+    pub phase: SitePhase,
+    /// Admitted remote data requests (the engine queue-depth gauge).
+    pub queue_depth: usize,
+}
+
+/// A snapshot of the whole cluster at virtual time `now`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterView {
+    /// When the snapshot was taken.
+    pub now: SimTime,
+    /// Per-site observations (any order; looked up by id).
+    pub sites: Vec<ObservedSite>,
+}
+
+impl ClusterView {
+    /// The observation for `site`, if the view covers it.
+    pub fn get(&self, site: SiteId) -> Option<&ObservedSite> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+
+    /// Sites currently draining (the `sites_draining` gauge).
+    pub fn sites_draining(&self) -> u64 {
+        self.sites
+            .iter()
+            .filter(|s| s.up && s.phase == SitePhase::Draining)
+            .count() as u64
+    }
+
+    /// Sites currently down (the `rolling_unavailable` gauge).
+    pub fn sites_down(&self) -> u64 {
+        self.sites.iter().filter(|s| !s.up).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_count_phases() {
+        let v = ClusterView {
+            now: SimTime::ZERO,
+            sites: vec![
+                ObservedSite {
+                    site: SiteId(0),
+                    up: true,
+                    epoch: 1,
+                    phase: SitePhase::Draining,
+                    queue_depth: 3,
+                },
+                ObservedSite {
+                    site: SiteId(1),
+                    up: false,
+                    epoch: 1,
+                    phase: SitePhase::Active,
+                    queue_depth: 0,
+                },
+            ],
+        };
+        assert_eq!(v.sites_draining(), 1);
+        assert_eq!(v.sites_down(), 1);
+        assert_eq!(v.get(SiteId(1)).map(|s| s.up), Some(false));
+        assert!(v.get(SiteId(9)).is_none());
+    }
+}

@@ -445,6 +445,10 @@ impl PeerServer {
     /// volume): cancel the transaction's callbacks, undo its shipped
     /// updates, release its locks.
     pub(crate) fn server_abort_core(&mut self, txn: TxnId) {
+        // A remote transaction aborted here stays refusable: its late
+        // requests (reordered onto a slower lane than the abort) must
+        // not re-acquire state this cleanup just released.
+        self.tombstone_txn(txn);
         // Cancel callback operations it initiated.
         let cbs: Vec<crate::msg::CbId> = self
             .cb_ops

@@ -15,10 +15,13 @@
 
 mod client;
 mod commit;
+pub mod drain;
 pub mod large;
 mod liveness;
 mod recovery;
 mod server;
+
+pub use drain::DrainPhase;
 
 use crate::cache::ClientCache;
 use crate::copy_table::CopyTable;
@@ -38,6 +41,12 @@ use pscc_lockmgr::{LockTable, Ticket};
 use pscc_storage::Volume;
 use pscc_wal::{LogCache, ServerLog};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How many recently-aborted remote transactions a server remembers for
+/// straggler refusal (see [`PeerServer::tombstone_txn`]). Transaction
+/// ids are never reused, so the only cost of forgetting one early is a
+/// reopened (tiny) race window; 4096 outlasts any realistic reorder.
+const DEAD_TXN_MEMORY: usize = 4096;
 
 /// What resumes when a lock ticket is granted.
 #[derive(Debug, Clone)]
@@ -184,6 +193,9 @@ pub(crate) enum DiskCont {
     CommitApply(commit::CommitApply),
     /// The log force at the end of commit application completed.
     CommitForced(commit::CommitApply),
+    /// The WAL force at the end of a graceful drain completed; report
+    /// `DrainOk` to the control plane (engine/drain.rs).
+    DrainForced,
     /// Pure accounting (dirty-page writeback); nothing resumes.
     Accounted,
 }
@@ -214,6 +226,9 @@ pub(crate) enum TimerKind {
     /// Backoff before re-sending a request an overloaded owner refused
     /// with [`Message::Busy`] (admission control, DESIGN.md §6).
     BusyRetry { req: ReqId },
+    /// Periodic check of a graceful drain's completion condition
+    /// (engine/drain.rs); re-arms until the drain finishes or cancels.
+    DrainCheck,
 }
 
 /// State of a client-side callback thread (the per-callback thread of
@@ -375,6 +390,19 @@ pub struct PeerServer {
     /// `Busy` refusal can re-send them after backoff. Value is
     /// `(owner, message, busy-attempt count)`.
     pub(crate) inflight: HashMap<ReqId, (SiteId, Message, u32)>,
+    /// Server role: remote transactions recently aborted here. Data
+    /// requests and abort notices travel on different transport lanes,
+    /// so a request can arrive *after* the abort that killed its
+    /// transaction; admitting it would acquire locks nothing will ever
+    /// release. Bounded FIFO memory (`DEAD_TXN_MEMORY`).
+    pub(crate) dead_txns: HashSet<TxnId>,
+    /// Insertion order of `dead_txns`, for FIFO eviction.
+    pub(crate) dead_txns_order: VecDeque<TxnId>,
+
+    // Control plane (DESIGN.md §8).
+    /// In-progress or completed graceful drain, if any. While set, new
+    /// remote data requests are refused with `Busy` (engine/drain.rs).
+    pub(crate) draining: Option<drain::DrainState>,
 
     // Id allocation.
     next_req: u64,
@@ -461,6 +489,9 @@ impl PeerServer {
             credits: HashMap::new(),
             credit_waiters: HashMap::new(),
             inflight: HashMap::new(),
+            dead_txns: HashSet::new(),
+            dead_txns_order: VecDeque::new(),
+            draining: None,
             next_req: 0,
             next_cb: 0,
             next_de: 0,
@@ -687,8 +718,11 @@ impl PeerServer {
                 .or_insert_with(|| (to, msg.clone(), 0));
         }
         self.stats.msgs_sent += 1;
+        // Control-plane replies go to the supervisor, which is not a
+        // peer: never start heartbeating it.
+        let control = msg.is_control_plane();
         self.out.push(Output::Send { to, msg });
-        if self.cfg.leases_enabled {
+        if self.cfg.leases_enabled && !control {
             self.note_contact(to);
         }
     }
@@ -715,15 +749,48 @@ impl PeerServer {
         }
     }
 
+    /// Remembers a remote transaction aborted at this server, so a data
+    /// request of its that was reordered behind the abort (the lanes
+    /// differ: aborts ride the priority lane, data the bulk lane) is
+    /// refused at admission instead of acquiring lock state nothing
+    /// will ever release.
+    pub(crate) fn tombstone_txn(&mut self, txn: TxnId) {
+        if txn.site == self.site || !self.dead_txns.insert(txn) {
+            return;
+        }
+        self.dead_txns_order.push_back(txn);
+        while self.dead_txns_order.len() > DEAD_TXN_MEMORY {
+            if let Some(old) = self.dead_txns_order.pop_front() {
+                self.dead_txns.remove(&old);
+            }
+        }
+    }
+
     /// Admits a remote data request, or refuses it with `Busy` when the
     /// server already has `admission_cap` requests in progress. Work
     /// re-driven from a deescalation queue is already admitted and
     /// passes unconditionally.
     pub(crate) fn admit(&mut self, from: SiteId, req: ReqId, txn: TxnId) -> bool {
+        if self.dead_txns.contains(&txn) {
+            // The home already aborted this transaction; the request
+            // overtook nothing — its abort overtook *it*. Refusing with
+            // the abort verdict (rather than `Busy`) stops the client
+            // from retrying a transaction it has already forgotten.
+            self.stats.stale_requests_refused += 1;
+            self.send(
+                from,
+                Message::TxnAborted {
+                    txn,
+                    reason: AbortReason::Internal,
+                },
+            );
+            return false;
+        }
         if self.admitted.contains_key(&(from, req)) {
             return true;
         }
-        if self.admitted.len() >= self.cfg.admission_cap as usize {
+        if self.drain_refuses_admission() || self.admitted.len() >= self.cfg.admission_cap as usize
+        {
             self.stats.requests_shed += 1;
             self.obs
                 .record(pscc_obs::EventKind::RequestShed { peer: from });
@@ -937,6 +1004,7 @@ impl PeerServer {
             TimerKind::Heartbeat => self.heartbeat_fired(),
             TimerKind::CbResponse { cb } => self.cb_response_fired(cb),
             TimerKind::BusyRetry { req } => self.busy_retry_fired(req),
+            TimerKind::DrainCheck => self.drain_check_fired(),
         }
     }
 
@@ -954,6 +1022,7 @@ impl PeerServer {
             } => self.server_ship(req, from, txn, page, requested),
             DiskCont::CommitApply(state) => self.commit_apply_step(state),
             DiskCont::CommitForced(state) => self.commit_forced(state),
+            DiskCont::DrainForced => self.drain_forced(),
             DiskCont::Accounted => {}
         }
     }
@@ -1010,7 +1079,10 @@ impl PeerServer {
     }
 
     fn handle_msg(&mut self, from: SiteId, msg: Message) {
-        if self.cfg.leases_enabled && from != self.site {
+        // Control-plane messages come from the supervisor, not a peer:
+        // no lease is armed for their sender (it owns no data and does
+        // not heartbeat).
+        if self.cfg.leases_enabled && from != self.site && !msg.is_control_plane() {
             self.observe_peer(from);
         }
         // Epoch fence: a peer that must rejoin (this server restarted,
@@ -1099,6 +1171,13 @@ impl PeerServer {
             Message::TxnResolved { txn, committed } => {
                 self.client_txn_resolved(from, txn, committed)
             }
+
+            // Control plane (DESIGN.md §8).
+            Message::DrainReq { req } => self.server_drain_req(from, req),
+            Message::UndrainReq { req } => self.server_undrain_req(from, req),
+            // Drain verdicts are addressed to the supervisor; an engine
+            // receiving one (e.g. a duplicated frame) ignores it.
+            Message::DrainOk { .. } | Message::UndrainOk { .. } => (),
 
             // Large objects (paper §4.4).
             Message::FetchLargePage { req, page } => self.server_fetch_large(req, from, page),

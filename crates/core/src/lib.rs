@@ -73,7 +73,7 @@ pub mod timeout;
 pub mod txn;
 
 pub use engine::large::{decode_header_oid, encode_header_oid};
-pub use engine::PeerServer;
+pub use engine::{DrainPhase, PeerServer};
 pub use msg::{
     AppOp, AppReply, AppRequest, CbId, CbTarget, DeId, DiskOp, DiskReqId, Input, Message, Output,
     ReqId, TimerId,

@@ -466,6 +466,37 @@ pub enum Message {
         /// Suggested base delay before retrying.
         retry_after: SimDuration,
     },
+
+    // Control plane (DESIGN.md §8).
+    /// Supervisor → site: begin a graceful drain. The site stops
+    /// admitting *new* remote data requests (they are shed with `Busy`
+    /// so clients back off and retry elsewhere/later), lets admitted
+    /// work run to its verdict, completes outstanding callbacks and
+    /// deescalations, forces its WAL, and then reports `DrainOk`. A
+    /// planned restart of a drained site therefore loses zero committed
+    /// work and no client ever sees a raw connection drop.
+    DrainReq {
+        /// Correlates the eventual `DrainOk`.
+        req: ReqId,
+    },
+    /// Site → supervisor: the drain identified by `req` has completed —
+    /// no admitted requests, no callbacks or deescalations in flight,
+    /// and the log is durable up to the last commit.
+    DrainOk {
+        /// The completed drain request.
+        req: ReqId,
+    },
+    /// Supervisor → site: cancel a drain (rollback path) or re-open a
+    /// site after a completed rolling step. Idempotent.
+    UndrainReq {
+        /// Correlates the `UndrainOk`.
+        req: ReqId,
+    },
+    /// Site → supervisor: the site is admitting data requests again.
+    UndrainOk {
+        /// The completed undrain request.
+        req: ReqId,
+    },
 }
 
 impl Message {
@@ -530,6 +561,25 @@ impl Message {
                 | Message::TxnResolved { .. }
                 | Message::Busy { .. }
                 | Message::ReqDenied { .. }
+                | Message::DrainReq { .. }
+                | Message::DrainOk { .. }
+                | Message::UndrainReq { .. }
+                | Message::UndrainOk { .. }
+        )
+    }
+
+    /// Whether this message is control-plane traffic from/to the cluster
+    /// supervisor rather than a peer site. Control messages bypass the
+    /// epoch fence (a freshly restarted site must be drainable before it
+    /// rejoins) and never arm liveness state for their sender (the
+    /// supervisor is not a peer and owns no data).
+    pub fn is_control_plane(&self) -> bool {
+        matches!(
+            self,
+            Message::DrainReq { .. }
+                | Message::DrainOk { .. }
+                | Message::UndrainReq { .. }
+                | Message::UndrainOk { .. }
         )
     }
 }
@@ -785,6 +835,14 @@ mod tests {
         }
         .is_consistency());
         assert!(Message::Heartbeat.is_consistency());
+        // Control-plane drain traffic rides the lossless lane too: a
+        // shed DrainReq would wedge the supervisor's step timeout.
+        assert!(Message::DrainReq { req: ReqId(7) }.is_consistency());
+        assert!(Message::DrainOk { req: ReqId(7) }.is_consistency());
+        assert!(Message::UndrainReq { req: ReqId(8) }.is_consistency());
+        assert!(Message::UndrainOk { req: ReqId(8) }.is_consistency());
+        assert!(Message::DrainReq { req: ReqId(7) }.is_control_plane());
+        assert!(!Message::Heartbeat.is_control_plane());
         // Bulk lane: fetches and write-permission traffic.
         let p = PageId::new(FileId::new(VolId(0), 0), 1);
         assert!(!Message::ReadPage {

@@ -273,3 +273,102 @@ fn deescalation_race_voids_stale_adaptive_grant() {
     );
     assert!(dump.contains("adaptive_grant"), "{dump}");
 }
+
+/// A transaction's abort can overtake its own still-in-flight data
+/// request: aborts ride the lossless priority lane while data requests
+/// ride the bulk lane, so the owner may process `AbortTxn` first and
+/// then see the request it killed. The owner must remember the abort
+/// and refuse the straggler at admission — admitting it would acquire
+/// lock state nothing will ever release, wedging every later writer of
+/// the object behind a permanent `LockTimeout`.
+#[test]
+fn abort_overtaking_its_request_leaves_no_orphan_lock() {
+    use pscc_common::{AbortReason, SimTime, TxnId};
+    use pscc_core::{Input, Message, Output, PeerServer, ReqId};
+
+    /// Handles one message, immediately completing any disk I/O it asks
+    /// for (in-memory storage), and returns everything it produced.
+    fn drive_msg(s: &mut PeerServer, from: SiteId, msg: Message, now: SimTime) -> Vec<Output> {
+        let mut outs = s.handle(now, Input::Msg { from, msg });
+        let mut i = 0;
+        while i < outs.len() {
+            if let Output::Disk { req, .. } = &outs[i] {
+                let req = *req;
+                let more = s.handle(now, Input::DiskDone { req });
+                outs.extend(more);
+            }
+            i += 1;
+        }
+        outs
+    }
+
+    let cfg = SystemConfig {
+        protocol: Protocol::PsAa,
+        ..SystemConfig::small()
+    };
+    let mut s = PeerServer::new(S, cfg, OwnerMap::Single(S));
+    let now = SimTime::ZERO;
+    let x = oid(2, 0);
+    let dead = TxnId::new(A, 7);
+
+    // The abort arrives first — reordered ahead of the request it kills.
+    s.handle(
+        now,
+        Input::Msg {
+            from: A,
+            msg: Message::AbortTxn { txn: dead },
+        },
+    );
+
+    // The dead transaction's write arrives late: it must be refused
+    // with the abort verdict, holding no admission slot and no lock.
+    let outs = drive_msg(
+        &mut s,
+        A,
+        Message::WriteObj {
+            req: ReqId(1),
+            txn: dead,
+            oid: x,
+        },
+        now,
+    );
+    assert!(
+        outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                to,
+                msg: Message::TxnAborted {
+                    txn,
+                    reason: AbortReason::Internal
+                }
+            } if *to == A && *txn == dead
+        )),
+        "straggler must be refused with the abort verdict: {outs:?}"
+    );
+    assert_eq!(s.queue_depth(), 0, "refused request held an admission slot");
+    assert_eq!(s.stats.stale_requests_refused, 1);
+
+    // The object is free: another client's write is granted immediately
+    // instead of waiting out a lock timeout against the orphan.
+    let live = TxnId::new(B, 1);
+    let outs = drive_msg(
+        &mut s,
+        B,
+        Message::WriteObj {
+            req: ReqId(2),
+            txn: live,
+            oid: x,
+        },
+        now,
+    );
+    assert!(
+        outs.iter().any(|o| matches!(
+            o,
+            Output::Send {
+                to,
+                msg: Message::WriteGranted { .. }
+            } if *to == B
+        )),
+        "object lock leaked to the dead transaction: {outs:?}"
+    );
+}

@@ -164,6 +164,18 @@ pub enum EventKind {
     /// A message or acknowledgment referencing state that no longer
     /// exists was dropped (traced instead of panicking).
     StaleDrop { what: &'static str },
+    /// A site began a graceful drain on behalf of the control plane: new
+    /// remote data requests are refused while in-flight work retires.
+    DrainBegin { site: SiteId },
+    /// A draining site retired its admitted work, forced its WAL, and
+    /// reported `DrainOk` to the requester.
+    DrainDone { site: SiteId },
+    /// The cluster supervisor issued one reconciliation step against a
+    /// site (`step` names it: drain/stop/restart/rejoin/undrain).
+    ConvergeStep { site: SiteId, step: &'static str },
+    /// A reconciliation run finished: `steps` actions were executed and
+    /// `ok` says whether the cluster converged to the manifest.
+    ConvergeDone { steps: u64, ok: bool },
 }
 
 impl fmt::Display for EventKind {
@@ -260,6 +272,18 @@ impl fmt::Display for EventKind {
             }
             EventKind::StaleDrop { what } => {
                 write!(f, "stale_drop {what}")
+            }
+            EventKind::DrainBegin { site } => {
+                write!(f, "drain_begin site={site:?}")
+            }
+            EventKind::DrainDone { site } => {
+                write!(f, "drain_done site={site:?}")
+            }
+            EventKind::ConvergeStep { site, step } => {
+                write!(f, "converge_step site={site:?} step={step}")
+            }
+            EventKind::ConvergeDone { steps, ok } => {
+                write!(f, "converge_done steps={steps} ok={ok}")
             }
         }
     }

@@ -8,8 +8,10 @@ pub mod event;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 
 pub use event::{EventKind, EventRing, TraceEvent};
 pub use hist::Histogram;
 pub use registry::MetricsRegistry;
 pub use span::{span, SpanGuard};
+pub use timeline::{AvailabilityTimeline, AvailabilityWindow};

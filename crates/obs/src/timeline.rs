@@ -1,0 +1,179 @@
+//! Commit-availability time series for rolling operations.
+//!
+//! During a rolling restart the question is not "what was the average
+//! throughput" but "was there ever a window in which commits stopped".
+//! [`AvailabilityTimeline`] answers it: virtual time is cut into fixed
+//! windows from a declared origin, each commit (and attempt) is bucketed
+//! into its window, and the control-plane tests assert a per-window floor
+//! across the whole operation.
+
+use pscc_common::{SimDuration, SimTime};
+
+/// One fixed-width window of the series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AvailabilityWindow {
+    /// Transactions that started (or retried) in this window.
+    pub attempts: u64,
+    /// Transactions that committed in this window.
+    pub commits: u64,
+}
+
+/// A windowed commit/attempt series over virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use pscc_obs::timeline::AvailabilityTimeline;
+/// use pscc_common::{SimDuration, SimTime};
+///
+/// let origin = SimTime::ZERO;
+/// let mut tl = AvailabilityTimeline::new(origin, SimDuration::from_millis(100));
+/// tl.record_commit(SimTime::from_micros(50_000));
+/// tl.record_commit(SimTime::from_micros(150_000));
+/// assert_eq!(tl.windows().len(), 2);
+/// assert_eq!(tl.min_commits_per_window(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvailabilityTimeline {
+    origin: SimTime,
+    window: SimDuration,
+    buckets: Vec<AvailabilityWindow>,
+}
+
+impl AvailabilityTimeline {
+    /// Start a series at `origin`, cutting time into `window`-wide
+    /// buckets. `window` must be non-zero.
+    pub fn new(origin: SimTime, window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be non-zero");
+        Self {
+            origin,
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn bucket_mut(&mut self, now: SimTime) -> &mut AvailabilityWindow {
+        let since = now.since(self.origin).as_micros();
+        let idx = (since / self.window.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, AvailabilityWindow::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// Record a transaction attempt at virtual time `now` (clamped to the
+    /// origin if earlier).
+    pub fn record_attempt(&mut self, now: SimTime) {
+        self.bucket_mut(now).attempts += 1;
+    }
+
+    /// Record a commit at virtual time `now`.
+    pub fn record_commit(&mut self, now: SimTime) {
+        self.bucket_mut(now).commits += 1;
+    }
+
+    /// The windows recorded so far, in time order. The last window may
+    /// still be partial.
+    pub fn windows(&self) -> &[AvailabilityWindow] {
+        &self.buckets
+    }
+
+    /// Width of one window.
+    pub fn window_width(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Total commits across the series.
+    pub fn total_commits(&self) -> u64 {
+        self.buckets.iter().map(|b| b.commits).sum()
+    }
+
+    /// Total attempts across the series.
+    pub fn total_attempts(&self) -> u64 {
+        self.buckets.iter().map(|b| b.attempts).sum()
+    }
+
+    /// The smallest per-window commit count across all *complete* windows
+    /// (the trailing partial window is excluded so a measurement that
+    /// stops mid-window does not fake an outage). `None` until at least
+    /// one window has completed.
+    pub fn min_commits_per_window(&self) -> Option<u64> {
+        let complete = self.buckets.len().checked_sub(1)?;
+        if complete == 0 {
+            return None;
+        }
+        self.buckets[..complete].iter().map(|b| b.commits).min()
+    }
+
+    /// Render the series as a compact one-line-per-window dump for test
+    /// failure messages.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let start = self.window.as_micros() * i as u64;
+            let _ = writeln!(
+                s,
+                "window {i:>3} @+{:>8}us: commits={:>4} attempts={:>4}",
+                start, b.commits, b.attempts
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn buckets_by_window() {
+        let mut tl = AvailabilityTimeline::new(t(1_000), SimDuration::from_micros(100));
+        tl.record_commit(t(1_010));
+        tl.record_commit(t(1_099));
+        tl.record_commit(t(1_100));
+        tl.record_attempt(t(1_250));
+        let w = tl.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].commits, 2);
+        assert_eq!(w[1].commits, 1);
+        assert_eq!(w[2].attempts, 1);
+        assert_eq!(tl.total_commits(), 3);
+        assert_eq!(tl.total_attempts(), 1);
+    }
+
+    #[test]
+    fn min_excludes_trailing_partial_window() {
+        let mut tl = AvailabilityTimeline::new(SimTime::ZERO, SimDuration::from_micros(100));
+        assert_eq!(tl.min_commits_per_window(), None);
+        tl.record_commit(t(10));
+        // Only one (partial) window: still no complete window.
+        assert_eq!(tl.min_commits_per_window(), None);
+        tl.record_commit(t(110));
+        tl.record_commit(t(115));
+        // Window 0 complete with 1 commit; window 1 partial with 2.
+        assert_eq!(tl.min_commits_per_window(), Some(1));
+        tl.record_commit(t(250));
+        // Windows 0 (1) and 1 (2) complete.
+        assert_eq!(tl.min_commits_per_window(), Some(1));
+    }
+
+    #[test]
+    fn times_before_origin_clamp_to_first_window() {
+        let mut tl = AvailabilityTimeline::new(t(5_000), SimDuration::from_micros(100));
+        tl.record_commit(t(10)); // before origin: since() saturates to zero
+        assert_eq!(tl.windows()[0].commits, 1);
+    }
+
+    #[test]
+    fn render_lists_every_window() {
+        let mut tl = AvailabilityTimeline::new(SimTime::ZERO, SimDuration::from_micros(100));
+        tl.record_commit(t(10));
+        tl.record_commit(t(310));
+        assert_eq!(tl.render().lines().count(), 4);
+    }
+}

@@ -99,6 +99,10 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a system of `n_sites` peer servers with the given drivers.
     /// Each driver's `site` indexes into the site vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SystemConfig::validate`] rejects the configuration.
     pub fn new(
         cfg: SystemConfig,
         owners: OwnerMap,
@@ -106,6 +110,9 @@ impl Simulation {
         apps: Vec<AppDriver>,
         cost: CostModel,
     ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let sites: Vec<PeerServer> = (0..n_sites)
             .map(|i| PeerServer::new(SiteId(i), cfg.clone(), owners.clone()))
             .collect();

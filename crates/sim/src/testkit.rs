@@ -11,8 +11,13 @@
 
 use crate::chaos::{FaultDecision, FaultPlan};
 use pscc_common::{AppId, PsccError, SimDuration, SimTime, SiteId, SystemConfig, TxnId};
+use pscc_control::{
+    ClusterManifest, ClusterView, ControlAction, ControlStatus, ObservedSite, SitePhase, StepKind,
+    Supervisor,
+};
 use pscc_core::{
-    AppOp, AppReply, AppRequest, DiskReqId, Input, Message, Output, OwnerMap, PeerServer, TimerId,
+    AppOp, AppReply, AppRequest, DiskReqId, DrainPhase, Input, Message, Output, OwnerMap,
+    PeerServer, ReqId, TimerId,
 };
 use pscc_net::{PathId, SeededNet};
 use pscc_obs::EventKind;
@@ -20,6 +25,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// The pseudo-site the cluster supervisor speaks as. It runs no engine:
+/// control messages *from* it are injected directly into a site's
+/// inbox, and replies *to* it are intercepted by the harness before
+/// routing (no site index exists for it).
+pub const CONTROLLER: SiteId = SiteId(u32::MAX);
 
 /// The path each message kind travels on (per-path FIFO; see crate docs).
 pub fn path_for(msg: &Message) -> PathId {
@@ -35,7 +46,9 @@ pub fn path_for(msg: &Message) -> PathId {
         | Message::RejoinRequired { .. }
         | Message::RejoinOk { .. }
         | Message::TxnResolved { .. }
-        | Message::Busy { .. } => PathId(1),
+        | Message::Busy { .. }
+        | Message::DrainOk { .. }
+        | Message::UndrainOk { .. } => PathId(1),
         Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
             PathId(2)
         }
@@ -68,11 +81,27 @@ pub struct Cluster {
     delayed: Vec<(SimTime, SiteId, SiteId, PathId, Message)>,
     /// Messages held by a reorder fault until later same-link traffic.
     reorder_held: HashMap<(SiteId, SiteId, PathId), Vec<Message>>,
+    /// Replies addressed to [`CONTROLLER`], intercepted before routing.
+    control_inbox: Vec<(SiteId, Message)>,
+    /// The active manifest's reconciler, installed by
+    /// [`Self::apply_manifest`].
+    supervisor: Option<Supervisor>,
+    /// Request-id allocator for control messages sent as [`CONTROLLER`].
+    next_ctl_req: u64,
 }
 
 impl Cluster {
     /// Builds `n` sites with the given configuration and data placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SystemConfig::validate`] rejects the configuration —
+    /// a misconfigured cluster wedges instead of failing, so the entry
+    /// point refuses it up front.
     pub fn new(n: u32, cfg: SystemConfig, owners: OwnerMap, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let sites = (0..n)
             .map(|i| PeerServer::new(SiteId(i), cfg.clone(), owners.clone()))
             .collect();
@@ -90,6 +119,9 @@ impl Cluster {
             crashed: HashSet::new(),
             delayed: Vec::new(),
             reorder_held: HashMap::new(),
+            control_inbox: Vec::new(),
+            supervisor: None,
+            next_ctl_req: 0,
         }
     }
 
@@ -119,8 +151,22 @@ impl Cluster {
     /// NIC before the crash). The dead state machine is kept around
     /// untouched so post-mortem inspection and counter totals still see
     /// it; only [`Self::restart_site`] replaces it.
-    pub fn crash_site(&mut self, site: SiteId) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsccError::InvalidOperation`] if the site is unknown or
+    /// already crashed, so reconcilers and chaos tests can probe illegal
+    /// transitions without aborting the process.
+    pub fn try_crash_site(&mut self, site: SiteId) -> Result<(), PsccError> {
         let i = site.0 as usize;
+        if i >= self.sites.len() {
+            return Err(PsccError::InvalidOperation("crash_site: no such site"));
+        }
+        if self.crashed.contains(&site) {
+            return Err(PsccError::InvalidOperation(
+                "crash_site: site is already crashed",
+            ));
+        }
         self.sites[i].stats.faults_injected += 1;
         self.sites[i].obs.record(EventKind::FaultInjected {
             from: site,
@@ -131,6 +177,19 @@ impl Cluster {
             plan.injected += 1;
         }
         self.crashed.insert(site);
+        Ok(())
+    }
+
+    /// Crashes `site`, panicking on an illegal transition (the original
+    /// assert-style API; see [`Self::try_crash_site`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is unknown or already crashed.
+    pub fn crash_site(&mut self, site: SiteId) {
+        if let Err(e) = self.try_crash_site(site) {
+            panic!("crash_site({site}): {e}");
+        }
     }
 
     /// Restarts a crashed site. A pure client (owning no pages) comes
@@ -140,12 +199,21 @@ impl Cluster {
     /// left behind (the model of a surviving log device) is replayed
     /// through [`PeerServer::recover`], its epoch is bumped, and its
     /// recovery outputs (coordinator queries, timer arms) are routed.
-    pub fn restart_site(&mut self, site: SiteId) {
-        assert!(
-            self.crashed.remove(&site),
-            "restart_site({site}): site is not crashed"
-        );
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsccError::InvalidOperation`] if the site is unknown or
+    /// not crashed.
+    pub fn try_restart_site(&mut self, site: SiteId) -> Result<(), PsccError> {
         let i = site.0 as usize;
+        if i >= self.sites.len() {
+            return Err(PsccError::InvalidOperation("restart_site: no such site"));
+        }
+        if !self.crashed.remove(&site) {
+            return Err(PsccError::InvalidOperation(
+                "restart_site: site is not crashed",
+            ));
+        }
         let owns_data = !self
             .owners
             .pages_of(site, self.cfg.database_pages)
@@ -168,6 +236,19 @@ impl Cluster {
             what: "restart",
         });
         self.run_outputs(site, outs);
+        Ok(())
+    }
+
+    /// Restarts a crashed site, panicking on an illegal transition (the
+    /// original assert-style API; see [`Self::try_restart_site`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is unknown or not crashed.
+    pub fn restart_site(&mut self, site: SiteId) {
+        if let Err(e) = self.try_restart_site(site) {
+            panic!("restart_site({site}): {e}");
+        }
     }
 
     /// Takes a fuzzy checkpoint of `site`'s owner log (ATT + DPT + base
@@ -199,6 +280,16 @@ impl Cluster {
 
     /// Routes one send through the fault plan (if any) into the net.
     fn route(&mut self, from: SiteId, to: SiteId, path: PathId, msg: Message) {
+        if to == CONTROLLER {
+            // The supervisor runs no engine; its replies are intercepted
+            // here (there is no site index to deliver to). Anything that
+            // is not a control-plane verdict — e.g. a heartbeat from a
+            // site that somehow learned the address — is dropped.
+            if msg.is_control_plane() {
+                self.control_inbox.push((from, msg));
+            }
+            return;
+        }
         let decision = match &mut self.faults {
             Some(plan) => plan.decide(self.now, from, to, path),
             None => FaultDecision::Deliver,
@@ -526,6 +617,238 @@ impl Cluster {
     pub fn total_stats(&self) -> pscc_common::Counters {
         pscc_common::Counters::total(self.sites.iter().map(|s| s.stats))
     }
+
+    // ------------------------------------------------------------------
+    // The control plane (DESIGN.md §8)
+    // ------------------------------------------------------------------
+
+    /// Injects a control message from [`CONTROLLER`] into `site`'s
+    /// engine and routes the outputs. A message to a crashed site is
+    /// lost, exactly like a network frame.
+    pub fn send_control(&mut self, to: SiteId, msg: Message) {
+        if self.crashed.contains(&to) {
+            return;
+        }
+        let now = self.now;
+        let outs = self.sites[to.0 as usize].handle(
+            now,
+            Input::Msg {
+                from: CONTROLLER,
+                msg,
+            },
+        );
+        self.run_outputs(to, outs);
+    }
+
+    /// Control-plane verdicts (`DrainOk`/`UndrainOk`) collected so far.
+    pub fn take_control_replies(&mut self) -> Vec<(SiteId, Message)> {
+        std::mem::take(&mut self.control_inbox)
+    }
+
+    /// A point-in-time [`ClusterView`] of every site: liveness from the
+    /// harness's crash set, epoch / drain phase / queue depth from the
+    /// engine probes.
+    pub fn observe(&self) -> ClusterView {
+        let sites = self
+            .sites
+            .iter()
+            .map(|s| {
+                let site = s.site();
+                ObservedSite {
+                    site,
+                    up: !self.crashed.contains(&site),
+                    epoch: s.epoch(),
+                    phase: match s.drain_phase() {
+                        DrainPhase::Active => SitePhase::Active,
+                        DrainPhase::Draining => SitePhase::Draining,
+                        DrainPhase::Drained => SitePhase::Drained,
+                    },
+                    queue_depth: s.queue_depth(),
+                }
+            })
+            .collect();
+        ClusterView {
+            now: self.now,
+            sites,
+        }
+    }
+
+    /// Installs a manifest: subsequent [`Self::converge_step`] /
+    /// [`Self::converge`] calls reconcile the cluster toward it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the manifest's validation error.
+    pub fn apply_manifest(
+        &mut self,
+        manifest: ClusterManifest,
+    ) -> Result<(), pscc_control::ManifestError> {
+        self.supervisor = Some(Supervisor::new(manifest)?);
+        Ok(())
+    }
+
+    /// The installed reconciler, if any (gauges, status).
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// One reconciliation tick: observe, diff, execute the emitted
+    /// actions. Does **not** pump — callers interleave their own
+    /// traffic and pumping between ticks (see [`Self::converge`] for
+    /// the batteries-included loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no manifest was applied.
+    pub fn converge_step(&mut self) -> ControlStatus {
+        let mut sup = self
+            .supervisor
+            .take()
+            .expect("converge_step: no manifest applied");
+        let view = self.observe();
+        let tick = sup.tick(&view);
+        self.supervisor = Some(sup);
+        for action in tick.actions {
+            self.execute_control_action(action);
+        }
+        tick.status
+    }
+
+    fn execute_control_action(&mut self, action: ControlAction) {
+        let site = action.site();
+        let step = match action {
+            ControlAction::Drain(_) => StepKind::Drain,
+            ControlAction::Stop(_) => StepKind::Stop,
+            ControlAction::Restart(_) => StepKind::Restart,
+            ControlAction::Undrain(_) => StepKind::Undrain,
+        };
+        if !self.crashed.contains(&site) {
+            self.sites[site.0 as usize]
+                .obs
+                .record(EventKind::ConvergeStep {
+                    site,
+                    step: step.name(),
+                });
+        }
+        match action {
+            ControlAction::Drain(s) => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(s, Message::DrainReq { req });
+            }
+            ControlAction::Undrain(s) => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(s, Message::UndrainReq { req });
+            }
+            // Illegal transitions (e.g. stopping a site that crashed on
+            // its own mid-step) are probed, not fatal: the reconciler
+            // re-plans from the next observation.
+            ControlAction::Stop(s) => {
+                let _ = self.try_crash_site(s);
+            }
+            ControlAction::Restart(s) => {
+                let _ = self.try_restart_site(s);
+            }
+        }
+    }
+
+    /// Reconciles until the manifest converges, pumping `poll` of
+    /// virtual time (timers included) between ticks, for at most
+    /// `budget` of virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvergeError::Aborted`] if a step exhausted its retries (the
+    /// rollback actions have already been executed);
+    /// [`ConvergeError::BudgetExhausted`] if the budget elapsed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no manifest was applied.
+    pub fn converge(
+        &mut self,
+        poll: SimDuration,
+        budget: SimDuration,
+    ) -> Result<ConvergeReport, ConvergeError> {
+        let started = self.now;
+        let deadline = self.now + budget;
+        loop {
+            let status = self.converge_step();
+            match status {
+                ControlStatus::Converged => {
+                    let steps = self
+                        .supervisor
+                        .as_ref()
+                        .map_or(0, Supervisor::steps_executed);
+                    self.record_converge_done(steps, true);
+                    return Ok(ConvergeReport {
+                        steps,
+                        elapsed: self.now.since(started),
+                    });
+                }
+                ControlStatus::Aborted { site, step } => {
+                    // Let the rollback actions land before reporting.
+                    self.pump_for(poll);
+                    let steps = self
+                        .supervisor
+                        .as_ref()
+                        .map_or(0, Supervisor::steps_executed);
+                    self.record_converge_done(steps, false);
+                    return Err(ConvergeError::Aborted { site, step });
+                }
+                ControlStatus::InProgress => {
+                    if self.now >= deadline {
+                        return Err(ConvergeError::BudgetExhausted);
+                    }
+                    let before = self.now;
+                    self.pump_for(poll);
+                    if self.now == before {
+                        // Fully idle cluster: advance the clock by hand
+                        // so step deadlines (and the budget) can lapse.
+                        self.now = before + poll;
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_converge_done(&mut self, steps: u64, ok: bool) {
+        if let Some(first_live) = self
+            .sites
+            .iter()
+            .map(PeerServer::site)
+            .find(|s| !self.crashed.contains(s))
+        {
+            self.sites[first_live.0 as usize]
+                .obs
+                .record(EventKind::ConvergeDone { steps, ok });
+        }
+    }
+}
+
+/// The outcome of a successful [`Cluster::converge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergeReport {
+    /// Reconciliation steps executed, retries included.
+    pub steps: u64,
+    /// Virtual time the operation took.
+    pub elapsed: SimDuration,
+}
+
+/// Why [`Cluster::converge`] gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergeError {
+    /// A step exhausted its retries; the reconciler aborted and rolled
+    /// the touched sites back into service.
+    Aborted {
+        /// The site whose step gave up.
+        site: SiteId,
+        /// The step that could not complete.
+        step: StepKind,
+    },
+    /// The virtual-time budget elapsed before convergence.
+    BudgetExhausted,
 }
 
 /// Extracts the version counter of a synthesized object (first 8 bytes).

@@ -10,10 +10,12 @@
 //! to the operating system's scheduler, so runs are *not* deterministic —
 //! exactly the point.
 
-use crate::testkit::path_for;
+use crate::testkit::{path_for, CONTROLLER};
 use crossbeam::channel as mpsc;
 use pscc_common::{AppId, PsccError, SimTime, SiteId, SystemConfig, TxnId};
-use pscc_core::{AppOp, AppReply, AppRequest, Input, Message, Output, OwnerMap, PeerServer};
+use pscc_core::{
+    AppOp, AppReply, AppRequest, DrainPhase, Input, Message, Output, OwnerMap, PeerServer, ReqId,
+};
 use pscc_net::{InProcNetwork, Transport};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,11 +23,69 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A site thread's answer to [`Cmd::Probe`] — the observed state the
+/// supervisor thread reconciles against.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteProbe {
+    /// The engine's epoch (bumped by each in-thread restart recovery).
+    pub epoch: u64,
+    /// Drain lifecycle phase.
+    pub phase: DrainPhase,
+    /// Admitted remote data requests.
+    pub queue_depth: usize,
+}
+
 /// Commands a driver can send to a site thread.
 enum Cmd {
     App(AppRequest),
     /// Ask the site to report its counters.
     Stats(mpsc::Sender<pscc_common::Counters>),
+    /// Inject a control-plane message as [`CONTROLLER`] (drain/undrain).
+    Control(Message),
+    /// Ask the site to report its control-plane observables.
+    Probe(mpsc::Sender<SiteProbe>),
+    /// Restart the engine in place: the current instance is dropped (the
+    /// model of a process crash), its durable WAL image survives, and a
+    /// recovered engine takes over the same thread and transport.
+    Restart(mpsc::Sender<()>),
+}
+
+/// Applies one batch of engine outputs inside a site thread: sends go
+/// to the transport (acks addressed to [`CONTROLLER`] are dropped — the
+/// supervisor thread polls probes instead of holding an endpoint), disks
+/// complete immediately, timers are armed against wall clock, and app
+/// replies go to the driver channel.
+fn drive<T: Transport<Message>>(
+    outs: Vec<Output>,
+    endpoint: &T,
+    timers: &mut Vec<(Instant, pscc_core::TimerId)>,
+    pending: &mut VecDeque<Input>,
+    rtx: &mpsc::Sender<AppReply>,
+) {
+    for o in outs {
+        match o {
+            Output::Send { to, msg } => {
+                if to == CONTROLLER {
+                    continue;
+                }
+                let path = path_for(&msg);
+                Transport::send(endpoint, to, path, msg);
+            }
+            Output::Disk { req, .. } => {
+                // Immediate disks: storage is in memory.
+                pending.push_back(Input::DiskDone { req });
+            }
+            Output::ArmTimer { timer, delay } => {
+                timers.push((
+                    Instant::now() + Duration::from_micros(delay.as_micros()),
+                    timer,
+                ));
+            }
+            Output::App(reply) => {
+                let _ = rtx.send(reply);
+            }
+        }
+    }
 }
 
 /// A cluster of peer servers, each on its own OS thread.
@@ -93,11 +153,20 @@ impl ThreadedCluster {
     }
 
     /// Spawns the site threads over arbitrary transports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`] — a
+    /// cluster of real threads wedged by an un-admittable config is much
+    /// harder to diagnose than an up-front refusal.
     pub fn with_transports<T: Transport<Message> + Send + 'static>(
         cfg: SystemConfig,
         owners: OwnerMap,
         transports: Vec<(SiteId, T)>,
     ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut cmd_tx = Vec::new();
         let mut reply_rx = Vec::new();
@@ -117,7 +186,7 @@ impl ThreadedCluster {
             let owners = owners.clone();
             let stop = Arc::clone(&shutdown);
             handles.push(std::thread::spawn(move || {
-                let mut engine = PeerServer::new(site, cfg, owners);
+                let mut engine = PeerServer::new(site, cfg.clone(), owners.clone());
                 // (fire-at, timer) pairs, unsorted (few at a time).
                 let mut timers: Vec<(Instant, pscc_core::TimerId)> = Vec::new();
                 let mut pending: VecDeque<Input> = VecDeque::new();
@@ -134,6 +203,49 @@ impl ThreadedCluster {
                             Cmd::App(req) => Some(Input::App(req)),
                             Cmd::Stats(tx) => {
                                 let _ = tx.send(engine.stats);
+                                continue;
+                            }
+                            Cmd::Control(msg) => Some(Input::Msg {
+                                from: CONTROLLER,
+                                msg,
+                            }),
+                            Cmd::Probe(tx) => {
+                                let _ = tx.send(SiteProbe {
+                                    epoch: engine.epoch(),
+                                    phase: engine.drain_phase(),
+                                    queue_depth: engine.queue_depth(),
+                                });
+                                continue;
+                            }
+                            Cmd::Restart(done) => {
+                                // Rebuild the engine in place. Owners come
+                                // back through ARIES restart recovery over
+                                // the durable image; pure clients restart
+                                // cold (nothing durable to lose).
+                                let owns_data =
+                                    !owners.pages_of(site, cfg.database_pages).is_empty();
+                                let outs = if owns_data {
+                                    let durable = engine.crash_image();
+                                    let prior = engine.epoch();
+                                    let (next, outs) = PeerServer::recover(
+                                        site,
+                                        cfg.clone(),
+                                        owners.clone(),
+                                        &durable,
+                                        prior,
+                                    );
+                                    engine = next;
+                                    outs
+                                } else {
+                                    engine = PeerServer::new(site, cfg.clone(), owners.clone());
+                                    Vec::new()
+                                };
+                                engine.stats.faults_injected += 1;
+                                // A crashed process forgets its timers.
+                                timers.clear();
+                                pending.clear();
+                                drive(outs, &endpoint, &mut timers, &mut pending, &rtx);
+                                let _ = done.send(());
                                 continue;
                             }
                         }
@@ -155,27 +267,7 @@ impl ThreadedCluster {
                     let Some(input) = input else { continue };
                     let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
                     let outs = engine.handle(now, input);
-                    for o in outs {
-                        match o {
-                            Output::Send { to, msg } => {
-                                let path = path_for(&msg);
-                                Transport::send(&endpoint, to, path, msg);
-                            }
-                            Output::Disk { req, .. } => {
-                                // Immediate disks: storage is in memory.
-                                pending.push_back(Input::DiskDone { req });
-                            }
-                            Output::ArmTimer { timer, delay } => {
-                                timers.push((
-                                    Instant::now() + Duration::from_micros(delay.as_micros()),
-                                    timer,
-                                ));
-                            }
-                            Output::App(reply) => {
-                                let _ = rtx.send(reply);
-                            }
-                        }
-                    }
+                    drive(outs, &endpoint, &mut timers, &mut pending, &rtx);
                 }
             }));
         }
@@ -251,6 +343,94 @@ impl ThreadedCluster {
                 _ => continue,
             }
         }
+    }
+
+    /// Injects a control-plane message at `site` as [`CONTROLLER`].
+    pub fn send_control(&self, site: SiteId, msg: Message) {
+        let _ = self.cmd_tx[site.0 as usize].send(Cmd::Control(msg));
+    }
+
+    /// Reports `site`'s control-plane observables.
+    ///
+    /// # Errors
+    ///
+    /// [`PsccError::InvalidOperation`] if the site thread is gone or
+    /// does not answer within five seconds.
+    pub fn probe(&self, site: SiteId) -> Result<SiteProbe, PsccError> {
+        Self::probe_via(&self.cmd_tx[site.0 as usize])
+    }
+
+    fn probe_via(tx: &mpsc::Sender<Cmd>) -> Result<SiteProbe, PsccError> {
+        let (ptx, prx) = mpsc::bounded(1);
+        tx.send(Cmd::Probe(ptx))
+            .map_err(|_| PsccError::InvalidOperation("probe: site thread gone"))?;
+        prx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| PsccError::InvalidOperation("probe: site thread unresponsive"))
+    }
+
+    /// Rolls each of `sites` through drain → restart → undrain from a
+    /// dedicated supervisor thread, one site at a time, while the rest
+    /// of the cluster keeps serving. Each step must complete within
+    /// `step_timeout` of wall clock. Returns the join handle; joining
+    /// yields the post-roll epoch of each rolled site in order.
+    ///
+    /// The supervisor talks to site threads only through their command
+    /// channels — exactly the interface a remote operator would have —
+    /// so the roll exercises the same drain protocol as the
+    /// deterministic harness, under a preemptive scheduler.
+    pub fn spawn_rolling_restart(
+        &self,
+        step_timeout: Duration,
+        sites: Vec<SiteId>,
+    ) -> JoinHandle<Result<Vec<u64>, PsccError>> {
+        let cmd_tx: Vec<mpsc::Sender<Cmd>> = sites
+            .iter()
+            .map(|s| self.cmd_tx[s.0 as usize].clone())
+            .collect();
+        std::thread::spawn(move || {
+            let wait = |tx: &mpsc::Sender<Cmd>,
+                        ok: &dyn Fn(&SiteProbe) -> bool,
+                        err: &'static str|
+             -> Result<SiteProbe, PsccError> {
+                let deadline = Instant::now() + step_timeout;
+                loop {
+                    let p = Self::probe_via(tx)?;
+                    if ok(&p) {
+                        return Ok(p);
+                    }
+                    if Instant::now() > deadline {
+                        return Err(PsccError::InvalidOperation(err));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            };
+            let mut epochs = Vec::with_capacity(cmd_tx.len());
+            for (i, tx) in cmd_tx.iter().enumerate() {
+                let req = ReqId(i as u64 + 1);
+                let before = Self::probe_via(tx)?.epoch;
+                tx.send(Cmd::Control(Message::DrainReq { req }))
+                    .map_err(|_| PsccError::InvalidOperation("rolling: site thread gone"))?;
+                wait(
+                    tx,
+                    &|p| p.phase == DrainPhase::Drained,
+                    "rolling: drain step timed out",
+                )?;
+                let (dtx, drx) = mpsc::bounded(1);
+                tx.send(Cmd::Restart(dtx))
+                    .map_err(|_| PsccError::InvalidOperation("rolling: site thread gone"))?;
+                drx.recv_timeout(step_timeout)
+                    .map_err(|_| PsccError::InvalidOperation("rolling: restart step timed out"))?;
+                tx.send(Cmd::Control(Message::UndrainReq { req }))
+                    .map_err(|_| PsccError::InvalidOperation("rolling: site thread gone"))?;
+                let after = wait(
+                    tx,
+                    &|p| p.phase == DrainPhase::Active && p.epoch >= before,
+                    "rolling: undrain step timed out",
+                )?;
+                epochs.push(after.epoch);
+            }
+            Ok(epochs)
+        })
     }
 
     /// Sums the counters of every site.

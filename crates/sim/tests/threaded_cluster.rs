@@ -161,6 +161,121 @@ fn threaded_peer_partition_transactions() {
 }
 
 #[test]
+fn threaded_rolling_restart_under_live_traffic() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    let cfg = SystemConfig {
+        protocol: Protocol::PsAa,
+        ..SystemConfig::small()
+    };
+    let cluster = ThreadedCluster::new(3, cfg, OwnerMap::Single(SiteId(0)));
+    let x = oid(3, 0);
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+
+    let outcome = std::thread::scope(|s| {
+        let cluster = &cluster;
+        let stop = &stop;
+        let committed = &committed;
+        // A driver hammers the owner's counter for the whole run,
+        // tolerating the aborts of the drain/restart window.
+        s.spawn(move || {
+            let site = SiteId(2);
+            let app = AppId(2);
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(txn) = cluster.begin(site, app) else {
+                    continue;
+                };
+                let ok = cluster
+                    .run_op(
+                        site,
+                        app,
+                        txn,
+                        AppOp::Write {
+                            oid: x,
+                            bytes: None,
+                        },
+                    )
+                    .and_then(|_| cluster.run_op(site, app, txn, AppOp::Commit));
+                if ok.is_ok() {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // Let traffic flow, then roll the owner under it. Outcomes are
+        // recorded and asserted only after the scope ends: a panic here
+        // would leave `stop` unset and deadlock the scope's join.
+        let wait_for = |target: u64, limit: Duration| {
+            let deadline = Instant::now() + limit;
+            while committed.load(Ordering::Relaxed) < target {
+                if Instant::now() > deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            true
+        };
+        let pre_ok = wait_for(3, Duration::from_secs(30));
+        let before = cluster.probe(SiteId(0)).map(|p| p.epoch);
+        let roll = cluster
+            .spawn_rolling_restart(Duration::from_secs(20), vec![SiteId(0)])
+            .join()
+            .expect("supervisor thread");
+        // Commits must resume against the restarted owner. The driver's
+        // first attempts can burn reply timeouts on transactions the
+        // restart killed, so the allowance is generous.
+        let resumed_from = committed.load(Ordering::Relaxed);
+        let post_ok = wait_for(resumed_from + 3, Duration::from_secs(60));
+        stop.store(true, Ordering::Relaxed);
+        (pre_ok, before, roll, post_ok)
+    });
+    let (pre_ok, before, roll, post_ok) = outcome;
+    assert!(pre_ok, "no commits before the roll");
+    let before = before.expect("owner probe before the roll");
+    let epochs = roll.expect("roll converges");
+    assert_eq!(epochs.len(), 1);
+    assert!(
+        epochs[0] > before,
+        "owner epoch must advance across the roll ({before} -> {})",
+        epochs[0]
+    );
+    assert!(post_ok, "no commits after the roll");
+
+    // Zero committed work lost: the durable counter equals the number
+    // of commit acknowledgements the driver observed. Site 1 sat idle
+    // all run, so its first transaction can land in the post-restart
+    // fence/rejoin window and abort — retry until the read goes through.
+    let site = SiteId(1);
+    let app = AppId(9);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let value = loop {
+        let attempt = cluster
+            .begin(site, app)
+            .and_then(|txn| cluster.run_op(site, app, txn, AppOp::Read(x)));
+        match attempt {
+            Ok(AppReply::Done { data: Some(d), .. }) => {
+                break u64::from_le_bytes(d[0..8].try_into().unwrap());
+            }
+            other => {
+                assert!(
+                    Instant::now() < deadline,
+                    "verification read never succeeded, last: {other:?}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    assert_eq!(
+        value,
+        committed.load(Ordering::Relaxed),
+        "committed updates lost (or phantom) across the threaded roll"
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn tcp_cluster_end_to_end() {
     // The full deployment stack: engine + frame codec + kernel TCP on
     // localhost. One server, two clients, concurrent counter increments.
