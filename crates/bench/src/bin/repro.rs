@@ -14,10 +14,22 @@
 //!                           Prometheus text + JSON metrics snapshot
 //! repro --trace-dump [figN] quick high-contention run with protocol event
 //!                           tracing; prints the merged multi-site trace
+//! repro --critical-path [figN]
+//!                           traced quick run; prints the per-stage
+//!                           critical-path attribution of commit latency
+//!                           (lock_wait / callback_rtt / fetch_rtt /
+//!                           wal_force / 2pc_* / queue_wait / other)
+//! repro --trace-txn <id> [figN]
+//!                           traced quick run; prints the cross-site span
+//!                           tree and stage breakdown of one transaction
+//!                           (id form: T1.4 or 1.4)
+//! repro --perfetto <path> [figN]
+//!                           traced quick run; writes the merged stream as
+//!                           Chrome/Perfetto trace_event JSON to `path`
 //! repro --bench-json [path] quick fixed-workload benchmark (all three
 //!                           protocols); writes machine-readable
 //!                           throughput + commit-latency quantiles to
-//!                           `path` (default BENCH_6.json) for the
+//!                           `path` (default BENCH_7.json) for the
 //!                           PR-over-PR perf trajectory
 //! ```
 //!
@@ -26,7 +38,7 @@
 //! seconds-long smoke run.
 
 use pscc_bench::{check, expectations, format_diagnostics, format_figure, table1, table2};
-use pscc_common::{Protocol, SystemConfig};
+use pscc_common::{Protocol, SiteId, SystemConfig, TxnId};
 use pscc_sim::experiment::{
     paper_spec, quick_spec, run_figure, run_point, run_point_observed, ExperimentSpec, Figure,
     Series, WRITE_PROBS,
@@ -180,20 +192,108 @@ fn run_observed(figure: Figure, metrics: bool, trace_dump: bool) {
     }
 }
 
-/// Runs a fixed quick workload (Fig. 6 HOTCOLD, wp = 0.20) under every
-/// protocol and writes a small hand-rolled JSON document with
-/// throughput and commit-latency quantiles. The workload is pinned so
-/// the numbers are comparable PR over PR.
+/// Parses a transaction id of the form `T1.4` or `1.4` (site.seq).
+fn parse_txn(s: &str) -> Option<TxnId> {
+    let s = s.strip_prefix('T').unwrap_or(s);
+    let (site, seq) = s.split_once('.')?;
+    Some(TxnId {
+        site: SiteId(site.parse().ok()?),
+        seq: seq.parse().ok()?,
+    })
+}
+
+/// Runs a quick traced high-contention point and post-processes the
+/// merged multi-site stream: critical-path attribution, one
+/// transaction's span tree, and/or a Perfetto export.
+fn run_traced(
+    figure: Figure,
+    critical_path: bool,
+    trace_txn: Option<TxnId>,
+    perfetto: Option<&str>,
+) {
+    let spec = quick_spec(figure, 0.3);
+    let obs = run_point_observed(&spec, 1 << 20);
+    eprintln!(
+        "# {figure} {} wp=0.30: {:.2} txn/s ({} commits), {} trace events",
+        spec.protocol,
+        obs.point.report.throughput,
+        obs.point.report.commits,
+        obs.trace.len()
+    );
+    let breakdowns = pscc_obs::critical_path::analyze(&obs.trace);
+    if critical_path {
+        let agg = pscc_obs::critical_path::aggregate(breakdowns.values());
+        print!("{}", pscc_obs::critical_path::render_aggregate(&agg));
+        // Acceptance check: the per-stage attribution plus the residual
+        // must reconstruct the measured commit latency (±5%; the sweep
+        // makes it exact, so any drift is a real bug).
+        let rebuilt: u64 = agg.stages.iter().sum::<u64>() + agg.other_micros;
+        let drift = rebuilt.abs_diff(agg.total_micros);
+        if drift * 20 > agg.total_micros {
+            eprintln!(
+                "attribution drift: stages+other = {rebuilt}µs vs measured {}µs (> 5%)",
+                agg.total_micros
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "attribution check: stages+other = {rebuilt}µs vs measured {}µs (drift {drift}µs) OK",
+            agg.total_micros
+        );
+    }
+    if let Some(txn) = trace_txn {
+        let trees = pscc_obs::build_span_trees(&obs.trace);
+        match trees.get(&txn) {
+            Some(tree) => {
+                print!("{}", pscc_obs::trace::render_span_tree(txn, tree));
+                if let Some(b) = breakdowns.get(&txn) {
+                    print!("{}", pscc_obs::critical_path::render_txn(b));
+                }
+            }
+            None => {
+                let known: Vec<String> = trees.keys().take(12).map(ToString::to_string).collect();
+                eprintln!(
+                    "no spans recorded for {txn}; traced txns include: {}",
+                    known.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = perfetto {
+        let json = pscc_obs::render_perfetto(&obs.trace);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# wrote {path} ({} bytes) — open at https://ui.perfetto.dev or chrome://tracing",
+            json.len()
+        );
+    }
+}
+
+/// Runs a fixed quick workload (Fig. 13 peer-servers HOTCOLD high
+/// locality, wp = 0.30, 30 virtual seconds) under every protocol and
+/// writes a small hand-rolled JSON document with throughput and
+/// latency quantiles: the commit phase, the whole transaction
+/// (begin → committed), and the lock waits where the consistency
+/// protocols differ most. The workload is pinned so the numbers are
+/// comparable PR over PR.
 fn run_bench_json(path: &str) {
     let mut entries = Vec::new();
     for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
-        let base = quick_spec(Figure::Fig6, 0.2);
+        let base = quick_spec(Figure::Fig13, 0.3);
         let spec = ExperimentSpec {
             protocol: proto,
             cfg: SystemConfig {
                 protocol: proto,
                 ..base.cfg
             },
+            // Longer than the smoke runs: the commit-phase tail (2PC
+            // queueing behind conflicting owners) needs samples before
+            // the protocols separate.
+            end: pscc_common::SimDuration::from_secs(30),
             ..base
         };
         // Fail loudly on an un-runnable knob combination instead of
@@ -203,25 +303,30 @@ fn run_bench_json(path: &str) {
             std::process::exit(2);
         }
         let obs = run_point_observed(&spec, 0);
-        let (p50, p99) = obs
-            .metrics
-            .histogram_ref("commit_latency")
-            .map_or((0, 0), |h| {
+        let quantiles = |name: &str| {
+            obs.metrics.histogram_ref(name).map_or((0, 0), |h| {
                 (h.quantile_upper_micros(0.5), h.quantile_upper_micros(0.99))
-            });
+            })
+        };
+        let (p50, p99) = quantiles("commit_latency");
+        let (t50, t99) = quantiles("txn_latency");
+        let (l50, l99) = quantiles("lock_wait");
         eprintln!(
-            "# {proto}: {:.2} txn/s, p50 {p50} us, p99 {p99} us",
+            "# {proto}: {:.2} txn/s, commit p50 {p50} p99 {p99} us, txn p50 {t50} p99 {t99} us, \
+             lock p50 {l50} p99 {l99} us",
             obs.point.report.throughput
         );
         entries.push(format!(
             "    {{\"protocol\": \"{proto}\", \"txns_per_sec\": {:.2}, \
              \"commits\": {}, \"aborts\": {}, \
-             \"p50_commit_latency_us\": {p50}, \"p99_commit_latency_us\": {p99}}}",
+             \"p50_commit_latency_us\": {p50}, \"p99_commit_latency_us\": {p99}, \
+             \"p50_txn_latency_us\": {t50}, \"p99_txn_latency_us\": {t99}, \
+             \"p50_lock_wait_us\": {l50}, \"p99_lock_wait_us\": {l99}}}",
             obs.point.report.throughput, obs.point.report.commits, obs.point.report.aborts,
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"quick fig6 HOTCOLD wp=0.20\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"quick fig13 peer-servers HOTCOLD high-locality wp=0.30 30s\",\n  \"points\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     if let Err(e) = std::fs::write(path, &json) {
@@ -238,10 +343,45 @@ fn main() {
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     let metrics = args.iter().any(|a| a == "--metrics");
     let trace_dump = args.iter().any(|a| a == "--trace-dump");
-    let cmd = args.iter().find(|a| !a.starts_with('-')).cloned();
+    let critical_path = args.iter().any(|a| a == "--critical-path");
+    // Value-taking flags: the value must not be mistaken for the command.
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_txn_arg = value_of("--trace-txn");
+    let perfetto = value_of("--perfetto");
+    let flag_values: Vec<&String> = [&trace_txn_arg, &perfetto].into_iter().flatten().collect();
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with('-') && !flag_values.contains(a))
+        .cloned();
 
     if args.iter().any(|a| a == "--bench-json") {
-        run_bench_json(cmd.as_deref().unwrap_or("BENCH_6.json"));
+        run_bench_json(cmd.as_deref().unwrap_or("BENCH_7.json"));
+        return;
+    }
+
+    if critical_path || trace_txn_arg.is_some() || perfetto.is_some() {
+        let txn = trace_txn_arg.as_deref().map(|s| {
+            parse_txn(s).unwrap_or_else(|| {
+                eprintln!("bad transaction id {s:?} (expected T<site>.<seq>, e.g. T1.4)");
+                std::process::exit(2);
+            })
+        });
+        let fig = match cmd.as_deref() {
+            None => Figure::Fig6,
+            Some(f) => parse_figure(f).unwrap_or_else(|| {
+                eprintln!("unknown figure {f:?}");
+                eprintln!(
+                    "usage: repro [--critical-path] [--trace-txn <id>] [--perfetto <path>] [fig6..fig15]"
+                );
+                std::process::exit(2);
+            }),
+        };
+        run_traced(fig, critical_path, txn, perfetto.as_deref());
         return;
     }
 

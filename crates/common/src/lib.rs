@@ -31,6 +31,7 @@ pub mod ids;
 pub mod lock;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use config::{ConfigError, Protocol, SystemConfig, MIN_MAILBOX_CAPACITY};
 pub use error::{AbortReason, PsccError};
@@ -39,3 +40,4 @@ pub use lock::LockMode;
 pub use stats::Counters;
 pub use time::Duration as SimDuration;
 pub use time::Time as SimTime;
+pub use trace::{SpanId, Stage, TraceCtx};

@@ -232,7 +232,7 @@ impl PeerServer {
             h.participants.insert(self.owners.owner(oid.page));
         }
         let owner = self.owners.owner(oid.page);
-        self.obs.fetch_sent(req, self.now);
+        self.obs.fetch_sent(req, txn, self.now);
         self.obs.record(pscc_obs::EventKind::FetchSent {
             to: owner,
             item: LockableId::Object(oid),
@@ -258,7 +258,7 @@ impl PeerServer {
             h.participants.insert(self.owners.owner(page));
         }
         let owner = self.owners.owner(page);
-        self.obs.fetch_sent(req, self.now);
+        self.obs.fetch_sent(req, txn, self.now);
         self.obs.record(pscc_obs::EventKind::FetchSent {
             to: owner,
             item: LockableId::Page(page),
@@ -508,6 +508,7 @@ impl PeerServer {
         };
         self.races.forget_request(req);
         self.obs.fetch_drop(req);
+        self.obs.queue_drop(req);
         self.abort_txn_here(txn, reason);
     }
 
@@ -537,11 +538,16 @@ impl PeerServer {
             self.inflight.remove(&req);
             return;
         }
-        let Some((_, _, attempt)) = self.inflight.get_mut(&req) else {
+        let Some((_, retained, attempt)) = self.inflight.get_mut(&req) else {
             return;
         };
         *attempt = attempt.saturating_add(1);
         let attempt = *attempt;
+        if let Some(txn) = retained.txn_id() {
+            // Busy backoff is queue time from the request's view; the
+            // interval closes when the retry finally departs.
+            self.obs.queue_begin(req, txn, self.now);
+        }
         let base = retry_after.as_micros().max(1);
         let backoff = base.saturating_mul(1 << attempt.min(6) as u64);
         // Deterministic jitter (no RNG in the engine): spread retries of
@@ -1046,6 +1052,10 @@ impl PeerServer {
         for item in ctx.held.iter().rev() {
             grants.extend(self.locks.release_one(ctx.txn, *item));
         }
+        if !ctx.held.is_empty() {
+            self.obs
+                .record(pscc_obs::EventKind::LocksReleased { txn: ctx.txn });
+        }
         let (owner, cb) = key;
         self.send(owner, Message::CbOk { cb, purged_page });
         self.process_grants(grants);
@@ -1067,6 +1077,10 @@ impl PeerServer {
         }
         for item in ctx.held.iter().rev() {
             grants.extend(self.locks.release_one(ctx.txn, *item));
+        }
+        if !ctx.held.is_empty() {
+            self.obs
+                .record(pscc_obs::EventKind::LocksReleased { txn: ctx.txn });
         }
         self.process_grants(grants);
     }

@@ -84,6 +84,7 @@ impl PeerServer {
             return;
         }
         // Two-phase commit (paper §3.3).
+        self.obs.prepare_begin(txn, self.now);
         self.obs.record(pscc_obs::EventKind::Commit {
             txn,
             stage: pscc_obs::event::CommitStage::Prepare,
@@ -131,6 +132,8 @@ impl PeerServer {
         };
         match decide {
             Some(participants) => {
+                self.obs.prepare_done(txn, self.now);
+                self.obs.decide_begin(txn, self.now);
                 self.obs.record(pscc_obs::EventKind::Commit {
                     txn,
                     stage: pscc_obs::event::CommitStage::Voted,
@@ -172,12 +175,15 @@ impl PeerServer {
         };
         self.cache.clean_txn(txn);
         let out = self.locks.release_all(txn);
+        self.obs.record(pscc_obs::EventKind::LocksReleased { txn });
         for t in &out.cancelled {
             self.lock_conts.remove(t);
             self.finish_wait(*t, false);
         }
         self.stats.commits += 1;
+        self.obs.decide_done(txn, self.now);
         self.obs.commit_done(txn, self.now);
+        self.trace_txn_done(txn);
         self.obs.record(pscc_obs::EventKind::Commit {
             txn,
             stage: pscc_obs::event::CommitStage::Done,
@@ -323,6 +329,7 @@ impl PeerServer {
                     payload,
                 });
                 if self.log.force() {
+                    self.obs.force_begin(state.txn, self.now);
                     self.disk(DiskOp::WriteLog, DiskCont::CommitForced(state));
                 } else {
                     self.commit_forced(state);
@@ -333,6 +340,7 @@ impl PeerServer {
 
     /// The log force completed: release (if commit), answer.
     pub(crate) fn commit_forced(&mut self, state: CommitApply) {
+        self.obs.force_done(state.txn, self.now);
         if state.prepare_mark {
             if let Some(r) = self.txns.remote.get_mut(&state.txn) {
                 r.prepared = true;
@@ -341,11 +349,14 @@ impl PeerServer {
         if state.release {
             self.log.end_txn(state.txn, false);
             let out = self.locks.release_all(state.txn);
+            self.obs
+                .record(pscc_obs::EventKind::LocksReleased { txn: state.txn });
             for t in &out.cancelled {
                 self.lock_conts.remove(t);
                 self.finish_wait(*t, false);
             }
             self.txns.remote.remove(&state.txn);
+            self.trace_txn_done(state.txn);
             self.process_grants(out.grants);
         }
         match state.reply {
@@ -414,6 +425,7 @@ impl PeerServer {
             self.req_conts.remove(&r);
             self.races.forget_request(r);
             self.obs.fetch_drop(r);
+            self.obs.queue_drop(r);
             // A request the server will never answer (it was cancelled
             // there) must not leave a pending-fetch mark behind.
             self.pending_fetches.retain(|_, set| {
@@ -438,6 +450,7 @@ impl PeerServer {
             }
         }
         self.txns.home.remove(&txn);
+        self.trace_txn_done(txn);
         self.reply_app(AppReply::Aborted { app, txn, reason });
     }
 
@@ -515,11 +528,13 @@ impl PeerServer {
         self.admitted.retain(|_, t| *t != txn);
         // Release all locks and cancel all waits.
         let out = self.locks.release_all(txn);
+        self.obs.record(pscc_obs::EventKind::LocksReleased { txn });
         for t in &out.cancelled {
             self.lock_conts.remove(t);
             self.finish_wait(*t, false);
         }
         self.txns.remote.remove(&txn);
+        self.trace_txn_done(txn);
         self.process_grants(out.grants);
     }
 

@@ -89,7 +89,10 @@ impl PeerServer {
     /// Handles [`Message::UndrainReq`]: reopen admission. Idempotent —
     /// an already-active site (e.g. freshly restarted) just confirms.
     pub(crate) fn server_undrain_req(&mut self, from: SiteId, req: ReqId) {
-        self.draining = None;
+        if self.draining.take().is_some() {
+            self.obs
+                .record(pscc_obs::EventKind::Undrained { site: self.site });
+        }
         self.send(from, Message::UndrainOk { req });
     }
 

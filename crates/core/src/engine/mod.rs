@@ -35,7 +35,8 @@ use crate::residency::Residency;
 use crate::timeout::TimeoutEstimator;
 use crate::txn::{HomeTxn, TxnRegistry, TxnStatus};
 use pscc_common::{
-    AbortReason, Counters, LockMode, LockableId, Oid, PageId, SimTime, SiteId, SystemConfig, TxnId,
+    AbortReason, Counters, LockMode, LockableId, Oid, PageId, SimTime, SiteId, SpanId, Stage,
+    SystemConfig, TraceCtx, TxnId,
 };
 use pscc_lockmgr::{LockTable, Ticket};
 use pscc_storage::Volume;
@@ -47,6 +48,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// ids are never reused, so the only cost of forgetting one early is a
 /// reopened (tiny) race window; 4096 outlasts any realistic reorder.
 const DEAD_TXN_MEMORY: usize = 4096;
+
+/// How many parked request-contexts the tracer retains (see
+/// [`PeerServer::trace_wrap`]). Entries normally retire when the reply
+/// departs; a request that dies replyless (abort, crash) would leak its
+/// entry, so the table is FIFO-bounded like the tombstone memory.
+const REQ_CTX_MEMORY: usize = 4096;
 
 /// What resumes when a lock ticket is granted.
 #[derive(Debug, Clone)]
@@ -404,6 +411,22 @@ pub struct PeerServer {
     /// remote data requests are refused with `Busy` (engine/drain.rs).
     pub(crate) draining: Option<drain::DrainState>,
 
+    // Causal tracing (DESIGN.md §9). All empty/unused unless tracing
+    // is enabled — untraced runs pay nothing on the hot path.
+    /// The context of the traced message currently being handled, if
+    /// any; outgoing sends become its children.
+    pub(crate) cur_ctx: Option<TraceCtx>,
+    /// Last span seen (or root span allocated) per transaction, the
+    /// parent fallback for sends outside any message context.
+    pub(crate) txn_spans: HashMap<TxnId, (SiteId, SpanId)>,
+    /// Parked contexts of traced requests awaiting their reply, keyed
+    /// by (requester, request id); FIFO-bounded by `REQ_CTX_MEMORY`.
+    pub(crate) req_ctx: HashMap<(SiteId, ReqId), TraceCtx>,
+    /// Insertion order of `req_ctx`, for FIFO eviction.
+    pub(crate) req_ctx_order: VecDeque<(SiteId, ReqId)>,
+    /// Span id allocator (site id packed into the high bits).
+    next_span: u64,
+
     // Id allocation.
     next_req: u64,
     next_cb: u64,
@@ -492,6 +515,11 @@ impl PeerServer {
             dead_txns: HashSet::new(),
             dead_txns_order: VecDeque::new(),
             draining: None,
+            cur_ctx: None,
+            txn_spans: HashMap::new(),
+            req_ctx: HashMap::new(),
+            req_ctx_order: VecDeque::new(),
+            next_span: 0,
             next_req: 0,
             next_cb: 0,
             next_de: 0,
@@ -667,6 +695,9 @@ impl PeerServer {
     }
 
     fn dispatch(&mut self, input: Input) {
+        // Each input establishes its own causal context; a traced
+        // message re-sets it in `handle_msg`.
+        self.cur_ctx = None;
         match input {
             Input::App(req) => self.handle_app(req),
             Input::Msg { from, msg } => self.handle_msg(from, msg),
@@ -702,21 +733,26 @@ impl PeerServer {
             }
             _ => {}
         }
-        if let Some((req, _)) = credit_request(&msg) {
+        if let Some((req, txn)) = credit_request(&msg) {
             let cap = self.cfg.fetch_credits.max(1);
             let c = self.credits.entry(to).or_insert(cap);
             if *c == 0 {
                 self.stats.credits_stalled += 1;
                 self.obs
                     .record(pscc_obs::EventKind::CreditStalled { peer: to });
+                self.obs.queue_begin(req, txn, self.now);
                 self.credit_waiters.entry(to).or_default().push_back(msg);
                 return;
             }
             *c -= 1;
+            // A request departing after a credit stall or busy backoff
+            // closes its queue-wait interval.
+            self.obs.queue_end(req, self.now);
             self.inflight
                 .entry(req)
                 .or_insert_with(|| (to, msg.clone(), 0));
         }
+        let msg = self.trace_wrap(to, msg);
         self.stats.msgs_sent += 1;
         // Control-plane replies go to the supervisor, which is not a
         // peer: never start heartbeating it.
@@ -725,6 +761,99 @@ impl PeerServer {
         if self.cfg.leases_enabled && !control {
             self.note_contact(to);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Causal tracing (DESIGN.md §9)
+    // ------------------------------------------------------------------
+
+    fn fresh_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId((u64::from(self.site.0) << 40) | self.next_span)
+    }
+
+    /// Wraps a departing message in a [`Message::Traced`] envelope when
+    /// tracing is enabled and a causal parent can be established:
+    /// the context being handled right now, the parked context of the
+    /// request this message replies to, or the transaction's own span
+    /// chain (allocating a root span for a fresh home transaction).
+    fn trace_wrap(&mut self, to: SiteId, msg: Message) -> Message {
+        if self.obs.trace_handle().is_none() || matches!(msg, Message::Traced { .. }) {
+            return msg;
+        }
+        let msg_txn = msg.txn_id();
+        let parked = msg
+            .req_of_reply()
+            .and_then(|req| self.req_ctx.remove(&(to, req)));
+        let (txn, origin, parent) = if let Some(c) = self.cur_ctx {
+            // A message for a *different* transaction sent from this
+            // context is a real causal edge (e.g. a commit's release
+            // unblocking another transaction's grant) — keep the edge,
+            // attribute the hop to the message's own transaction.
+            let txn = msg_txn.unwrap_or(c.txn);
+            let origin = if txn == c.txn { c.origin } else { txn.site };
+            (txn, origin, c.span)
+        } else if let Some(c) = parked {
+            (c.txn, c.origin, c.span)
+        } else if let Some(t) = msg_txn {
+            let fresh = self.fresh_span();
+            let (origin, parent) = *self
+                .txn_spans
+                .entry(t)
+                .or_insert_with(|| (t.site, SpanId::NONE));
+            let _ = fresh; // root span id reserved even when reused
+            (t, origin, parent)
+        } else {
+            return msg; // no causal anchor: send untraced
+        };
+        let ctx = TraceCtx {
+            txn,
+            origin,
+            span: self.fresh_span(),
+            parent,
+        };
+        // The span just sent becomes the transaction's latest local
+        // anchor, so follow-up sends outside any message context (disk
+        // continuations, timer fires) chain rather than re-rooting.
+        self.txn_spans.insert(txn, (origin, ctx.span));
+        self.obs.record(pscc_obs::EventKind::MsgSend {
+            ctx,
+            to,
+            label: msg.label(),
+        });
+        Message::Traced {
+            ctx,
+            inner: Box::new(msg),
+        }
+    }
+
+    /// Books an arriving traced context: it becomes the current causal
+    /// context, the transaction's latest span anchor, and — for a
+    /// request expecting a reply — the parked context its (possibly
+    /// asynchronous) reply will resume.
+    fn trace_note_recv(&mut self, from: SiteId, ctx: TraceCtx, inner: &Message) {
+        self.cur_ctx = Some(ctx);
+        self.txn_spans.insert(ctx.txn, (ctx.origin, ctx.span));
+        if let Some(req) = inner.req_of_request() {
+            if self.req_ctx.insert((from, req), ctx).is_none() {
+                self.req_ctx_order.push_back((from, req));
+                while self.req_ctx_order.len() > REQ_CTX_MEMORY {
+                    if let Some(old) = self.req_ctx_order.pop_front() {
+                        self.req_ctx.remove(&old);
+                    }
+                }
+            }
+        }
+        self.obs.record(pscc_obs::EventKind::MsgRecv {
+            ctx,
+            from,
+            label: inner.label(),
+        });
+    }
+
+    /// Drops a finished transaction's span anchor (commit or abort).
+    pub(crate) fn trace_txn_done(&mut self, txn: TxnId) {
+        self.txn_spans.remove(&txn);
     }
 
     /// Returns one credit for `site` (capped at the configured pool) and
@@ -758,12 +887,19 @@ impl PeerServer {
         if txn.site == self.site || !self.dead_txns.insert(txn) {
             return;
         }
+        self.obs.record(pscc_obs::EventKind::TxnTombstoned { txn });
         self.dead_txns_order.push_back(txn);
         while self.dead_txns_order.len() > DEAD_TXN_MEMORY {
             if let Some(old) = self.dead_txns_order.pop_front() {
                 self.dead_txns.remove(&old);
             }
         }
+    }
+
+    /// Tombstones currently remembered for aborted remote transactions
+    /// (occupancy of the bounded dead-transaction filter).
+    pub fn dead_txn_count(&self) -> usize {
+        self.dead_txns.len()
     }
 
     /// Admits a remote data request, or refuses it with `Busy` when the
@@ -880,11 +1016,14 @@ impl PeerServer {
     /// timer.
     pub(crate) fn finish_wait(&mut self, ticket: Ticket, record: bool) {
         if let Some((timer, armed_at)) = self.ticket_timers.remove(&ticket) {
-            self.timers.remove(&timer);
+            let kind = self.timers.remove(&timer);
             if record {
                 let waited = self.now.since(armed_at);
                 self.timeout_est.record_wait(waited);
                 self.obs.lock_wait.record(waited);
+                if let Some(TimerKind::LockWait { txn, .. }) = kind {
+                    self.obs.stage_sample(txn, Stage::LockWait, waited);
+                }
             }
         }
     }
@@ -1036,6 +1175,7 @@ impl PeerServer {
             (None, AppOp::Begin) => {
                 let txn = self.txns.next_txn_id(self.site);
                 self.txns.home.insert(txn, HomeTxn::new(txn, req.app));
+                self.obs.txn_begin(txn, self.now);
                 self.reply_app(AppReply::Started { app: req.app, txn });
             }
             (Some(txn), op) => {
@@ -1079,6 +1219,16 @@ impl PeerServer {
     }
 
     fn handle_msg(&mut self, from: SiteId, msg: Message) {
+        // Peel the tracing envelope first: the inner message drives the
+        // fence, admission, and credit machinery; the context anchors
+        // every message this hop sends in turn.
+        let msg = match msg {
+            Message::Traced { ctx, inner } => {
+                self.trace_note_recv(from, ctx, &inner);
+                *inner
+            }
+            m => m,
+        };
         // Control-plane messages come from the supervisor, not a peer:
         // no lease is armed for their sender (it owns no data and does
         // not heartbeat).
@@ -1207,6 +1357,13 @@ impl PeerServer {
                 self.server_read_forwarded(req, from, txn, oid)
             }
             Message::ObjectBytes { req, bytes } => self.client_object_bytes(req, bytes),
+
+            // Unreachable: the envelope was peeled at the top of this
+            // function (nested envelopes are never produced).
+            Message::Traced { inner, .. } => {
+                debug_assert!(false, "nested Traced envelope");
+                self.handle_msg(from, *inner)
+            }
         }
     }
 }

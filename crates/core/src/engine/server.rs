@@ -369,7 +369,7 @@ impl PeerServer {
             return;
         }
         self.stats.callbacks_sent += remote.len() as u64;
-        self.obs.cb_sent(cb, self.now);
+        self.obs.cb_sent(cb, txn, self.now);
         if self.cfg.leases_enabled || self.cfg.slow_peer_bypass {
             // Bound the fan-out's response time: clients still pending
             // when this fires are declared crashed (they may heartbeat
@@ -543,9 +543,17 @@ impl PeerServer {
                     // page level only.
                     if self.locks.held_mode(cbtxn, page) == Some(LockMode::Ix) {
                         self.locks.downgrade(cbtxn, page, LockMode::Is);
+                        self.obs.record(pscc_obs::EventKind::LockDowngrade {
+                            txn: cbtxn,
+                            item: page,
+                        });
                     }
                     if self.locks.held_mode(cbtxn, obj) == Some(LockMode::Ex) {
                         self.locks.downgrade(cbtxn, obj, LockMode::Sh);
+                        self.obs.record(pscc_obs::EventKind::LockDowngrade {
+                            txn: cbtxn,
+                            item: obj,
+                        });
                     }
                     for (t, item, m) in &holders {
                         if self.replicable(*t) {
@@ -587,6 +595,10 @@ impl PeerServer {
                     // of thread C1,S").
                     if self.locks.held_mode(cbtxn, obj) == Some(LockMode::Ex) {
                         self.locks.downgrade(cbtxn, obj, LockMode::Sh);
+                        self.obs.record(pscc_obs::EventKind::LockDowngrade {
+                            txn: cbtxn,
+                            item: obj,
+                        });
                     }
                     for (t, item, m) in &holders {
                         if self.replicable(*t) {
@@ -605,6 +617,10 @@ impl PeerServer {
                 let page = LockableId::Page(p);
                 if self.locks.held_mode(cbtxn, page) == Some(LockMode::Ex) {
                     self.locks.downgrade(cbtxn, page, LockMode::Sh);
+                    self.obs.record(pscc_obs::EventKind::LockDowngrade {
+                        txn: cbtxn,
+                        item: page,
+                    });
                 }
                 for (t, item, m) in &holders {
                     if self.replicable(*t) {
@@ -623,6 +639,8 @@ impl PeerServer {
                 let item = target.lockable();
                 if self.locks.held_mode(cbtxn, item) == Some(LockMode::Ex) {
                     self.locks.downgrade(cbtxn, item, LockMode::Six);
+                    self.obs
+                        .record(pscc_obs::EventKind::LockDowngrade { txn: cbtxn, item });
                 }
                 for (t, it, m) in &holders {
                     if self.replicable(*t) {

@@ -13,6 +13,7 @@
 use pscc_common::{
     AbortReason, AppId, LockMode, LockableId, Oid, PageId, SimDuration, SiteId, TxnId,
 };
+pub use pscc_common::{SpanId, TraceCtx};
 use pscc_storage::PageSnapshot;
 use pscc_wal::LogRecord;
 use serde::{Deserialize, Serialize};
@@ -497,6 +498,18 @@ pub enum Message {
         /// The completed undrain request.
         req: ReqId,
     },
+
+    /// A causal-tracing envelope: any message wrapped with the
+    /// [`TraceCtx`] of the hop that carries it. Engines wrap outgoing
+    /// messages only while tracing is enabled and unwrap on receipt, so
+    /// untraced runs never see (or pay for) the envelope. The codec
+    /// serializes it like any other variant.
+    Traced {
+        /// The hop's causal context.
+        ctx: TraceCtx,
+        /// The wrapped protocol message.
+        inner: Box<Message>,
+    },
 }
 
 impl Message {
@@ -504,6 +517,8 @@ impl Message {
     /// ships dominate; everything else is small and fixed-ish.
     pub fn wire_size(&self) -> usize {
         match self {
+            // The envelope itself costs one context's worth of bytes.
+            Message::Traced { inner, .. } => 32 + inner.wire_size(),
             Message::ReadReply { snapshot, .. } => snapshot.wire_size(),
             Message::CommitReq { records, .. } | Message::Prepare { records, .. } => {
                 64 + records.iter().map(LogRecord::wire_size).sum::<usize>()
@@ -533,6 +548,9 @@ impl Message {
     /// shed it — dropping any of these can wedge a writer waiting on a
     /// callback or stall 2PC (the §4.2.4 failure mode induced by load).
     pub fn is_consistency(&self) -> bool {
+        if let Message::Traced { inner, .. } = self {
+            return inner.is_consistency();
+        }
         matches!(
             self,
             // Callbacks/deescalations, commit/2PC/abort control,
@@ -574,6 +592,9 @@ impl Message {
     /// rejoins) and never arm liveness state for their sender (the
     /// supervisor is not a peer and owns no data).
     pub fn is_control_plane(&self) -> bool {
+        if let Message::Traced { inner, .. } = self {
+            return inner.is_control_plane();
+        }
         matches!(
             self,
             Message::DrainReq { .. }
@@ -581,6 +602,127 @@ impl Message {
                 | Message::UndrainReq { .. }
                 | Message::UndrainOk { .. }
         )
+    }
+
+    /// The transaction this message works on behalf of, when it names
+    /// one (used to root a trace span when no incoming context exists).
+    pub fn txn_id(&self) -> Option<TxnId> {
+        match self {
+            Message::Traced { inner, .. } => inner.txn_id(),
+            Message::ReadObj { txn, .. }
+            | Message::ReadPage { txn, .. }
+            | Message::WriteObj { txn, .. }
+            | Message::WritePage { txn, .. }
+            | Message::LockItem { txn, .. }
+            | Message::Callback { txn, .. }
+            | Message::CommitReq { txn, .. }
+            | Message::Prepare { txn, .. }
+            | Message::Voted { txn, .. }
+            | Message::Decide { txn, .. }
+            | Message::Decided { txn }
+            | Message::AbortTxn { txn }
+            | Message::TxnAborted { txn, .. }
+            | Message::WriteLargeReq { txn, .. }
+            | Message::CreateLargeReq { txn, .. }
+            | Message::ReadForwarded { txn, .. }
+            | Message::QueryTxn { txn }
+            | Message::TxnResolved { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// For a *request* that will be answered by a reply echoing its
+    /// `req`, that id — the tracer parks the request's context under it
+    /// so the (possibly much later) reply joins the same span tree.
+    pub fn req_of_request(&self) -> Option<ReqId> {
+        match self {
+            Message::Traced { inner, .. } => inner.req_of_request(),
+            Message::ReadObj { req, .. }
+            | Message::ReadPage { req, .. }
+            | Message::WriteObj { req, .. }
+            | Message::WritePage { req, .. }
+            | Message::LockItem { req, .. }
+            | Message::CommitReq { req, .. }
+            | Message::Prepare { req, .. }
+            | Message::FetchLargePage { req, .. }
+            | Message::WriteLargeReq { req, .. }
+            | Message::CreateLargeReq { req, .. }
+            | Message::ReadForwarded { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// For a *reply*, the request id it answers (the tracer recovers
+    /// the parked request context from it).
+    pub fn req_of_reply(&self) -> Option<ReqId> {
+        match self {
+            Message::Traced { inner, .. } => inner.req_of_reply(),
+            Message::ReadReply { req, .. }
+            | Message::WriteGranted { req, .. }
+            | Message::LockGranted { req }
+            | Message::ReqDenied { req, .. }
+            | Message::CommitOk { req }
+            | Message::Voted { req, .. }
+            | Message::Busy { req, .. }
+            | Message::LargePageReply { req, .. }
+            | Message::WriteLargeOk { req }
+            | Message::CreateLargeOk { req, .. }
+            | Message::ObjectBytes { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// A short static label for trace events and Perfetto span names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Traced { inner, .. } => inner.label(),
+            Message::ReadObj { .. } => "read_obj",
+            Message::ReadPage { .. } => "read_page",
+            Message::ReadReply { .. } => "read_reply",
+            Message::WriteObj { .. } => "write_obj",
+            Message::WritePage { .. } => "write_page",
+            Message::WriteGranted { .. } => "write_granted",
+            Message::LockItem { .. } => "lock_item",
+            Message::LockGranted { .. } => "lock_granted",
+            Message::ReqDenied { .. } => "req_denied",
+            Message::Callback { .. } => "callback",
+            Message::CbBlocked { .. } => "cb_blocked",
+            Message::CbOk { .. } => "cb_ok",
+            Message::CbTimeout { .. } => "cb_timeout",
+            Message::CbCancel { .. } => "cb_cancel",
+            Message::Deescalate { .. } => "deescalate",
+            Message::DeescalateReply { .. } => "deescalate_reply",
+            Message::Purge { .. } => "purge",
+            Message::CommitReq { .. } => "commit_req",
+            Message::CommitOk { .. } => "commit_ok",
+            Message::Prepare { .. } => "prepare",
+            Message::Voted { .. } => "voted",
+            Message::Decide { .. } => "decide",
+            Message::Decided { .. } => "decided",
+            Message::AbortTxn { .. } => "abort_txn",
+            Message::TxnAborted { .. } => "txn_aborted",
+            Message::Heartbeat => "heartbeat",
+            Message::FetchLargePage { .. } => "fetch_large_page",
+            Message::LargePageReply { .. } => "large_page_reply",
+            Message::WriteLargeReq { .. } => "write_large_req",
+            Message::WriteLargeOk { .. } => "write_large_ok",
+            Message::LargeInval { .. } => "large_inval",
+            Message::LargeInvalOk { .. } => "large_inval_ok",
+            Message::CreateLargeReq { .. } => "create_large_req",
+            Message::CreateLargeOk { .. } => "create_large_ok",
+            Message::ReadForwarded { .. } => "read_forwarded",
+            Message::ObjectBytes { .. } => "object_bytes",
+            Message::RejoinRequired { .. } => "rejoin_required",
+            Message::Rejoin { .. } => "rejoin",
+            Message::RejoinOk { .. } => "rejoin_ok",
+            Message::QueryTxn { .. } => "query_txn",
+            Message::TxnResolved { .. } => "txn_resolved",
+            Message::Busy { .. } => "busy",
+            Message::DrainReq { .. } => "drain_req",
+            Message::DrainOk { .. } => "drain_ok",
+            Message::UndrainReq { .. } => "undrain_req",
+            Message::UndrainOk { .. } => "undrain_ok",
+        }
     }
 }
 
@@ -857,6 +999,79 @@ mod tests {
             oid: Oid::new(p, 0),
         }
         .is_consistency());
+    }
+
+    #[test]
+    fn traced_envelope_delegates() {
+        let t = TxnId {
+            site: SiteId(2),
+            seq: 9,
+        };
+        let inner = Message::Decide {
+            txn: t,
+            commit: true,
+        };
+        let wrapped = Message::Traced {
+            ctx: TraceCtx {
+                txn: t,
+                origin: SiteId(2),
+                span: SpanId(5),
+                parent: SpanId::NONE,
+            },
+            inner: Box::new(inner.clone()),
+        };
+        assert!(wrapped.is_consistency());
+        assert!(!wrapped.is_control_plane());
+        assert_eq!(wrapped.txn_id(), Some(t));
+        assert_eq!(wrapped.label(), "decide");
+        assert_eq!(wrapped.wire_size(), inner.wire_size() + 32);
+        let req = Message::ReadObj {
+            req: ReqId(3),
+            txn: t,
+            oid: Oid::new(PageId::new(FileId::new(VolId(0), 0), 1), 0),
+        };
+        assert_eq!(req.req_of_request(), Some(ReqId(3)));
+        assert_eq!(req.req_of_reply(), None);
+        assert_eq!(
+            Message::CommitOk { req: ReqId(3) }.req_of_reply(),
+            Some(ReqId(3))
+        );
+    }
+
+    #[test]
+    fn traced_envelope_survives_wire_framing() {
+        // The trace context must round-trip through the real codec so
+        // cross-site spans line up when engines run over TCP.
+        let t = TxnId {
+            site: SiteId(1),
+            seq: 4,
+        };
+        let msg = Message::Traced {
+            ctx: TraceCtx {
+                txn: t,
+                origin: SiteId(1),
+                span: SpanId(0x0100_0000_0007),
+                parent: SpanId(0x0200_0000_0003),
+            },
+            inner: Box::new(Message::Decide {
+                txn: t,
+                commit: false,
+            }),
+        };
+        let mut buf = bytes::BytesMut::new();
+        pscc_net::codec::encode_frame(&msg, &mut buf).expect("encode");
+        let got: Message = pscc_net::codec::decode_frame(&mut buf)
+            .expect("decode")
+            .expect("complete frame");
+        match got {
+            Message::Traced { ctx, inner } => {
+                assert_eq!(ctx.txn, t);
+                assert_eq!(ctx.span, SpanId(0x0100_0000_0007));
+                assert_eq!(ctx.parent, SpanId(0x0200_0000_0003));
+                assert_eq!(inner.label(), "decide");
+            }
+            other => panic!("expected Traced, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! latencies. Recording is O(1) and allocation-free on the hot path;
 //! the trace is off unless [`crate::PeerServer::enable_trace`] is
 //! called.
+//!
+//! Stage attribution (DESIGN.md §9): every measured interval is also
+//! recorded into a per-[`Stage`] histogram and — when tracing is on —
+//! emitted as a `StageSample` event stamped with the transaction it
+//! served, which is what the critical-path analyzer in `pscc-obs`
+//! sweeps into per-transaction commit-latency breakdowns.
 
 use crate::msg::{CbId, ReqId};
-use pscc_common::{SimTime, SiteId, TxnId};
+use pscc_common::{SimDuration, SimTime, SiteId, Stage, TxnId};
 use pscc_obs::event::{EventKind, TraceHandle};
 use pscc_obs::Histogram;
 use std::collections::HashMap;
@@ -23,12 +29,25 @@ pub struct SiteObs {
     pub fetch_rtt: Histogram,
     /// Commit latency: application commit to committed.
     pub commit_latency: Histogram,
+    /// Whole-transaction latency: begin to committed. Unlike
+    /// `commit_latency` (whose commit phase is dominated by
+    /// protocol-independent WAL/2PC costs) this includes the
+    /// execution-phase lock, fetch, and callback waits where the
+    /// consistency protocols actually differ.
+    pub txn_latency: Histogram,
     /// Restart recovery duration (analysis + redo + undo wall clock,
     /// one sample per completed recovery).
     pub recovery_time: Histogram,
-    fetch_started: HashMap<ReqId, SimTime>,
-    cb_started: HashMap<CbId, SimTime>,
+    /// Per-stage latency histograms (indexed by [`Stage::index`]).
+    stage_hists: [Histogram; Stage::COUNT],
+    fetch_started: HashMap<ReqId, (TxnId, SimTime)>,
+    cb_started: HashMap<CbId, (TxnId, SimTime)>,
     commit_started: HashMap<TxnId, SimTime>,
+    txn_started: HashMap<TxnId, SimTime>,
+    force_started: HashMap<TxnId, SimTime>,
+    prepare_started: HashMap<TxnId, SimTime>,
+    decide_started: HashMap<TxnId, SimTime>,
+    queue_started: HashMap<ReqId, (TxnId, SimTime)>,
 }
 
 impl SiteObs {
@@ -59,13 +78,32 @@ impl SiteObs {
         }
     }
 
-    pub(crate) fn fetch_sent(&mut self, req: ReqId, now: SimTime) {
-        self.fetch_started.insert(req, now);
+    /// The per-stage latency histogram for `stage`.
+    pub fn stage_hist(&self, stage: Stage) -> &Histogram {
+        &self.stage_hists[stage.index()]
+    }
+
+    /// Records one measured `stage` interval ending now on behalf of
+    /// `txn`: always into the per-stage histogram, and into the event
+    /// ring when tracing is on (the analyzer's raw material).
+    pub(crate) fn stage_sample(&mut self, txn: TxnId, stage: Stage, d: SimDuration) {
+        self.stage_hists[stage.index()].record(d);
+        self.record(EventKind::StageSample {
+            txn,
+            stage,
+            micros: d.as_micros(),
+        });
+    }
+
+    pub(crate) fn fetch_sent(&mut self, req: ReqId, txn: TxnId, now: SimTime) {
+        self.fetch_started.insert(req, (txn, now));
     }
 
     pub(crate) fn fetch_done(&mut self, req: ReqId, now: SimTime) {
-        if let Some(t0) = self.fetch_started.remove(&req) {
-            self.fetch_rtt.record(now.since(t0));
+        if let Some((txn, t0)) = self.fetch_started.remove(&req) {
+            let d = now.since(t0);
+            self.fetch_rtt.record(d);
+            self.stage_sample(txn, Stage::FetchRtt, d);
         }
     }
 
@@ -74,20 +112,27 @@ impl SiteObs {
         self.fetch_started.remove(&req);
     }
 
-    pub(crate) fn cb_sent(&mut self, cb: CbId, now: SimTime) {
-        self.cb_started.insert(cb, now);
+    pub(crate) fn cb_sent(&mut self, cb: CbId, txn: TxnId, now: SimTime) {
+        self.cb_started.insert(cb, (txn, now));
     }
 
     /// One acknowledgment arrived; the stamp stays until the operation
     /// closes so later acks of the same fan-out are measured too.
     pub(crate) fn cb_acked(&mut self, cb: CbId, now: SimTime) {
-        if let Some(t0) = self.cb_started.get(&cb) {
-            self.callback_rtt.record(now.since(*t0));
+        if let Some((txn, t0)) = self.cb_started.get(&cb).copied() {
+            let d = now.since(t0);
+            self.callback_rtt.record(d);
+            self.stage_sample(txn, Stage::CallbackRtt, d);
         }
     }
 
     pub(crate) fn cb_closed(&mut self, cb: CbId) {
         self.cb_started.remove(&cb);
+    }
+
+    /// A home transaction began (application `Begin`).
+    pub(crate) fn txn_begin(&mut self, txn: TxnId, now: SimTime) {
+        self.txn_started.insert(txn, now);
     }
 
     pub(crate) fn commit_begin(&mut self, txn: TxnId, now: SimTime) {
@@ -98,10 +143,74 @@ impl SiteObs {
         if let Some(t0) = self.commit_started.remove(&txn) {
             self.commit_latency.record(now.since(t0));
         }
+        if let Some(t0) = self.txn_started.remove(&txn) {
+            self.txn_latency.record(now.since(t0));
+        }
     }
 
     pub(crate) fn commit_drop(&mut self, txn: TxnId) {
         self.commit_started.remove(&txn);
+        self.txn_started.remove(&txn);
+        self.force_started.remove(&txn);
+        self.prepare_started.remove(&txn);
+        self.decide_started.remove(&txn);
+    }
+
+    /// A commit-path WAL force was issued for `txn` at this owner.
+    pub(crate) fn force_begin(&mut self, txn: TxnId, now: SimTime) {
+        self.force_started.insert(txn, now);
+    }
+
+    /// The commit-path WAL force for `txn` became durable.
+    pub(crate) fn force_done(&mut self, txn: TxnId, now: SimTime) {
+        if let Some(t0) = self.force_started.remove(&txn) {
+            self.stage_sample(txn, Stage::WalForce, now.since(t0));
+        }
+    }
+
+    /// 2PC phase one began at the home (prepare fan-out).
+    pub(crate) fn prepare_begin(&mut self, txn: TxnId, now: SimTime) {
+        self.prepare_started.insert(txn, now);
+    }
+
+    /// All votes arrived at the home.
+    pub(crate) fn prepare_done(&mut self, txn: TxnId, now: SimTime) {
+        if let Some(t0) = self.prepare_started.remove(&txn) {
+            self.stage_sample(txn, Stage::TwopcPrepare, now.since(t0));
+        }
+    }
+
+    /// 2PC phase two began at the home (decide fan-out).
+    pub(crate) fn decide_begin(&mut self, txn: TxnId, now: SimTime) {
+        self.decide_started.insert(txn, now);
+    }
+
+    /// All decision acks arrived at the home.
+    pub(crate) fn decide_done(&mut self, txn: TxnId, now: SimTime) {
+        if let Some(t0) = self.decide_started.remove(&txn) {
+            self.stage_sample(txn, Stage::TwopcDecide, now.since(t0));
+        }
+    }
+
+    /// A data request began waiting in an overload queue (credit stall
+    /// or busy backoff). First stall wins: a request that bounces
+    /// through several backoffs accumulates one interval from the
+    /// first stall to the final departure.
+    pub(crate) fn queue_begin(&mut self, req: ReqId, txn: TxnId, now: SimTime) {
+        self.queue_started.entry(req).or_insert((txn, now));
+    }
+
+    /// The stalled request finally departed (or was re-admitted).
+    pub(crate) fn queue_end(&mut self, req: ReqId, now: SimTime) {
+        if let Some((txn, t0)) = self.queue_started.remove(&req) {
+            self.stage_sample(txn, Stage::QueueWait, now.since(t0));
+        }
+    }
+
+    /// Forgets a queue stamp without recording (request died with its
+    /// transaction).
+    pub(crate) fn queue_drop(&mut self, req: ReqId) {
+        self.queue_started.remove(&req);
     }
 }
 
@@ -110,20 +219,26 @@ mod tests {
     use super::*;
     use pscc_common::SimDuration;
 
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
     #[test]
     fn rtt_pairs_measure_durations() {
         let mut o = SiteObs::default();
         let t0 = SimTime::ZERO;
         let t1 = t0 + SimDuration::from_micros(250);
-        o.fetch_sent(ReqId(1), t0);
+        o.fetch_sent(ReqId(1), txn(1), t0);
         o.fetch_done(ReqId(1), t1);
         o.fetch_done(ReqId(2), t1); // unmatched: ignored
         assert_eq!(o.fetch_rtt.count(), 1);
         assert_eq!(o.fetch_rtt.sum_micros(), 250);
+        assert_eq!(o.stage_hist(Stage::FetchRtt).count(), 1);
+        assert_eq!(o.stage_hist(Stage::FetchRtt).sum_micros(), 250);
 
-        o.commit_begin(TxnId::new(SiteId(0), 1), t0);
-        o.commit_drop(TxnId::new(SiteId(0), 1));
-        o.commit_done(TxnId::new(SiteId(0), 1), t1); // dropped: ignored
+        o.commit_begin(txn(1), t0);
+        o.commit_drop(txn(1));
+        o.commit_done(txn(1), t1); // dropped: ignored
         assert_eq!(o.commit_latency.count(), 0);
     }
 
@@ -131,26 +246,70 @@ mod tests {
     fn callback_stamp_survives_until_closed() {
         let mut o = SiteObs::default();
         let t0 = SimTime::ZERO;
-        o.cb_sent(CbId(7), t0);
+        o.cb_sent(CbId(7), txn(3), t0);
         o.cb_acked(CbId(7), t0 + SimDuration::from_micros(10));
         o.cb_acked(CbId(7), t0 + SimDuration::from_micros(30));
         o.cb_closed(CbId(7));
         o.cb_acked(CbId(7), t0 + SimDuration::from_micros(50));
         assert_eq!(o.callback_rtt.count(), 2);
         assert_eq!(o.callback_rtt.sum_micros(), 40);
+        assert_eq!(o.stage_hist(Stage::CallbackRtt).sum_micros(), 40);
+    }
+
+    #[test]
+    fn stage_pairs_and_queue_first_stall_wins() {
+        let mut o = SiteObs::default();
+        let t0 = SimTime::ZERO;
+        o.force_begin(txn(1), t0);
+        o.force_done(txn(1), t0 + SimDuration::from_micros(90));
+        assert_eq!(o.stage_hist(Stage::WalForce).sum_micros(), 90);
+        o.prepare_begin(txn(1), t0);
+        o.prepare_done(txn(1), t0 + SimDuration::from_micros(500));
+        o.decide_begin(txn(1), t0 + SimDuration::from_micros(500));
+        o.decide_done(txn(1), t0 + SimDuration::from_micros(700));
+        assert_eq!(o.stage_hist(Stage::TwopcPrepare).sum_micros(), 500);
+        assert_eq!(o.stage_hist(Stage::TwopcDecide).sum_micros(), 200);
+        // Repeated busy backoffs accumulate from the first stall.
+        o.queue_begin(ReqId(9), txn(2), t0);
+        o.queue_begin(ReqId(9), txn(2), t0 + SimDuration::from_micros(40));
+        o.queue_end(ReqId(9), t0 + SimDuration::from_micros(100));
+        assert_eq!(o.stage_hist(Stage::QueueWait).sum_micros(), 100);
+        // Dropped stamps never record.
+        o.queue_begin(ReqId(10), txn(2), t0);
+        o.queue_drop(ReqId(10));
+        o.queue_end(ReqId(10), t0 + SimDuration::from_micros(9));
+        assert_eq!(o.stage_hist(Stage::QueueWait).count(), 1);
+    }
+
+    #[test]
+    fn stage_samples_emit_events_when_traced() {
+        let mut o = SiteObs::default();
+        let h = o.enable_trace(SiteId(0), 64);
+        o.set_now(SimTime::from_micros(5));
+        o.stage_sample(txn(1), Stage::LockWait, SimDuration::from_micros(42));
+        let events = h.snapshot();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::StageSample {
+                stage: Stage::LockWait,
+                micros: 42,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn trace_records_only_when_enabled() {
         let mut o = SiteObs::default();
         o.record(EventKind::Commit {
-            txn: TxnId::new(SiteId(0), 1),
+            txn: txn(1),
             stage: pscc_obs::event::CommitStage::Request,
         });
         let h = o.enable_trace(SiteId(0), 64);
         o.set_now(SimTime::from_micros(5));
         o.record(EventKind::Commit {
-            txn: TxnId::new(SiteId(0), 1),
+            txn: txn(1),
             stage: pscc_obs::event::CommitStage::Done,
         });
         let events = h.snapshot();

@@ -24,6 +24,7 @@ use std::collections::BinaryHeap;
 /// Which path a message travels on (see module docs).
 pub fn path_for(msg: &Message) -> PathId {
     match msg {
+        Message::Traced { inner, .. } => path_for(inner),
         Message::ReadReply { .. }
         | Message::WriteGranted { .. }
         | Message::LockGranted { .. }

@@ -1,0 +1,329 @@
+//! Critical-path attribution of commit latency (DESIGN.md §9).
+//!
+//! Engines emit one `StageSample` per measured latency interval
+//! (lock waits, callback and fetch round trips, WAL forces, the two
+//! 2PC phases, overload-queue waits). This module sweeps those samples
+//! against each transaction's commit window — `Commit{Request}` to
+//! `Commit{Done}` at its home site — and produces a per-transaction
+//! breakdown whose stages plus an explicit residual (`other`) sum to
+//! the measured commit latency *exactly*: overlapping samples are not
+//! double-counted (the inner-most stage by [`Stage::priority`] wins
+//! the overlap), and time no sample explains is reported, not hidden.
+
+use crate::event::{CommitStage, EventKind, TraceEvent};
+use pscc_common::{SimTime, Stage, TxnId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One transaction's commit-latency attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnBreakdown {
+    pub txn: TxnId,
+    /// Commit window at the home site.
+    pub request_at: SimTime,
+    pub done_at: SimTime,
+    /// `done_at - request_at`.
+    pub total_micros: u64,
+    /// Micros attributed to each stage within the window (indexed by
+    /// [`Stage::index`]); overlaps resolved by priority.
+    pub stages: [u64; Stage::COUNT],
+    /// Window time no stage sample explains (engine compute, network
+    /// hops outside measured round trips).
+    pub other_micros: u64,
+    /// Stage micros sampled *outside* the commit window (the
+    /// transaction's execution phase: fetches, lock waits before the
+    /// commit call). Not part of the commit-latency identity.
+    pub exec_stages: [u64; Stage::COUNT],
+}
+
+impl TxnBreakdown {
+    /// Stage sum + residual — equals `total_micros` by construction.
+    #[must_use]
+    pub fn attributed_micros(&self) -> u64 {
+        self.stages.iter().sum::<u64>() + self.other_micros
+    }
+}
+
+/// Sweeps a merged event stream into per-transaction breakdowns.
+/// Transactions without a complete commit window (aborted, still in
+/// flight, or with the window's events evicted) are skipped.
+#[must_use]
+pub fn analyze(events: &[TraceEvent]) -> BTreeMap<TxnId, TxnBreakdown> {
+    // Commit windows from the home site's Commit events: first Request,
+    // last Done (chaos duplication keeps stamps identical, so either
+    // pick is stable).
+    let mut req: BTreeMap<TxnId, SimTime> = BTreeMap::new();
+    let mut done: BTreeMap<TxnId, SimTime> = BTreeMap::new();
+    for e in events {
+        if let EventKind::Commit { txn, stage } = &e.kind {
+            match stage {
+                CommitStage::Request => {
+                    req.entry(*txn).or_insert(e.at);
+                }
+                CommitStage::Done => {
+                    done.insert(*txn, e.at);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Gather each committed transaction's samples as intervals.
+    let mut intervals: BTreeMap<TxnId, Vec<(u64, u64, Stage)>> = BTreeMap::new();
+    let mut exec: BTreeMap<TxnId, [u64; Stage::COUNT]> = BTreeMap::new();
+    for e in events {
+        let EventKind::StageSample { txn, stage, micros } = &e.kind else {
+            continue;
+        };
+        let (Some(r), Some(d)) = (req.get(txn), done.get(txn)) else {
+            continue;
+        };
+        if d < r {
+            continue;
+        }
+        let (win_lo, win_hi) = (r.as_micros(), d.as_micros());
+        let end = e.at.as_micros();
+        let start = end.saturating_sub(*micros);
+        let clipped_lo = start.max(win_lo);
+        let clipped_hi = end.min(win_hi);
+        if clipped_lo < clipped_hi {
+            intervals
+                .entry(*txn)
+                .or_default()
+                .push((clipped_lo, clipped_hi, *stage));
+        }
+        let outside = micros - clipped_hi.saturating_sub(clipped_lo);
+        if outside > 0 {
+            exec.entry(*txn).or_insert([0; Stage::COUNT])[stage.index()] += outside;
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (txn, r) in &req {
+        let Some(d) = done.get(txn) else { continue };
+        if d < r {
+            continue;
+        }
+        let total = d.since(*r).as_micros();
+        let mut stages = [0u64; Stage::COUNT];
+        if let Some(iv) = intervals.get(txn) {
+            // Sweep the elementary segments between interval boundaries;
+            // each segment belongs to the highest-priority covering
+            // stage, so overlaps never double-count.
+            let mut cuts: Vec<u64> = iv.iter().flat_map(|(a, b, _)| [*a, *b]).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let winner = iv
+                    .iter()
+                    .filter(|(a, b, _)| *a <= lo && hi <= *b)
+                    .map(|(_, _, s)| *s)
+                    .min_by_key(|s| s.priority());
+                if let Some(s) = winner {
+                    stages[s.index()] += hi - lo;
+                }
+            }
+        }
+        let attributed: u64 = stages.iter().sum();
+        out.insert(
+            *txn,
+            TxnBreakdown {
+                txn: *txn,
+                request_at: *r,
+                done_at: *d,
+                total_micros: total,
+                stages,
+                other_micros: total - attributed,
+                exec_stages: exec.get(txn).copied().unwrap_or([0; Stage::COUNT]),
+            },
+        );
+    }
+    out
+}
+
+/// Fleet-level aggregate of many breakdowns.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Aggregate {
+    pub txns: u64,
+    pub total_micros: u64,
+    pub stages: [u64; Stage::COUNT],
+    pub other_micros: u64,
+}
+
+#[must_use]
+pub fn aggregate<'a>(breakdowns: impl IntoIterator<Item = &'a TxnBreakdown>) -> Aggregate {
+    let mut agg = Aggregate::default();
+    for b in breakdowns {
+        agg.txns += 1;
+        agg.total_micros += b.total_micros;
+        for (i, s) in b.stages.iter().enumerate() {
+            agg.stages[i] += s;
+        }
+        agg.other_micros += b.other_micros;
+    }
+    agg
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Renders one transaction's breakdown as a text table.
+#[must_use]
+pub fn render_txn(b: &TxnBreakdown) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path of {}: commit latency {}µs (t={}..{}µs)",
+        b.txn,
+        b.total_micros,
+        b.request_at.as_micros(),
+        b.done_at.as_micros()
+    );
+    for s in Stage::ALL {
+        let v = b.stages[s.index()];
+        if v > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10}µs {:>5.1}%",
+                s.as_str(),
+                v,
+                pct(v, b.total_micros)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>10}µs {:>5.1}%",
+        "other",
+        b.other_micros,
+        pct(b.other_micros, b.total_micros)
+    );
+    let exec: u64 = b.exec_stages.iter().sum();
+    if exec > 0 {
+        let _ = writeln!(
+            out,
+            "  (execution-phase stage time outside the window: {exec}µs)"
+        );
+    }
+    out
+}
+
+/// Renders the fleet aggregate as a text table.
+#[must_use]
+pub fn render_aggregate(agg: &Aggregate) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical-path attribution over {} committed txns, {}µs total commit latency:",
+        agg.txns, agg.total_micros
+    );
+    for s in Stage::ALL {
+        let v = agg.stages[s.index()];
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>12}µs {:>5.1}%",
+            s.as_str(),
+            v,
+            pct(v, agg.total_micros)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>12}µs {:>5.1}%",
+        "other",
+        agg.other_micros,
+        pct(agg.other_micros, agg.total_micros)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscc_common::SiteId;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(SiteId(0), seq)
+    }
+
+    fn ev(seq: u64, at: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            site: SiteId(0),
+            at: SimTime::from_micros(at),
+            wall_micros: at,
+            kind,
+        }
+    }
+
+    fn commit(seq: u64, at: u64, t: u64, stage: CommitStage) -> TraceEvent {
+        ev(seq, at, EventKind::Commit { txn: txn(t), stage })
+    }
+
+    fn sample(seq: u64, at: u64, t: u64, stage: Stage, micros: u64) -> TraceEvent {
+        ev(
+            seq,
+            at,
+            EventKind::StageSample {
+                txn: txn(t),
+                stage,
+                micros,
+            },
+        )
+    }
+
+    #[test]
+    fn attribution_sums_exactly_and_resolves_overlap() {
+        // Window [100, 300]. A 2PC prepare of 150µs ending at 280
+        // contains a WAL force of 40µs ending at 250: the force wins
+        // its overlap, prepare gets the rest, `other` the remainder.
+        let events = vec![
+            commit(1, 100, 1, CommitStage::Request),
+            sample(2, 250, 1, Stage::WalForce, 40),
+            sample(3, 280, 1, Stage::TwopcPrepare, 150),
+            commit(4, 300, 1, CommitStage::Done),
+        ];
+        let b = &analyze(&events)[&txn(1)];
+        assert_eq!(b.total_micros, 200);
+        assert_eq!(b.stages[Stage::WalForce.index()], 40);
+        assert_eq!(b.stages[Stage::TwopcPrepare.index()], 110);
+        assert_eq!(b.other_micros, 50);
+        assert_eq!(b.attributed_micros(), b.total_micros);
+    }
+
+    #[test]
+    fn samples_clip_to_window_and_spill_to_exec() {
+        // A 100µs lock wait ending at 150 straddles the window start at
+        // 100: 50µs inside, 50µs execution-phase.
+        let events = vec![
+            commit(1, 100, 1, CommitStage::Request),
+            sample(2, 150, 1, Stage::LockWait, 100),
+            commit(3, 200, 1, CommitStage::Done),
+        ];
+        let b = &analyze(&events)[&txn(1)];
+        assert_eq!(b.stages[Stage::LockWait.index()], 50);
+        assert_eq!(b.exec_stages[Stage::LockWait.index()], 50);
+        assert_eq!(b.attributed_micros(), 100);
+    }
+
+    #[test]
+    fn incomplete_windows_are_skipped() {
+        let events = vec![
+            commit(1, 100, 1, CommitStage::Request),
+            commit(2, 100, 2, CommitStage::Request),
+            commit(3, 200, 2, CommitStage::Done),
+        ];
+        let all = analyze(&events);
+        assert!(!all.contains_key(&txn(1)), "no Done: skipped");
+        assert!(all.contains_key(&txn(2)));
+        let agg = aggregate(all.values());
+        assert_eq!(agg.txns, 1);
+        assert_eq!(agg.total_micros, 100);
+        assert!(render_aggregate(&agg).contains("other"));
+        assert!(render_txn(&all[&txn(2)]).contains("critical path"));
+    }
+}

@@ -6,7 +6,7 @@
 //! chronological dump so the §4.2.4 callback/purge interleavings (and
 //! deadlock/timeout postmortems) can be reconstructed across sites.
 
-use pscc_common::{AbortReason, LockMode, LockableId, SimTime, SiteId, TxnId};
+use pscc_common::{AbortReason, LockMode, LockableId, SimTime, SiteId, Stage, TraceCtx, TxnId};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -176,6 +176,38 @@ pub enum EventKind {
     /// A reconciliation run finished: `steps` actions were executed and
     /// `ok` says whether the cluster converged to the manifest.
     ConvergeDone { steps: u64, ok: bool },
+
+    // Causal tracing and auditing (DESIGN.md §9).
+    /// A traced message departed for `to` under `ctx` (span start).
+    MsgSend {
+        ctx: TraceCtx,
+        to: SiteId,
+        label: &'static str,
+    },
+    /// A traced message arrived from `from` under `ctx` (span end).
+    MsgRecv {
+        ctx: TraceCtx,
+        from: SiteId,
+        label: &'static str,
+    },
+    /// The engine measured `micros` of `stage` latency ending now, on
+    /// behalf of `txn` (the critical-path analyzer's raw material).
+    StageSample {
+        txn: TxnId,
+        stage: Stage,
+        micros: u64,
+    },
+    /// All of `txn`'s locks at this site were released (commit or
+    /// abort cleanup finished here).
+    LocksReleased { txn: TxnId },
+    /// A lock was downgraded in place (the §4.3.2 callback dance).
+    LockDowngrade { txn: TxnId, item: LockableId },
+    /// A remote transaction was tombstoned here: any of its straggler
+    /// data requests will be refused from now on.
+    TxnTombstoned { txn: TxnId },
+    /// A drained site re-opened admission (control-plane rollback or
+    /// rolling-step completion).
+    Undrained { site: SiteId },
 }
 
 impl fmt::Display for EventKind {
@@ -284,6 +316,27 @@ impl fmt::Display for EventKind {
             }
             EventKind::ConvergeDone { steps, ok } => {
                 write!(f, "converge_done steps={steps} ok={ok}")
+            }
+            EventKind::MsgSend { ctx, to, label } => {
+                write!(f, "msg_send {label} to={to:?} {ctx}")
+            }
+            EventKind::MsgRecv { ctx, from, label } => {
+                write!(f, "msg_recv {label} from={from:?} {ctx}")
+            }
+            EventKind::StageSample { txn, stage, micros } => {
+                write!(f, "stage_sample {stage} txn={txn:?} micros={micros}")
+            }
+            EventKind::LocksReleased { txn } => {
+                write!(f, "locks_released txn={txn:?}")
+            }
+            EventKind::LockDowngrade { txn, item } => {
+                write!(f, "lock_downgrade txn={txn:?} item={item:?}")
+            }
+            EventKind::TxnTombstoned { txn } => {
+                write!(f, "txn_tombstoned txn={txn:?}")
+            }
+            EventKind::Undrained { site } => {
+                write!(f, "undrained site={site:?}")
             }
         }
     }
@@ -511,5 +564,68 @@ mod tests {
         let dump = render_dump(&merged);
         assert!(dump.contains("callback_race"), "{dump}");
         assert!(dump.contains("purge_race"), "{dump}");
+    }
+
+    #[test]
+    fn merge_breaks_timestamp_ties_by_site_then_seq() {
+        // Three sites log at the identical instant: the merged order must
+        // be deterministic (site id, then per-site seq), not map order.
+        let t = SimTime::from_micros(7);
+        let handles: Vec<TraceHandle> = (0..3).map(|s| TraceHandle::new(SiteId(s), 16)).collect();
+        // Interleave recording in reverse site order to ensure the sort,
+        // not insertion order, produces the result.
+        for h in handles.iter().rev() {
+            h.set_now(t);
+            h.record(EventKind::Race {
+                item: item(0),
+                kind: RaceKind::PurgeInFlight,
+            });
+            h.record(EventKind::Race {
+                item: item(1),
+                kind: RaceKind::PurgeInFlight,
+            });
+        }
+        let merged = merge_traces(handles.iter().map(TraceHandle::snapshot).collect());
+        let order: Vec<(u32, u64)> = merged.iter().map(|e| (e.site.0, e.seq)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)],
+            "equal timestamps must tie-break by site then seq"
+        );
+    }
+
+    #[test]
+    fn merge_after_ring_wrap_keeps_surviving_suffix_in_order() {
+        // One site's ring wraps (old events evicted) while another's does
+        // not; the merge must interleave the surviving suffix correctly
+        // and the wrap must be visible via dropped().
+        let small = TraceHandle::new(SiteId(0), 4);
+        let big = TraceHandle::new(SiteId(1), 64);
+        for i in 0..10u64 {
+            small.set_now(SimTime::from_micros(i * 10));
+            small.record(EventKind::Race {
+                item: item(i as u32),
+                kind: RaceKind::CallbackLock,
+            });
+            big.set_now(SimTime::from_micros(i * 10 + 5));
+            big.record(EventKind::Race {
+                item: item(i as u32),
+                kind: RaceKind::PurgeInFlight,
+            });
+        }
+        assert_eq!(small.dropped(), 6);
+        assert_eq!(big.dropped(), 0);
+        let merged = merge_traces(vec![small.snapshot(), big.snapshot()]);
+        // 4 survivors from the wrapped ring + all 10 from the big one.
+        assert_eq!(merged.len(), 14);
+        // Globally non-decreasing in time, and the wrapped ring's
+        // survivors are exactly its latest 4 events, still in seq order.
+        assert!(merged.windows(2).all(|w| w[0].at <= w[1].at));
+        let small_seqs: Vec<u64> = merged
+            .iter()
+            .filter(|e| e.site == SiteId(0))
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(small_seqs, vec![6, 7, 8, 9]);
     }
 }

@@ -1,13 +1,22 @@
-//! Fixed log-bucket latency histograms.
+//! Fixed log-bucket latency histograms with linear sub-division.
 //!
-//! Values are microsecond durations. Bucket `i` covers `[2^(i-1), 2^i)`
-//! microseconds (bucket 0 holds exact zeros), so the whole `u64` range
-//! fits in 65 fixed slots — recording is allocation-free and O(1), cheap
-//! enough for the engine's hot paths.
+//! Values are microsecond durations. Each power-of-two range
+//! `[2^k, 2^(k+1))` for `k >= 2` is split into 4 equal linear
+//! sub-buckets, so any reported quantile upper bound is within 25% of
+//! the true value (a plain log2 scheme is off by up to 2×, which made
+//! p50/p99 indistinguishable between protocols whose latencies differ
+//! by less than a doubling). Values 0..=3 get exact buckets. The whole
+//! `u64` range fits in 253 fixed slots — recording stays
+//! allocation-free and O(1), cheap enough for the engine's hot paths.
 
 use pscc_common::SimDuration;
 
-const N_BUCKETS: usize = 65;
+/// 4 exact small-value buckets + 4 sub-buckets for each of the 62
+/// power-of-two majors `2..=63` covering `[4, u64::MAX]`: the last
+/// sub-bucket of the top major saturates at `u64::MAX`.
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS; // 4
+const N_BUCKETS: usize = 4 + 62 * SUBS; // 252
 
 /// A log-bucketed histogram of microsecond latencies.
 #[derive(Debug, Clone)]
@@ -30,18 +39,29 @@ impl Default for Histogram {
 }
 
 fn bucket_index(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
+    if v < 4 {
+        return v as usize;
+    }
+    // Major k = position of the highest set bit (>= 2 here); the next
+    // SUB_BITS bits below it pick the linear sub-bucket.
+    let major = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (major - SUBS.trailing_zeros() as usize)) & (SUBS as u64 - 1)) as usize;
+    let idx = 4 + (major - 2) * SUBS + sub;
+    idx.min(N_BUCKETS - 1)
 }
 
 /// Inclusive upper bound of bucket `i` in microseconds.
 fn bucket_upper(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << i) - 1
+    if i < 4 {
+        return i as u64;
     }
+    let major = (i - 4) / SUBS + 2;
+    let sub = ((i - 4) % SUBS) as u64;
+    if major >= 63 && sub == SUBS as u64 - 1 {
+        return u64::MAX;
+    }
+    // End of sub-bucket `sub` within [2^major, 2^(major+1)).
+    (1u64 << major) + (sub + 1) * (1u64 << (major - SUB_BITS as usize)) - 1
 }
 
 impl Histogram {
@@ -99,7 +119,8 @@ impl Histogram {
     }
 
     /// Upper bound (µs) of the bucket containing the `q`-quantile
-    /// (`0.0..=1.0`); 0 when empty.
+    /// (`0.0..=1.0`); 0 when empty. With the linear sub-division this
+    /// over-reports the true quantile by at most 25%.
     #[must_use]
     pub fn quantile_upper_micros(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -146,7 +167,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2() {
+    fn bounds_are_monotone_and_consistent() {
+        // Every bucket's values map back to it, and upper bounds rise.
+        let mut prev = None;
+        for i in 0..N_BUCKETS {
+            let up = bucket_upper(i);
+            if let Some(p) = prev {
+                assert!(up > p, "bucket {i} bound {up} <= {p}");
+            }
+            prev = Some(up);
+            if up != u64::MAX {
+                assert_eq!(bucket_index(up), i, "upper bound of {i} maps elsewhere");
+                assert!(bucket_index(up + 1) > i);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn buckets_are_log2_with_linear_subdivision() {
         let mut h = Histogram::new();
         h.record_micros(0);
         h.record_micros(1);
@@ -157,8 +196,35 @@ mod tests {
         assert_eq!(h.sum_micros(), 1030);
         assert_eq!(h.max_micros(), 1024);
         let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
-        // 0 → bucket 0; 1 → (0,1]; 2,3 → (1,3]; 1024 → (1023, 2047].
-        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+        // Small values are exact; 1024 lands in the first quarter of
+        // [1024, 2048), upper bound 1279 — not 2047.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 1), (3, 1), (1279, 1)]);
+    }
+
+    #[test]
+    fn relative_error_is_within_25_percent() {
+        for v in [5u64, 7, 100, 999, 4096, 12345, 1 << 40] {
+            let up = bucket_upper(bucket_index(v));
+            assert!(up >= v);
+            assert!((up - v) * 4 <= v, "value {v} reported as {up}: error > 25%");
+        }
+    }
+
+    #[test]
+    fn nearby_latencies_get_distinct_quantiles() {
+        // Two workloads whose p50 differs by ~30% must not collapse
+        // into the same bucket (the regression this scheme fixes).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..100 {
+            a.record_micros(1000);
+            b.record_micros(1300);
+        }
+        assert_ne!(
+            a.quantile_upper_micros(0.5),
+            b.quantile_upper_micros(0.5),
+            "sub-buckets must separate 1000µs from 1300µs"
+        );
     }
 
     #[test]
@@ -173,7 +239,7 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a.count(), 6);
-        assert!(a.quantile_upper_micros(0.5) <= 63);
+        assert!(a.quantile_upper_micros(0.5) <= 31);
         assert!(a.quantile_upper_micros(1.0) >= 2000);
         let cum = a.cumulative_buckets();
         assert_eq!(cum.last().expect("non-empty").1, 6);

@@ -356,9 +356,23 @@ impl Simulation {
             reg.histogram("callback_rtt", &s.obs.callback_rtt);
             reg.histogram("fetch_rtt", &s.obs.fetch_rtt);
             reg.histogram("commit_latency", &s.obs.commit_latency);
+            reg.histogram("txn_latency", &s.obs.txn_latency);
             reg.histogram("recovery_time", &s.obs.recovery_time);
+            for stage in pscc_common::Stage::ALL {
+                reg.histogram(&format!("stage_{stage}"), s.obs.stage_hist(stage));
+            }
         }
         reg.gauge("sites", self.sites.len() as f64);
+        // Trace-ring fidelity: events evicted across all rings (0 means
+        // merged traces and audits see the complete history).
+        reg.counter(
+            "trace_events_dropped",
+            self.sites
+                .iter()
+                .filter_map(|s| s.obs.trace_handle())
+                .map(pscc_obs::event::TraceHandle::dropped)
+                .sum(),
+        );
         for s in &self.sites {
             let id = s.site().0;
             reg.gauge(&format!("durable_lsn_site{id}"), s.durable_lsn() as f64);
@@ -372,6 +386,9 @@ impl Simulation {
                 &format!("queue_depth_peak_site{id}"),
                 s.queue_depth_peak() as f64,
             );
+            // Occupancy of the bounded dead-transaction tombstone filter
+            // (overload protection; capped at DEAD_TXN_MEMORY).
+            reg.gauge(&format!("dead_txns_site{id}"), s.dead_txn_count() as f64);
         }
         let mut current_sum = 0.0;
         for s in &self.sites {

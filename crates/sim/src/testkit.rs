@@ -34,6 +34,10 @@ pub const CONTROLLER: SiteId = SiteId(u32::MAX);
 
 /// The path each message kind travels on (per-path FIFO; see crate docs).
 pub fn path_for(msg: &Message) -> PathId {
+    // A tracing envelope rides whatever path its payload would.
+    if let Message::Traced { inner, .. } = msg {
+        return path_for(inner);
+    }
     match msg {
         Message::ReadReply { .. }
         | Message::WriteGranted { .. }
@@ -88,6 +92,10 @@ pub struct Cluster {
     supervisor: Option<Supervisor>,
     /// Request-id allocator for control messages sent as [`CONTROLLER`].
     next_ctl_req: u64,
+    /// Trace handles of every ring enabled over the cluster's life (a
+    /// restarted site gets a fresh ring; the old one is kept for the
+    /// merged postmortem stream).
+    traces: Vec<pscc_obs::event::TraceHandle>,
 }
 
 impl Cluster {
@@ -102,8 +110,15 @@ impl Cluster {
         if let Err(e) = cfg.validate() {
             panic!("invalid SystemConfig: {e}");
         }
-        let sites = (0..n)
+        let mut sites: Vec<PeerServer> = (0..n)
             .map(|i| PeerServer::new(SiteId(i), cfg.clone(), owners.clone()))
+            .collect();
+        // Every cluster runs traced: causal contexts on the wire, and
+        // the invariant auditor over the merged stream for free in
+        // [`Self::assert_survivors_quiescent`].
+        let traces = sites
+            .iter_mut()
+            .map(|s| s.enable_trace(Self::TRACE_CAP))
             .collect();
         Cluster {
             sites,
@@ -122,8 +137,15 @@ impl Cluster {
             control_inbox: Vec::new(),
             supervisor: None,
             next_ctl_req: 0,
+            traces,
         }
     }
+
+    /// Default per-site event-ring capacity. Large enough that short
+    /// integration runs keep their whole history (the auditor skips
+    /// itself when any ring overflowed — a truncated stream has grants
+    /// whose releases were evicted).
+    pub const TRACE_CAP: usize = 32_768;
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
@@ -229,6 +251,10 @@ impl Cluster {
             self.sites[i] = PeerServer::new(site, self.cfg.clone(), self.owners.clone());
             Vec::new()
         };
+        // The replacement engine records into a fresh ring; the old one
+        // stays in `traces` so the merged stream spans the crash.
+        self.traces
+            .push(self.sites[i].enable_trace(Self::TRACE_CAP));
         self.sites[i].stats.faults_injected += 1;
         self.sites[i].obs.record(EventKind::FaultInjected {
             from: site,
@@ -258,17 +284,56 @@ impl Cluster {
         self.sites[site.0 as usize].checkpoint()
     }
 
-    /// Asserts [`PeerServer::assert_quiescent`] on every live site.
+    /// Asserts [`PeerServer::assert_quiescent`] on every live site, then
+    /// runs the [`pscc_obs::InvariantAuditor`] over the merged
+    /// multi-site trace — every chaos/recovery/rolling suite that ends
+    /// on this call is audited for free. The audit is skipped when any
+    /// ring overflowed (a truncated stream has grants whose releases
+    /// were evicted, which would be unsound to judge).
     ///
     /// # Panics
     ///
-    /// Panics with the leaking site's description.
+    /// Panics with the leaking site's description, or with the list of
+    /// invariant violations.
     pub fn assert_survivors_quiescent(&self) {
         for s in &self.sites {
             if !self.crashed.contains(&s.site()) {
                 s.assert_quiescent();
             }
         }
+        if self.trace_dropped() == 0 {
+            let violations = pscc_obs::audit_events(&self.merged_trace());
+            assert!(
+                violations.is_empty(),
+                "invariant audit failed ({} violations):\n{}",
+                violations.len(),
+                violations
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    /// The merged multi-site event stream (chronological across every
+    /// ring ever enabled, crashes included).
+    #[must_use]
+    pub fn merged_trace(&self) -> Vec<pscc_obs::TraceEvent> {
+        pscc_obs::event::merge_traces(self.traces.iter().map(|t| t.snapshot()).collect())
+    }
+
+    /// Total events evicted across all rings (0 means the merged
+    /// stream is complete).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.traces.iter().map(|t| t.dropped()).sum()
+    }
+
+    /// Runs the invariant auditor over the merged stream.
+    #[must_use]
+    pub fn audit(&self) -> Vec<pscc_obs::Violation> {
+        pscc_obs::audit_events(&self.merged_trace())
     }
 
     fn note_fault(&mut self, from: SiteId, to: SiteId, what: &'static str) {
