@@ -27,10 +27,11 @@
 //!                           traced quick run; writes the merged stream as
 //!                           Chrome/Perfetto trace_event JSON to `path`
 //! repro --bench-json [path] quick fixed-workload benchmark (all three
-//!                           protocols); writes machine-readable
-//!                           throughput + commit-latency quantiles to
-//!                           `path` (default BENCH_7.json) for the
-//!                           PR-over-PR perf trajectory
+//!                           protocols) plus an ownership-migration
+//!                           drill; writes machine-readable throughput
+//!                           + latency quantiles to `path` (default
+//!                           BENCH_8.json) for the PR-over-PR perf
+//!                           trajectory
 //! ```
 //!
 //! Full scale = Table 1 platform (11 250 pages, 10 applications) with a
@@ -273,13 +274,123 @@ fn run_traced(
     }
 }
 
+/// One ownership-migration drill (DESIGN.md §10): re-home a 50-page
+/// range between two live owners after warming it through a client
+/// that then goes stale, and report what the move cost — how long the
+/// fence paused the range, the bytes the transfer shipped, and how
+/// often clients had to re-route on `WrongOwner`. The schedule is
+/// pinned so the numbers are comparable PR over PR.
+fn migration_drill() -> String {
+    use pscc_common::{AppId, FileId, Oid, PageId, SimDuration, VolId};
+    use pscc_control::{ClusterManifest, DesiredState, MoveRange, SiteSpec};
+    use pscc_core::{AppOp, AppReply, OwnerMap};
+    use pscc_sim::testkit::Cluster;
+
+    let owners = OwnerMap::Ranges(vec![(0, 225, SiteId(0)), (225, 450, SiteId(1))]);
+    let cfg = SystemConfig {
+        protocol: Protocol::PsAa,
+        ..SystemConfig::small()
+    };
+    let mut c = Cluster::new(4, cfg, owners, 8);
+    let app = AppId(0);
+    let oid = |page: u32| Oid::new(PageId::new(FileId::new(VolId(0), 0), page), 1);
+
+    // One committed update per attempt, retried through the fencing
+    // and re-route windows a migration opens.
+    fn commit(c: &mut Cluster, site: SiteId, app: AppId, o: Oid) {
+        for _ in 0..50 {
+            let t = c.begin(site, app);
+            c.submit(
+                site,
+                app,
+                Some(t),
+                AppOp::Write {
+                    oid: o,
+                    bytes: None,
+                },
+            );
+            c.pump_for(SimDuration::from_millis(100));
+            if matches!(c.find_reply(site, t), Some(AppReply::Done { .. })) {
+                c.submit(site, app, Some(t), AppOp::Commit);
+                c.pump_for(SimDuration::from_millis(100));
+                if matches!(c.find_reply(site, t), Some(AppReply::Committed { .. })) {
+                    return;
+                }
+            }
+            c.submit(site, app, Some(t), AppOp::Abort);
+            c.pump_for(SimDuration::from_millis(100));
+            let _ = c.find_reply(site, t);
+        }
+        eprintln!("migration drill wedged committing {o:?} at {site}");
+        std::process::exit(1);
+    }
+
+    // Warm the moving range from the client that will go stale.
+    for p in 0..10 {
+        commit(&mut c, SiteId(2), app, oid(p));
+    }
+
+    let view = c.observe();
+    let manifest = ClusterManifest {
+        sites: c
+            .sites
+            .iter()
+            .map(|s| SiteSpec {
+                site: s.site(),
+                desired: DesiredState::Up {
+                    min_epoch: view.get(s.site()).map_or(1, |o| o.epoch),
+                },
+            })
+            .collect(),
+        max_unavailable: 1,
+        step_timeout: SimDuration::from_secs(2),
+        max_step_retries: 3,
+        moves: vec![MoveRange {
+            lo: 0,
+            hi: 50,
+            from: SiteId(0),
+            to: SiteId(1),
+        }],
+    };
+    c.apply_manifest(manifest)
+        .expect("drill manifest validates");
+    let t0 = c.now();
+    c.converge(SimDuration::from_millis(20), SimDuration::from_secs(30))
+        .expect("drill migration converges");
+    let converge_us = c.now().since(t0).as_micros();
+
+    // The stale client re-routes and keeps committing at the new owner.
+    for p in 0..10 {
+        commit(&mut c, SiteId(2), app, oid(p));
+    }
+
+    let pause = &c.sites[0].obs.migration_pause;
+    let (p50, p99) = (
+        pause.quantile_upper_micros(0.5),
+        pause.quantile_upper_micros(0.99),
+    );
+    let total = c.total_stats();
+    eprintln!(
+        "# migration drill: converge {converge_us} us, pause p50 {p50} p99 {p99} us, \
+         {} bytes shipped, {} wrong-owner redirects",
+        total.transfer_bytes, total.wrong_owner_redirects
+    );
+    format!(
+        "  \"migration\": {{\"converge_us\": {converge_us}, \
+         \"pause_p50_us\": {p50}, \"pause_p99_us\": {p99}, \
+         \"transfer_bytes\": {}, \"wrong_owner_redirects\": {}, \
+         \"migrations_committed\": {}}}",
+        total.transfer_bytes, total.wrong_owner_redirects, total.migrations_committed
+    )
+}
+
 /// Runs a fixed quick workload (Fig. 13 peer-servers HOTCOLD high
 /// locality, wp = 0.30, 30 virtual seconds) under every protocol and
 /// writes a small hand-rolled JSON document with throughput and
 /// latency quantiles: the commit phase, the whole transaction
 /// (begin → committed), and the lock waits where the consistency
-/// protocols differ most. The workload is pinned so the numbers are
-/// comparable PR over PR.
+/// protocols differ most — plus one ownership-migration drill. The
+/// workload is pinned so the numbers are comparable PR over PR.
 fn run_bench_json(path: &str) {
     let mut entries = Vec::new();
     for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
@@ -326,8 +437,9 @@ fn run_bench_json(path: &str) {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"quick fig13 peer-servers HOTCOLD high-locality wp=0.30 30s\",\n  \"points\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        "{{\n  \"bench\": \"quick fig13 peer-servers HOTCOLD high-locality wp=0.30 30s + ownership-migration drill\",\n  \"points\": [\n{}\n  ],\n{}\n}}\n",
+        entries.join(",\n"),
+        migration_drill()
     );
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write {path}: {e}");
@@ -360,7 +472,7 @@ fn main() {
         .cloned();
 
     if args.iter().any(|a| a == "--bench-json") {
-        run_bench_json(cmd.as_deref().unwrap_or("BENCH_7.json"));
+        run_bench_json(cmd.as_deref().unwrap_or("BENCH_8.json"));
         return;
     }
 

@@ -94,6 +94,20 @@ pub struct Counters {
     /// Graceful drains that reached the drained state (WAL forced, all
     /// admitted work retired) and reported `DrainOk`.
     pub drains_completed: u64,
+    /// Ownership migrations begun at this site as the source.
+    pub migrations_started: u64,
+    /// Ownership migrations whose MigrationCommit record was forced
+    /// durable at this site as the source.
+    pub migrations_committed: u64,
+    /// Ownership migrations rolled back (supervisor abort or crash
+    /// before the commit record).
+    pub migrations_aborted: u64,
+    /// `WrongOwner` redirects this site followed as a client (its layout
+    /// was stale and a newer one re-routed the request).
+    pub wrong_owner_redirects: u64,
+    /// Bytes of page images and copy-table entries shipped to migration
+    /// destinations.
+    pub transfer_bytes: u64,
 }
 
 impl AddAssign for Counters {
@@ -134,6 +148,11 @@ impl AddAssign for Counters {
         self.stale_requests_refused += o.stale_requests_refused;
         self.drains_started += o.drains_started;
         self.drains_completed += o.drains_completed;
+        self.migrations_started += o.migrations_started;
+        self.migrations_committed += o.migrations_committed;
+        self.migrations_aborted += o.migrations_aborted;
+        self.wrong_owner_redirects += o.wrong_owner_redirects;
+        self.transfer_bytes += o.transfer_bytes;
     }
 }
 
@@ -145,7 +164,8 @@ impl fmt::Display for Counters {
              cb={} (page={}, obj={}, blocked={}, redo={}) adaptive={}/{} deesc={} \
              shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
              crashes={} orphans={} faults={} recovery={}r/{}u epochs={} \
-             shed={} stalled={} busy_retries={} drains={}/{}",
+             shed={} stalled={} busy_retries={} drains={}/{} \
+             migrations={}/{}/{} redirects={} transfer={}B",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -180,6 +200,11 @@ impl fmt::Display for Counters {
             self.busy_retries,
             self.drains_started,
             self.drains_completed,
+            self.migrations_started,
+            self.migrations_committed,
+            self.migrations_aborted,
+            self.wrong_owner_redirects,
+            self.transfer_bytes,
         )
     }
 }
@@ -198,7 +223,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 36] {
+    pub fn fields(&self) -> [(&'static str, u64); 41] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -236,6 +261,11 @@ impl Counters {
             ("stale_requests_refused", self.stale_requests_refused),
             ("drains_started", self.drains_started),
             ("drains_completed", self.drains_completed),
+            ("migrations_started", self.migrations_started),
+            ("migrations_committed", self.migrations_committed),
+            ("migrations_aborted", self.migrations_aborted),
+            ("wrong_owner_redirects", self.wrong_owner_redirects),
+            ("transfer_bytes", self.transfer_bytes),
         ]
     }
 }

@@ -83,6 +83,9 @@ pub enum Stage {
     TwopcDecide,
     /// Waiting in an overload queue: credit stall or busy backoff.
     QueueWait,
+    /// Stalled behind an ownership migration: the target range was
+    /// frozen (Busy) or mid-re-home (`WrongOwner` redirect + retry).
+    MigrationPause,
 }
 
 impl Stage {
@@ -91,7 +94,7 @@ impl Stage {
     /// earlier (inner-most) stage wins the overlapped time. A WAL
     /// force inside a 2PC prepare window is attributed to the force,
     /// not double-counted.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::WalForce,
         Stage::TwopcDecide,
         Stage::TwopcPrepare,
@@ -99,6 +102,7 @@ impl Stage {
         Stage::FetchRtt,
         Stage::LockWait,
         Stage::QueueWait,
+        Stage::MigrationPause,
     ];
 
     /// Number of stages.
@@ -115,6 +119,7 @@ impl Stage {
             Stage::TwopcPrepare => "2pc_prepare",
             Stage::TwopcDecide => "2pc_decide",
             Stage::QueueWait => "queue_wait",
+            Stage::MigrationPause => "migration_pause",
         }
     }
 
@@ -129,6 +134,7 @@ impl Stage {
             Stage::TwopcPrepare => 4,
             Stage::TwopcDecide => 5,
             Stage::QueueWait => 6,
+            Stage::MigrationPause => 7,
         }
     }
 

@@ -28,8 +28,8 @@
 //! ```
 //! use pscc_common::{SimDuration, SimTime, SiteId};
 //! use pscc_control::{
-//!     ClusterManifest, ClusterView, ControlAction, ControlStatus, ObservedSite, SitePhase,
-//!     Supervisor,
+//!     ClusterManifest, ClusterView, ControlAction, ControlStatus, MigrationObs, ObservedSite,
+//!     SitePhase, Supervisor,
 //! };
 //!
 //! // Desired: site 0 restarted into an epoch >= 2.
@@ -46,6 +46,8 @@
 //!         epoch: 1,
 //!         phase: SitePhase::Active,
 //!         queue_depth: 0,
+//!         layout: 1,
+//!         migration: MigrationObs::Idle,
 //!     }],
 //! };
 //! let tick = sup.tick(&view);
@@ -57,6 +59,6 @@ pub mod manifest;
 pub mod reconcile;
 pub mod view;
 
-pub use manifest::{ClusterManifest, DesiredState, ManifestError, SiteSpec};
+pub use manifest::{ClusterManifest, DesiredState, ManifestError, MoveRange, SiteSpec};
 pub use reconcile::{ControlAction, ControlStatus, StepKind, Supervisor, TickResult};
-pub use view::{ClusterView, ObservedSite, SitePhase};
+pub use view::{ClusterView, MigrationObs, ObservedSite, SitePhase};

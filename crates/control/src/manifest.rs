@@ -29,6 +29,23 @@ pub struct SiteSpec {
     pub desired: DesiredState,
 }
 
+/// A declared ownership migration: re-home the page range `[lo, hi)`
+/// from `from` to `to`. Moves are executed one at a time, in order,
+/// through the engine's crash-safe Prepare → Transfer → Commit state
+/// machine (DESIGN.md §10); the supervisor only issues the prepare and
+/// commit nudges and watches layout versions converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveRange {
+    /// First page number of the range (inclusive).
+    pub lo: u32,
+    /// One past the last page number (exclusive).
+    pub hi: u32,
+    /// Current owner, which must drive the migration.
+    pub from: SiteId,
+    /// New owner.
+    pub to: SiteId,
+}
+
 /// A declarative description of the cluster the operator wants,
 /// together with the safety envelope the reconciler must respect while
 /// getting there.
@@ -46,6 +63,9 @@ pub struct ClusterManifest {
     /// Retries per step before the whole operation aborts and rolls
     /// back.
     pub max_step_retries: u32,
+    /// Ownership migrations to execute (in order, one at a time) once
+    /// the site walk has nothing in flight. Usually empty.
+    pub moves: Vec<MoveRange>,
 }
 
 /// A manifest the reconciler refuses to run.
@@ -59,6 +79,12 @@ pub enum ManifestError {
     ZeroMaxUnavailable,
     /// A zero step timeout would retry every step on its first tick.
     ZeroStepTimeout,
+    /// A move with `lo >= hi` names no pages.
+    EmptyMove,
+    /// A move whose source and destination are the same site.
+    MoveToSelf(SiteId),
+    /// A move names a site the manifest does not list.
+    MoveUnknownSite(SiteId),
 }
 
 impl fmt::Display for ManifestError {
@@ -70,6 +96,13 @@ impl fmt::Display for ManifestError {
                 write!(f, "max_unavailable must be >= 1 to make progress")
             }
             ManifestError::ZeroStepTimeout => write!(f, "step_timeout must be non-zero"),
+            ManifestError::EmptyMove => write!(f, "move range is empty (lo >= hi)"),
+            ManifestError::MoveToSelf(s) => {
+                write!(f, "move names site {s:?} as both source and destination")
+            }
+            ManifestError::MoveUnknownSite(s) => {
+                write!(f, "move names site {s:?} which the manifest does not list")
+            }
         }
     }
 }
@@ -99,6 +132,7 @@ impl ClusterManifest {
             max_unavailable,
             step_timeout,
             max_step_retries: 3,
+            moves: Vec::new(),
         }
     }
 
@@ -118,6 +152,19 @@ impl ClusterManifest {
         }
         if self.step_timeout == SimDuration::ZERO {
             return Err(ManifestError::ZeroStepTimeout);
+        }
+        for mv in &self.moves {
+            if mv.lo >= mv.hi {
+                return Err(ManifestError::EmptyMove);
+            }
+            if mv.from == mv.to {
+                return Err(ManifestError::MoveToSelf(mv.from));
+            }
+            for s in [mv.from, mv.to] {
+                if !seen.contains(&s) {
+                    return Err(ManifestError::MoveUnknownSite(s));
+                }
+            }
         }
         Ok(())
     }
@@ -158,5 +205,36 @@ mod tests {
         let mut m = ok;
         m.step_timeout = SimDuration::ZERO;
         assert_eq!(m.validate(), Err(ManifestError::ZeroStepTimeout));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_moves() {
+        let ok = ClusterManifest::rolling_restart(
+            &[(SiteId(0), 1), (SiteId(1), 1)],
+            1,
+            SimDuration::from_secs(1),
+        );
+        let mv = |lo, hi, from, to| MoveRange {
+            lo,
+            hi,
+            from: SiteId(from),
+            to: SiteId(to),
+        };
+
+        let mut m = ok.clone();
+        m.moves = vec![mv(0, 100, 0, 1)];
+        assert_eq!(m.validate(), Ok(()));
+
+        let mut m = ok.clone();
+        m.moves = vec![mv(100, 100, 0, 1)];
+        assert_eq!(m.validate(), Err(ManifestError::EmptyMove));
+
+        let mut m = ok.clone();
+        m.moves = vec![mv(0, 100, 1, 1)];
+        assert_eq!(m.validate(), Err(ManifestError::MoveToSelf(SiteId(1))));
+
+        let mut m = ok;
+        m.moves = vec![mv(0, 100, 0, 7)];
+        assert_eq!(m.validate(), Err(ManifestError::MoveUnknownSite(SiteId(7))));
     }
 }

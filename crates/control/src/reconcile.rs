@@ -8,8 +8,8 @@
 //! and emits the rollback actions that return the cluster to service
 //! (undrain what was draining, restart what was stopped).
 
-use crate::manifest::{ClusterManifest, DesiredState, ManifestError, SiteSpec};
-use crate::view::{ClusterView, SitePhase};
+use crate::manifest::{ClusterManifest, DesiredState, ManifestError, MoveRange, SiteSpec};
+use crate::view::{ClusterView, MigrationObs, SitePhase};
 use pscc_common::{SimTime, SiteId};
 use std::collections::VecDeque;
 
@@ -24,6 +24,11 @@ pub enum StepKind {
     Restart,
     /// Reopen admission (auto-skipped when the site came back active).
     Undrain,
+    /// Ask a move's source to prepare the migration (freeze + drain the
+    /// range, log `MigrateBegin`).
+    MigratePrepare,
+    /// Ask the prepared source to transfer and commit the migration.
+    MigrateCommit,
 }
 
 impl StepKind {
@@ -34,6 +39,8 @@ impl StepKind {
             StepKind::Stop => "stop",
             StepKind::Restart => "restart",
             StepKind::Undrain => "undrain",
+            StepKind::MigratePrepare => "migrate_prepare",
+            StepKind::MigrateCommit => "migrate_commit",
         }
     }
 }
@@ -49,6 +56,29 @@ pub enum ControlAction {
     Restart(SiteId),
     /// Send `UndrainReq` to the site.
     Undrain(SiteId),
+    /// Send `MigratePrepare` for `[lo, hi) → to` to the source site.
+    MigratePrepare {
+        /// Source (current owner) driving the migration.
+        from: SiteId,
+        /// First page of the range.
+        lo: u32,
+        /// One past the last page.
+        hi: u32,
+        /// New owner.
+        to: SiteId,
+    },
+    /// Send `MigrateTransfer` to the prepared source (the engine runs
+    /// Transfer → Commit → Activate from there on its own).
+    MigrateCommit {
+        /// Source driving the migration.
+        from: SiteId,
+    },
+    /// Send `MigrateAbortReq` to the source: roll the migration back
+    /// (or learn it already committed).
+    MigrateAbort {
+        /// Source driving the migration.
+        from: SiteId,
+    },
 }
 
 impl ControlAction {
@@ -58,6 +88,11 @@ impl ControlAction {
             StepKind::Stop => ControlAction::Stop(site),
             StepKind::Restart => ControlAction::Restart(site),
             StepKind::Undrain => ControlAction::Undrain(site),
+            // Migration steps carry a range and are built by the move
+            // machine, never from a per-site program.
+            StepKind::MigratePrepare | StepKind::MigrateCommit => {
+                unreachable!("migration steps are driven by the move machine")
+            }
         }
     }
 
@@ -67,7 +102,10 @@ impl ControlAction {
             ControlAction::Drain(s)
             | ControlAction::Stop(s)
             | ControlAction::Restart(s)
-            | ControlAction::Undrain(s) => s,
+            | ControlAction::Undrain(s)
+            | ControlAction::MigratePrepare { from: s, .. }
+            | ControlAction::MigrateCommit { from: s }
+            | ControlAction::MigrateAbort { from: s } => s,
         }
     }
 }
@@ -110,12 +148,30 @@ struct InFlight {
     retries: u32,
 }
 
+/// The move currently being driven (at most one at a time).
+#[derive(Debug, Clone, Copy)]
+struct MoveFlight {
+    /// `MigratePrepare` or `MigrateCommit`.
+    step: StepKind,
+    /// Deadline for the current step.
+    deadline: SimTime,
+    /// Retries consumed by the current step.
+    retries: u32,
+    /// The layout version both endpoints must reach for the move to
+    /// count as done (source layout at prepare time + 1).
+    expect_layout: u64,
+}
+
 /// The reconciling cluster supervisor. See the crate docs for the
 /// model; see [`ClusterManifest`] for the safety envelope.
 #[derive(Debug, Clone)]
 pub struct Supervisor {
     manifest: ClusterManifest,
     in_flight: Vec<InFlight>,
+    /// Index of the next (or current) move in `manifest.moves`.
+    move_idx: usize,
+    /// The move currently in flight, if any.
+    move_flight: Option<MoveFlight>,
     status: ControlStatus,
     steps_executed: u64,
     last_draining: u64,
@@ -129,6 +185,8 @@ impl Supervisor {
         Ok(Supervisor {
             manifest,
             in_flight: Vec::new(),
+            move_idx: 0,
+            move_flight: None,
             status: ControlStatus::InProgress,
             steps_executed: 0,
             last_draining: 0,
@@ -216,6 +274,9 @@ impl Supervisor {
                 obs.up && obs.epoch >= min
             }
             StepKind::Undrain => obs.up && obs.phase == SitePhase::Active,
+            // Migration steps never appear in per-site programs; the
+            // move machine tracks their completion itself.
+            StepKind::MigratePrepare | StepKind::MigrateCommit => false,
         }
     }
 
@@ -225,6 +286,103 @@ impl Supervisor {
             .iter()
             .find(|s| s.site == site)
             .expect("in-flight site is always from the manifest")
+    }
+
+    /// Drives the declared ownership moves, one at a time, once the
+    /// site walk has nothing in flight (migration needs both endpoints
+    /// stable). Returns the site and step of a move that exhausted its
+    /// retries — terminal for the whole operation.
+    fn drive_moves(
+        &mut self,
+        view: &ClusterView,
+        actions: &mut Vec<ControlAction>,
+    ) -> Option<(SiteId, StepKind)> {
+        if !self.in_flight.is_empty() || self.move_idx >= self.manifest.moves.len() {
+            return None;
+        }
+        let mv: MoveRange = self.manifest.moves[self.move_idx];
+        let src = view.get(mv.from).copied();
+        let dst = view.get(mv.to).copied();
+        let prepare = ControlAction::MigratePrepare {
+            from: mv.from,
+            lo: mv.lo,
+            hi: mv.hi,
+            to: mv.to,
+        };
+        let Some(fly) = self.move_flight.as_mut() else {
+            // Start the move once both endpoints are observed up.
+            if let (Some(s), Some(d)) = (src, dst) {
+                if s.up && d.up {
+                    actions.push(prepare);
+                    self.steps_executed += 1;
+                    self.move_flight = Some(MoveFlight {
+                        step: StepKind::MigratePrepare,
+                        deadline: view.now + self.manifest.step_timeout,
+                        retries: 0,
+                        expect_layout: s.layout + 1,
+                    });
+                }
+            }
+            return None;
+        };
+        let done = match fly.step {
+            StepKind::MigratePrepare => {
+                src.is_some_and(|o| o.up && o.migration == MigrationObs::Prepared)
+            }
+            _ => {
+                // Committed and landed: both endpoints at the new
+                // layout, the source back to idle.
+                src.is_some_and(|o| {
+                    o.up && o.layout >= fly.expect_layout && o.migration == MigrationObs::Idle
+                }) && dst.is_some_and(|o| o.up && o.layout >= fly.expect_layout)
+            }
+        };
+        if done {
+            if fly.step == StepKind::MigratePrepare {
+                fly.step = StepKind::MigrateCommit;
+                fly.deadline = view.now + self.manifest.step_timeout;
+                fly.retries = 0;
+                actions.push(ControlAction::MigrateCommit { from: mv.from });
+            } else {
+                // Move complete; the next tick starts the next one.
+                self.move_flight = None;
+                self.move_idx += 1;
+            }
+            self.steps_executed += 1;
+            return None;
+        }
+        if view.now < fly.deadline {
+            return None;
+        }
+        if fly.retries >= self.manifest.max_step_retries {
+            // A migration that will not finish is rolled back, never
+            // left half-done: the source either aborts (pre-commit) or
+            // reports the commit already durable.
+            actions.push(ControlAction::MigrateAbort { from: mv.from });
+            self.steps_executed += 1;
+            return Some((mv.from, fly.step));
+        }
+        fly.retries += 1;
+        fly.deadline = view.now
+            + self
+                .manifest
+                .step_timeout
+                .mul_f64(f64::from(fly.retries) + 1.0);
+        // A source that crashed before its commit recovered with the
+        // migration rolled back: start over from the prepare.
+        if fly.step == StepKind::MigrateCommit
+            && src.is_some_and(|o| {
+                o.up && o.migration == MigrationObs::Idle && o.layout < fly.expect_layout
+            })
+        {
+            fly.step = StepKind::MigratePrepare;
+        }
+        actions.push(match fly.step {
+            StepKind::MigratePrepare => prepare,
+            _ => ControlAction::MigrateCommit { from: mv.from },
+        });
+        self.steps_executed += 1;
+        None
     }
 
     /// One reconciliation transition. Pure with respect to IO: reads
@@ -338,12 +496,23 @@ impl Supervisor {
             });
         }
 
+        if let Some((site, step)) = self.drive_moves(view, &mut actions) {
+            self.status = ControlStatus::Aborted { site, step };
+            return TickResult {
+                status: self.status,
+                actions,
+            };
+        }
+
         let all_satisfied = self
             .manifest
             .sites
             .iter()
             .all(|s| Self::plan_for(s, view).is_empty());
-        self.status = if self.in_flight.is_empty() && all_satisfied {
+        self.status = if self.in_flight.is_empty()
+            && all_satisfied
+            && self.move_idx >= self.manifest.moves.len()
+        {
             ControlStatus::Converged
         } else {
             ControlStatus::InProgress
@@ -368,6 +537,20 @@ mod tests {
             epoch,
             phase,
             queue_depth: 0,
+            layout: 1,
+            migration: MigrationObs::Idle,
+        }
+    }
+
+    fn obs_m(site: u32, layout: u64, migration: MigrationObs) -> ObservedSite {
+        ObservedSite {
+            site: SiteId(site),
+            up: true,
+            epoch: 1,
+            phase: SitePhase::Active,
+            queue_depth: 0,
+            layout,
+            migration,
         }
     }
 
@@ -524,6 +707,7 @@ mod tests {
             max_unavailable: 1,
             step_timeout: SimDuration::from_millis(100),
             max_step_retries: 1,
+            moves: Vec::new(),
         };
         let mut sup = Supervisor::new(manifest).unwrap();
         let t = sup.tick(&view(0, vec![obs(0, true, 1, SitePhase::Active)]));
@@ -547,6 +731,154 @@ mod tests {
         assert_eq!(t.status, ControlStatus::InProgress);
         let t = sup.tick(&view(20, vec![obs(0, true, 2, SitePhase::Active)]));
         assert_eq!(t.status, ControlStatus::Converged);
+    }
+
+    /// A manifest whose sites are already satisfied plus one move.
+    fn move_manifest(retries: u32) -> ClusterManifest {
+        let mut m = ClusterManifest::rolling_restart(
+            &[(SiteId(0), 0), (SiteId(1), 0)],
+            1,
+            SimDuration::from_millis(100),
+        );
+        m.max_step_retries = retries;
+        m.moves = vec![MoveRange {
+            lo: 0,
+            hi: 100,
+            from: SiteId(0),
+            to: SiteId(1),
+        }];
+        m
+    }
+
+    #[test]
+    fn move_walks_prepare_then_commit_then_converges() {
+        let mut sup = Supervisor::new(move_manifest(3)).unwrap();
+
+        // Both endpoints up and idle: issue the prepare.
+        let t = sup.tick(&view(
+            0,
+            vec![
+                obs_m(0, 1, MigrationObs::Idle),
+                obs_m(1, 1, MigrationObs::Idle),
+            ],
+        ));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::MigratePrepare {
+                from: SiteId(0),
+                lo: 0,
+                hi: 100,
+                to: SiteId(1),
+            }]
+        );
+        assert_eq!(t.status, ControlStatus::InProgress);
+
+        // Source prepared: issue the commit.
+        let t = sup.tick(&view(
+            10,
+            vec![
+                obs_m(0, 1, MigrationObs::Prepared),
+                obs_m(1, 1, MigrationObs::Idle),
+            ],
+        ));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::MigrateCommit { from: SiteId(0) }]
+        );
+
+        // Both endpoints at the new layout, source idle: converged.
+        let t = sup.tick(&view(
+            20,
+            vec![
+                obs_m(0, 2, MigrationObs::Idle),
+                obs_m(1, 2, MigrationObs::Idle),
+            ],
+        ));
+        assert!(t.actions.is_empty());
+        assert_eq!(t.status, ControlStatus::Converged);
+    }
+
+    #[test]
+    fn crashed_source_resets_commit_retry_to_prepare() {
+        let mut sup = Supervisor::new(move_manifest(3)).unwrap();
+        sup.tick(&view(
+            0,
+            vec![
+                obs_m(0, 1, MigrationObs::Idle),
+                obs_m(1, 1, MigrationObs::Idle),
+            ],
+        ));
+        sup.tick(&view(
+            10,
+            vec![
+                obs_m(0, 1, MigrationObs::Prepared),
+                obs_m(1, 1, MigrationObs::Idle),
+            ],
+        ));
+        // The source crashed and recovered with the migration rolled
+        // back (idle, old layout). Past the deadline, the retry must
+        // restart from the prepare, not re-send the commit.
+        let t = sup.tick(&view(
+            200_000,
+            vec![
+                obs_m(0, 1, MigrationObs::Idle),
+                obs_m(1, 1, MigrationObs::Idle),
+            ],
+        ));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::MigratePrepare {
+                from: SiteId(0),
+                lo: 0,
+                hi: 100,
+                to: SiteId(1),
+            }]
+        );
+        assert_eq!(t.status, ControlStatus::InProgress);
+    }
+
+    #[test]
+    fn stuck_move_aborts_with_migrate_abort() {
+        let mut sup = Supervisor::new(move_manifest(1)).unwrap();
+        let stuck = |now: u64| {
+            view(
+                now,
+                vec![
+                    obs_m(0, 1, MigrationObs::Preparing),
+                    obs_m(1, 1, MigrationObs::Idle),
+                ],
+            )
+        };
+        let t = sup.tick(&stuck(0));
+        assert_eq!(t.actions.len(), 1);
+
+        // One widening retry...
+        let t = sup.tick(&stuck(150_000));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::MigratePrepare {
+                from: SiteId(0),
+                lo: 0,
+                hi: 100,
+                to: SiteId(1),
+            }]
+        );
+
+        // ...then the move gives up: abort the migration, terminal.
+        let t = sup.tick(&stuck(500_000));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::MigrateAbort { from: SiteId(0) }]
+        );
+        assert_eq!(
+            t.status,
+            ControlStatus::Aborted {
+                site: SiteId(0),
+                step: StepKind::MigratePrepare
+            }
+        );
+        let t = sup.tick(&stuck(600_000));
+        assert!(t.actions.is_empty());
     }
 
     #[test]

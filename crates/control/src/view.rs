@@ -21,6 +21,23 @@ pub enum SitePhase {
     Drained,
 }
 
+/// Where a site stands in an ownership migration it is driving, as
+/// observed. Mirrors the engine's migration phase probe without
+/// depending on the engine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationObs {
+    /// No migration in flight at this site.
+    Idle,
+    /// Prepare logged; the source is quiescing the range.
+    Preparing,
+    /// Range frozen and `MigrateBegin` durable; ready to transfer.
+    Prepared,
+    /// Page images and copy-table entries are being shipped.
+    Transferring,
+    /// `MigrateCommit` issued; waiting for the destination to land.
+    Committing,
+}
+
 /// One site's observed state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObservedSite {
@@ -35,6 +52,13 @@ pub struct ObservedSite {
     pub phase: SitePhase,
     /// Admitted remote data requests (the engine queue-depth gauge).
     pub queue_depth: usize,
+    /// The site's ownership-directory layout version (1 at seed; bumped
+    /// by every committed or landed migration). Meaningless when `up`
+    /// is false.
+    pub layout: u64,
+    /// Migration phase at this site (as the driving source).
+    /// Meaningless when `up` is false.
+    pub migration: MigrationObs,
 }
 
 /// A snapshot of the whole cluster at virtual time `now`.
@@ -81,6 +105,8 @@ mod tests {
                     epoch: 1,
                     phase: SitePhase::Draining,
                     queue_depth: 3,
+                    layout: 1,
+                    migration: MigrationObs::Idle,
                 },
                 ObservedSite {
                     site: SiteId(1),
@@ -88,6 +114,8 @@ mod tests {
                     epoch: 1,
                     phase: SitePhase::Active,
                     queue_depth: 0,
+                    layout: 1,
+                    migration: MigrationObs::Idle,
                 },
             ],
         };

@@ -137,6 +137,49 @@ impl CopyTable {
         dropped
     }
 
+    /// Every `(client, ship_seq)` entry for `page`, sorted by client —
+    /// the retained callback obligations a migration must hand to the
+    /// new owner so later writes still call cached copies back.
+    pub fn entries(&self, page: PageId) -> Vec<(SiteId, u64)> {
+        let mut v: Vec<(SiteId, u64)> = self
+            .pages
+            .get(&page)
+            .map(|m| m.iter().map(|(c, s)| (*c, *s)).collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Restores an entry shipped over from a migrating source, preserving
+    /// its ship sequence so in-flight purges still match (§4.2.4). Keeps
+    /// whichever sequence is newer if an entry already exists.
+    pub fn restore(&mut self, page: PageId, client: SiteId, ship_seq: u64) {
+        let e = self
+            .pages
+            .entry(page)
+            .or_default()
+            .entry(client)
+            .or_insert(0);
+        *e = (*e).max(ship_seq);
+    }
+
+    /// Drops every entry for pages numbered `[lo, hi)` of the database
+    /// file, returning how many `(page, client)` entries went — the
+    /// source's side of a committed migration (the destination owns the
+    /// obligations now).
+    pub fn drop_range(&mut self, lo: u32, hi: u32) -> usize {
+        let mut dropped = 0;
+        self.pages.retain(|p, clients| {
+            if (lo..hi).contains(&p.page) {
+                dropped += clients.len();
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+
     /// Number of (page, client) entries (diagnostics).
     pub fn len(&self) -> usize {
         self.pages.values().map(HashMap::len).sum()
@@ -200,6 +243,30 @@ mod tests {
         assert_eq!(ct.clients(pid(1)), vec![SiteId(2)]);
         assert!(ct.clients(pid(2)).is_empty());
         assert_eq!(ct.drop_site_entries(SiteId(1)), 0);
+    }
+
+    #[test]
+    fn range_transfer_preserves_ship_seqs() {
+        let mut ct = CopyTable::new();
+        ct.record_ship(pid(1), SiteId(1));
+        let s = ct.record_ship(pid(1), SiteId(1)); // seq 2
+        ct.record_ship(pid(1), SiteId(2));
+        ct.record_ship(pid(5), SiteId(1));
+        assert_eq!(ct.entries(pid(1)), vec![(SiteId(1), 2), (SiteId(2), 1)]);
+
+        // Source side: the range [0, 3) leaves.
+        assert_eq!(ct.drop_range(0, 3), 2);
+        assert!(ct.clients(pid(1)).is_empty());
+        assert_eq!(ct.clients(pid(5)), vec![SiteId(1)]);
+
+        // Destination side: restore with the original sequences.
+        let mut dst = CopyTable::new();
+        dst.restore(pid(1), SiteId(1), s);
+        dst.restore(pid(1), SiteId(2), 1);
+        // A stale restore never regresses the sequence.
+        dst.restore(pid(1), SiteId(1), 1);
+        assert!(!dst.purge(pid(1), SiteId(1), 1), "old-seq purge is stale");
+        assert!(dst.purge(pid(1), SiteId(1), s));
     }
 
     #[test]

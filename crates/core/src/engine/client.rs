@@ -4,7 +4,9 @@
 
 use super::{CbCtx, CbKey, LockCont, PeerServer, ReqCont, TimerKind};
 use crate::msg::{AppReply, CbId, CbTarget, DeId, Message, ReqId};
-use pscc_common::{AbortReason, LockMode, LockableId, Oid, PageId, Protocol, SiteId, TxnId};
+use pscc_common::{
+    AbortReason, FileId, LockMode, LockableId, Oid, PageId, Protocol, SiteId, Stage, TxnId, VolId,
+};
 use pscc_lockmgr::Acquire;
 use pscc_storage::PageSnapshot;
 use pscc_wal::LogRecord;
@@ -24,10 +26,12 @@ impl PeerServer {
         bytes: Option<Vec<u8>>,
     ) {
         // An owner-local access acquires its lock directly in the shared
-        // table, so it must pass the deescalation gate *first* — another
-        // client's adaptive page lock makes the server copy stale and
-        // must be deescalated before any lock on the page is taken.
-        if self.owners.owner(oid.page) == self.site {
+        // table, so it must pass the migration and deescalation gates
+        // *first* — a frozen range must quiesce (no new local locks on
+        // it), and another client's adaptive page lock makes the server
+        // copy stale and must be deescalated before any lock on the page
+        // is taken.
+        if self.owners.owner_of(oid.page) == Some(self.site) {
             let app = match self.txns.home.get(&txn) {
                 Some(h) => h.app,
                 None => return,
@@ -45,6 +49,9 @@ impl PeerServer {
                 txn: Some(txn),
                 op,
             });
+            if self.queue_if_migrating(oid.page, work.clone()) {
+                return;
+            }
             if self.queue_if_deescalating(oid.page, work.clone()) {
                 return;
             }
@@ -137,15 +144,17 @@ impl PeerServer {
             self.finish_write(txn, oid, bytes);
             return;
         }
+        let Some(owner) = self.client_route(txn, oid.page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.stats.write_requests += 1;
         self.req_conts
             .insert(req, ReqCont::Write { txn, oid, bytes });
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
-            h.participants.insert(self.owners.owner(oid.page));
+            h.participants.insert(owner);
         }
-        let owner = self.owners.owner(oid.page);
         self.send(owner, Message::WriteObj { req, txn, oid });
     }
 
@@ -193,6 +202,9 @@ impl PeerServer {
             self.fetch_page(txn, oid, Some((oid, bytes)));
             return;
         }
+        let Some(owner) = self.client_route(txn, page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.stats.write_requests += 1;
         self.req_conts.insert(
@@ -206,13 +218,15 @@ impl PeerServer {
         );
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
-            h.participants.insert(self.owners.owner(page));
+            h.participants.insert(owner);
         }
-        let owner = self.owners.owner(page);
         self.send(owner, Message::WritePage { req, txn, page });
     }
 
     fn fetch(&mut self, txn: TxnId, oid: Oid, then_write: Option<Option<Vec<u8>>>) {
+        let Some(owner) = self.client_route(txn, oid.page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.stats.read_requests += 1;
         self.req_conts.insert(
@@ -229,9 +243,8 @@ impl PeerServer {
             .insert(req);
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
-            h.participants.insert(self.owners.owner(oid.page));
+            h.participants.insert(owner);
         }
-        let owner = self.owners.owner(oid.page);
         self.obs.fetch_sent(req, txn, self.now);
         self.obs.record(pscc_obs::EventKind::FetchSent {
             to: owner,
@@ -242,6 +255,9 @@ impl PeerServer {
 
     fn fetch_page(&mut self, txn: TxnId, oid: Oid, then_write: Option<(Oid, Option<Vec<u8>>)>) {
         let page = oid.page;
+        let Some(owner) = self.client_route(txn, page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.stats.read_requests += 1;
         self.req_conts.insert(
@@ -255,9 +271,8 @@ impl PeerServer {
         self.pending_fetches.entry(page).or_default().insert(req);
         if let Some(h) = self.txns.home.get_mut(&txn) {
             h.outstanding_reqs.insert(req);
-            h.participants.insert(self.owners.owner(page));
+            h.participants.insert(owner);
         }
-        let owner = self.owners.owner(page);
         self.obs.fetch_sent(req, txn, self.now);
         self.obs.record(pscc_obs::EventKind::FetchSent {
             to: owner,
@@ -307,7 +322,19 @@ impl PeerServer {
                 return;
             }
         }
-        let sites = self.explicit_lock_sites(item);
+        // Page- and object-granularity locks go to the page's current
+        // owner; file/volume locks must reach every owning site.
+        let sites = match item {
+            LockableId::Page(p) => match self.client_route(txn, p) {
+                Some(s) => vec![s],
+                None => return,
+            },
+            LockableId::Object(o) => match self.client_route(txn, o.page) {
+                Some(s) => vec![s],
+                None => return,
+            },
+            LockableId::File(_) | LockableId::Volume(_) => self.owners.owners(),
+        };
         if !self.txns.home.contains_key(&txn) {
             return;
         }
@@ -327,16 +354,6 @@ impl PeerServer {
                     mode,
                 },
             );
-        }
-    }
-
-    /// The owners an explicit lock must reach: the page's owner, or every
-    /// owner holding pages of the file/volume.
-    fn explicit_lock_sites(&self, item: LockableId) -> Vec<SiteId> {
-        match item {
-            LockableId::Page(p) => vec![self.owners.owner(p)],
-            LockableId::Object(o) => vec![self.owners.owner(o.page)],
-            LockableId::File(_) | LockableId::Volume(_) => self.owners.owners(),
         }
     }
 
@@ -371,7 +388,7 @@ impl PeerServer {
         let page = snapshot.page;
         self.obs.fetch_done(req, self.now);
         self.obs.record(pscc_obs::EventKind::FetchDone {
-            from: self.owners.owner(page),
+            from: self.owners.owner_of(page).unwrap_or(self.site),
             item: LockableId::Page(page),
         });
         if let Some(p) = self.pending_fetches.get_mut(&page) {
@@ -518,6 +535,86 @@ impl PeerServer {
     }
 
     // ------------------------------------------------------------------
+    // Routing and migration redirects (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Routes a client-role request by the local ownership directory:
+    /// the current owner of `page`, or `None` after refusing an unmapped
+    /// page (no site can ever serve it, so the transaction aborts rather
+    /// than retry forever).
+    pub(crate) fn client_route(&mut self, txn: TxnId, page: PageId) -> Option<SiteId> {
+        match self.owners.try_owner(page) {
+            Ok(owner) => Some(owner),
+            Err(_) => {
+                self.obs
+                    .record(pscc_obs::EventKind::OwnershipRefused { page });
+                self.abort_txn_here(txn, AbortReason::Internal);
+                None
+            }
+        }
+    }
+
+    /// The owner this request reached no longer holds its page: range
+    /// `[lo, hi)` migrated away under `layout`. Apply the move if it is
+    /// news, re-point the retained in-flight copy, and retry —
+    /// immediately when the redirect taught us something (a newer layout
+    /// or a destination other than the refusing site), with backoff when
+    /// it did not (the destination simply has not activated yet; blind
+    /// immediate retries would ping-pong between disagreeing sites).
+    pub(crate) fn client_wrong_owner(
+        &mut self,
+        from: SiteId,
+        req: ReqId,
+        lo: u32,
+        hi: u32,
+        layout: u64,
+        new_owner: SiteId,
+    ) {
+        self.stats.wrong_owner_redirects += 1;
+        if !self.req_conts.contains_key(&req) {
+            // The transaction ended while the redirect was in flight.
+            self.inflight.remove(&req);
+            self.migration_waits.remove(&req);
+            return;
+        }
+        let fresh = self.owners.apply_move(lo, hi, new_owner, layout);
+        let dest = if fresh {
+            new_owner
+        } else {
+            // Stale redirect: our directory is at least as new — route
+            // by it. (`lo` names a page in the moved range; the file id
+            // is irrelevant to range lookups.)
+            let probe = PageId::new(FileId::new(VolId(self.site.0), 0), lo);
+            self.owners.owner_of(probe).unwrap_or(new_owner)
+        };
+        let Some((site, msg, _)) = self.inflight.get_mut(&req) else {
+            return;
+        };
+        *site = dest;
+        let msg = msg.clone();
+        if let Some(txn) = msg.txn_id() {
+            // The re-routed request will take locks at `dest`; commit
+            // must release them there.
+            if let Some(h) = self.txns.home.get_mut(&txn) {
+                h.participants.insert(dest);
+            }
+        }
+        if fresh || dest != from {
+            // The stall this migration imposed on the request ends now.
+            if let Some(t0) = self.migration_waits.remove(&req) {
+                if let Some(txn) = msg.txn_id() {
+                    self.obs
+                        .stage_sample(txn, Stage::MigrationPause, self.now.since(t0));
+                }
+            }
+            self.send(dest, msg);
+        } else {
+            self.migration_waits.entry(req).or_insert(self.now);
+            self.client_busy(from, req, self.cfg.busy_retry_hint);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Overload protection: Busy refusals and backoff (DESIGN.md §6)
     // ------------------------------------------------------------------
 
@@ -536,6 +633,7 @@ impl PeerServer {
             // The transaction ended (aborted) while the refusal was in
             // flight; nothing left to retry.
             self.inflight.remove(&req);
+            self.migration_waits.remove(&req);
             return;
         }
         let Some((_, retained, attempt)) = self.inflight.get_mut(&req) else {
@@ -572,11 +670,20 @@ impl PeerServer {
     pub(crate) fn busy_retry_fired(&mut self, req: ReqId) {
         if !self.req_conts.contains_key(&req) {
             self.inflight.remove(&req);
+            self.migration_waits.remove(&req);
             return;
         }
         let Some((site, msg, _)) = self.inflight.get(&req).cloned() else {
             return;
         };
+        // A retry departing after a migration stall closes its pause
+        // interval (re-stamped if the destination refuses again).
+        if let Some(t0) = self.migration_waits.remove(&req) {
+            if let Some(txn) = msg.txn_id() {
+                self.obs
+                    .stage_sample(txn, Stage::MigrationPause, self.now.since(t0));
+            }
+        }
         self.stats.busy_retries += 1;
         self.obs
             .record(pscc_obs::EventKind::BusyRetry { peer: site });
@@ -604,7 +711,9 @@ impl PeerServer {
         if pscc_storage::forward_target(&cur).is_some() {
             // Forwarded object: fetch the current bytes from the owner,
             // then log the update against them (never client-cached).
-            let owner = self.owners.owner(oid.page);
+            let Some(owner) = self.client_route(txn, oid.page) else {
+                return;
+            };
             let req = self.fresh_req();
             self.req_conts
                 .insert(req, ReqCont::ForwardWrite { txn, oid, bytes });
@@ -648,7 +757,9 @@ impl PeerServer {
     pub(crate) fn finish_read(&mut self, txn: TxnId, oid: Oid, data: Option<Vec<u8>>) {
         if let Some(d) = &data {
             if pscc_storage::forward_target(d).is_some() {
-                let owner = self.owners.owner(oid.page);
+                let Some(owner) = self.client_route(txn, oid.page) else {
+                    return;
+                };
                 let req = self.fresh_req();
                 self.req_conts.insert(req, ReqCont::ForwardRead { txn });
                 if let Some(h) = self.txns.home.get_mut(&txn) {
@@ -780,7 +891,13 @@ impl PeerServer {
     pub(crate) fn send_purges(&mut self, evicted: Vec<(PageId, crate::cache::CachedPage)>) {
         for (page, copy) in evicted {
             self.stats.pages_purged += 1;
-            let owner = self.owners.owner(page);
+            let Some(owner) = self.owners.owner_of(page) else {
+                // Unmapped page (should not occur): the copy dies with
+                // its locks unreplicated; the refusal is traced.
+                self.obs
+                    .record(pscc_obs::EventKind::OwnershipRefused { page });
+                continue;
+            };
             // Locks to replicate: page- and object-level locks held by
             // transactions homed here.
             let mut replicate: Vec<(TxnId, LockableId, LockMode)> = Vec::new();
@@ -808,6 +925,7 @@ impl PeerServer {
             self.send(
                 owner,
                 Message::Purge {
+                    client: self.site,
                     page,
                     ship_seq: copy.ship_seq,
                     replicate,

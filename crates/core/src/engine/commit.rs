@@ -49,7 +49,7 @@ impl PeerServer {
             let owner = rec
                 .payload
                 .page()
-                .map(|p| self.owners.owner(p))
+                .and_then(|p| self.owners.owner_of(p))
                 .unwrap_or(self.site);
             by_owner.entry(owner).or_default().push(rec);
         }

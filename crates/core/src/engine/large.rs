@@ -80,7 +80,9 @@ impl PeerServer {
             self.complete_op(txn, None);
             return;
         }
-        let owner = self.owners.owner(header_page);
+        let Some(owner) = self.client_route(txn, header_page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.large_creates.insert(req, txn);
         if let Some(h) = self.txns.home.get_mut(&txn) {
@@ -120,7 +122,7 @@ impl PeerServer {
             None => {
                 // Owner-local fast path: the header lives on our volume.
                 match self.volume.read_object(header) {
-                    Some(b) if self.owners.owner(header.page) == self.site => b.to_vec(),
+                    Some(b) if self.owners.owner_of(header.page) == Some(self.site) => b.to_vec(),
                     _ => {
                         self.complete_op(txn, None);
                         return;
@@ -141,7 +143,9 @@ impl PeerServer {
         let payload = self.large_payload_per_page(&hdr);
         let first = (offset / payload) as usize;
         let last = ((offset + len.max(1) as u64 - 1) / payload) as usize;
-        let owner = self.owners.owner(header.page);
+        let Some(owner) = self.client_route(txn, header.page) else {
+            return;
+        };
         let mut pending = HashMap::new();
         for pg in hdr.pages[first..=last].iter() {
             let have = self.large_cache.contains_key(pg)
@@ -240,7 +244,9 @@ impl PeerServer {
             self.complete_op(txn, None);
             return;
         }
-        let owner = self.owners.owner(header.page);
+        let Some(owner) = self.client_route(txn, header.page) else {
+            return;
+        };
         let req = self.fresh_req();
         self.large_writes.insert(req, txn);
         if let Some(h) = self.txns.home.get_mut(&txn) {

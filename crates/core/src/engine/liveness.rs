@@ -147,14 +147,16 @@ impl PeerServer {
         // grants backed by its (gone) lock state.
         let cached = self.cache.pages();
         for page in cached {
-            if self.owners.owner(page) == dead {
+            if self.owners.owner_of(page) == Some(dead) {
                 self.cache.purge(page);
             }
         }
         let owners = self.owners.clone();
         for h in self.txns.home.values_mut() {
-            h.adaptive_pages.retain(|p| owners.owner(*p) != dead);
-            h.page_write_grants.retain(|p| owners.owner(*p) != dead);
+            h.adaptive_pages
+                .retain(|p| owners.owner_of(*p) != Some(dead));
+            h.page_write_grants
+                .retain(|p| owners.owner_of(*p) != Some(dead));
         }
 
         // Abort every in-flight transaction whose home is the dead site:

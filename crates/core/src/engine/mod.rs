@@ -18,10 +18,12 @@ mod commit;
 pub mod drain;
 pub mod large;
 mod liveness;
+pub mod migration;
 mod recovery;
 mod server;
 
 pub use drain::DrainPhase;
+pub use migration::MigrationPhase;
 
 use crate::cache::ClientCache;
 use crate::copy_table::CopyTable;
@@ -30,6 +32,7 @@ use crate::msg::{
     TimerId,
 };
 use crate::owner_map::OwnerMap;
+use crate::ownership::OwnershipDirectory;
 use crate::races::RaceTable;
 use crate::residency::Residency;
 use crate::timeout::TimeoutEstimator;
@@ -203,6 +206,15 @@ pub(crate) enum DiskCont {
     /// The WAL force at the end of a graceful drain completed; report
     /// `DrainOk` to the control plane (engine/drain.rs).
     DrainForced,
+    /// A migration's `MigrateBegin` force completed at the source;
+    /// report `MigratePrepared` (engine/migration.rs).
+    MigratePrepareForced,
+    /// A migration's `MigrateCommit` force completed at the source;
+    /// publish the new layout and offer activation.
+    MigrateCommitForced,
+    /// A migration's staging force (`MigrateIn*`) completed at the
+    /// destination; ack the transfer.
+    MigrateInForced,
     /// Pure accounting (dirty-page writeback); nothing resumes.
     Accounted,
 }
@@ -236,6 +248,9 @@ pub(crate) enum TimerKind {
     /// Periodic check of a graceful drain's completion condition
     /// (engine/drain.rs); re-arms until the drain finishes or cancels.
     DrainCheck,
+    /// Periodic check of a migrating range's quiescence during the
+    /// prepare step (engine/migration.rs).
+    MigrationCheck,
 }
 
 /// State of a client-side callback thread (the per-callback thread of
@@ -307,7 +322,7 @@ pub(crate) struct DeOp {
 pub struct PeerServer {
     pub(crate) site: SiteId,
     pub(crate) cfg: SystemConfig,
-    pub(crate) owners: OwnerMap,
+    pub(crate) owners: OwnershipDirectory,
     pub(crate) now: SimTime,
 
     // One lock table serves both roles: at the owner of a granule, a
@@ -411,6 +426,20 @@ pub struct PeerServer {
     /// remote data requests are refused with `Busy` (engine/drain.rs).
     pub(crate) draining: Option<drain::DrainState>,
 
+    // Ownership migration (DESIGN.md §10).
+    /// In-progress outbound migration at this site as the source.
+    pub(crate) migrating: Option<migration::MigrationState>,
+    /// Staged (not yet landed) inbound migration at this site as the
+    /// destination.
+    pub(crate) migrating_in: Option<migration::MigrationInbound>,
+    /// Committed-away ranges `(lo, hi, to, layout)` whose destination
+    /// has not yet acknowledged activation; cleanup (`MigrateEnd`,
+    /// image discard) runs when `MigrateActivated` arrives.
+    pub(crate) migrated_out: Vec<(u32, u32, SiteId, u64)>,
+    /// Client role: when each redirect-stalled request first hit a
+    /// stale `WrongOwner` (the `MigrationPause` stage's start stamp).
+    pub(crate) migration_waits: HashMap<ReqId, SimTime>,
+
     // Causal tracing (DESIGN.md §9). All empty/unused unless tracing
     // is enabled — untraced runs pay nothing on the hot path.
     /// The context of the traced message currently being handled, if
@@ -469,7 +498,7 @@ impl PeerServer {
         let timeout_est = TimeoutEstimator::new(&cfg);
         PeerServer {
             site,
-            owners,
+            owners: OwnershipDirectory::new(owners),
             now: SimTime::ZERO,
             locks: LockTable::new(),
             txns: TxnRegistry::new(),
@@ -515,6 +544,10 @@ impl PeerServer {
             dead_txns: HashSet::new(),
             dead_txns_order: VecDeque::new(),
             draining: None,
+            migrating: None,
+            migrating_in: None,
+            migrated_out: Vec::new(),
+            migration_waits: HashMap::new(),
             cur_ctx: None,
             txn_spans: HashMap::new(),
             req_ctx: HashMap::new(),
@@ -641,6 +674,21 @@ impl PeerServer {
             "site {}: credit-stalled requests leak",
             self.site
         );
+        assert!(
+            self.migrating.is_none(),
+            "site {}: outbound migration still in flight",
+            self.site
+        );
+        assert!(
+            self.migrating_in.is_none(),
+            "site {}: staged inbound migration leak",
+            self.site
+        );
+        assert!(
+            self.migrated_out.is_empty(),
+            "site {}: unacknowledged migrated-out ranges leak",
+            self.site
+        );
         self.locks.assert_consistent();
     }
 
@@ -728,7 +776,8 @@ impl PeerServer {
             Message::ReadReply { req, .. }
             | Message::WriteGranted { req, .. }
             | Message::LockGranted { req }
-            | Message::ReqDenied { req, .. } => {
+            | Message::ReqDenied { req, .. }
+            | Message::WrongOwner { req, .. } => {
                 self.admitted.remove(&(to, *req));
             }
             _ => {}
@@ -1144,6 +1193,7 @@ impl PeerServer {
             TimerKind::CbResponse { cb } => self.cb_response_fired(cb),
             TimerKind::BusyRetry { req } => self.busy_retry_fired(req),
             TimerKind::DrainCheck => self.drain_check_fired(),
+            TimerKind::MigrationCheck => self.migration_check_fired(),
         }
     }
 
@@ -1162,6 +1212,9 @@ impl PeerServer {
             DiskCont::CommitApply(state) => self.commit_apply_step(state),
             DiskCont::CommitForced(state) => self.commit_forced(state),
             DiskCont::DrainForced => self.drain_forced(),
+            DiskCont::MigratePrepareForced => self.migrate_prepare_forced(),
+            DiskCont::MigrateCommitForced => self.migrate_commit_forced(),
+            DiskCont::MigrateInForced => self.migrate_in_forced(),
             DiskCont::Accounted => {}
         }
     }
@@ -1263,7 +1316,9 @@ impl PeerServer {
                     self.inflight.remove(req);
                     self.credit_release(from);
                 }
-                Message::Busy { .. } => self.credit_release(from),
+                // A redirect keeps the retained in-flight copy (it will
+                // be re-routed), but returns the credit it consumed.
+                Message::Busy { .. } | Message::WrongOwner { .. } => self.credit_release(from),
                 _ => {}
             }
         }
@@ -1287,11 +1342,12 @@ impl PeerServer {
                 self.server_deescalate_reply(de, page, ex_locks)
             }
             Message::Purge {
+                client,
                 page,
                 ship_seq,
                 replicate,
                 log_records,
-            } => self.server_purge(from, page, ship_seq, replicate, log_records),
+            } => self.server_purge(client, page, ship_seq, replicate, log_records),
             Message::CommitReq { req, txn, records } => {
                 self.server_commit_req(req, from, txn, records)
             }
@@ -1328,6 +1384,48 @@ impl PeerServer {
             // Drain verdicts are addressed to the supervisor; an engine
             // receiving one (e.g. a duplicated frame) ignores it.
             Message::DrainOk { .. } | Message::UndrainOk { .. } => (),
+
+            // Ownership migration (DESIGN.md §10).
+            Message::MigratePrepare { req, lo, hi, to } => {
+                self.server_migrate_prepare(from, req, lo, hi, to)
+            }
+            Message::MigrateTransfer { req } => self.server_migrate_transfer(from, req),
+            Message::MigrateAbortReq { req } => self.server_migrate_abort(from, req),
+            Message::TransferChunk {
+                lo,
+                hi,
+                layout,
+                pages,
+                copies,
+            } => self.server_transfer_chunk(from, lo, hi, layout, pages, copies),
+            Message::TransferAck { lo, hi } => self.server_transfer_ack(from, lo, hi),
+            Message::MigrateActivate { lo, hi, layout } => {
+                self.server_migrate_activate(from, lo, hi, layout)
+            }
+            Message::MigrateActivated { lo, hi, layout } => {
+                self.server_migrate_activated(from, lo, hi, layout)
+            }
+            Message::QueryMigration { lo, hi, layout } => {
+                self.server_query_migration(from, lo, hi, layout)
+            }
+            Message::MigrationResolved {
+                lo,
+                hi,
+                layout,
+                committed,
+            } => self.server_migration_resolved(from, lo, hi, layout, committed),
+            Message::WrongOwner {
+                req,
+                lo,
+                hi,
+                layout,
+                new_owner,
+            } => self.client_wrong_owner(from, req, lo, hi, layout, new_owner),
+            // Migration step replies are addressed to the supervisor;
+            // an engine receiving one ignores it.
+            Message::MigratePrepared { .. }
+            | Message::MigrateDone { .. }
+            | Message::MigrateAborted { .. } => (),
 
             // Large objects (paper §4.4).
             Message::FetchLargePage { req, page } => self.server_fetch_large(req, from, page),

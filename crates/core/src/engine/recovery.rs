@@ -82,6 +82,30 @@ impl PeerServer {
         let outcome = pscc_recovery::restart(s.volume.clone(), durable);
         s.volume = outcome.volume;
         s.log = outcome.log;
+
+        // Rebuild the ownership directory: the boot map, then the
+        // checkpoint's persisted layout, then any committed or landed
+        // moves in the log tail, in LSN order (`apply_move` is monotone,
+        // so stale replays are no-ops).
+        if let Some(cp) = &durable.checkpoint {
+            if let Some(img) = &cp.layout {
+                s.owners.adopt_image(img);
+            }
+        }
+        let (migration_records, _) = pscc_wal::decode_log(&durable.log);
+        for (_, rec) in &migration_records {
+            match &rec.payload {
+                LogPayload::MigrateCommit { lo, hi, to, layout } => {
+                    s.owners.apply_move(*lo, *hi, *to, *layout);
+                }
+                LogPayload::MigrateLand { lo, hi, layout, .. } => {
+                    s.owners.apply_move(*lo, *hi, site, *layout);
+                }
+                _ => {}
+            }
+        }
+        s.log.set_layout(s.owners.to_image());
+
         s.epoch = prior_epoch + 1;
         s.require_rejoin = true;
         s.stats.epoch_bumps += 1;
@@ -102,7 +126,7 @@ impl PeerServer {
                     LogPayload::Update { oid, .. }
                     | LogPayload::Create { oid, .. }
                     | LogPayload::Delete { oid, .. } => Some(*oid),
-                    LogPayload::Prepare | LogPayload::Commit | LogPayload::Abort => None,
+                    _ => None,
                 })
                 .collect();
             for oid in oids {
@@ -114,6 +138,12 @@ impl PeerServer {
             }
             s.send(txn.site, Message::QueryTxn { txn: *txn });
         }
+
+        // Resolve in-doubt migrations (engine/migration.rs): roll back
+        // prepares that never committed, re-offer committed-but-unswept
+        // ranges to their destination, and query the source about
+        // half-landed inbound transfers.
+        s.recover_migrations(&migration_records);
 
         // A fresh fuzzy checkpoint makes the durable image
         // self-contained: a second crash recovers from here, not from a
@@ -242,7 +272,7 @@ impl PeerServer {
         // callbacks; self-invalidate (they are re-fetched lazily).
         let pages = self.cache.pages();
         for page in pages {
-            if self.owners.owner(page) == server {
+            if self.owners.owner_of(page) == Some(server) {
                 self.cache.purge(page);
             }
         }
@@ -250,15 +280,17 @@ impl PeerServer {
             .large_cache
             .keys()
             .copied()
-            .filter(|p| self.owners.owner(*p) == server)
+            .filter(|p| self.owners.owner_of(*p) == Some(server))
             .collect();
         for p in stale_large {
             self.large_cache.remove(&p);
         }
         let owners = self.owners.clone();
         for h in self.txns.home.values_mut() {
-            h.adaptive_pages.retain(|p| owners.owner(*p) != server);
-            h.page_write_grants.retain(|p| owners.owner(*p) != server);
+            h.adaptive_pages
+                .retain(|p| owners.owner_of(*p) != Some(server));
+            h.page_write_grants
+                .retain(|p| owners.owner_of(*p) != Some(server));
         }
 
         // Active transactions that touched the server lost their locks

@@ -15,11 +15,109 @@ use std::collections::HashSet;
 
 impl PeerServer {
     // ------------------------------------------------------------------
+    // Ownership fence (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Gate at the top of every owner-role data path: is this site still
+    /// the authoritative owner of `page`?
+    ///
+    /// * **Unmapped** page → typed refusal ([`Message::ReqDenied`]): no
+    ///   retry can ever succeed, so the requesting transaction aborts.
+    /// * **Owned elsewhere** (the range migrated away) → a remote
+    ///   requester gets [`Message::WrongOwner`] carrying the newer
+    ///   layout and re-routes; this site's own client role raced its
+    ///   (already updated) directory, so the request is just forwarded.
+    /// * **Mid-migration** (owned here, inside a frozen range) → local
+    ///   work parks behind the migration; remote work is shed with
+    ///   [`Message::Busy`], and the backed-off retry usually arrives
+    ///   after commit and redirects.
+    ///
+    /// Returns `true` when the request may proceed here.
+    pub(crate) fn server_owner_fence(
+        &mut self,
+        from: SiteId,
+        req: ReqId,
+        page: PageId,
+        msg: Message,
+    ) -> bool {
+        match self.owners.try_owner(page) {
+            Err(_) => {
+                self.obs
+                    .record(pscc_obs::EventKind::OwnershipRefused { page });
+                self.send(
+                    from,
+                    Message::ReqDenied {
+                        req,
+                        reason: pscc_common::AbortReason::Internal,
+                    },
+                );
+                false
+            }
+            Ok(owner) if owner != self.site => {
+                if from == self.site {
+                    // The new owner joins the transaction's participant
+                    // set so commit releases the locks taken there.
+                    self.stats.wrong_owner_redirects += 1;
+                    if let Some(txn) = msg.txn_id() {
+                        if let Some(h) = self.txns.home.get_mut(&txn) {
+                            h.participants.insert(owner);
+                        }
+                    }
+                    self.send(owner, msg);
+                } else {
+                    let (lo, hi, new_owner) =
+                        self.owners.locate(page).expect("owned page has a range");
+                    self.send(
+                        from,
+                        Message::WrongOwner {
+                            req,
+                            lo,
+                            hi,
+                            layout: self.owners.version(),
+                            new_owner,
+                        },
+                    );
+                }
+                false
+            }
+            Ok(_) => {
+                if from == self.site {
+                    !self.queue_if_migrating(page, crate::msg::Input::Msg { from, msg })
+                } else if self
+                    .migrating
+                    .as_ref()
+                    .is_some_and(|m| (m.lo..m.hi).contains(&page.page))
+                {
+                    // The freeze must drain; `Busy` (not a queue) keeps
+                    // the source's admission table empty-able. The slot
+                    // taken at admission is handed back here.
+                    self.admitted.remove(&(from, req));
+                    self.stats.requests_shed += 1;
+                    self.obs
+                        .record(pscc_obs::EventKind::RequestShed { peer: from });
+                    self.send(
+                        from,
+                        Message::Busy {
+                            req,
+                            retry_after: self.cfg.busy_retry_hint,
+                        },
+                    );
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Reads (paper §4.1.1)
     // ------------------------------------------------------------------
 
     pub(crate) fn server_read(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
-        debug_assert_eq!(self.owners.owner(oid.page), self.site, "misrouted read");
+        if !self.server_owner_fence(from, req, oid.page, Message::ReadObj { req, txn, oid }) {
+            return;
+        }
         self.txns.spread(txn);
         let work = crate::msg::Input::Msg {
             from,
@@ -57,7 +155,9 @@ impl PeerServer {
     }
 
     pub(crate) fn server_read_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
-        debug_assert_eq!(self.owners.owner(page), self.site, "misrouted read");
+        if !self.server_owner_fence(from, req, page, Message::ReadPage { req, txn, page }) {
+            return;
+        }
         self.txns.spread(txn);
         let (a, _) = self
             .locks
@@ -211,7 +311,9 @@ impl PeerServer {
     // ------------------------------------------------------------------
 
     pub(crate) fn server_write(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
-        debug_assert_eq!(self.owners.owner(oid.page), self.site, "misrouted write");
+        if !self.server_owner_fence(from, req, oid.page, Message::WriteObj { req, txn, oid }) {
+            return;
+        }
         self.txns.spread(txn);
         let work = crate::msg::Input::Msg {
             from,
@@ -257,7 +359,9 @@ impl PeerServer {
     }
 
     pub(crate) fn server_write_page(&mut self, req: ReqId, from: SiteId, txn: TxnId, page: PageId) {
-        debug_assert_eq!(self.owners.owner(page), self.site, "misrouted write");
+        if !self.server_owner_fence(from, req, page, Message::WritePage { req, txn, page }) {
+            return;
+        }
         self.txns.spread(txn);
         let (a, _) = self
             .locks
@@ -783,9 +887,17 @@ impl PeerServer {
                         item: LockableId::Page(oid.page),
                     });
                 }
+                // Audited (crates/obs/src/audit.rs): a source must never
+                // ack a write for a page it has committed away.
+                self.obs
+                    .record(pscc_obs::EventKind::WriteAck { page: oid.page, to });
                 self.send(to, Message::WriteGranted { req, adaptive });
             }
             CbDone::WritePage { req, to } => {
+                if let CbTarget::PageAll(p) = op.target {
+                    self.obs
+                        .record(pscc_obs::EventKind::WriteAck { page: p, to });
+                }
                 self.send(
                     to,
                     Message::WriteGranted {
@@ -962,6 +1074,25 @@ impl PeerServer {
         item: LockableId,
         mode: LockMode,
     ) {
+        // Page- and object-granularity locks are routed by page and so
+        // pass the ownership fence; file/volume locks go to every owner
+        // by design and need no routing check.
+        let fence_page = match item {
+            LockableId::Page(p) => Some(p),
+            LockableId::Object(o) => Some(o.page),
+            LockableId::File(_) | LockableId::Volume(_) => None,
+        };
+        if let Some(p) = fence_page {
+            let msg = Message::LockItem {
+                req,
+                txn,
+                item,
+                mode,
+            };
+            if !self.server_owner_fence(from, req, p, msg) {
+                return;
+            }
+        }
         self.txns.spread(txn);
         let (a, _) = self.locks.acquire(txn, item, mode);
         match a {
@@ -1026,6 +1157,21 @@ impl PeerServer {
     /// and return the current bytes. Protection comes from the lock the
     /// requester already holds on the (original) object.
     pub(crate) fn server_read_forwarded(&mut self, req: ReqId, from: SiteId, txn: TxnId, oid: Oid) {
+        // No in-flight retained copy exists for forwarded point reads
+        // (they ride outside credit flow control), so a misroute cannot
+        // redirect: refuse outright and let the transaction retry.
+        if self.owners.owner_of(oid.page) != Some(self.site) {
+            self.obs
+                .record(pscc_obs::EventKind::OwnershipRefused { page: oid.page });
+            self.send(
+                from,
+                Message::ReqDenied {
+                    req,
+                    reason: pscc_common::AbortReason::Internal,
+                },
+            );
+            return;
+        }
         self.txns.spread(txn);
         self.touch_resident(oid.page, false);
         let target = self.volume.resolve_forward(oid);
@@ -1048,6 +1194,32 @@ impl PeerServer {
         replicate: Vec<(TxnId, LockableId, LockMode)>,
         log_records: Vec<LogRecord>,
     ) {
+        // A purge notice that chased a migrated range is forwarded to
+        // the current owner, which holds the page's copy-table entry
+        // (shipped with the transfer chunk) and its authoritative image.
+        // `from` is the purging client carried in the message, so the
+        // forward preserves it.
+        match self.owners.owner_of(page) {
+            Some(o) if o != self.site => {
+                self.send(
+                    o,
+                    Message::Purge {
+                        client: from,
+                        page,
+                        ship_seq,
+                        replicate,
+                        log_records,
+                    },
+                );
+                return;
+            }
+            None => {
+                self.obs
+                    .record(pscc_obs::EventKind::OwnershipRefused { page });
+                return;
+            }
+            Some(_) => {}
+        }
         if !self.copy_table.purge(page, from, ship_seq) {
             self.stats.purge_races += 1;
             self.obs.record(pscc_obs::EventKind::Race {

@@ -67,16 +67,18 @@ mod engine;
 pub mod msg;
 pub mod obs;
 pub mod owner_map;
+pub mod ownership;
 pub mod races;
 pub mod residency;
 pub mod timeout;
 pub mod txn;
 
 pub use engine::large::{decode_header_oid, encode_header_oid};
-pub use engine::{DrainPhase, PeerServer};
+pub use engine::{DrainPhase, MigrationPhase, PeerServer};
 pub use msg::{
     AppOp, AppReply, AppRequest, CbId, CbTarget, DeId, DiskOp, DiskReqId, Input, Message, Output,
     ReqId, TimerId,
 };
-pub use owner_map::OwnerMap;
+pub use owner_map::{OwnerMap, OwnershipError};
+pub use ownership::{LayoutImage, OwnershipDirectory};
 pub use timeout::TimeoutSnapshot;

@@ -14,7 +14,7 @@ use pscc_common::{
     AbortReason, AppId, LockMode, LockableId, Oid, PageId, SimDuration, SiteId, TxnId,
 };
 pub use pscc_common::{SpanId, TraceCtx};
-use pscc_storage::PageSnapshot;
+use pscc_storage::{PageSnapshot, SlottedPage};
 use pscc_wal::LogRecord;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -239,6 +239,10 @@ pub enum Message {
     /// local locks on the page's granules that must be replicated, and
     /// early-shipped log records for dirty objects (§3.3, §4.1.1).
     Purge {
+        /// The client that purged its copy. Carried explicitly (not
+        /// inferred from the transport sender) so a stale-routed purge
+        /// can be forwarded to the page's post-migration owner intact.
+        client: SiteId,
         /// The purged page.
         page: PageId,
         /// The `ship_seq` of the purged copy.
@@ -499,6 +503,149 @@ pub enum Message {
         req: ReqId,
     },
 
+    // Ownership migration (DESIGN.md §10).
+    /// Supervisor → source owner: begin migrating the page-number range
+    /// `[lo, hi)` to `to`. The source fences new lock grants on the
+    /// range (they are shed with `Busy`), lets in-flight work on it
+    /// drain, forces a durable `MigrateBegin` record, and answers with
+    /// [`Message::MigratePrepared`].
+    MigratePrepare {
+        /// Correlates the eventual `MigratePrepared`.
+        req: ReqId,
+        /// First page number of the range (inclusive).
+        lo: u32,
+        /// One past the last page number (exclusive).
+        hi: u32,
+        /// The destination owner.
+        to: SiteId,
+    },
+    /// Source → supervisor: the range is quiescent and the migration's
+    /// begin record is durable; transfer may start.
+    MigratePrepared {
+        /// The prepare this answers.
+        req: ReqId,
+    },
+    /// Supervisor → source owner: ship the prepared range to the
+    /// destination. The source answers with [`Message::MigrateDone`]
+    /// once the destination has activated the new layout.
+    MigrateTransfer {
+        /// Correlates the eventual `MigrateDone`.
+        req: ReqId,
+    },
+    /// Supervisor → source owner: abandon an in-flight migration. If
+    /// the source's `MigrateCommit` record is already durable the
+    /// migration is past its commit point and completes forward
+    /// instead; the reply reports which way it resolved.
+    MigrateAbortReq {
+        /// Correlates the `MigrateAborted`.
+        req: ReqId,
+    },
+    /// Source → supervisor: the abort request's resolution.
+    MigrateAborted {
+        /// The abort request this answers.
+        req: ReqId,
+        /// `true` if the migration was already committed and completed
+        /// forward; `false` if it rolled back and the source is
+        /// authoritative again.
+        committed: bool,
+    },
+    /// Source → supervisor: the migration is complete — the destination
+    /// owns the range under `layout` and the source's fence is final.
+    MigrateDone {
+        /// The transfer request this answers.
+        req: ReqId,
+        /// The layout version that carries the new assignment.
+        layout: u64,
+    },
+    /// Source → destination: the migrating range's page images and
+    /// copy-table entries (retained callback obligations travel as the
+    /// copy entries that would induce them). Bulk traffic: it is the
+    /// one migration message big enough to queue behind ordinary page
+    /// ships without harm.
+    TransferChunk {
+        /// First page number of the range (inclusive).
+        lo: u32,
+        /// One past the last page number (exclusive).
+        hi: u32,
+        /// The layout version the commit will install.
+        layout: u64,
+        /// Page images in the range present at the source.
+        pages: Vec<(PageId, SlottedPage)>,
+        /// Copy-table entries for the range: who caches each page, at
+        /// which ship sequence.
+        copies: Vec<(PageId, SiteId, u64)>,
+    },
+    /// Destination → source: the transferred range is staged durably
+    /// (its `MigrateIn` records are forced); the source may commit.
+    TransferAck {
+        /// Range lo (echoed).
+        lo: u32,
+        /// Range hi (echoed).
+        hi: u32,
+    },
+    /// Source → destination: the source's `MigrateCommit` record is
+    /// durable — install the staged range, adopt `layout`, and start
+    /// serving it.
+    MigrateActivate {
+        /// Range lo.
+        lo: u32,
+        /// Range hi.
+        hi: u32,
+        /// The layout version to adopt.
+        layout: u64,
+    },
+    /// Destination → source: the range is installed and served under
+    /// `layout`; the source may discard its images.
+    MigrateActivated {
+        /// Range lo.
+        lo: u32,
+        /// Range hi.
+        hi: u32,
+        /// The adopted layout version.
+        layout: u64,
+    },
+    /// Destination → source (recovery): "did the migration of `[lo,hi)`
+    /// at `layout` commit?". A destination that restarts with staged
+    /// `MigrateIn` records but no `MigrateLand` asks the source which
+    /// way to resolve; answered with [`Message::MigrationResolved`].
+    QueryMigration {
+        /// Range lo.
+        lo: u32,
+        /// Range hi.
+        hi: u32,
+        /// The in-doubt layout version.
+        layout: u64,
+    },
+    /// Source → destination: the in-doubt migration's durable outcome
+    /// at the source (also sent unsolicited after a source-side
+    /// rollback so a waiting destination discards its staging).
+    MigrationResolved {
+        /// Range lo.
+        lo: u32,
+        /// Range hi.
+        hi: u32,
+        /// The layout version queried.
+        layout: u64,
+        /// Whether the source's commit record survived.
+        committed: bool,
+    },
+    /// Owner → client: the request named a page this site no longer
+    /// owns — the range migrated away under `layout`. The client
+    /// applies the layout delta, re-routes the retained request to
+    /// `new_owner`, and retries; the request is not failed.
+    WrongOwner {
+        /// The misrouted request.
+        req: ReqId,
+        /// Migrated range lo.
+        lo: u32,
+        /// Migrated range hi.
+        hi: u32,
+        /// The layout version that moved it.
+        layout: u64,
+        /// Where the range lives now.
+        new_owner: SiteId,
+    },
+
     /// A causal-tracing envelope: any message wrapped with the
     /// [`TraceCtx`] of the hop that carries it. Engines wrap outgoing
     /// messages only while tracing is enabled and unwrap on receipt, so
@@ -537,6 +684,13 @@ impl Message {
             Message::WriteLargeReq { bytes, .. } => 64 + bytes.len(),
             Message::CreateLargeReq { content, .. } => 64 + content.len(),
             Message::ObjectBytes { bytes, .. } => 64 + bytes.as_ref().map(Vec::len).unwrap_or(0),
+            Message::TransferChunk { pages, copies, .. } => {
+                64 + pages
+                    .iter()
+                    .map(|(_, img)| img.as_bytes().len())
+                    .sum::<usize>()
+                    + copies.len() * 16
+            }
             _ => 64,
         }
     }
@@ -583,6 +737,23 @@ impl Message {
                 | Message::DrainOk { .. }
                 | Message::UndrainReq { .. }
                 | Message::UndrainOk { .. }
+                // Migration control and fencing verdicts must never
+                // queue behind the bulk lane: a shed WrongOwner wedges
+                // the redirected client, a delayed MigrateActivate
+                // leaves the range ownerless. Only the page-image
+                // TransferChunk is bulk.
+                | Message::MigratePrepare { .. }
+                | Message::MigratePrepared { .. }
+                | Message::MigrateTransfer { .. }
+                | Message::MigrateAbortReq { .. }
+                | Message::MigrateAborted { .. }
+                | Message::MigrateDone { .. }
+                | Message::TransferAck { .. }
+                | Message::MigrateActivate { .. }
+                | Message::MigrateActivated { .. }
+                | Message::QueryMigration { .. }
+                | Message::MigrationResolved { .. }
+                | Message::WrongOwner { .. }
         )
     }
 
@@ -601,6 +772,12 @@ impl Message {
                 | Message::DrainOk { .. }
                 | Message::UndrainReq { .. }
                 | Message::UndrainOk { .. }
+                | Message::MigratePrepare { .. }
+                | Message::MigratePrepared { .. }
+                | Message::MigrateTransfer { .. }
+                | Message::MigrateAbortReq { .. }
+                | Message::MigrateAborted { .. }
+                | Message::MigrateDone { .. }
         )
     }
 
@@ -667,7 +844,11 @@ impl Message {
             | Message::LargePageReply { req, .. }
             | Message::WriteLargeOk { req }
             | Message::CreateLargeOk { req, .. }
-            | Message::ObjectBytes { req, .. } => Some(*req),
+            | Message::ObjectBytes { req, .. }
+            | Message::WrongOwner { req, .. }
+            | Message::MigratePrepared { req }
+            | Message::MigrateDone { req, .. }
+            | Message::MigrateAborted { req, .. } => Some(*req),
             _ => None,
         }
     }
@@ -722,6 +903,19 @@ impl Message {
             Message::DrainOk { .. } => "drain_ok",
             Message::UndrainReq { .. } => "undrain_req",
             Message::UndrainOk { .. } => "undrain_ok",
+            Message::MigratePrepare { .. } => "migrate_prepare",
+            Message::MigratePrepared { .. } => "migrate_prepared",
+            Message::MigrateTransfer { .. } => "migrate_transfer",
+            Message::MigrateAbortReq { .. } => "migrate_abort_req",
+            Message::MigrateAborted { .. } => "migrate_aborted",
+            Message::MigrateDone { .. } => "migrate_done",
+            Message::TransferChunk { .. } => "transfer_chunk",
+            Message::TransferAck { .. } => "transfer_ack",
+            Message::MigrateActivate { .. } => "migrate_activate",
+            Message::MigrateActivated { .. } => "migrate_activated",
+            Message::QueryMigration { .. } => "query_migration",
+            Message::MigrationResolved { .. } => "migration_resolved",
+            Message::WrongOwner { .. } => "wrong_owner",
         }
     }
 }
@@ -985,6 +1179,45 @@ mod tests {
         assert!(Message::UndrainOk { req: ReqId(8) }.is_consistency());
         assert!(Message::DrainReq { req: ReqId(7) }.is_control_plane());
         assert!(!Message::Heartbeat.is_control_plane());
+        // Migration control is control-plane *and* consistency; the
+        // peer-to-peer handshake is consistency but not control-plane;
+        // the page-image chunk is bulk.
+        let prep = Message::MigratePrepare {
+            req: ReqId(9),
+            lo: 0,
+            hi: 8,
+            to: SiteId(2),
+        };
+        assert!(prep.is_control_plane());
+        assert!(prep.is_consistency());
+        let act = Message::MigrateActivate {
+            lo: 0,
+            hi: 8,
+            layout: 2,
+        };
+        assert!(act.is_consistency());
+        assert!(!act.is_control_plane());
+        let wrong = Message::WrongOwner {
+            req: ReqId(9),
+            lo: 0,
+            hi: 8,
+            layout: 2,
+            new_owner: SiteId(2),
+        };
+        assert!(wrong.is_consistency());
+        assert_eq!(wrong.req_of_reply(), Some(ReqId(9)));
+        let chunk = Message::TransferChunk {
+            lo: 0,
+            hi: 8,
+            layout: 2,
+            pages: vec![(
+                PageId::new(FileId::new(VolId(0), 0), 1),
+                SlottedPage::new(4096),
+            )],
+            copies: vec![],
+        };
+        assert!(!chunk.is_consistency());
+        assert!(chunk.wire_size() > 4000);
         // Bulk lane: fetches and write-permission traffic.
         let p = PageId::new(FileId::new(VolId(0), 0), 1);
         assert!(!Message::ReadPage {

@@ -38,6 +38,10 @@ pub struct SiteObs {
     /// Restart recovery duration (analysis + redo + undo wall clock,
     /// one sample per completed recovery).
     pub recovery_time: Histogram,
+    /// Ownership-migration pause: range freeze (`MigratePrepare`
+    /// accepted) to the source's commit record going durable — the
+    /// window in which traffic on the moving range is held off.
+    pub migration_pause: Histogram,
     /// Per-stage latency histograms (indexed by [`Stage::index`]).
     stage_hists: [Histogram; Stage::COUNT],
     fetch_started: HashMap<ReqId, (TxnId, SimTime)>,

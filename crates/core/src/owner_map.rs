@@ -8,6 +8,26 @@
 use pscc_common::{PageId, SiteId};
 use serde::{Deserialize, Serialize};
 
+/// A page that no range of the layout covers.
+///
+/// With static layouts this was a configuration error (and panicked);
+/// with online migration an uncovered page is a reachable transient —
+/// a stale layout image, a range mid-move — so lookups surface it as a
+/// typed error that callers turn into a traced refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnershipError {
+    /// The page no range covers.
+    pub page: PageId,
+}
+
+impl std::fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no owner for page {}", self.page)
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
 /// Which site owns each page of the (single, conceptual) database file.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OwnerMap {
@@ -19,20 +39,27 @@ pub enum OwnerMap {
 }
 
 impl OwnerMap {
-    /// The owner of `page`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a ranged map does not cover the page (configuration
-    /// error).
-    pub fn owner(&self, page: PageId) -> SiteId {
+    /// The owner of `page`, or [`OwnershipError`] if no range covers it.
+    pub fn owner(&self, page: PageId) -> Result<SiteId, OwnershipError> {
         match self {
-            OwnerMap::Single(s) => *s,
+            OwnerMap::Single(s) => Ok(*s),
             OwnerMap::Ranges(rs) => rs
                 .iter()
                 .find(|(lo, hi, _)| (*lo..*hi).contains(&page.page))
                 .map(|(_, _, s)| *s)
-                .unwrap_or_else(|| panic!("no owner for page {page}")),
+                .ok_or(OwnershipError { page }),
+        }
+    }
+
+    /// The covering range of `page`: `(lo, hi, owner)`. `Single` maps
+    /// report one range spanning every page number.
+    pub fn locate(&self, page: PageId) -> Option<(u32, u32, SiteId)> {
+        match self {
+            OwnerMap::Single(s) => Some((0, u32::MAX, *s)),
+            OwnerMap::Ranges(rs) => rs
+                .iter()
+                .find(|(lo, hi, _)| (*lo..*hi).contains(&page.page))
+                .copied(),
         }
     }
 
@@ -76,7 +103,7 @@ mod tests {
     #[test]
     fn single_owner() {
         let m = OwnerMap::Single(SiteId(0));
-        assert_eq!(m.owner(pid(123)), SiteId(0));
+        assert_eq!(m.owner(pid(123)), Ok(SiteId(0)));
         assert_eq!(m.pages_of(SiteId(0), 5), vec![0, 1, 2, 3, 4]);
         assert!(m.pages_of(SiteId(1), 5).is_empty());
         assert_eq!(m.owners(), vec![SiteId(0)]);
@@ -85,17 +112,20 @@ mod tests {
     #[test]
     fn ranged_owners() {
         let m = OwnerMap::Ranges(vec![(0, 10, SiteId(1)), (10, 20, SiteId(2))]);
-        assert_eq!(m.owner(pid(0)), SiteId(1));
-        assert_eq!(m.owner(pid(9)), SiteId(1));
-        assert_eq!(m.owner(pid(10)), SiteId(2));
+        assert_eq!(m.owner(pid(0)), Ok(SiteId(1)));
+        assert_eq!(m.owner(pid(9)), Ok(SiteId(1)));
+        assert_eq!(m.owner(pid(10)), Ok(SiteId(2)));
         assert_eq!(m.pages_of(SiteId(2), 20), (10..20).collect::<Vec<_>>());
         assert_eq!(m.owners(), vec![SiteId(1), SiteId(2)]);
+        assert_eq!(m.locate(pid(9)), Some((0, 10, SiteId(1))));
     }
 
     #[test]
-    #[should_panic(expected = "no owner")]
-    fn uncovered_page_panics() {
+    fn uncovered_page_is_a_typed_error() {
         let m = OwnerMap::Ranges(vec![(0, 10, SiteId(1))]);
-        let _ = m.owner(pid(10));
+        let err = m.owner(pid(10)).unwrap_err();
+        assert_eq!(err.page, pid(10));
+        assert_eq!(err.to_string(), format!("no owner for page {}", pid(10)));
+        assert_eq!(m.locate(pid(10)), None);
     }
 }

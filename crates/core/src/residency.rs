@@ -93,6 +93,16 @@ impl Residency {
         }
     }
 
+    /// Evicts every resident page matching `pred` *without* charging a
+    /// writeback, returning how many went. Used when ownership of a page
+    /// range migrates away: the images were shipped to the new owner, so
+    /// a dirty local copy is no longer this site's to write back.
+    pub fn evict_where(&mut self, pred: impl Fn(PageId) -> bool) -> usize {
+        let before = self.resident.len();
+        self.resident.retain(|p, _| !pred(*p));
+        before - self.resident.len()
+    }
+
     /// Number of resident pages.
     pub fn len(&self) -> usize {
         self.resident.len()
@@ -141,6 +151,17 @@ mod tests {
         r.touch(pid(1), true);
         let t = r.touch(pid(2), false);
         assert_eq!(t.writeback, Some(pid(1)));
+    }
+
+    #[test]
+    fn evict_where_drops_without_writeback() {
+        let mut r = Residency::new(4);
+        r.touch(pid(1), true);
+        r.touch(pid(2), false);
+        r.touch(pid(7), true);
+        assert_eq!(r.evict_where(|p| p.page < 3), 2);
+        assert!(!r.is_resident(pid(1)));
+        assert!(r.is_resident(pid(7)));
     }
 
     #[test]

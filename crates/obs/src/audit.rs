@@ -16,6 +16,15 @@
 //! 4. **Epoch monotonicity** — a site's recovery epoch strictly
 //!    increases across restarts, and the epochs a client observes for
 //!    a given server never go backwards.
+//! 5. **One authoritative owner** — ownership migration never leaves
+//!    two sites authoritative for the same page range: a
+//!    `MigrationLanded` claim at a layout version no newer than an
+//!    existing claim by a *different* site is a split-brain, and a
+//!    source site must not acknowledge page writes (`WriteAck`) for a
+//!    range after its `MigrationCommitted` record — unless a later
+//!    migration handed the range back. Migration state is durable (WAL
+//!    records survive restarts), so unlike checks 1–3 it is *not*
+//!    cleared when a site crashes.
 //!
 //! All state is keyed by the *recording* site, so the per-site `seq`
 //! order inside the merged stream (see `merge_traces`) is the only
@@ -72,6 +81,12 @@ pub struct InvariantAuditor {
     recovered_epoch: HashMap<SiteId, u64>,
     /// check 4: last epoch each client observed for each server.
     observed_epoch: HashMap<(SiteId, SiteId), u64>,
+    /// check 5: newest authoritative claim per migrated range
+    /// (layout version, owner). Durable — survives crash-clears.
+    range_claim: HashMap<(u32, u32), (u64, SiteId)>,
+    /// check 5: ranges each site has committed away, with the layout
+    /// version of the commit. Durable — survives crash-clears.
+    committed_away: HashMap<SiteId, HashSet<(u32, u32, u64)>>,
 }
 
 /// Message labels that carry a data verdict to a transaction's home.
@@ -240,6 +255,77 @@ impl InvariantAuditor {
                 }
                 let slot = self.observed_epoch.entry(key).or_insert(*epoch);
                 *slot = (*slot).max(*epoch);
+            }
+            EventKind::MigrationCommitted {
+                site: src,
+                lo,
+                hi,
+                to,
+                layout,
+            } => {
+                // The commit record durably names `to` the one
+                // authoritative owner; the source must stop acking
+                // writes on the range from this point on.
+                self.committed_away
+                    .entry(*src)
+                    .or_default()
+                    .insert((*lo, *hi, *layout));
+                let slot = self.range_claim.entry((*lo, *hi)).or_insert((0, *to));
+                if *layout > slot.0 {
+                    *slot = (*layout, *to);
+                }
+            }
+            EventKind::MigrationLanded {
+                site: dst,
+                lo,
+                hi,
+                layout,
+                ..
+            } => {
+                // Check 5a: a landing at a layout no newer than an
+                // existing claim by a different site means two sites
+                // both believe they own the range.
+                if let Some((prev_layout, prev_owner)) = self.range_claim.get(&(*lo, *hi)) {
+                    if *prev_layout >= *layout && prev_owner != dst {
+                        let (pl, po) = (*prev_layout, prev_owner.0);
+                        self.violate(
+                            e,
+                            "one_authoritative_owner",
+                            format!(
+                                "site {} landed [{lo},{hi}) at layout {layout} but site {po} \
+                                 holds it at layout {pl}",
+                                dst.0
+                            ),
+                        );
+                    }
+                }
+                let slot = self.range_claim.entry((*lo, *hi)).or_insert((0, *dst));
+                if *layout >= slot.0 {
+                    *slot = (*layout, *dst);
+                }
+                // A later migration may hand the range back: forget the
+                // destination's older committed-away records for it.
+                if let Some(gone) = self.committed_away.get_mut(dst) {
+                    gone.retain(|(l, h, v)| *v >= *layout || *h <= *lo || *l >= *hi);
+                }
+            }
+            EventKind::WriteAck { page, to } => {
+                // Check 5b: no write acked by a source after its
+                // migration commit for the page's range.
+                let n = page.page;
+                if let Some(gone) = self.committed_away.get(&site) {
+                    if let Some((lo, hi, v)) = gone.iter().find(|(l, h, _)| *l <= n && n < *h) {
+                        self.violate(
+                            e,
+                            "write_after_migrate",
+                            format!(
+                                "site {} acked write of page {n} to s{} after committing \
+                                 [{lo},{hi}) away at layout {v}",
+                                site.0, to.0
+                            ),
+                        );
+                    }
+                }
             }
             EventKind::MsgSend { ctx, to, label } if is_data_verdict(label) => {
                 // Check 3a: no data verdict for a tombstoned txn.
@@ -500,5 +586,119 @@ mod tests {
             }
         )])
         .is_empty());
+    }
+
+    #[test]
+    fn split_brain_landing_is_caught() {
+        let commit = |seq, at, src: u32, to: u32, layout| {
+            ev(
+                seq,
+                src,
+                at,
+                EventKind::MigrationCommitted {
+                    site: SiteId(src),
+                    lo: 0,
+                    hi: 100,
+                    to: SiteId(to),
+                    layout,
+                },
+            )
+        };
+        let land = |seq, at, dst: u32, from: u32, layout| {
+            ev(
+                seq,
+                dst,
+                at,
+                EventKind::MigrationLanded {
+                    site: SiteId(dst),
+                    from: SiteId(from),
+                    lo: 0,
+                    hi: 100,
+                    layout,
+                },
+            )
+        };
+        // Clean migration 1 -> 2, then a later one 2 -> 3: no violation.
+        let ok = vec![
+            commit(1, 10, 1, 2, 2),
+            land(2, 20, 2, 1, 2),
+            commit(3, 30, 2, 3, 3),
+            land(4, 40, 3, 2, 3),
+        ];
+        assert!(audit_events(&ok).is_empty());
+        // A second site landing the same range at the same layout:
+        // split brain.
+        let bad = vec![
+            commit(1, 10, 1, 2, 2),
+            land(2, 20, 2, 1, 2),
+            land(3, 30, 3, 1, 2),
+        ];
+        let v = audit_events(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "one_authoritative_owner");
+        // Duplicate delivery of the same landing is idempotent.
+        let dup = vec![
+            commit(1, 10, 1, 2, 2),
+            land(2, 20, 2, 1, 2),
+            land(3, 30, 2, 1, 2),
+        ];
+        assert!(audit_events(&dup).is_empty());
+    }
+
+    #[test]
+    fn write_ack_after_commit_is_caught() {
+        let page = |n| PageId::new(FileId::new(VolId(1), 0), n);
+        let ack = |seq, at, site: u32, n| {
+            ev(
+                seq,
+                site,
+                at,
+                EventKind::WriteAck {
+                    page: page(n),
+                    to: SiteId(0),
+                },
+            )
+        };
+        let commit = ev(
+            2,
+            1,
+            20,
+            EventKind::MigrationCommitted {
+                site: SiteId(1),
+                lo: 0,
+                hi: 100,
+                to: SiteId(2),
+                layout: 2,
+            },
+        );
+        // Ack before the commit, and an ack outside the range after it:
+        // clean. Ack inside the range after the commit: violation.
+        let bad = vec![
+            ack(1, 10, 1, 5),
+            commit.clone(),
+            ack(3, 30, 1, 200),
+            ack(4, 40, 1, 5),
+        ];
+        let v = audit_events(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "write_after_migrate");
+        // The range migrating back re-licenses the source.
+        let regained = vec![
+            commit,
+            ev(
+                3,
+                1,
+                30,
+                EventKind::MigrationLanded {
+                    site: SiteId(1),
+                    from: SiteId(2),
+                    lo: 0,
+                    hi: 100,
+                    layout: 3,
+                },
+            ),
+            ack(4, 40, 1, 5),
+        ];
+        assert!(audit_events(&regained).is_empty());
     }
 }

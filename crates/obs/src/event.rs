@@ -208,6 +208,46 @@ pub enum EventKind {
     /// A drained site re-opened admission (control-plane rollback or
     /// rolling-step completion).
     Undrained { site: SiteId },
+
+    // Ownership migration (DESIGN.md §10).
+    /// A source owner froze `[lo, hi)` and durably began migrating it
+    /// to `to`.
+    MigrationBegin {
+        site: SiteId,
+        lo: u32,
+        hi: u32,
+        to: SiteId,
+    },
+    /// The source's `MigrateCommit` record is durable: `to` is the one
+    /// authoritative owner of `[lo, hi)` under `layout`.
+    MigrationCommitted {
+        site: SiteId,
+        lo: u32,
+        hi: u32,
+        to: SiteId,
+        layout: u64,
+    },
+    /// A destination installed and activated a migrated range.
+    MigrationLanded {
+        site: SiteId,
+        from: SiteId,
+        lo: u32,
+        hi: u32,
+        layout: u64,
+    },
+    /// An in-flight migration rolled back before its commit point; the
+    /// source stays authoritative.
+    MigrationAborted { site: SiteId, lo: u32, hi: u32 },
+    /// An owner acknowledged a page write to `to` (granted write
+    /// permission or applied commit records). The auditor checks no
+    /// such ack is issued for a range this site migrated away.
+    WriteAck {
+        page: pscc_common::PageId,
+        to: SiteId,
+    },
+    /// A lookup hit a page no layout range covers; the request was
+    /// refused (typed `OwnershipError`) instead of panicking.
+    OwnershipRefused { page: pscc_common::PageId },
 }
 
 impl fmt::Display for EventKind {
@@ -337,6 +377,41 @@ impl fmt::Display for EventKind {
             }
             EventKind::Undrained { site } => {
                 write!(f, "undrained site={site:?}")
+            }
+            EventKind::MigrationBegin { site, lo, hi, to } => {
+                write!(
+                    f,
+                    "migration_begin site={site:?} range=[{lo},{hi}) to={to:?}"
+                )
+            }
+            EventKind::MigrationCommitted {
+                site,
+                lo,
+                hi,
+                to,
+                layout,
+            } => write!(
+                f,
+                "migration_committed site={site:?} range=[{lo},{hi}) to={to:?} layout={layout}"
+            ),
+            EventKind::MigrationLanded {
+                site,
+                from,
+                lo,
+                hi,
+                layout,
+            } => write!(
+                f,
+                "migration_landed site={site:?} from={from:?} range=[{lo},{hi}) layout={layout}"
+            ),
+            EventKind::MigrationAborted { site, lo, hi } => {
+                write!(f, "migration_aborted site={site:?} range=[{lo},{hi})")
+            }
+            EventKind::WriteAck { page, to } => {
+                write!(f, "write_ack page={page:?} to={to:?}")
+            }
+            EventKind::OwnershipRefused { page } => {
+                write!(f, "ownership_refused page={page:?}")
             }
         }
     }

@@ -139,6 +139,16 @@ pub fn restart(init: Volume, durable: &DurableState) -> RestartOutcome {
                     losers.insert(rec.txn, st.records);
                 }
             }
+            // Ownership-migration records are transaction-less control
+            // records; the engine resolves them itself (roll forward past
+            // MigrateCommit, roll back before it) after this pass.
+            LogPayload::MigrateBegin { .. }
+            | LogPayload::MigrateCommit { .. }
+            | LogPayload::MigrateRollback { .. }
+            | LogPayload::MigrateEnd { .. }
+            | LogPayload::MigrateIn { .. }
+            | LogPayload::MigrateInEnd { .. }
+            | LogPayload::MigrateLand { .. } => {}
         }
     }
     // Transactions still active at end of log: in doubt if prepared,

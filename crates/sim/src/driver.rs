@@ -66,7 +66,9 @@ pub struct AppDriver {
 fn vol_of_page(page: u32, owners: &pscc_core::OwnerMap) -> VolId {
     let pid = pscc_common::PageId::new(pscc_common::FileId::new(VolId(0), 0), page);
     // Owner volumes are `VolId(owning site)`; resolve through the map.
-    VolId(owners.owner(pid).0)
+    // Workload pages always come from the seed map, so a miss here is a
+    // harness bug, not a runtime condition.
+    VolId(owners.owner(pid).expect("workload page has a seed owner").0)
 }
 
 impl AppDriver {

@@ -358,6 +358,7 @@ impl Simulation {
             reg.histogram("commit_latency", &s.obs.commit_latency);
             reg.histogram("txn_latency", &s.obs.txn_latency);
             reg.histogram("recovery_time", &s.obs.recovery_time);
+            reg.histogram("migration_pause", &s.obs.migration_pause);
             for stage in pscc_common::Stage::ALL {
                 reg.histogram(&format!("stage_{stage}"), s.obs.stage_hist(stage));
             }

@@ -12,12 +12,12 @@
 use crate::chaos::{FaultDecision, FaultPlan};
 use pscc_common::{AppId, PsccError, SimDuration, SimTime, SiteId, SystemConfig, TxnId};
 use pscc_control::{
-    ClusterManifest, ClusterView, ControlAction, ControlStatus, ObservedSite, SitePhase, StepKind,
-    Supervisor,
+    ClusterManifest, ClusterView, ControlAction, ControlStatus, MigrationObs, ObservedSite,
+    SitePhase, StepKind, Supervisor,
 };
 use pscc_core::{
-    AppOp, AppReply, AppRequest, DiskReqId, DrainPhase, Input, Message, Output, OwnerMap,
-    PeerServer, ReqId, TimerId,
+    AppOp, AppReply, AppRequest, DiskReqId, DrainPhase, Input, Message, MigrationPhase, Output,
+    OwnerMap, PeerServer, ReqId, TimerId,
 };
 use pscc_net::{PathId, SeededNet};
 use pscc_obs::EventKind;
@@ -52,7 +52,16 @@ pub fn path_for(msg: &Message) -> PathId {
         | Message::TxnResolved { .. }
         | Message::Busy { .. }
         | Message::DrainOk { .. }
-        | Message::UndrainOk { .. } => PathId(1),
+        | Message::UndrainOk { .. }
+        | Message::WrongOwner { .. }
+        | Message::MigratePrepared { .. }
+        | Message::MigrateDone { .. }
+        | Message::MigrateAborted { .. }
+        | Message::TransferAck { .. }
+        | Message::MigrateActivate { .. }
+        | Message::MigrateActivated { .. }
+        | Message::QueryMigration { .. }
+        | Message::MigrationResolved { .. } => PathId(1),
         Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
             PathId(2)
         }
@@ -240,8 +249,11 @@ impl Cluster {
             .owners
             .pages_of(site, self.cfg.database_pages)
             .is_empty();
-        let outs = if owns_data {
-            let durable = self.sites[i].crash_image();
+        let durable = self.sites[i].crash_image();
+        // A site that owned nothing at seed time may still have durable
+        // state to recover — migration made it an owner (checkpoint
+        // layout or migration records in the log).
+        let outs = if owns_data || durable.checkpoint.is_some() || !durable.log.is_empty() {
             let prior = self.sites[i].epoch();
             let (s, outs) =
                 PeerServer::recover(site, self.cfg.clone(), self.owners.clone(), &durable, prior);
@@ -729,6 +741,14 @@ impl Cluster {
                         DrainPhase::Drained => SitePhase::Drained,
                     },
                     queue_depth: s.queue_depth(),
+                    layout: s.layout_version(),
+                    migration: match s.migration_phase() {
+                        MigrationPhase::Idle => MigrationObs::Idle,
+                        MigrationPhase::Preparing => MigrationObs::Preparing,
+                        MigrationPhase::Prepared => MigrationObs::Prepared,
+                        MigrationPhase::Transferring => MigrationObs::Transferring,
+                        MigrationPhase::Committing => MigrationObs::Committing,
+                    },
                 }
             })
             .collect();
@@ -786,6 +806,10 @@ impl Cluster {
             ControlAction::Stop(_) => StepKind::Stop,
             ControlAction::Restart(_) => StepKind::Restart,
             ControlAction::Undrain(_) => StepKind::Undrain,
+            ControlAction::MigratePrepare { .. } => StepKind::MigratePrepare,
+            ControlAction::MigrateCommit { .. } | ControlAction::MigrateAbort { .. } => {
+                StepKind::MigrateCommit
+            }
         };
         if !self.crashed.contains(&site) {
             self.sites[site.0 as usize]
@@ -814,6 +838,21 @@ impl Cluster {
             }
             ControlAction::Restart(s) => {
                 let _ = self.try_restart_site(s);
+            }
+            ControlAction::MigratePrepare { from, lo, hi, to } => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(from, Message::MigratePrepare { req, lo, hi, to });
+            }
+            ControlAction::MigrateCommit { from } => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(from, Message::MigrateTransfer { req });
+            }
+            ControlAction::MigrateAbort { from } => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(from, Message::MigrateAbortReq { req });
             }
         }
     }

@@ -1,0 +1,842 @@
+//! Ownership-migration chaos suite (DESIGN.md §10): epoch-fenced page
+//! re-homing driven end to end — the happy path with stale clients
+//! re-routing across the fence, a hot range migrated under live update
+//! churn, and a crash or partition injected at every step of the
+//! Prepare → Transfer → Commit → Activate machine.
+//!
+//! Every schedule is reproducible from its seed; `CHAOS_SEED` perturbs
+//! the interleaving in CI (`CHAOS_SEED=2 cargo test --test migration`).
+//! All clusters run traced, and `assert_survivors_quiescent` runs the
+//! invariant auditor (including the one-authoritative-owner and
+//! write-after-migrate checks) over the merged event stream.
+
+use pscc_common::{
+    AppId, FileId, LockableId, Oid, PageId, Protocol, SimDuration, SiteId, SystemConfig, TxnId,
+    VolId,
+};
+use pscc_control::{ClusterManifest, ControlStatus, DesiredState, MoveRange, SiteSpec, StepKind};
+use pscc_core::{AppOp, AppReply, Message, MigrationPhase, OwnerMap, ReqId};
+use pscc_obs::event::EventKind;
+use pscc_obs::AvailabilityTimeline;
+use pscc_sim::chaos::FaultPlan;
+use pscc_sim::testkit::{version_of, Cluster, ConvergeError};
+use std::collections::HashSet;
+
+const OWNER_A: SiteId = SiteId(0);
+const OWNER_B: SiteId = SiteId(1);
+const APP: AppId = AppId(0);
+
+/// An object on a page owned by `site` under the peer-partitioned map:
+/// each owner stores its partition under its own volume id.
+fn oid_owned_by(site: u32, page: u32, slot: u16) -> Oid {
+    Oid::new(PageId::new(FileId::new(VolId(site), 0), page), slot)
+}
+
+/// Per-test base seed, perturbed by `CHAOS_SEED` from the environment
+/// so CI can sweep schedules. Every assertion below is seed-independent;
+/// only the interleaving varies.
+fn seed(base: u64) -> u64 {
+    let sweep = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    base ^ sweep.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn migration_cfg(proto: Protocol) -> SystemConfig {
+    let mut cfg = SystemConfig::small();
+    cfg.protocol = proto;
+    cfg.leases_enabled = true;
+    cfg.heartbeat_interval = SimDuration::from_millis(20);
+    cfg.lease_duration = SimDuration::from_millis(100);
+    cfg.callback_response_timeout = SimDuration::from_millis(200);
+    cfg
+}
+
+/// The two-owner partitioned database every test uses: pages `[0, 225)`
+/// at A, `[225, 450)` at B, with sites 2 and 3 as pure clients.
+fn owners() -> OwnerMap {
+    OwnerMap::Ranges(vec![(0, 225, OWNER_A), (225, 450, OWNER_B)])
+}
+
+/// A manifest that demands nothing of the sites (their current epochs
+/// already satisfy it) so the reconciler goes straight to the declared
+/// `moves`.
+fn steady_manifest(
+    c: &Cluster,
+    moves: Vec<MoveRange>,
+    step_timeout: SimDuration,
+    max_step_retries: u32,
+) -> ClusterManifest {
+    let view = c.observe();
+    ClusterManifest {
+        sites: c
+            .sites
+            .iter()
+            .map(|s| SiteSpec {
+                site: s.site(),
+                desired: DesiredState::Up {
+                    min_epoch: view.get(s.site()).map(|o| o.epoch).unwrap_or(1),
+                },
+            })
+            .collect(),
+        max_unavailable: 1,
+        step_timeout,
+        max_step_retries,
+        moves,
+    }
+}
+
+/// At most one distinct transaction holds EX on `items` across the
+/// surviving sites.
+fn assert_one_ex_copy(c: &Cluster, items: &[LockableId]) {
+    for item in items {
+        let holders: HashSet<TxnId> = c
+            .sites
+            .iter()
+            .filter(|s| !c.is_crashed(s.site()))
+            .flat_map(|s| s.ex_holders(*item))
+            .collect();
+        assert!(
+            holders.len() <= 1,
+            "one-EX-copy violated on {item:?}: {holders:?}"
+        );
+    }
+}
+
+/// Commits one update transaction at `site` against `oid`, tolerating
+/// the aborts and busy-sheds of migration fences by retrying with fresh
+/// transactions. Panics if the site stays wedged.
+fn commit_update_with_retries(c: &mut Cluster, site: SiteId, oid: Oid) {
+    for _ in 0..50 {
+        let t = c.begin(site, APP);
+        c.submit(site, APP, Some(t), AppOp::Write { oid, bytes: None });
+        c.pump_for(SimDuration::from_millis(100));
+        if matches!(c.find_reply(site, t), Some(AppReply::Done { .. })) {
+            c.submit(site, APP, Some(t), AppOp::Commit);
+            c.pump_for(SimDuration::from_millis(100));
+            if matches!(c.find_reply(site, t), Some(AppReply::Committed { .. })) {
+                return;
+            }
+        }
+        // Clean up whatever state the attempt left before retrying.
+        c.submit(site, APP, Some(t), AppOp::Abort);
+        c.pump_for(SimDuration::from_millis(100));
+        let _ = c.find_reply(site, t);
+    }
+    panic!("site {site} could not commit an update after 50 attempts");
+}
+
+/// Drives a manually issued migration step until `done` holds or the
+/// budget runs out, pumping in small slices so crashes can be injected
+/// at a precise point of the handshake.
+fn pump_until(
+    c: &mut Cluster,
+    slice: SimDuration,
+    budget: SimDuration,
+    done: impl Fn(&Cluster) -> bool,
+) -> bool {
+    let start = c.now();
+    while c.now().since(start) < budget {
+        if done(c) {
+            return true;
+        }
+        c.pump_for(slice);
+    }
+    done(c)
+}
+
+/// A non-blocking closed-loop client: one update transaction at a time
+/// against its private object (Begin → Write → Commit), restarted from
+/// scratch on any abort.
+struct LoopClient {
+    site: SiteId,
+    oid: Oid,
+    state: ClientState,
+    commits: u64,
+    aborts: u64,
+}
+
+enum ClientState {
+    Idle,
+    Begun,
+    Writing(TxnId),
+    Committing(TxnId),
+}
+
+impl LoopClient {
+    fn new(site: SiteId, oid: Oid) -> Self {
+        LoopClient {
+            site,
+            oid,
+            state: ClientState::Idle,
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    fn poll(
+        &mut self,
+        c: &mut Cluster,
+        inbox: &mut Vec<(SiteId, AppReply)>,
+        tl: &mut AvailabilityTimeline,
+    ) {
+        let mine = |s: &SiteId| *s == self.site;
+        match self.state {
+            ClientState::Idle => {
+                c.submit(self.site, APP, None, AppOp::Begin);
+                self.state = ClientState::Begun;
+            }
+            ClientState::Begun => {
+                let pos = inbox
+                    .iter()
+                    .position(|(s, r)| mine(s) && matches!(r, AppReply::Started { .. }));
+                if let Some(i) = pos {
+                    let (_, reply) = inbox.remove(i);
+                    let AppReply::Started { txn, .. } = reply else {
+                        unreachable!()
+                    };
+                    c.submit(
+                        self.site,
+                        APP,
+                        Some(txn),
+                        AppOp::Write {
+                            oid: self.oid,
+                            bytes: None,
+                        },
+                    );
+                    self.state = ClientState::Writing(txn);
+                }
+            }
+            ClientState::Writing(txn) => {
+                if let Some(i) = inbox.iter().position(|(s, r)| {
+                    mine(s)
+                        && matches!(r,
+                            AppReply::Done { txn: t, .. } | AppReply::Aborted { txn: t, .. }
+                                if *t == txn)
+                }) {
+                    let (_, reply) = inbox.remove(i);
+                    match reply {
+                        AppReply::Done { .. } => {
+                            tl.record_attempt(c.now());
+                            c.submit(self.site, APP, Some(txn), AppOp::Commit);
+                            self.state = ClientState::Committing(txn);
+                        }
+                        _ => {
+                            self.aborts += 1;
+                            self.state = ClientState::Idle;
+                        }
+                    }
+                }
+            }
+            ClientState::Committing(txn) => {
+                if let Some(i) = inbox.iter().position(|(s, r)| {
+                    mine(s)
+                        && matches!(r,
+                            AppReply::Committed { txn: t, .. } | AppReply::Aborted { txn: t, .. }
+                                if *t == txn)
+                }) {
+                    let (_, reply) = inbox.remove(i);
+                    match reply {
+                        AppReply::Committed { .. } => {
+                            tl.record_commit(c.now());
+                            self.commits += 1;
+                        }
+                        _ => self.aborts += 1,
+                    }
+                    self.state = ClientState::Idle;
+                }
+            }
+        }
+    }
+}
+
+/// Happy path: the supervisor re-homes `[0, 50)` from A to B through
+/// the full Prepare → Transfer → Commit → Activate machine. The moved
+/// object is durable at the destination with its version intact, both
+/// layouts converge to the new version, and a client holding the stale
+/// directory is redirected by `WrongOwner` on its next access — the
+/// "client retrying against the old owner across the fence" case.
+fn migration_rehomes_range_and_redirects_stale_clients(proto: Protocol, seed: u64) {
+    let mut c = Cluster::new(4, migration_cfg(proto), owners(), seed);
+    let xa = oid_owned_by(0, 10, 1);
+
+    // Seed the object through client 2 so its directory (version 1,
+    // owner A) and page cache go stale once the range moves.
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    assert_eq!(c.sites[OWNER_A.0 as usize].layout_version(), 1);
+
+    let m = steady_manifest(
+        &c,
+        vec![MoveRange {
+            lo: 0,
+            hi: 50,
+            from: OWNER_A,
+            to: OWNER_B,
+        }],
+        SimDuration::from_secs(2),
+        3,
+    );
+    c.apply_manifest(m).expect("manifest validates");
+    let report = c
+        .converge(SimDuration::from_millis(20), SimDuration::from_secs(30))
+        .expect("migration must converge");
+    assert!(report.steps >= 1, "{proto}: no reconciliation steps ran");
+
+    // Both owners carry the new layout; the machine is fully retired.
+    assert_eq!(c.sites[OWNER_A.0 as usize].layout_version(), 2);
+    assert_eq!(c.sites[OWNER_B.0 as usize].layout_version(), 2);
+    assert_eq!(
+        c.sites[OWNER_A.0 as usize].migration_phase(),
+        MigrationPhase::Idle
+    );
+    assert!(!c.sites[OWNER_B.0 as usize].migration_inbound());
+
+    // The committed object moved byte-for-byte: durable at B, gone as
+    // an authoritative copy at A.
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_B.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object re-homed to B")
+        ),
+        1,
+        "{proto}: committed version lost in transit"
+    );
+
+    // The stale client re-routes and its next update lands at B.
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_B.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object at B")
+        ),
+        2,
+        "{proto}: post-migration update did not land at the new owner"
+    );
+
+    let total = c.total_stats();
+    assert!(
+        total.migrations_committed >= 1,
+        "{proto}: no migration committed: {total}"
+    );
+    assert!(
+        total.wrong_owner_redirects >= 1,
+        "{proto}: stale client never redirected: {total}"
+    );
+    assert!(
+        total.transfer_bytes > 0,
+        "{proto}: transfer shipped no bytes: {total}"
+    );
+
+    // The full lifecycle is observable in the merged trace.
+    let events = c.merged_trace();
+    for (name, hit) in [
+        (
+            "migration_begin",
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::MigrationBegin { .. })),
+        ),
+        (
+            "migration_committed",
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::MigrationCommitted { .. })),
+        ),
+        (
+            "migration_landed",
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::MigrationLanded { .. })),
+        ),
+    ] {
+        assert!(hit, "{proto}: no {name} event traced");
+    }
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn migration_rehomes_range_and_redirects_stale_clients_ps() {
+    migration_rehomes_range_and_redirects_stale_clients(Protocol::Ps, seed(101));
+}
+
+#[test]
+fn migration_rehomes_range_and_redirects_stale_clients_ps_oa() {
+    migration_rehomes_range_and_redirects_stale_clients(Protocol::PsOa, seed(101));
+}
+
+#[test]
+fn migration_rehomes_range_and_redirects_stale_clients_ps_aa() {
+    migration_rehomes_range_and_redirects_stale_clients(Protocol::PsAa, seed(101));
+}
+
+/// The headline schedule: a hot range migrates while a closed-loop
+/// client hammers an object inside it (and a second client churns the
+/// other partition as a control group). The fence sheds mid-migration
+/// work with `Busy`, clients retry across it, and afterwards every
+/// committed update — before, during, and after the move — is durable
+/// at the new owner: zero lost work, one-EX-copy at every poll.
+fn hot_range_migrates_under_live_churn(proto: Protocol, seed: u64) {
+    let poll = SimDuration::from_millis(20);
+    let window = SimDuration::from_millis(500);
+    let budget = SimDuration::from_secs(30);
+
+    let mut c = Cluster::new(4, migration_cfg(proto), owners(), seed);
+    let xa = oid_owned_by(0, 10, 1); // inside the moving range
+    let xb = oid_owned_by(1, 300, 1); // control group at B
+    let mut clients = vec![
+        LoopClient::new(SiteId(2), xa),
+        LoopClient::new(SiteId(3), xb),
+    ];
+    let items = [LockableId::Object(xa), LockableId::Object(xb)];
+
+    let mut tl = AvailabilityTimeline::new(c.now(), window);
+    let mut inbox: Vec<(SiteId, AppReply)> = Vec::new();
+    let started = c.now();
+    let drive = |c: &mut Cluster,
+                 clients: &mut Vec<LoopClient>,
+                 inbox: &mut Vec<(SiteId, AppReply)>,
+                 tl: &mut AvailabilityTimeline| {
+        for cl in clients.iter_mut() {
+            cl.poll(c, inbox, tl);
+        }
+        c.pump_for(poll);
+        inbox.extend(c.take_replies());
+        assert_one_ex_copy(c, &items);
+    };
+
+    // Warm-up: the range is hot before the move is declared.
+    while c.now().since(started) < SimDuration::from_secs(1) {
+        drive(&mut c, &mut clients, &mut inbox, &mut tl);
+    }
+    assert!(
+        clients.iter().all(|cl| cl.commits > 0),
+        "{proto}: both clients must commit before the move"
+    );
+
+    let m = steady_manifest(
+        &c,
+        vec![MoveRange {
+            lo: 0,
+            hi: 50,
+            from: OWNER_A,
+            to: OWNER_B,
+        }],
+        SimDuration::from_secs(2),
+        3,
+    );
+    c.apply_manifest(m).expect("manifest validates");
+
+    // Reconcile with churn interleaved between ticks.
+    let move_started = c.now();
+    loop {
+        match c.converge_step() {
+            ControlStatus::Converged => break,
+            ControlStatus::Aborted { site, step } => {
+                panic!("{proto}: migration aborted at {site} during {step:?}")
+            }
+            ControlStatus::InProgress => assert!(
+                c.now().since(move_started) < budget,
+                "{proto}: migration did not converge under churn within {budget}"
+            ),
+        }
+        drive(&mut c, &mut clients, &mut inbox, &mut tl);
+    }
+
+    // Cool-down: keep committing against the new owner, then retire
+    // in-flight transactions so the cluster can be asserted quiescent.
+    let cooled = c.now();
+    while c.now().since(cooled) < SimDuration::from_secs(1) {
+        drive(&mut c, &mut clients, &mut inbox, &mut tl);
+    }
+    for _ in 0..200 {
+        let idle = clients
+            .iter()
+            .all(|cl| matches!(cl.state, ClientState::Idle | ClientState::Begun));
+        if idle {
+            break;
+        }
+        drive(&mut c, &mut clients, &mut inbox, &mut tl);
+    }
+    c.pump_for(SimDuration::from_millis(200));
+    inbox.extend(c.take_replies());
+    for cl in &mut clients {
+        if matches!(cl.state, ClientState::Begun) {
+            if let Some(i) = inbox
+                .iter()
+                .position(|(s, r)| *s == cl.site && matches!(r, AppReply::Started { .. }))
+            {
+                let (_, reply) = inbox.remove(i);
+                let AppReply::Started { txn, .. } = reply else {
+                    unreachable!()
+                };
+                c.submit(cl.site, APP, Some(txn), AppOp::Abort);
+            }
+            cl.state = ClientState::Idle;
+        }
+    }
+    c.pump_for(SimDuration::from_millis(500));
+
+    // The move really happened under fire.
+    assert_eq!(c.sites[OWNER_A.0 as usize].layout_version(), 2);
+    assert_eq!(c.sites[OWNER_B.0 as usize].layout_version(), 2);
+    assert!(c.total_stats().migrations_committed >= 1);
+
+    // Zero committed work lost: each client's object version equals its
+    // observed commit count — the hot object now durable at B.
+    for cl in &clients {
+        let bytes = c.sites[OWNER_B.0 as usize]
+            .volume()
+            .read_object(cl.oid)
+            .expect("object durable at its owner");
+        assert_eq!(
+            version_of(bytes),
+            cl.commits,
+            "{proto}: committed updates lost (or phantom) for client at {} \
+             ({} aborts along the way)",
+            cl.site,
+            cl.aborts
+        );
+        assert!(
+            cl.commits > 0,
+            "{proto}: client at {} never committed",
+            cl.site
+        );
+    }
+    c.assert_survivors_quiescent();
+}
+
+#[test]
+fn hot_range_migrates_under_live_churn_ps() {
+    hot_range_migrates_under_live_churn(Protocol::Ps, seed(103));
+}
+
+#[test]
+fn hot_range_migrates_under_live_churn_ps_oa() {
+    hot_range_migrates_under_live_churn(Protocol::PsOa, seed(103));
+}
+
+#[test]
+fn hot_range_migrates_under_live_churn_ps_aa() {
+    hot_range_migrates_under_live_churn(Protocol::PsAa, seed(103));
+}
+
+/// Crash the source mid-Transfer, after the destination has staged the
+/// chunk but before the `TransferAck` can land: no `MigrateCommit`
+/// record is durable, so recovery must roll the migration back, tell
+/// the destination to discard its staged copy, and leave the source
+/// authoritative at the old layout — with the data intact and the range
+/// immediately serviceable.
+#[test]
+fn crash_source_mid_transfer_rolls_back() {
+    let mut c = Cluster::new(4, migration_cfg(Protocol::PsAa), owners(), seed(107));
+    let xa = oid_owned_by(0, 10, 1);
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+
+    c.send_control(
+        OWNER_A,
+        Message::MigratePrepare {
+            req: ReqId(9001),
+            lo: 0,
+            hi: 50,
+            to: OWNER_B,
+        },
+    );
+    assert!(
+        pump_until(
+            &mut c,
+            SimDuration::from_millis(10),
+            SimDuration::from_secs(10),
+            |c| c.sites[OWNER_A.0 as usize].migration_phase() == MigrationPhase::Prepared,
+        ),
+        "source never reached Prepared"
+    );
+
+    // Ship the chunk; crash the source the moment the destination has
+    // staged it. The ack racing back finds a dead source.
+    c.send_control(OWNER_A, Message::MigrateTransfer { req: ReqId(9002) });
+    assert!(
+        pump_until(
+            &mut c,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(10),
+            |c| c.sites[OWNER_B.0 as usize].migration_inbound(),
+        ),
+        "destination never staged the chunk"
+    );
+    c.crash_site(OWNER_A);
+    c.pump_for(SimDuration::from_millis(500));
+
+    // Recovery: MigrateBegin without MigrateCommit → roll back, resolve
+    // the destination's in-doubt staged copy as aborted.
+    c.restart_site(OWNER_A);
+    c.pump_for(SimDuration::from_secs(2));
+
+    assert_eq!(
+        c.sites[OWNER_A.0 as usize].layout_version(),
+        1,
+        "rolled-back migration must not advance the layout"
+    );
+    assert_eq!(
+        c.sites[OWNER_A.0 as usize].migration_phase(),
+        MigrationPhase::Idle
+    );
+    assert!(
+        !c.sites[OWNER_B.0 as usize].migration_inbound(),
+        "destination must discard the staged copy of an aborted migration"
+    );
+    assert!(c.total_stats().migrations_aborted >= 1);
+
+    // The source is still the owner and the data never moved.
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_A.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object still at A")
+        ),
+        1
+    );
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_A.0 as usize]
+                .volume()
+                .read_object(xa)
+                .unwrap()
+        ),
+        2,
+        "range must be serviceable at the rolled-back source"
+    );
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+/// Crash the destination while the chunk is staged (before the layout
+/// lands). On restart the destination finds `MigrateInEnd` without
+/// `MigrateLand` and queries the source; depending on whether the ack
+/// beat the crash, the migration either completes forward or the
+/// re-issued transfer re-ships the chunk — both end with the range
+/// owned by the destination at the new layout.
+#[test]
+fn crash_dest_while_staged_still_completes() {
+    let mut c = Cluster::new(4, migration_cfg(Protocol::PsAa), owners(), seed(109));
+    let xa = oid_owned_by(0, 10, 1);
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+
+    c.send_control(
+        OWNER_A,
+        Message::MigratePrepare {
+            req: ReqId(9101),
+            lo: 0,
+            hi: 50,
+            to: OWNER_B,
+        },
+    );
+    assert!(
+        pump_until(
+            &mut c,
+            SimDuration::from_millis(10),
+            SimDuration::from_secs(10),
+            |c| c.sites[OWNER_A.0 as usize].migration_phase() == MigrationPhase::Prepared,
+        ),
+        "source never reached Prepared"
+    );
+    c.send_control(OWNER_A, Message::MigrateTransfer { req: ReqId(9102) });
+    assert!(
+        pump_until(
+            &mut c,
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(10),
+            |c| c.sites[OWNER_B.0 as usize].migration_inbound(),
+        ),
+        "destination never staged the chunk"
+    );
+    c.crash_site(OWNER_B);
+    c.pump_for(SimDuration::from_millis(500));
+    c.restart_site(OWNER_B);
+    // The destination's in-doubt query resolves against the source;
+    // re-issue the transfer as the supervisor's retry would, covering
+    // the interleaving where the ack died with the destination.
+    c.pump_for(SimDuration::from_secs(1));
+    c.send_control(OWNER_A, Message::MigrateTransfer { req: ReqId(9103) });
+    assert!(
+        pump_until(
+            &mut c,
+            SimDuration::from_millis(10),
+            SimDuration::from_secs(15),
+            |c| c.sites[OWNER_A.0 as usize].layout_version() == 2
+                && c.sites[OWNER_B.0 as usize].layout_version() == 2
+                && c.sites[OWNER_A.0 as usize].migration_phase() == MigrationPhase::Idle
+                && !c.sites[OWNER_B.0 as usize].migration_inbound(),
+        ),
+        "migration never completed after the destination crash \
+         (A: {:?}@{}, B inbound: {}@{})",
+        c.sites[OWNER_A.0 as usize].migration_phase(),
+        c.sites[OWNER_A.0 as usize].layout_version(),
+        c.sites[OWNER_B.0 as usize].migration_inbound(),
+        c.sites[OWNER_B.0 as usize].layout_version(),
+    );
+
+    // Data landed at the destination; fresh updates route there.
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_B.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object re-homed to B")
+        ),
+        1
+    );
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_B.0 as usize]
+                .volume()
+                .read_object(xa)
+                .unwrap()
+        ),
+        2
+    );
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+/// A partition between source and destination opens during the move:
+/// the chunk and its ack are dropped until it heals. The supervisor's
+/// widening step retries re-issue the transfer after the heal and the
+/// migration completes; nothing is left half-done.
+#[test]
+fn partition_during_transfer_heals_and_completes() {
+    let mut c = Cluster::new(4, migration_cfg(Protocol::PsAa), owners(), seed(113));
+    let xa = oid_owned_by(0, 10, 1);
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+
+    // The owners cannot talk to each other for the next two virtual
+    // seconds; supervisor traffic is out-of-band and unaffected.
+    let heal_at = c.now() + SimDuration::from_secs(2);
+    c.install_faults(FaultPlan::seeded(seed(113)).partition(vec![OWNER_A], vec![OWNER_B], heal_at));
+
+    let m = steady_manifest(
+        &c,
+        vec![MoveRange {
+            lo: 0,
+            hi: 50,
+            from: OWNER_A,
+            to: OWNER_B,
+        }],
+        SimDuration::from_millis(500),
+        6,
+    );
+    c.apply_manifest(m).expect("manifest validates");
+    c.converge(SimDuration::from_millis(20), SimDuration::from_secs(60))
+        .expect("migration must converge once the partition heals");
+
+    assert_eq!(c.sites[OWNER_A.0 as usize].layout_version(), 2);
+    assert_eq!(c.sites[OWNER_B.0 as usize].layout_version(), 2);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_B.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object re-homed to B")
+        ),
+        1
+    );
+    assert!(c.total_stats().migrations_committed >= 1);
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}
+
+/// The destination is unreachable: the supervisor's transfer retries
+/// exhaust, it aborts the move, and the engine rolls the fence back —
+/// the source stays authoritative at the old layout and the range
+/// keeps serving, rather than being wedged behind a migration that can
+/// never finish. When the partition finally heals, the stale in-flight
+/// chunks reach the destination *after* the rollback and must be
+/// discarded, not landed.
+#[test]
+fn unreachable_destination_aborts_and_rolls_back() {
+    let mut c = Cluster::new(4, migration_cfg(Protocol::PsAa), owners(), seed(127));
+    let xa = oid_owned_by(0, 10, 1);
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+
+    // An owner-to-owner partition that outlives every retry the
+    // manifest allows (abort lands within ~2 virtual seconds).
+    let heal_at = c.now() + SimDuration::from_secs(30);
+    c.install_faults(FaultPlan::seeded(seed(127)).partition(vec![OWNER_A], vec![OWNER_B], heal_at));
+
+    let m = steady_manifest(
+        &c,
+        vec![MoveRange {
+            lo: 0,
+            hi: 50,
+            from: OWNER_A,
+            to: OWNER_B,
+        }],
+        SimDuration::from_millis(200),
+        2,
+    );
+    c.apply_manifest(m).expect("manifest validates");
+    let err = c
+        .converge(SimDuration::from_millis(20), SimDuration::from_secs(60))
+        .expect_err("a move to an unreachable destination cannot converge");
+    assert_eq!(
+        err,
+        ConvergeError::Aborted {
+            site: OWNER_A,
+            step: StepKind::MigrateCommit,
+        },
+        "retries must exhaust at the transfer/commit step"
+    );
+
+    // Let the partition heal: the chunks shipped by the (now aborted)
+    // transfer retries finally arrive at B, chased by the rollback's
+    // `MigrationResolved { committed: false }` — B must end up with no
+    // staged copy.
+    while c.now() < heal_at {
+        c.pump_for(SimDuration::from_secs(1));
+    }
+    c.pump_for(SimDuration::from_secs(2));
+    assert!(
+        !c.sites[OWNER_B.0 as usize].migration_inbound(),
+        "stale post-abort chunks must be discarded at the destination"
+    );
+
+    // The abort rolled the engine back: old layout, fence lifted, data
+    // and ownership where they started.
+    assert_eq!(c.sites[OWNER_A.0 as usize].layout_version(), 1);
+    assert_eq!(
+        c.sites[OWNER_A.0 as usize].migration_phase(),
+        MigrationPhase::Idle
+    );
+    assert!(c.total_stats().migrations_aborted >= 1);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_A.0 as usize]
+                .volume()
+                .read_object(xa)
+                .expect("object still at A")
+        ),
+        1
+    );
+    commit_update_with_retries(&mut c, SiteId(2), xa);
+    assert_eq!(
+        version_of(
+            c.sites[OWNER_A.0 as usize]
+                .volume()
+                .read_object(xa)
+                .unwrap()
+        ),
+        2,
+        "range must keep serving at the source after the abort"
+    );
+    c.pump_for(SimDuration::from_millis(500));
+    c.assert_survivors_quiescent();
+}

@@ -165,6 +165,19 @@ impl Volume {
         self.pages.insert(page, data);
     }
 
+    /// Removes a page wholesale (its ownership migrated away), returning
+    /// it if present.
+    pub fn remove_page(&mut self, page: PageId) -> Option<SlottedPage> {
+        self.pages.remove(&page)
+    }
+
+    /// Every page on the volume, in id order — including pages installed
+    /// by ownership migration, which live under their original file id
+    /// and so are invisible to [`Volume::file_pages`].
+    pub fn all_pages(&self) -> impl Iterator<Item = (&PageId, &SlottedPage)> {
+        self.pages.iter()
+    }
+
     /// Total pages on the volume.
     pub fn page_count(&self) -> usize {
         self.pages.len()

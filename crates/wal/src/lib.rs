@@ -47,8 +47,8 @@
 //! assert!(cache.drain_txn(txn).is_empty());
 //! ```
 
-use pscc_common::{Oid, PageId, PsccError, TxnId};
-use pscc_storage::Volume;
+use pscc_common::{Oid, PageId, PsccError, SiteId, TxnId};
+use pscc_storage::{SlottedPage, Volume};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -99,6 +99,94 @@ pub enum LogPayload {
     Commit,
     /// Transaction abort.
     Abort,
+    /// Ownership migration, source side: pages `[lo, hi)` are frozen and
+    /// about to ship to `to`. A `MigrateBegin` with no later
+    /// `MigrateCommit`/`MigrateRollback` is an in-doubt migration that
+    /// restart recovery resolves by rolling it *back* (presumed abort —
+    /// the source stays authoritative).
+    MigrateBegin {
+        /// First page number of the moving range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+        /// The destination site.
+        to: SiteId,
+    },
+    /// Ownership migration, source side: the point of no return. Once
+    /// this record is durable the range belongs to `to` at layout
+    /// version `layout`, and restart recovery rolls the migration
+    /// *forward* (re-activating the destination if needed).
+    MigrateCommit {
+        /// First page number of the moved range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+        /// The new owner.
+        to: SiteId,
+        /// The layout version the commit publishes.
+        layout: u64,
+    },
+    /// Ownership migration, source side: the migration was abandoned
+    /// before commit (supervisor abort or crash); the source remains
+    /// authoritative.
+    MigrateRollback {
+        /// First page number of the range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+    },
+    /// Ownership migration, source side: cleanup finished (the
+    /// destination acknowledged activation). Purely an optimization —
+    /// recovery treats a missing `MigrateEnd` after a `MigrateCommit`
+    /// as "re-offer activation to the destination".
+    MigrateEnd {
+        /// First page number of the range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+    },
+    /// Ownership migration, destination side: one transferred page
+    /// image. Logged (and forced, with [`LogPayload::MigrateInEnd`])
+    /// before the destination acknowledges the transfer, so a crashed
+    /// destination can re-stage the images from its own log.
+    MigrateIn {
+        /// The migrating source.
+        from: SiteId,
+        /// The transferred page.
+        page: PageId,
+        /// Its full image at transfer time.
+        image: SlottedPage,
+    },
+    /// Ownership migration, destination side: the transfer of `[lo, hi)`
+    /// from `from` is complete (`n` pages) at prospective layout
+    /// `layout`. An `InEnd` with no later [`LogPayload::MigrateLand`]
+    /// is an in-doubt inbound migration: the restarted destination asks
+    /// the source whether the commit record made it.
+    MigrateInEnd {
+        /// The migrating source.
+        from: SiteId,
+        /// First page number of the range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+        /// The layout version the migration will publish.
+        layout: u64,
+        /// Number of transferred pages.
+        n: u32,
+    },
+    /// Ownership migration, destination side: the range is activated
+    /// here at layout `layout` — this site is now the one authoritative
+    /// owner.
+    MigrateLand {
+        /// The migrating source.
+        from: SiteId,
+        /// First page number of the range.
+        lo: u32,
+        /// One past the last page number.
+        hi: u32,
+        /// The published layout version.
+        layout: u64,
+    },
 }
 
 impl LogPayload {
@@ -137,6 +225,7 @@ impl LogRecord {
             LogPayload::Update { before, after, .. } => before.len() + after.len(),
             LogPayload::Create { body, .. } => body.len(),
             LogPayload::Delete { before, .. } => before.len(),
+            LogPayload::MigrateIn { image, .. } => image.as_bytes().len(),
             _ => 0,
         }
     }
@@ -223,6 +312,11 @@ pub struct AttEntry {
     pub prepared: bool,
 }
 
+/// The serialized ownership layout carried in checkpoints: a layout
+/// version plus `(lo, hi, owner)` page-number ranges. Structurally the
+/// same image `pscc-core`'s ownership directory produces.
+pub type LayoutImage = (u64, Vec<(u32, u32, SiteId)>);
+
 /// A fuzzy checkpoint: everything restart analysis needs besides the
 /// post-checkpoint log tail.
 #[derive(Debug, Clone)]
@@ -240,6 +334,11 @@ pub struct Checkpoint {
     /// Cumulative commit outcomes (presumed abort makes this the only
     /// side the coordinator must be able to re-learn).
     pub committed: HashSet<TxnId>,
+    /// The ownership layout as of the checkpoint, if migrations ever
+    /// changed it here (`None` on layouts still at boot version). The
+    /// restarted engine adopts it, then rolls forward any later
+    /// `MigrateCommit`/`MigrateLand` records from the log tail.
+    pub layout: Option<LayoutImage>,
 }
 
 /// What survives a server crash: the last checkpoint (if any) plus the
@@ -274,6 +373,9 @@ pub struct ServerLog {
     durable: Vec<u8>,
     /// The last fuzzy checkpoint.
     checkpoint: Option<Checkpoint>,
+    /// The current ownership layout, stamped into future checkpoints
+    /// (`None` until a migration first changes it).
+    layout: Option<LayoutImage>,
 }
 
 impl ServerLog {
@@ -302,7 +404,15 @@ impl ServerLog {
             tail: Vec::new(),
             durable: Vec::new(),
             checkpoint: None,
+            layout: None,
         }
+    }
+
+    /// Sets the ownership layout stamped into future checkpoints. The
+    /// engine calls this whenever a migration changes its directory (and
+    /// once after restart, with the rolled-forward layout).
+    pub fn set_layout(&mut self, layout: LayoutImage) {
+        self.layout = Some(layout);
     }
 
     /// Appends a record, returning its LSN. Data records are remembered
@@ -320,7 +430,16 @@ impl ServerLog {
             LogPayload::Commit => {
                 self.committed.insert(rec.txn);
             }
-            LogPayload::Abort => {}
+            // Migration records carry a sentinel transaction and no undo
+            // state; they matter only to the restart analysis pass.
+            LogPayload::Abort
+            | LogPayload::MigrateBegin { .. }
+            | LogPayload::MigrateCommit { .. }
+            | LogPayload::MigrateRollback { .. }
+            | LogPayload::MigrateEnd { .. }
+            | LogPayload::MigrateIn { .. }
+            | LogPayload::MigrateInEnd { .. }
+            | LogPayload::MigrateLand { .. } => {}
         }
         self.tail.push((lsn, rec));
         lsn
@@ -376,6 +495,7 @@ impl ServerLog {
             att,
             dpt,
             committed: self.committed.clone(),
+            layout: self.layout.clone(),
         });
         self.tail.clear();
         self.durable.clear();
@@ -785,6 +905,68 @@ mod tests {
         assert!(decode_log(&image.log).0.is_empty());
         assert!(!log.force());
         assert_eq!(log.checkpoint_age(), 0);
+    }
+
+    #[test]
+    fn migration_records_survive_the_durable_image() {
+        let (vol, oid, _) = setup();
+        let sentinel = TxnId::new(SiteId(3), u64::MAX);
+        let mut log = ServerLog::new();
+        log.append(LogRecord {
+            txn: sentinel,
+            payload: LogPayload::MigrateBegin {
+                lo: 0,
+                hi: 8,
+                to: SiteId(2),
+            },
+        });
+        let image = vol.page(oid.page).unwrap().clone();
+        log.append(LogRecord {
+            txn: sentinel,
+            payload: LogPayload::MigrateIn {
+                from: SiteId(1),
+                page: oid.page,
+                image: image.clone(),
+            },
+        });
+        log.append(LogRecord {
+            txn: sentinel,
+            payload: LogPayload::MigrateCommit {
+                lo: 0,
+                hi: 8,
+                to: SiteId(2),
+                layout: 2,
+            },
+        });
+        // Migration records are control records: never in flight, page-less.
+        assert!(log.in_flight_of(sentinel).is_empty());
+        assert!(log.force());
+
+        let (recs, torn) = decode_log(&log.crash_image().log);
+        assert!(!torn);
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|(_, r)| r.payload.page().is_none()));
+        match &recs[1].1.payload {
+            LogPayload::MigrateIn { image: got, .. } => assert_eq!(got, &image),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(recs[1].1.wire_size() > recs[0].1.wire_size());
+    }
+
+    #[test]
+    fn checkpoint_carries_the_layout_image() {
+        let (vol, _, _) = setup();
+        let mut log = ServerLog::new();
+        log.checkpoint(vol.clone());
+        assert_eq!(
+            log.crash_image().checkpoint.unwrap().layout,
+            None,
+            "boot layout is implicit"
+        );
+        let layout: LayoutImage = (3, vec![(0, 10, SiteId(2)), (10, 20, SiteId(1))]);
+        log.set_layout(layout.clone());
+        log.checkpoint(vol.clone());
+        assert_eq!(log.crash_image().checkpoint.unwrap().layout, Some(layout));
     }
 
     #[test]

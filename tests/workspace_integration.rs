@@ -207,6 +207,7 @@ fn protocol_messages_survive_wire_roundtrip() {
             target: CbTarget::Object(Oid::new(page, 3)),
         },
         Message::Purge {
+            client: SiteId(1),
             page,
             ship_seq: 3,
             replicate: vec![(txn, LockableId::Object(Oid::new(page, 1)), LockMode::Sh)],
