@@ -28,9 +28,10 @@
 //!                           Chrome/Perfetto trace_event JSON to `path`
 //! repro --bench-json [path] quick fixed-workload benchmark (all three
 //!                           protocols) plus an ownership-migration
-//!                           drill; writes machine-readable throughput
+//!                           drill and an edge-tier flash-crowd drill;
+//!                           writes machine-readable throughput
 //!                           + latency quantiles to `path` (default
-//!                           BENCH_8.json) for the PR-over-PR perf
+//!                           BENCH_9.json) for the PR-over-PR perf
 //!                           trajectory
 //! ```
 //!
@@ -351,6 +352,7 @@ fn migration_drill() -> String {
             from: SiteId(0),
             to: SiteId(1),
         }],
+        tiers: Vec::new(),
     };
     c.apply_manifest(manifest)
         .expect("drill manifest validates");
@@ -384,13 +386,95 @@ fn migration_drill() -> String {
     )
 }
 
+/// One edge-tier drill (DESIGN.md §11): a flash crowd — three edge
+/// sites re-reading one hot object every round while the owner keeps
+/// committing writes to it — run twice, all-Strict and then under a
+/// 100 ms `BoundedStale` tier. Strict turns every round into a
+/// callback fan-out plus three re-fetches; the tier absorbs the
+/// re-reads locally, so the owner-request reduction is the headline
+/// number (acceptance: at least 5×). Both runs end in the quiescence
+/// auditor, whose check 6 proves no edge read overshot the staleness
+/// bound. The schedule is pinned so the numbers are comparable PR
+/// over PR.
+fn edge_drill() -> String {
+    use pscc_common::{
+        AppId, ConsistencyTier, EdgeTierSpec, FileId, Oid, PageId, SimDuration, VolId,
+    };
+    use pscc_core::OwnerMap;
+    use pscc_sim::testkit::Cluster;
+
+    const ROUNDS: usize = 24;
+    let run = |tier: Option<ConsistencyTier>| {
+        let mut cfg = SystemConfig::small();
+        if let Some(tier) = tier {
+            cfg.edge_tiers = vec![EdgeTierSpec { file: 0, tier }];
+        }
+        let mut c = Cluster::new(4, cfg, OwnerMap::Single(SiteId(0)), 9);
+        let app = AppId(0);
+        let hot = Oid::new(PageId::new(FileId::new(VolId(0), 0), 3), 1);
+        for _ in 0..ROUNDS {
+            for s in [SiteId(1), SiteId(2), SiteId(3)] {
+                let t = c.begin(s, app);
+                c.read(s, app, t, hot).expect("edge drill read");
+                c.commit(s, app, t).expect("edge drill read commit");
+            }
+            let t = c.begin(SiteId(0), app);
+            c.write(SiteId(0), app, t, hot, None)
+                .expect("edge drill write");
+            c.commit(SiteId(0), app, t)
+                .expect("edge drill write commit");
+        }
+        c.pump_for(SimDuration::from_millis(300));
+        c.assert_survivors_quiescent();
+        let mut staleness = pscc_obs::Histogram::default();
+        for s in &c.sites {
+            staleness.merge(&s.obs.edge_staleness);
+        }
+        (c.total_stats(), staleness)
+    };
+
+    let (strict, _) = run(None);
+    let (tiered, staleness) = run(Some(ConsistencyTier::BoundedStale {
+        ttl: SimDuration::from_millis(100),
+    }));
+    // Owner touches per run: strict-path fetches plus (tiered run only)
+    // the edge misses that fell through to an `EdgeFetch`.
+    let strict_reqs = strict.read_requests;
+    let tiered_reqs = tiered.read_requests + tiered.edge_misses;
+    let reduction = strict_reqs as f64 / tiered_reqs.max(1) as f64;
+    let served = tiered.edge_hits + tiered.edge_misses;
+    let hit_ratio = tiered.edge_hits as f64 / served.max(1) as f64;
+    let (s50, s99) = (
+        staleness.quantile_upper_micros(0.5),
+        staleness.quantile_upper_micros(0.99),
+    );
+    eprintln!(
+        "# edge drill: owner reads {strict_reqs} strict vs {tiered_reqs} tiered ({reduction:.1}x), \
+         hit ratio {hit_ratio:.2}, staleness p50 {s50} p99 {s99} us"
+    );
+    if reduction < 5.0 {
+        eprintln!("edge drill: owner-request reduction {reduction:.1}x is below the 5x floor");
+        std::process::exit(1);
+    }
+    format!(
+        "  \"edge\": {{\"strict_owner_reads\": {strict_reqs}, \
+         \"tiered_owner_reads\": {tiered_reqs}, \
+         \"owner_request_reduction\": {reduction:.1}, \
+         \"edge_hits\": {}, \"edge_misses\": {}, \"hit_ratio\": {hit_ratio:.2}, \
+         \"edge_invalidations\": {}, \
+         \"staleness_p50_us\": {s50}, \"staleness_p99_us\": {s99}}}",
+        tiered.edge_hits, tiered.edge_misses, tiered.edge_invalidations
+    )
+}
+
 /// Runs a fixed quick workload (Fig. 13 peer-servers HOTCOLD high
 /// locality, wp = 0.30, 30 virtual seconds) under every protocol and
 /// writes a small hand-rolled JSON document with throughput and
 /// latency quantiles: the commit phase, the whole transaction
 /// (begin → committed), and the lock waits where the consistency
-/// protocols differ most — plus one ownership-migration drill. The
-/// workload is pinned so the numbers are comparable PR over PR.
+/// protocols differ most — plus one ownership-migration drill and one
+/// edge-tier drill. The workload is pinned so the numbers are
+/// comparable PR over PR.
 fn run_bench_json(path: &str) {
     let mut entries = Vec::new();
     for proto in [Protocol::Ps, Protocol::PsOa, Protocol::PsAa] {
@@ -437,9 +521,10 @@ fn run_bench_json(path: &str) {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"quick fig13 peer-servers HOTCOLD high-locality wp=0.30 30s + ownership-migration drill\",\n  \"points\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"bench\": \"quick fig13 peer-servers HOTCOLD high-locality wp=0.30 30s + ownership-migration drill + edge-tier drill\",\n  \"points\": [\n{}\n  ],\n{},\n{}\n}}\n",
         entries.join(",\n"),
-        migration_drill()
+        migration_drill(),
+        edge_drill()
     );
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("cannot write {path}: {e}");
@@ -472,7 +557,7 @@ fn main() {
         .cloned();
 
     if args.iter().any(|a| a == "--bench-json") {
-        run_bench_json(cmd.as_deref().unwrap_or("BENCH_8.json"));
+        run_bench_json(cmd.as_deref().unwrap_or("BENCH_9.json"));
         return;
     }
 

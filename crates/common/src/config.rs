@@ -43,6 +43,72 @@ impl fmt::Display for Protocol {
     }
 }
 
+/// Per-file consistency dial for read-only edge sites. `Strict` files
+/// never touch the edge tier and keep the paper's serializable behavior
+/// byte-for-byte; the other tiers trade bounded staleness for lock-free
+/// local reads (in the spirit of cache serializability for read-only
+/// edge transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ConsistencyTier {
+    /// Serializable reads through the owner, exactly as today.
+    #[default]
+    Strict,
+    /// Edge copies are served without locks for up to `ttl` after the
+    /// fetch request was sent; past that the edge refetches through the
+    /// owner. The staleness of any answered read is bounded by `ttl`.
+    BoundedStale { ttl: Duration },
+    /// Edge copies are kept fresh by the owner's invalidation stream
+    /// (piggybacked on the callback lane). While the watch lease is
+    /// live, staleness is bounded by the invalidation propagation delay;
+    /// when the watch is severed (partition, owner crash, lease expiry)
+    /// the copy degrades to `BoundedStale { ttl: fallback_ttl }`
+    /// semantics measured from its validation time.
+    WatchBased { fallback_ttl: Duration },
+}
+
+impl ConsistencyTier {
+    /// The hard staleness bound an edge read under this tier may carry,
+    /// or `None` for `Strict` (which never serves from the edge).
+    pub fn bound(self) -> Option<Duration> {
+        match self {
+            ConsistencyTier::Strict => None,
+            ConsistencyTier::BoundedStale { ttl } => Some(ttl),
+            ConsistencyTier::WatchBased { fallback_ttl } => Some(fallback_ttl),
+        }
+    }
+
+    /// Whether reads of this tier may be answered from an edge copy.
+    pub fn edge_cacheable(self) -> bool {
+        !matches!(self, ConsistencyTier::Strict)
+    }
+
+    /// Whether this tier subscribes to the owner's invalidation stream.
+    pub fn watch_based(self) -> bool {
+        matches!(self, ConsistencyTier::WatchBased { .. })
+    }
+}
+
+impl fmt::Display for ConsistencyTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyTier::Strict => f.write_str("strict"),
+            ConsistencyTier::BoundedStale { ttl } => write!(f, "bounded_stale({ttl})"),
+            ConsistencyTier::WatchBased { fallback_ttl } => write!(f, "watch({fallback_ttl})"),
+        }
+    }
+}
+
+/// Assigns a [`ConsistencyTier`] to one file (by file number, uniform
+/// across volumes — the workloads address file 0 of each owner's
+/// volume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeTierSpec {
+    /// File number the tier applies to. Must be `< edge_files`.
+    pub file: u32,
+    /// The consistency dial for that file.
+    pub tier: ConsistencyTier,
+}
+
 /// Platform configuration, defaulting to the paper's Table 1.
 ///
 /// | Quantity | Paper value |
@@ -133,6 +199,14 @@ pub struct SystemConfig {
     /// else (the slow-peer bypass). Off by default: failure-free runs
     /// stay byte-for-byte unchanged.
     pub slow_peer_bypass: bool,
+    /// Number of files the edge tier map may address (file numbers
+    /// `0..edge_files`). The seed workloads use a single file per
+    /// volume, so the default is 1.
+    pub edge_files: u32,
+    /// Per-file consistency tiers for edge sites. Files not listed are
+    /// `Strict`. Empty by default: no edge machinery arms and every
+    /// read takes the serializable path, byte-for-byte unchanged.
+    pub edge_tiers: Vec<EdgeTierSpec>,
 }
 
 /// A knob combination [`SystemConfig::validate`] rejects: each variant is a
@@ -175,6 +249,24 @@ pub enum ConfigError {
     DegenerateSize { what: &'static str },
     /// A buffer fraction is outside `[0, 1]` or not finite.
     BufFracOutOfRange { what: &'static str, value: f64 },
+    /// An edge tier carries a zero TTL: every copy would be stale the
+    /// instant it arrives and the edge degenerates to fetch-through on
+    /// every read while still paying the subscription machinery.
+    ZeroTierTtl { file: u32 },
+    /// An edge tier's TTL exceeds [`MAX_TIER_TTL`]: a bound that long is
+    /// almost certainly a unit mistake, and a watch severed under it
+    /// would serve hour-old data while claiming to be "bounded".
+    TierTtlAboveMax { file: u32, ttl: Duration },
+    /// A `WatchBased` tier with a zero `fallback_ttl`: the moment a
+    /// partition or owner crash severs the watch, the edge would have no
+    /// bound to degrade to and could never answer another read.
+    WatchWithoutFallback { file: u32 },
+    /// A tier names a file number outside `0..edge_files` — it would
+    /// silently never match any page and the operator's intent is lost.
+    TierOnUnknownFile { file: u32, edge_files: u32 },
+    /// Two tier entries name the same file; which one wins would depend
+    /// on map-insertion order.
+    DuplicateTierFile { file: u32 },
 }
 
 impl fmt::Display for ConfigError {
@@ -214,6 +306,24 @@ impl fmt::Display for ConfigError {
             ConfigError::BufFracOutOfRange { what, value } => {
                 write!(f, "{what} must lie in [0, 1], got {value}")
             }
+            ConfigError::ZeroTierTtl { file } => {
+                write!(f, "edge tier for file {file} has a zero TTL (every copy would be instantly stale)")
+            }
+            ConfigError::TierTtlAboveMax { file, ttl } => write!(
+                f,
+                "edge tier for file {file} has TTL {ttl} above the {MAX_TIER_TTL} maximum (likely a unit mistake)"
+            ),
+            ConfigError::WatchWithoutFallback { file } => write!(
+                f,
+                "watch-based tier for file {file} needs a nonzero fallback_ttl to degrade to when the watch is severed"
+            ),
+            ConfigError::TierOnUnknownFile { file, edge_files } => write!(
+                f,
+                "edge tier names unknown file {file} (edge_files = {edge_files})"
+            ),
+            ConfigError::DuplicateTierFile { file } => {
+                write!(f, "file {file} appears in more than one edge tier entry")
+            }
         }
     }
 }
@@ -224,6 +334,11 @@ impl std::error::Error for ConfigError {}
 /// callback + commit + liveness control frames from one peer without
 /// blocking the sender (see `ConfigError::MailboxBelowConsistencyMinimum`).
 pub const MIN_MAILBOX_CAPACITY: u32 = 4;
+
+/// Largest staleness bound an edge tier may declare (one hour of
+/// virtual time). Bounds past this are treated as configuration
+/// mistakes by [`SystemConfig::validate`], not tuning choices.
+pub const MAX_TIER_TTL: Duration = Duration::from_secs(3_600);
 
 impl SystemConfig {
     /// The configuration of the paper's Table 1.
@@ -253,6 +368,8 @@ impl SystemConfig {
             admission_cap: 256,
             busy_retry_hint: Duration::from_millis(10),
             slow_peer_bypass: false,
+            edge_files: 1,
+            edge_tiers: Vec::new(),
         }
     }
 
@@ -373,8 +490,92 @@ impl SystemConfig {
                 return Err(ConfigError::BufFracOutOfRange { what, value });
             }
         }
+        let mut tiered_files = std::collections::HashSet::new();
+        for spec in &self.edge_tiers {
+            if spec.file >= self.edge_files {
+                return Err(ConfigError::TierOnUnknownFile {
+                    file: spec.file,
+                    edge_files: self.edge_files,
+                });
+            }
+            if !tiered_files.insert(spec.file) {
+                return Err(ConfigError::DuplicateTierFile { file: spec.file });
+            }
+            match spec.tier {
+                ConsistencyTier::Strict => {}
+                ConsistencyTier::BoundedStale { ttl } => {
+                    if ttl == Duration::ZERO {
+                        return Err(ConfigError::ZeroTierTtl { file: spec.file });
+                    }
+                    if ttl > MAX_TIER_TTL {
+                        return Err(ConfigError::TierTtlAboveMax {
+                            file: spec.file,
+                            ttl,
+                        });
+                    }
+                }
+                ConsistencyTier::WatchBased { fallback_ttl } => {
+                    if fallback_ttl == Duration::ZERO {
+                        return Err(ConfigError::WatchWithoutFallback { file: spec.file });
+                    }
+                    if fallback_ttl > MAX_TIER_TTL {
+                        return Err(ConfigError::TierTtlAboveMax {
+                            file: spec.file,
+                            ttl: fallback_ttl,
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
+
+    /// The consistency tier of `file`, defaulting to `Strict` for files
+    /// with no explicit entry.
+    pub fn tier_of(&self, file: u32) -> ConsistencyTier {
+        self.edge_tiers
+            .iter()
+            .find(|s| s.file == file)
+            .map(|s| s.tier)
+            .unwrap_or(ConsistencyTier::Strict)
+    }
+
+    /// A deterministic fingerprint of the tier map, used by the control
+    /// plane to observe whether a site has converged on the desired
+    /// tiers without shipping the whole map in every probe.
+    pub fn tiers_fingerprint(&self) -> u64 {
+        tiers_fingerprint(self.edge_tiers.iter().copied())
+    }
+}
+
+/// FNV-1a over a canonically sorted `(file, tier)` list. `Strict`
+/// entries are skipped so "no entry" and "explicit Strict" fingerprint
+/// identically (they behave identically).
+pub fn tiers_fingerprint<I: IntoIterator<Item = EdgeTierSpec>>(tiers: I) -> u64 {
+    let mut entries: Vec<(u32, u64, u64)> = tiers
+        .into_iter()
+        .filter(|s| s.tier.edge_cacheable())
+        .map(|s| {
+            let (kind, ttl) = match s.tier {
+                ConsistencyTier::Strict => unreachable!(),
+                ConsistencyTier::BoundedStale { ttl } => (1u64, ttl.as_micros()),
+                ConsistencyTier::WatchBased { fallback_ttl } => (2u64, fallback_ttl.as_micros()),
+            };
+            (s.file, kind, ttl)
+        })
+        .collect();
+    entries.sort_unstable();
+    entries.dedup();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (file, kind, ttl) in entries {
+        for word in [file as u64, kind, ttl] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
 }
 
 impl Default for SystemConfig {
@@ -516,6 +717,105 @@ mod tests {
         ));
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("server_buf_frac"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_edge_tiers() {
+        let base = SystemConfig::small;
+
+        let mut c = base();
+        c.edge_tiers = vec![EdgeTierSpec {
+            file: 0,
+            tier: ConsistencyTier::BoundedStale {
+                ttl: Duration::ZERO,
+            },
+        }];
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTierTtl { file: 0 }));
+
+        let mut c = base();
+        c.edge_tiers = vec![EdgeTierSpec {
+            file: 0,
+            tier: ConsistencyTier::BoundedStale {
+                ttl: Duration::from_secs(100_000),
+            },
+        }];
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TierTtlAboveMax { file: 0, .. })
+        ));
+
+        let mut c = base();
+        c.edge_tiers = vec![EdgeTierSpec {
+            file: 0,
+            tier: ConsistencyTier::WatchBased {
+                fallback_ttl: Duration::ZERO,
+            },
+        }];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::WatchWithoutFallback { file: 0 })
+        );
+
+        let mut c = base();
+        c.edge_tiers = vec![EdgeTierSpec {
+            file: 7,
+            tier: ConsistencyTier::BoundedStale {
+                ttl: Duration::from_millis(100),
+            },
+        }];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TierOnUnknownFile {
+                file: 7,
+                edge_files: 1
+            })
+        );
+
+        let mut c = base();
+        c.edge_files = 2;
+        let spec = EdgeTierSpec {
+            file: 1,
+            tier: ConsistencyTier::WatchBased {
+                fallback_ttl: Duration::from_millis(250),
+            },
+        };
+        c.edge_tiers = vec![spec, spec];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::DuplicateTierFile { file: 1 })
+        );
+
+        // A well-formed tier map passes, and tier_of falls back to Strict.
+        let mut c = base();
+        c.edge_tiers = vec![EdgeTierSpec {
+            file: 0,
+            tier: ConsistencyTier::BoundedStale {
+                ttl: Duration::from_millis(100),
+            },
+        }];
+        assert_eq!(c.validate(), Ok(()));
+        assert!(c.tier_of(0).edge_cacheable());
+        assert_eq!(c.tier_of(3), ConsistencyTier::Strict);
+    }
+
+    #[test]
+    fn tiers_fingerprint_is_order_insensitive_and_strict_transparent() {
+        let bs = |file| EdgeTierSpec {
+            file,
+            tier: ConsistencyTier::BoundedStale {
+                ttl: Duration::from_millis(50),
+            },
+        };
+        let strict = EdgeTierSpec {
+            file: 9,
+            tier: ConsistencyTier::Strict,
+        };
+        let a = tiers_fingerprint([bs(0), bs(1)]);
+        let b = tiers_fingerprint([bs(1), bs(0), strict]);
+        assert_eq!(a, b);
+        assert_ne!(a, tiers_fingerprint([bs(0)]));
+        // Empty map and all-Strict map fingerprint identically.
+        assert_eq!(tiers_fingerprint([]), tiers_fingerprint([strict]));
     }
 
     #[test]

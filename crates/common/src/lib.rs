@@ -33,7 +33,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use config::{ConfigError, Protocol, SystemConfig, MIN_MAILBOX_CAPACITY};
+pub use config::{
+    tiers_fingerprint, ConfigError, ConsistencyTier, EdgeTierSpec, Protocol, SystemConfig,
+    MAX_TIER_TTL, MIN_MAILBOX_CAPACITY,
+};
 pub use error::{AbortReason, PsccError};
 pub use ids::{AppId, FileId, LockLevel, LockableId, Oid, PageId, SiteId, TxnId, VolId};
 pub use lock::LockMode;

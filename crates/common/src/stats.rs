@@ -108,6 +108,19 @@ pub struct Counters {
     /// Bytes of page images and copy-table entries shipped to migration
     /// destinations.
     pub transfer_bytes: u64,
+    /// Reads answered lock-free from the local edge cache (tiered files
+    /// only; `Strict` files never count here).
+    pub edge_hits: u64,
+    /// Edge reads that fell through to an owner fetch (cold copy,
+    /// expired lease, severed watch, or invalidated page).
+    pub edge_misses: u64,
+    /// Page invalidations published by this site as owner to edge
+    /// subscribers on commit (one per page per subscriber).
+    pub edge_invalidations: u64,
+    /// Edge subscriptions reaped: lease-expired entries collected at
+    /// publish time plus subscriptions dropped when their edge site was
+    /// declared dead.
+    pub edge_subs_reaped: u64,
 }
 
 impl AddAssign for Counters {
@@ -153,6 +166,10 @@ impl AddAssign for Counters {
         self.migrations_aborted += o.migrations_aborted;
         self.wrong_owner_redirects += o.wrong_owner_redirects;
         self.transfer_bytes += o.transfer_bytes;
+        self.edge_hits += o.edge_hits;
+        self.edge_misses += o.edge_misses;
+        self.edge_invalidations += o.edge_invalidations;
+        self.edge_subs_reaped += o.edge_subs_reaped;
     }
 }
 
@@ -165,7 +182,8 @@ impl fmt::Display for Counters {
              shipped={} hits={} misses={} io={}r/{}w waits={} races cb={} purge={} \
              crashes={} orphans={} faults={} recovery={}r/{}u epochs={} \
              shed={} stalled={} busy_retries={} drains={}/{} \
-             migrations={}/{}/{} redirects={} transfer={}B",
+             migrations={}/{}/{} redirects={} transfer={}B \
+             edge={}h/{}m inval={} subs_reaped={}",
             self.commits,
             self.aborts,
             self.deadlock_aborts,
@@ -205,6 +223,10 @@ impl fmt::Display for Counters {
             self.migrations_aborted,
             self.wrong_owner_redirects,
             self.transfer_bytes,
+            self.edge_hits,
+            self.edge_misses,
+            self.edge_invalidations,
+            self.edge_subs_reaped,
         )
     }
 }
@@ -223,7 +245,7 @@ impl Counters {
     /// metrics exporters and the histogram-vs-counter audit tests iterate
     /// this instead of hard-coding the field list in several places.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64); 41] {
+    pub fn fields(&self) -> [(&'static str, u64); 45] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -266,6 +288,10 @@ impl Counters {
             ("migrations_aborted", self.migrations_aborted),
             ("wrong_owner_redirects", self.wrong_owner_redirects),
             ("transfer_bytes", self.transfer_bytes),
+            ("edge_hits", self.edge_hits),
+            ("edge_misses", self.edge_misses),
+            ("edge_invalidations", self.edge_invalidations),
+            ("edge_subs_reaped", self.edge_subs_reaped),
         ]
     }
 }

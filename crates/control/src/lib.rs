@@ -48,6 +48,7 @@
 //!         queue_depth: 0,
 //!         layout: 1,
 //!         migration: MigrationObs::Idle,
+//!         tiers_fp: pscc_common::tiers_fingerprint([]),
 //!     }],
 //! };
 //! let tick = sup.tick(&view);
@@ -59,6 +60,8 @@ pub mod manifest;
 pub mod reconcile;
 pub mod view;
 
-pub use manifest::{ClusterManifest, DesiredState, ManifestError, MoveRange, SiteSpec};
+pub use manifest::{
+    ClusterManifest, DesiredState, ManifestError, MoveRange, SiteSpec, TierAssignment,
+};
 pub use reconcile::{ControlAction, ControlStatus, StepKind, Supervisor, TickResult};
 pub use view::{ClusterView, MigrationObs, ObservedSite, SitePhase};

@@ -1,6 +1,6 @@
 //! The desired-state half of the control plane.
 
-use pscc_common::{SimDuration, SiteId};
+use pscc_common::{tiers_fingerprint, ConsistencyTier, EdgeTierSpec, SimDuration, SiteId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -46,6 +46,23 @@ pub struct MoveRange {
     pub to: SiteId,
 }
 
+/// A declared per-file consistency tier at one owner site (DESIGN.md
+/// §11). The rows for a site together declare its *complete* non-Strict
+/// tier map: the reconciler sends one `SetTierReq` per row and waits
+/// for the site's observed tier fingerprint to equal the fingerprint of
+/// exactly these rows, so a row with [`ConsistencyTier::Strict`]
+/// retires a file's tier and files with tiers not declared here keep
+/// the operation from converging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierAssignment {
+    /// The owner site whose tier map the row belongs to.
+    pub site: SiteId,
+    /// File number the tier applies to.
+    pub file: u32,
+    /// The consistency dial for that file.
+    pub tier: ConsistencyTier,
+}
+
 /// A declarative description of the cluster the operator wants,
 /// together with the safety envelope the reconciler must respect while
 /// getting there.
@@ -66,6 +83,11 @@ pub struct ClusterManifest {
     /// Ownership migrations to execute (in order, one at a time) once
     /// the site walk has nothing in flight. Usually empty.
     pub moves: Vec<MoveRange>,
+    /// Per-file consistency tiers to roll out, site by site, once the
+    /// site walk and the moves are done. Tier changes need no drain:
+    /// the engine applies them online (installing one purges the stale
+    /// edge copies of the retuned file). Usually empty.
+    pub tiers: Vec<TierAssignment>,
 }
 
 /// A manifest the reconciler refuses to run.
@@ -85,6 +107,14 @@ pub enum ManifestError {
     MoveToSelf(SiteId),
     /// A move names a site the manifest does not list.
     MoveUnknownSite(SiteId),
+    /// A tier row names a site the manifest does not list.
+    TierUnknownSite(SiteId),
+    /// Two tier rows name the same `(site, file)`; the resulting tier
+    /// would depend on send order.
+    DuplicateTier(SiteId, u32),
+    /// A non-Strict tier row carries a zero staleness bound (the engine
+    /// would reject the `SetTierReq`'s resulting config).
+    ZeroTierBound(SiteId, u32),
 }
 
 impl fmt::Display for ManifestError {
@@ -102,6 +132,18 @@ impl fmt::Display for ManifestError {
             }
             ManifestError::MoveUnknownSite(s) => {
                 write!(f, "move names site {s:?} which the manifest does not list")
+            }
+            ManifestError::TierUnknownSite(s) => {
+                write!(
+                    f,
+                    "tier row names site {s:?} which the manifest does not list"
+                )
+            }
+            ManifestError::DuplicateTier(s, file) => {
+                write!(f, "site {s:?} file {file} has two tier rows")
+            }
+            ManifestError::ZeroTierBound(s, file) => {
+                write!(f, "site {s:?} file {file} declares a zero staleness bound")
             }
         }
     }
@@ -133,7 +175,35 @@ impl ClusterManifest {
             step_timeout,
             max_step_retries: 3,
             moves: Vec::new(),
+            tiers: Vec::new(),
         }
+    }
+
+    /// The sites with tier rows, in first-appearance order (the tier
+    /// rollout walks them one at a time).
+    pub fn tier_sites(&self) -> Vec<SiteId> {
+        let mut out = Vec::new();
+        for t in &self.tiers {
+            if !out.contains(&t.site) {
+                out.push(t.site);
+            }
+        }
+        out
+    }
+
+    /// The tier fingerprint `site` must report for its rollout to count
+    /// as done (the fingerprint of exactly this manifest's rows for it;
+    /// Strict rows are transparent, matching the engine's probe).
+    pub fn tiers_fp_for(&self, site: SiteId) -> u64 {
+        tiers_fingerprint(
+            self.tiers
+                .iter()
+                .filter(|t| t.site == site)
+                .map(|t| EdgeTierSpec {
+                    file: t.file,
+                    tier: t.tier,
+                }),
+        )
     }
 
     /// Structural sanity, checked by [`crate::Supervisor::new`].
@@ -164,6 +234,18 @@ impl ClusterManifest {
                 if !seen.contains(&s) {
                     return Err(ManifestError::MoveUnknownSite(s));
                 }
+            }
+        }
+        let mut tier_seen = std::collections::HashSet::new();
+        for t in &self.tiers {
+            if !seen.contains(&t.site) {
+                return Err(ManifestError::TierUnknownSite(t.site));
+            }
+            if !tier_seen.insert((t.site, t.file)) {
+                return Err(ManifestError::DuplicateTier(t.site, t.file));
+            }
+            if t.tier.bound() == Some(SimDuration::ZERO) {
+                return Err(ManifestError::ZeroTierBound(t.site, t.file));
             }
         }
         Ok(())
@@ -236,5 +318,51 @@ mod tests {
         let mut m = ok;
         m.moves = vec![mv(0, 100, 0, 7)];
         assert_eq!(m.validate(), Err(ManifestError::MoveUnknownSite(SiteId(7))));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_tiers() {
+        let ok = ClusterManifest::rolling_restart(&[(SiteId(0), 1)], 1, SimDuration::from_secs(1));
+        let row = |site, file, tier| TierAssignment {
+            site: SiteId(site),
+            file,
+            tier,
+        };
+        let bs = ConsistencyTier::BoundedStale {
+            ttl: SimDuration::from_millis(5),
+        };
+
+        let mut m = ok.clone();
+        m.tiers = vec![row(0, 0, bs)];
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.tier_sites(), vec![SiteId(0)]);
+        assert_eq!(
+            m.tiers_fp_for(SiteId(0)),
+            tiers_fingerprint([EdgeTierSpec { file: 0, tier: bs }])
+        );
+
+        let mut m = ok.clone();
+        m.tiers = vec![row(7, 0, bs)];
+        assert_eq!(m.validate(), Err(ManifestError::TierUnknownSite(SiteId(7))));
+
+        let mut m = ok.clone();
+        m.tiers = vec![row(0, 2, bs), row(0, 2, ConsistencyTier::Strict)];
+        assert_eq!(
+            m.validate(),
+            Err(ManifestError::DuplicateTier(SiteId(0), 2))
+        );
+
+        let mut m = ok;
+        m.tiers = vec![row(
+            0,
+            0,
+            ConsistencyTier::WatchBased {
+                fallback_ttl: SimDuration::ZERO,
+            },
+        )];
+        assert_eq!(
+            m.validate(),
+            Err(ManifestError::ZeroTierBound(SiteId(0), 0))
+        );
     }
 }

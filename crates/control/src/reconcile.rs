@@ -10,7 +10,7 @@
 
 use crate::manifest::{ClusterManifest, DesiredState, ManifestError, MoveRange, SiteSpec};
 use crate::view::{ClusterView, MigrationObs, SitePhase};
-use pscc_common::{SimTime, SiteId};
+use pscc_common::{ConsistencyTier, SimTime, SiteId};
 use std::collections::VecDeque;
 
 /// One step of a site's program, in execution order.
@@ -29,6 +29,9 @@ pub enum StepKind {
     MigratePrepare,
     /// Ask the prepared source to transfer and commit the migration.
     MigrateCommit,
+    /// Retune one site's per-file consistency tiers (one `SetTierReq`
+    /// per manifest tier row; applied online, no drain).
+    SetTier,
 }
 
 impl StepKind {
@@ -41,6 +44,7 @@ impl StepKind {
             StepKind::Undrain => "undrain",
             StepKind::MigratePrepare => "migrate_prepare",
             StepKind::MigrateCommit => "migrate_commit",
+            StepKind::SetTier => "set_tier",
         }
     }
 }
@@ -79,6 +83,15 @@ pub enum ControlAction {
         /// Source driving the migration.
         from: SiteId,
     },
+    /// Send `SetTierReq` to the site: set `file`'s consistency tier.
+    SetTier {
+        /// The owner site whose tier map changes.
+        site: SiteId,
+        /// File number the tier applies to.
+        file: u32,
+        /// The new consistency dial.
+        tier: ConsistencyTier,
+    },
 }
 
 impl ControlAction {
@@ -88,10 +101,11 @@ impl ControlAction {
             StepKind::Stop => ControlAction::Stop(site),
             StepKind::Restart => ControlAction::Restart(site),
             StepKind::Undrain => ControlAction::Undrain(site),
-            // Migration steps carry a range and are built by the move
-            // machine, never from a per-site program.
-            StepKind::MigratePrepare | StepKind::MigrateCommit => {
-                unreachable!("migration steps are driven by the move machine")
+            // Migration and tier steps carry extra payload and are
+            // built by their own machines, never from a per-site
+            // program.
+            StepKind::MigratePrepare | StepKind::MigrateCommit | StepKind::SetTier => {
+                unreachable!("migration and tier steps are driven by their own machines")
             }
         }
     }
@@ -105,7 +119,8 @@ impl ControlAction {
             | ControlAction::Undrain(s)
             | ControlAction::MigratePrepare { from: s, .. }
             | ControlAction::MigrateCommit { from: s }
-            | ControlAction::MigrateAbort { from: s } => s,
+            | ControlAction::MigrateAbort { from: s }
+            | ControlAction::SetTier { site: s, .. } => s,
         }
     }
 }
@@ -162,6 +177,15 @@ struct MoveFlight {
     expect_layout: u64,
 }
 
+/// The tier rollout currently in flight at one site.
+#[derive(Debug, Clone, Copy)]
+struct TierFlight {
+    /// Deadline for the site's fingerprint to converge.
+    deadline: SimTime,
+    /// Retries consumed so far.
+    retries: u32,
+}
+
 /// The reconciling cluster supervisor. See the crate docs for the
 /// model; see [`ClusterManifest`] for the safety envelope.
 #[derive(Debug, Clone)]
@@ -172,6 +196,13 @@ pub struct Supervisor {
     move_idx: usize,
     /// The move currently in flight, if any.
     move_flight: Option<MoveFlight>,
+    /// Sites with tier rows, walked in first-appearance order after the
+    /// moves are done.
+    tier_sites: Vec<SiteId>,
+    /// Index of the next (or current) site in `tier_sites`.
+    tier_idx: usize,
+    /// The tier rollout currently in flight, if any.
+    tier_flight: Option<TierFlight>,
     status: ControlStatus,
     steps_executed: u64,
     last_draining: u64,
@@ -182,11 +213,15 @@ impl Supervisor {
     /// Builds a supervisor for `manifest`, validating it first.
     pub fn new(manifest: ClusterManifest) -> Result<Self, ManifestError> {
         manifest.validate()?;
+        let tier_sites = manifest.tier_sites();
         Ok(Supervisor {
             manifest,
             in_flight: Vec::new(),
             move_idx: 0,
             move_flight: None,
+            tier_sites,
+            tier_idx: 0,
+            tier_flight: None,
             status: ControlStatus::InProgress,
             steps_executed: 0,
             last_draining: 0,
@@ -274,9 +309,9 @@ impl Supervisor {
                 obs.up && obs.epoch >= min
             }
             StepKind::Undrain => obs.up && obs.phase == SitePhase::Active,
-            // Migration steps never appear in per-site programs; the
-            // move machine tracks their completion itself.
-            StepKind::MigratePrepare | StepKind::MigrateCommit => false,
+            // Migration and tier steps never appear in per-site
+            // programs; their machines track completion themselves.
+            StepKind::MigratePrepare | StepKind::MigrateCommit | StepKind::SetTier => false,
         }
     }
 
@@ -382,6 +417,70 @@ impl Supervisor {
             _ => ControlAction::MigrateCommit { from: mv.from },
         });
         self.steps_executed += 1;
+        None
+    }
+
+    /// Drives the declared tier rollout, one site at a time, after the
+    /// site walk and the moves are done (so fingerprints are not judged
+    /// against a site that is mid-restart). Returns the site of a
+    /// rollout that exhausted its retries — terminal for the operation.
+    fn drive_tiers(
+        &mut self,
+        view: &ClusterView,
+        actions: &mut Vec<ControlAction>,
+    ) -> Option<(SiteId, StepKind)> {
+        if !self.in_flight.is_empty() || self.move_idx < self.manifest.moves.len() {
+            return None;
+        }
+        while self.tier_idx < self.tier_sites.len() {
+            let site = self.tier_sites[self.tier_idx];
+            let expect = self.manifest.tiers_fp_for(site);
+            let obs = view.get(site).copied();
+            if obs.is_some_and(|o| o.up && o.tiers_fp == expect) {
+                // This site's rollout landed; walk on in the same tick.
+                self.tier_flight = None;
+                self.tier_idx += 1;
+                continue;
+            }
+            let rows: Vec<ControlAction> = self
+                .manifest
+                .tiers
+                .iter()
+                .filter(|t| t.site == site)
+                .map(|t| ControlAction::SetTier {
+                    site,
+                    file: t.file,
+                    tier: t.tier,
+                })
+                .collect();
+            let Some(fly) = self.tier_flight.as_mut() else {
+                // Start the rollout once the site is observed up.
+                if obs.is_some_and(|o| o.up) {
+                    self.steps_executed += rows.len() as u64;
+                    actions.extend(rows);
+                    self.tier_flight = Some(TierFlight {
+                        deadline: view.now + self.manifest.step_timeout,
+                        retries: 0,
+                    });
+                }
+                return None;
+            };
+            if view.now < fly.deadline {
+                return None;
+            }
+            if fly.retries >= self.manifest.max_step_retries {
+                return Some((site, StepKind::SetTier));
+            }
+            fly.retries += 1;
+            fly.deadline = view.now
+                + self
+                    .manifest
+                    .step_timeout
+                    .mul_f64(f64::from(fly.retries) + 1.0);
+            self.steps_executed += rows.len() as u64;
+            actions.extend(rows);
+            return None;
+        }
         None
     }
 
@@ -504,6 +603,14 @@ impl Supervisor {
             };
         }
 
+        if let Some((site, step)) = self.drive_tiers(view, &mut actions) {
+            self.status = ControlStatus::Aborted { site, step };
+            return TickResult {
+                status: self.status,
+                actions,
+            };
+        }
+
         let all_satisfied = self
             .manifest
             .sites
@@ -512,6 +619,7 @@ impl Supervisor {
         self.status = if self.in_flight.is_empty()
             && all_satisfied
             && self.move_idx >= self.manifest.moves.len()
+            && self.tier_idx >= self.tier_sites.len()
         {
             ControlStatus::Converged
         } else {
@@ -539,6 +647,7 @@ mod tests {
             queue_depth: 0,
             layout: 1,
             migration: MigrationObs::Idle,
+            tiers_fp: pscc_common::tiers_fingerprint([]),
         }
     }
 
@@ -551,6 +660,7 @@ mod tests {
             queue_depth: 0,
             layout,
             migration,
+            tiers_fp: pscc_common::tiers_fingerprint([]),
         }
     }
 
@@ -708,6 +818,7 @@ mod tests {
             step_timeout: SimDuration::from_millis(100),
             max_step_retries: 1,
             moves: Vec::new(),
+            tiers: Vec::new(),
         };
         let mut sup = Supervisor::new(manifest).unwrap();
         let t = sup.tick(&view(0, vec![obs(0, true, 1, SitePhase::Active)]));
@@ -875,6 +986,92 @@ mod tests {
             ControlStatus::Aborted {
                 site: SiteId(0),
                 step: StepKind::MigratePrepare
+            }
+        );
+        let t = sup.tick(&stuck(600_000));
+        assert!(t.actions.is_empty());
+    }
+
+    /// A manifest whose sites are already satisfied plus one tier row.
+    fn tier_manifest(retries: u32) -> (ClusterManifest, ConsistencyTier) {
+        let tier = ConsistencyTier::BoundedStale {
+            ttl: SimDuration::from_millis(5),
+        };
+        let mut m = ClusterManifest::rolling_restart(
+            &[(SiteId(0), 0), (SiteId(1), 0)],
+            1,
+            SimDuration::from_millis(100),
+        );
+        m.max_step_retries = retries;
+        m.tiers = vec![crate::manifest::TierAssignment {
+            site: SiteId(0),
+            file: 0,
+            tier,
+        }];
+        (m, tier)
+    }
+
+    fn obs_t(site: u32, tiers_fp: u64) -> ObservedSite {
+        ObservedSite {
+            tiers_fp,
+            ..obs(site, true, 1, SitePhase::Active)
+        }
+    }
+
+    #[test]
+    fn tier_rollout_sets_then_converges_on_fingerprint() {
+        let (m, tier) = tier_manifest(3);
+        let expect = m.tiers_fp_for(SiteId(0));
+        let empty = pscc_common::tiers_fingerprint([]);
+        let mut sup = Supervisor::new(m).unwrap();
+
+        // Sites satisfied, fingerprint stale: issue the SetTier.
+        let t = sup.tick(&view(0, vec![obs_t(0, empty), obs_t(1, empty)]));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::SetTier {
+                site: SiteId(0),
+                file: 0,
+                tier,
+            }]
+        );
+        assert_eq!(t.status, ControlStatus::InProgress);
+
+        // Fingerprint landed: converged, no further actions.
+        let t = sup.tick(&view(10, vec![obs_t(0, expect), obs_t(1, empty)]));
+        assert!(t.actions.is_empty());
+        assert_eq!(t.status, ControlStatus::Converged);
+    }
+
+    #[test]
+    fn stuck_tier_rollout_retries_then_aborts() {
+        let (m, tier) = tier_manifest(1);
+        let empty = pscc_common::tiers_fingerprint([]);
+        let mut sup = Supervisor::new(m).unwrap();
+        let stuck = |now: u64| view(now, vec![obs_t(0, empty), obs_t(1, empty)]);
+
+        let t = sup.tick(&stuck(0));
+        assert_eq!(t.actions.len(), 1);
+
+        // One widening retry re-sends the row...
+        let t = sup.tick(&stuck(150_000));
+        assert_eq!(
+            t.actions,
+            vec![ControlAction::SetTier {
+                site: SiteId(0),
+                file: 0,
+                tier,
+            }]
+        );
+        assert_eq!(t.status, ControlStatus::InProgress);
+
+        // ...then the rollout gives up: terminal.
+        let t = sup.tick(&stuck(500_000));
+        assert_eq!(
+            t.status,
+            ControlStatus::Aborted {
+                site: SiteId(0),
+                step: StepKind::SetTier
             }
         );
         let t = sup.tick(&stuck(600_000));

@@ -59,6 +59,10 @@ pub struct ObservedSite {
     /// Migration phase at this site (as the driving source).
     /// Meaningless when `up` is false.
     pub migration: MigrationObs,
+    /// Fingerprint of the site's non-Strict edge-tier map (the engine's
+    /// `tiers_fingerprint` probe). The tier rollout compares it against
+    /// the manifest's declared rows. Meaningless when `up` is false.
+    pub tiers_fp: u64,
 }
 
 /// A snapshot of the whole cluster at virtual time `now`.
@@ -107,6 +111,7 @@ mod tests {
                     queue_depth: 3,
                     layout: 1,
                     migration: MigrationObs::Idle,
+                    tiers_fp: 0,
                 },
                 ObservedSite {
                     site: SiteId(1),
@@ -116,6 +121,7 @@ mod tests {
                     queue_depth: 0,
                     layout: 1,
                     migration: MigrationObs::Idle,
+                    tiers_fp: 0,
                 },
             ],
         };

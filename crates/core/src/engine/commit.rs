@@ -347,6 +347,20 @@ impl PeerServer {
             }
         }
         if state.release {
+            // Edge tier (DESIGN.md §11): the pages this commit touched,
+            // captured before `end_txn` drops the in-flight records.
+            // Publishing streams invalidations to subscribed edge sites
+            // and records per-page versions; a no-op when no tiers are
+            // configured.
+            if !self.cfg.edge_tiers.is_empty() {
+                let pages: Vec<pscc_common::PageId> = self
+                    .log
+                    .in_flight_of(state.txn)
+                    .iter()
+                    .filter_map(|r| r.payload.page())
+                    .collect();
+                self.edge_publish_commit(pages);
+            }
             self.log.end_txn(state.txn, false);
             let out = self.locks.release_all(state.txn);
             self.obs

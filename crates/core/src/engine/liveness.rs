@@ -185,6 +185,11 @@ impl PeerServer {
         // future callbacks and adaptive-grant checks skip it.
         self.copy_table.drop_site_entries(dead);
 
+        // Edge tier (DESIGN.md §11): drop its watch subscription here
+        // (owner role), and purge everything *it* owned from the local
+        // edge cache (edge role).
+        self.edge_site_dead(dead);
+
         // Overload protection: admission slots its requests held are
         // void, and this site's credit state toward it resets — queued
         // requests for the dead owner will never be answered (their

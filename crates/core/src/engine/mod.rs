@@ -16,6 +16,7 @@
 mod client;
 mod commit;
 pub mod drain;
+mod edge;
 pub mod large;
 mod liveness;
 pub mod migration;
@@ -215,6 +216,13 @@ pub(crate) enum DiskCont {
     /// A migration's staging force (`MigrateIn*`) completed at the
     /// destination; ack the transfer.
     MigrateInForced,
+    /// Ship `page` to edge site `to` (edge-fetch buffer miss at the
+    /// owner, DESIGN.md §11).
+    EdgeShip {
+        req: ReqId,
+        to: SiteId,
+        page: PageId,
+    },
     /// Pure accounting (dirty-page writeback); nothing resumes.
     Accounted,
 }
@@ -251,6 +259,9 @@ pub(crate) enum TimerKind {
     /// Periodic check of a migrating range's quiescence during the
     /// prepare step (engine/migration.rs).
     MigrationCheck,
+    /// The edge site's periodic watch renew toward `owner` (DESIGN.md
+    /// §11); re-arms itself while any watch-based tier is configured.
+    EdgeRenew { owner: SiteId },
 }
 
 /// State of a client-side callback thread (the per-callback thread of
@@ -440,6 +451,30 @@ pub struct PeerServer {
     /// stale `WrongOwner` (the `MigrationPause` stage's start stamp).
     pub(crate) migration_waits: HashMap<ReqId, SimTime>,
 
+    // Edge tier (DESIGN.md §11). All empty unless `cfg.edge_tiers` is
+    // non-empty — strict-only runs never touch any of it.
+    /// Edge role: the lock-free page store.
+    pub(crate) edge_cache: pscc_edge::EdgeCache,
+    /// Edge role: per owner, the send time of the last acked watch
+    /// renew (`SimTime::ZERO` = never validated). Presence of a key
+    /// means the renew loop is running for that owner.
+    pub(crate) edge_watch: HashMap<SiteId, SimTime>,
+    /// Edge role: the current renew timer per owner (identity check for
+    /// stale fires).
+    pub(crate) edge_renew_timer: HashMap<SiteId, crate::msg::TimerId>,
+    /// Edge role: outstanding renews awaiting their ack, with send time.
+    pub(crate) edge_renews: HashMap<ReqId, (SiteId, SimTime)>,
+    /// Edge role: last epoch seen from each owner (restart detection).
+    pub(crate) edge_owner_epoch: HashMap<SiteId, u64>,
+    /// Edge role: reads parked behind an in-flight edge fetch.
+    pub(crate) edge_waiting: HashMap<PageId, Vec<(TxnId, Oid)>>,
+    /// Edge role: the in-flight fetch per page `(req, send time)`.
+    pub(crate) edge_fetching: HashMap<PageId, (ReqId, SimTime)>,
+    /// Owner role: edge watch subscriptions (lease-reaped).
+    pub(crate) edge_subs: pscc_edge::SubscriptionTable,
+    /// Owner role: last published commit version per tiered page.
+    pub(crate) edge_versions: HashMap<PageId, u64>,
+
     // Causal tracing (DESIGN.md §9). All empty/unused unless tracing
     // is enabled — untraced runs pay nothing on the hot path.
     /// The context of the traced message currently being handled, if
@@ -548,6 +583,15 @@ impl PeerServer {
             migrating_in: None,
             migrated_out: Vec::new(),
             migration_waits: HashMap::new(),
+            edge_cache: pscc_edge::EdgeCache::new(cache_pages.max(1)),
+            edge_watch: HashMap::new(),
+            edge_renew_timer: HashMap::new(),
+            edge_renews: HashMap::new(),
+            edge_owner_epoch: HashMap::new(),
+            edge_waiting: HashMap::new(),
+            edge_fetching: HashMap::new(),
+            edge_subs: pscc_edge::SubscriptionTable::new(),
+            edge_versions: HashMap::new(),
             cur_ctx: None,
             txn_spans: HashMap::new(),
             req_ctx: HashMap::new(),
@@ -687,6 +731,16 @@ impl PeerServer {
         assert!(
             self.migrated_out.is_empty(),
             "site {}: unacknowledged migrated-out ranges leak",
+            self.site
+        );
+        assert!(
+            self.edge_waiting.is_empty(),
+            "site {}: reads parked on edge fetches leak",
+            self.site
+        );
+        assert!(
+            self.edge_fetching.is_empty(),
+            "site {}: in-flight edge fetches leak",
             self.site
         );
         self.locks.assert_consistent();
@@ -1004,6 +1058,13 @@ impl PeerServer {
         self.admitted_peak
     }
 
+    /// Fingerprint of this site's live non-Strict edge-tier map
+    /// (DESIGN.md §11), exported so the control plane can watch a tier
+    /// rollout converge.
+    pub fn tiers_fingerprint(&self) -> u64 {
+        self.cfg.tiers_fingerprint()
+    }
+
     pub(crate) fn reply_app(&mut self, reply: AppReply) {
         self.out.push(Output::App(reply));
     }
@@ -1194,6 +1255,7 @@ impl PeerServer {
             TimerKind::BusyRetry { req } => self.busy_retry_fired(req),
             TimerKind::DrainCheck => self.drain_check_fired(),
             TimerKind::MigrationCheck => self.migration_check_fired(),
+            TimerKind::EdgeRenew { owner } => self.edge_renew_fired(timer, owner),
         }
     }
 
@@ -1215,6 +1277,7 @@ impl PeerServer {
             DiskCont::MigratePrepareForced => self.migrate_prepare_forced(),
             DiskCont::MigrateCommitForced => self.migrate_commit_forced(),
             DiskCont::MigrateInForced => self.migrate_in_forced(),
+            DiskCont::EdgeShip { req, to, page } => self.server_edge_ship(req, to, page),
             DiskCont::Accounted => {}
         }
     }
@@ -1241,7 +1304,14 @@ impl PeerServer {
                 home.current_op = Some(op.clone());
                 match op {
                     AppOp::Begin => {}
-                    AppOp::Read(oid) => self.client_access(txn, oid, false, None),
+                    AppOp::Read(oid) => {
+                        // Tiered files may serve from the lock-free edge
+                        // cache (DESIGN.md §11); everything else runs the
+                        // serializable path.
+                        if !self.edge_try_read(txn, oid) {
+                            self.client_access(txn, oid, false, None)
+                        }
+                    }
                     AppOp::Write { oid, bytes } => self.client_access(txn, oid, true, bytes),
                     AppOp::Lock { item, mode } => self.client_explicit(txn, item, mode),
                     AppOp::Create { page, bytes } => self.client_create(txn, page, bytes),
@@ -1455,6 +1525,32 @@ impl PeerServer {
                 self.server_read_forwarded(req, from, txn, oid)
             }
             Message::ObjectBytes { req, bytes } => self.client_object_bytes(req, bytes),
+
+            // Edge tier (DESIGN.md §11).
+            Message::EdgeFetch {
+                req,
+                page,
+                watch,
+                lease,
+            } => self.server_edge_fetch(from, req, page, watch, lease),
+            Message::EdgePage {
+                req,
+                page,
+                version,
+                epoch,
+                image,
+            } => self.edge_page(from, req, page, version, epoch, image),
+            Message::EdgeInvalidate { pages } => self.edge_invalidate(pages),
+            Message::EdgeRenew { req, lease, files } => {
+                self.server_edge_renew(from, req, lease, files)
+            }
+            Message::EdgeRenewOk {
+                req,
+                epoch,
+                resubscribed,
+            } => self.edge_renew_ok(from, req, epoch, resubscribed),
+            Message::SetTierReq { req, file, tier } => self.handle_set_tier(from, req, file, tier),
+            Message::SetTierOk { .. } => (),
 
             // Unreachable: the envelope was peeled at the top of this
             // function (nested envelopes are never produced).

@@ -646,6 +646,81 @@ pub enum Message {
         new_owner: SiteId,
     },
 
+    /// Edge → owner: fetch a page image for the lock-free edge cache.
+    /// Carries no transaction and takes no locks; the owner answers
+    /// with the current committed image. `watch` asks the owner to
+    /// (re)subscribe the edge for the page's file under `lease`.
+    EdgeFetch {
+        /// Echoed in the reply.
+        req: ReqId,
+        /// The page wanted.
+        page: PageId,
+        /// Whether to piggyback a watch subscription for the file.
+        watch: bool,
+        /// Subscription lease duration (ignored unless `watch`).
+        lease: SimDuration,
+    },
+    /// Owner → edge: the committed page image for an [`Message::EdgeFetch`].
+    EdgePage {
+        /// The fetch answered.
+        req: ReqId,
+        /// The page shipped.
+        page: PageId,
+        /// Owner commit version (WAL LSN) the image reflects.
+        version: u64,
+        /// The owner's current epoch; a bump since the edge's last
+        /// contact means invalidations were lost across a restart.
+        epoch: u64,
+        /// The page image.
+        image: SlottedPage,
+    },
+    /// Owner → edge: pages committed since the subscriber's copies were
+    /// shipped, batched per commit. One-way; the edge strikes matching
+    /// cache entries and refetches on next read.
+    EdgeInvalidate {
+        /// `(page, committed version)` pairs.
+        pages: Vec<(PageId, u64)>,
+    },
+    /// Edge → owner: subscribe or renew the invalidation watch for
+    /// `files`. Idempotent; replaces the previous subscription.
+    EdgeRenew {
+        /// Echoed in the reply.
+        req: ReqId,
+        /// Lease duration from the owner's receipt.
+        lease: SimDuration,
+        /// File numbers watched.
+        files: Vec<u32>,
+    },
+    /// Owner → edge: the renew is recorded; the watch is live as of the
+    /// renew's send time.
+    EdgeRenewOk {
+        /// The renew answered.
+        req: ReqId,
+        /// The owner's current epoch (same fencing role as in
+        /// [`Message::EdgePage`]).
+        epoch: u64,
+        /// `true` when this renew *created* coverage instead of
+        /// extending it — the previous subscription had lease-expired
+        /// (or never existed), so invalidations published during the
+        /// gap are lost and the edge must purge its watch-based copies.
+        resubscribed: bool,
+    },
+    /// Supervisor → site: adopt `tier` for file number `file` (an
+    /// online tier roll; no downtime).
+    SetTierReq {
+        /// Echoed in the reply.
+        req: ReqId,
+        /// The file whose tier changes.
+        file: u32,
+        /// The tier to adopt.
+        tier: pscc_common::ConsistencyTier,
+    },
+    /// Site → supervisor: the tier change is applied.
+    SetTierOk {
+        /// The request answered.
+        req: ReqId,
+    },
+
     /// A causal-tracing envelope: any message wrapped with the
     /// [`TraceCtx`] of the hop that carries it. Engines wrap outgoing
     /// messages only while tracing is enabled and unwrap on receipt, so
@@ -691,6 +766,9 @@ impl Message {
                     .sum::<usize>()
                     + copies.len() * 16
             }
+            Message::EdgePage { image, .. } => 64 + image.as_bytes().len(),
+            Message::EdgeInvalidate { pages } => 32 + pages.len() * 24,
+            Message::EdgeRenew { files, .. } => 32 + files.len() * 4,
             _ => 64,
         }
     }
@@ -754,6 +832,17 @@ impl Message {
                 | Message::QueryMigration { .. }
                 | Message::MigrationResolved { .. }
                 | Message::WrongOwner { .. }
+                // The entire edge protocol rides the consistency lane:
+                // staleness bounds are proved from per-(from,to,path)
+                // FIFO between fetches, renews, and invalidations, so
+                // none of them may be shed or queue behind bulk pages.
+                | Message::EdgeFetch { .. }
+                | Message::EdgePage { .. }
+                | Message::EdgeInvalidate { .. }
+                | Message::EdgeRenew { .. }
+                | Message::EdgeRenewOk { .. }
+                | Message::SetTierReq { .. }
+                | Message::SetTierOk { .. }
         )
     }
 
@@ -778,6 +867,8 @@ impl Message {
                 | Message::MigrateAbortReq { .. }
                 | Message::MigrateAborted { .. }
                 | Message::MigrateDone { .. }
+                | Message::SetTierReq { .. }
+                | Message::SetTierOk { .. }
         )
     }
 
@@ -824,7 +915,10 @@ impl Message {
             | Message::FetchLargePage { req, .. }
             | Message::WriteLargeReq { req, .. }
             | Message::CreateLargeReq { req, .. }
-            | Message::ReadForwarded { req, .. } => Some(*req),
+            | Message::ReadForwarded { req, .. }
+            | Message::EdgeFetch { req, .. }
+            | Message::EdgeRenew { req, .. }
+            | Message::SetTierReq { req, .. } => Some(*req),
             _ => None,
         }
     }
@@ -848,7 +942,10 @@ impl Message {
             | Message::WrongOwner { req, .. }
             | Message::MigratePrepared { req }
             | Message::MigrateDone { req, .. }
-            | Message::MigrateAborted { req, .. } => Some(*req),
+            | Message::MigrateAborted { req, .. }
+            | Message::EdgePage { req, .. }
+            | Message::EdgeRenewOk { req, .. }
+            | Message::SetTierOk { req } => Some(*req),
             _ => None,
         }
     }
@@ -916,6 +1013,13 @@ impl Message {
             Message::QueryMigration { .. } => "query_migration",
             Message::MigrationResolved { .. } => "migration_resolved",
             Message::WrongOwner { .. } => "wrong_owner",
+            Message::EdgeFetch { .. } => "edge_fetch",
+            Message::EdgePage { .. } => "edge_page",
+            Message::EdgeInvalidate { .. } => "edge_invalidate",
+            Message::EdgeRenew { .. } => "edge_renew",
+            Message::EdgeRenewOk { .. } => "edge_renew_ok",
+            Message::SetTierReq { .. } => "set_tier_req",
+            Message::SetTierOk { .. } => "set_tier_ok",
         }
     }
 }
@@ -1232,6 +1336,52 @@ mod tests {
             oid: Oid::new(p, 0),
         }
         .is_consistency());
+        // The whole edge protocol is consistency traffic (the staleness
+        // bound depends on FIFO between fetches and invalidations), and
+        // the tier roll is control-plane like the other supervisor ops.
+        let fetch = Message::EdgeFetch {
+            req: ReqId(3),
+            page: p,
+            watch: true,
+            lease: SimDuration::from_millis(100),
+        };
+        assert!(fetch.is_consistency());
+        assert!(!fetch.is_control_plane());
+        assert_eq!(fetch.req_of_request(), Some(ReqId(3)));
+        let epage = Message::EdgePage {
+            req: ReqId(3),
+            page: p,
+            version: 1,
+            epoch: 0,
+            image: SlottedPage::new(4096),
+        };
+        assert!(epage.is_consistency());
+        assert_eq!(epage.req_of_reply(), Some(ReqId(3)));
+        assert!(epage.wire_size() > 4000);
+        assert!(Message::EdgeInvalidate {
+            pages: vec![(p, 2)]
+        }
+        .is_consistency());
+        let renew = Message::EdgeRenew {
+            req: ReqId(4),
+            lease: SimDuration::from_millis(100),
+            files: vec![0],
+        };
+        assert!(renew.is_consistency());
+        assert_eq!(renew.req_of_request(), Some(ReqId(4)));
+        assert!(Message::EdgeRenewOk {
+            req: ReqId(4),
+            epoch: 0,
+            resubscribed: false
+        }
+        .is_consistency());
+        let set = Message::SetTierReq {
+            req: ReqId(5),
+            file: 0,
+            tier: pscc_common::ConsistencyTier::Strict,
+        };
+        assert!(set.is_control_plane() && set.is_consistency());
+        assert!(Message::SetTierOk { req: ReqId(5) }.is_control_plane());
     }
 
     #[test]

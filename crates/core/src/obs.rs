@@ -42,6 +42,11 @@ pub struct SiteObs {
     /// accepted) to the source's commit record going durable — the
     /// window in which traffic on the moving range is held off.
     pub migration_pause: Histogram,
+    /// Staleness of lock-free edge reads at serve time: now minus the
+    /// copy's validation instant (fetch send time, or last acked watch
+    /// renew). Always below the tier's bound when the protocol is
+    /// honest — the auditor's check 6 cross-checks it from the trace.
+    pub edge_staleness: Histogram,
     /// Per-stage latency histograms (indexed by [`Stage::index`]).
     stage_hists: [Histogram; Stage::COUNT],
     fetch_started: HashMap<ReqId, (TxnId, SimTime)>,

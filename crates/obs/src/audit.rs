@@ -25,6 +25,13 @@
 //!    migration handed the range back. Migration state is durable (WAL
 //!    records survive restarts), so unlike checks 1–3 it is *not*
 //!    cleared when a site crashes.
+//! 6. **Edge staleness bound** — a lock-free edge read of a tiered
+//!    file must never return data older than its tier's bound: an
+//!    `EdgeRead` at time `t` with bound `b` must serve a version at
+//!    least as new as the newest `EdgePageCommitted` for that page at
+//!    or before `t − b`, and its self-reported age must be below `b`.
+//!    Commit versions are WAL LSNs (durable), so like check 5 this
+//!    state survives crash-clears.
 //!
 //! All state is keyed by the *recording* site, so the per-site `seq`
 //! order inside the merged stream (see `merge_traces`) is the only
@@ -87,6 +94,10 @@ pub struct InvariantAuditor {
     /// check 5: ranges each site has committed away, with the layout
     /// version of the commit. Durable — survives crash-clears.
     committed_away: HashMap<SiteId, HashSet<(u32, u32, u64)>>,
+    /// check 6: per-page publish history `(commit time, version)`, in
+    /// merged order. Durable — survives crash-clears (versions are WAL
+    /// LSNs, monotone across owner restarts).
+    edge_commits: HashMap<pscc_common::PageId, Vec<(SimTime, u64)>>,
 }
 
 /// Message labels that carry a data verdict to a transaction's home.
@@ -322,6 +333,55 @@ impl InvariantAuditor {
                                 "site {} acked write of page {n} to s{} after committing \
                                  [{lo},{hi}) away at layout {v}",
                                 site.0, to.0
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::EdgePageCommitted { page, version } => {
+                let hist = self.edge_commits.entry(*page).or_default();
+                // Duplicated deliveries and 2PC re-publishes are
+                // harmless: only strictly newer versions extend the
+                // history.
+                if hist.last().is_none_or(|(_, v)| *v < *version) {
+                    hist.push((e.at, *version));
+                }
+            }
+            EventKind::EdgeRead {
+                page,
+                version,
+                age_us,
+                bound_us,
+            } => {
+                // Check 6a: the edge itself must judge the copy inside
+                // its bound before serving.
+                if *age_us >= *bound_us {
+                    self.violate(
+                        e,
+                        "edge_staleness_bound",
+                        format!(
+                            "edge read of {page:?} served at age {age_us}µs, at or past its \
+                             {bound_us}µs bound"
+                        ),
+                    );
+                }
+                // Check 6b: cross-site ground truth — every commit the
+                // bound obliges the edge to have seen must be reflected.
+                let horizon = e.at.as_micros().saturating_sub(*bound_us);
+                if let Some(hist) = self.edge_commits.get(page) {
+                    let required = hist
+                        .iter()
+                        .filter(|(at, _)| at.as_micros() <= horizon)
+                        .map(|(_, v)| *v)
+                        .max()
+                        .unwrap_or(0);
+                    if *version < required {
+                        self.violate(
+                            e,
+                            "edge_staleness_bound",
+                            format!(
+                                "edge read of {page:?} served version {version} but version \
+                                 {required} was committed before the {bound_us}µs horizon"
                             ),
                         );
                     }
@@ -643,6 +703,73 @@ mod tests {
             land(3, 30, 2, 1, 2),
         ];
         assert!(audit_events(&dup).is_empty());
+    }
+
+    #[test]
+    fn edge_staleness_bound_is_checked() {
+        let page = PageId::new(FileId::new(VolId(1), 0), 5);
+        let committed =
+            |seq, at, version| ev(seq, 1, at, EventKind::EdgePageCommitted { page, version });
+        let read = |seq, at, version, age_us, bound_us| {
+            ev(
+                seq,
+                3,
+                at,
+                EventKind::EdgeRead {
+                    page,
+                    version,
+                    age_us,
+                    bound_us,
+                },
+            )
+        };
+        // v2 commits at t=10_000; a read at t=15_000 with a 10ms bound
+        // only obliges commits up to t=5_000, so serving v1 is legal.
+        let ok = vec![
+            committed(1, 2_000, 1),
+            committed(2, 10_000, 2),
+            read(3, 15_000, 1, 8_000, 10_000),
+        ];
+        assert!(audit_events(&ok).is_empty());
+        // The same stale read at t=25_000 is past the horizon: caught.
+        let bad = vec![
+            committed(1, 2_000, 1),
+            committed(2, 10_000, 2),
+            read(3, 25_000, 1, 9_000, 10_000),
+        ];
+        let v = audit_events(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "edge_staleness_bound");
+        assert!(v[0].detail.contains("version 2"), "{}", v[0].detail);
+        // Serving the required version at the horizon is clean.
+        let fresh = vec![
+            committed(1, 2_000, 1),
+            committed(2, 10_000, 2),
+            read(3, 25_000, 2, 3_000, 10_000),
+        ];
+        assert!(audit_events(&fresh).is_empty());
+        // A self-reported age at/above the bound is caught even with no
+        // commit history at all.
+        let over = vec![read(1, 50_000, 7, 10_000, 10_000)];
+        assert_eq!(audit_events(&over)[0].check, "edge_staleness_bound");
+        // Commit history is durable: a crash marker does not license
+        // stale serves afterwards.
+        let crashed = vec![
+            committed(1, 2_000, 1),
+            committed(2, 10_000, 2),
+            ev(
+                3,
+                1,
+                12_000,
+                EventKind::FaultInjected {
+                    from: SiteId(1),
+                    to: SiteId(1),
+                    what: "crash",
+                },
+            ),
+            read(4, 30_000, 1, 5_000, 10_000),
+        ];
+        assert_eq!(audit_events(&crashed).len(), 1);
     }
 
     #[test]

@@ -248,6 +248,43 @@ pub enum EventKind {
     /// A lookup hit a page no layout range covers; the request was
     /// refused (typed `OwnershipError`) instead of panicking.
     OwnershipRefused { page: pscc_common::PageId },
+
+    // Edge tier (DESIGN.md §11).
+    /// An owner committed a new version of `page` visible to edge
+    /// subscribers (the page's publish version is the commit's WAL
+    /// LSN). This is the auditor's ground truth for staleness: an edge
+    /// read at `t` must not return a version older than the newest one
+    /// committed at or before `t - bound`.
+    EdgePageCommitted {
+        page: pscc_common::PageId,
+        version: u64,
+    },
+    /// An edge site answered a read lock-free from its local copy.
+    EdgeRead {
+        page: pscc_common::PageId,
+        /// Owner commit version served.
+        version: u64,
+        /// Conservative age of the copy at serve time (µs): now minus
+        /// the copy's validation instant.
+        age_us: u64,
+        /// The tier's hard staleness bound (µs).
+        bound_us: u64,
+    },
+    /// An edge read fell through to an owner fetch (cold, expired,
+    /// severed watch, or invalidated).
+    EdgeMiss { page: pscc_common::PageId },
+    /// An owner published invalidations for one commit to one
+    /// subscriber.
+    EdgeInvalidated { to: SiteId, pages: usize },
+    /// An owner recorded or renewed an edge watch subscription.
+    EdgeSubscribed { site: SiteId, files: usize },
+    /// An owner dropped an edge subscription (lease expiry at publish
+    /// time, or the subscriber was declared dead).
+    EdgeSubReaped { site: SiteId },
+    /// An edge purged every copy from `owner` (owner epoch bump or
+    /// death: invalidations may have been lost, the copies are no
+    /// longer trustworthy).
+    EdgePurgedOwner { owner: SiteId, pages: usize },
 }
 
 impl fmt::Display for EventKind {
@@ -412,6 +449,33 @@ impl fmt::Display for EventKind {
             }
             EventKind::OwnershipRefused { page } => {
                 write!(f, "ownership_refused page={page:?}")
+            }
+            EventKind::EdgePageCommitted { page, version } => {
+                write!(f, "edge_page_committed page={page:?} version={version}")
+            }
+            EventKind::EdgeRead {
+                page,
+                version,
+                age_us,
+                bound_us,
+            } => write!(
+                f,
+                "edge_read page={page:?} version={version} age={age_us}µs bound={bound_us}µs"
+            ),
+            EventKind::EdgeMiss { page } => {
+                write!(f, "edge_miss page={page:?}")
+            }
+            EventKind::EdgeInvalidated { to, pages } => {
+                write!(f, "edge_invalidated to={to:?} pages={pages}")
+            }
+            EventKind::EdgeSubscribed { site, files } => {
+                write!(f, "edge_subscribed site={site:?} files={files}")
+            }
+            EventKind::EdgeSubReaped { site } => {
+                write!(f, "edge_sub_reaped site={site:?}")
+            }
+            EventKind::EdgePurgedOwner { owner, pages } => {
+                write!(f, "edge_purged_owner owner={owner:?} pages={pages}")
             }
         }
     }

@@ -359,6 +359,7 @@ impl Simulation {
             reg.histogram("txn_latency", &s.obs.txn_latency);
             reg.histogram("recovery_time", &s.obs.recovery_time);
             reg.histogram("migration_pause", &s.obs.migration_pause);
+            reg.histogram("edge_staleness", &s.obs.edge_staleness);
             for stage in pscc_common::Stage::ALL {
                 reg.histogram(&format!("stage_{stage}"), s.obs.stage_hist(stage));
             }

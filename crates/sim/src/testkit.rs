@@ -62,9 +62,20 @@ pub fn path_for(msg: &Message) -> PathId {
         | Message::MigrateActivated { .. }
         | Message::QueryMigration { .. }
         | Message::MigrationResolved { .. } => PathId(1),
-        Message::Callback { .. } | Message::CbCancel { .. } | Message::Deescalate { .. } => {
-            PathId(2)
-        }
+        // The edge tier's staleness proof needs every edge message on
+        // ONE lane: an `EdgeRenewOk` must not overtake the
+        // `EdgeInvalidate`s published before it, and an `EdgePage` must
+        // not overtake the invalidation that supersedes it
+        // (DESIGN.md §11). They share the callback lane, which already
+        // carries the owner-to-client consistency traffic.
+        Message::Callback { .. }
+        | Message::CbCancel { .. }
+        | Message::Deescalate { .. }
+        | Message::EdgeFetch { .. }
+        | Message::EdgePage { .. }
+        | Message::EdgeInvalidate { .. }
+        | Message::EdgeRenew { .. }
+        | Message::EdgeRenewOk { .. } => PathId(2),
         _ => PathId(0),
     }
 }
@@ -749,6 +760,7 @@ impl Cluster {
                         MigrationPhase::Transferring => MigrationObs::Transferring,
                         MigrationPhase::Committing => MigrationObs::Committing,
                     },
+                    tiers_fp: s.tiers_fingerprint(),
                 }
             })
             .collect();
@@ -810,6 +822,7 @@ impl Cluster {
             ControlAction::MigrateCommit { .. } | ControlAction::MigrateAbort { .. } => {
                 StepKind::MigrateCommit
             }
+            ControlAction::SetTier { .. } => StepKind::SetTier,
         };
         if !self.crashed.contains(&site) {
             self.sites[site.0 as usize]
@@ -853,6 +866,11 @@ impl Cluster {
                 self.next_ctl_req += 1;
                 let req = ReqId(self.next_ctl_req);
                 self.send_control(from, Message::MigrateAbortReq { req });
+            }
+            ControlAction::SetTier { site, file, tier } => {
+                self.next_ctl_req += 1;
+                let req = ReqId(self.next_ctl_req);
+                self.send_control(site, Message::SetTierReq { req, file, tier });
             }
         }
     }

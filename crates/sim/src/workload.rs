@@ -31,6 +31,18 @@ pub enum WorkloadKind {
     /// All applications share the same 2 250-page skew range — very high
     /// contention.
     HiCon,
+    /// Every application directs `hot_acc_prob` of its accesses at the
+    /// *same* `hot_range_pages`-page range — a flash crowd descending on
+    /// one hot file. Run read-mostly, this is the edge tier's showcase:
+    /// one owner fields the whole crowd under Strict, while a
+    /// bounded-stale tier absorbs the re-reads at the edges
+    /// (DESIGN.md §11).
+    FlashCrowd,
+    /// Accesses uniform over the shared `hicon_range_pages` range with
+    /// no cold tail: every client touches every owner's pages,
+    /// maximizing the owner→edge invalidation fan-out under
+    /// watch-based tiers.
+    Fanout,
 }
 
 impl std::fmt::Display for WorkloadKind {
@@ -39,6 +51,8 @@ impl std::fmt::Display for WorkloadKind {
             WorkloadKind::HotCold => "HOTCOLD",
             WorkloadKind::Uniform => "UNIFORM",
             WorkloadKind::HiCon => "HICON",
+            WorkloadKind::FlashCrowd => "FLASHCROWD",
+            WorkloadKind::Fanout => "FANOUT",
         };
         f.write_str(s)
     }
@@ -106,6 +120,10 @@ impl WorkloadSpec {
                 lo..hi
             }
             WorkloadKind::HiCon => 0..self.hicon_range_pages.min(db_pages),
+            // One crowd, one range: every application shares the first
+            // `hot_range_pages` pages.
+            WorkloadKind::FlashCrowd => 0..self.hot_range_pages.min(db_pages),
+            WorkloadKind::Fanout => 0..self.hicon_range_pages.min(db_pages),
             WorkloadKind::Uniform => 0..db_pages,
         }
     }
@@ -129,6 +147,11 @@ impl WorkloadSpec {
         for _ in 0..n_pages {
             let (page, wp) = match self.kind {
                 WorkloadKind::Uniform => (rng.gen_range(0..db), self.cold_write_prob),
+                WorkloadKind::Fanout if !hot.is_empty() => {
+                    // No cold tail: fan out uniformly over the shared
+                    // range.
+                    (rng.gen_range(hot.clone()), self.cold_write_prob)
+                }
                 _ => {
                     if rng.gen_bool(self.hot_acc_prob) && !hot.is_empty() {
                         (rng.gen_range(hot.clone()), self.hot_write_prob)
@@ -185,6 +208,24 @@ mod tests {
         let w = WorkloadSpec::paper(WorkloadKind::HiCon, 0.2, false);
         assert_eq!(w.hot_bounds(0, 11_250), w.hot_bounds(7, 11_250));
         assert_eq!(w.hot_bounds(0, 11_250), 0..2_250);
+    }
+
+    #[test]
+    fn flashcrowd_ranges_are_shared_and_hot() {
+        let w = WorkloadSpec::paper(WorkloadKind::FlashCrowd, 0.02, false);
+        assert_eq!(w.hot_bounds(0, 11_250), w.hot_bounds(7, 11_250));
+        assert_eq!(w.hot_bounds(0, 11_250), 0..450);
+    }
+
+    #[test]
+    fn fanout_accesses_stay_in_shared_range() {
+        let c = cfg();
+        let w = WorkloadSpec::paper(WorkloadKind::Fanout, 0.02, false);
+        let mut rng = StdRng::seed_from_u64(7);
+        let refs = w.generate(3, &c, |_| VolId(0), &mut rng);
+        assert!(!refs.is_empty());
+        let range = w.hot_bounds(3, c.database_pages);
+        assert!(refs.iter().all(|(o, _)| range.contains(&o.page.page)));
     }
 
     #[test]

@@ -84,6 +84,7 @@ fn steady_manifest(
         step_timeout,
         max_step_retries,
         moves,
+        tiers: Vec::new(),
     }
 }
 
